@@ -1,0 +1,47 @@
+//! Criterion bench: the agglomerative clustering engine with lazy-heap
+//! candidate management and incremental pair-similarity aggregation (§4.2).
+
+use cluster::{agglomerate, Linkage, MatrixMerger};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A deterministic pseudo-random similarity matrix with planted block
+/// structure (k blocks of high within-similarity).
+fn blocked_matrix(n: usize, k: usize) -> Vec<Vec<f64>> {
+    let mut m = vec![vec![0.0; n]; n];
+    let mut v = 0.37f64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            v = (v * 9.13 + 0.17).fract();
+            let same_block = (i * k / n) == (j * k / n);
+            let s = if same_block { 0.5 + 0.5 * v } else { 0.1 * v };
+            m[i][j] = s;
+            m[j][i] = s;
+        }
+    }
+    m
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agglomerate");
+    for &n in &[50usize, 150, 300] {
+        let matrix = blocked_matrix(n, 5);
+        for (label, linkage) in [
+            ("average", Linkage::Average),
+            ("single", Linkage::Single),
+            ("complete", Linkage::Complete),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &matrix, |b, matrix| {
+                b.iter(|| {
+                    let mut merger = MatrixMerger::new(matrix.clone(), linkage);
+                    let clustering = agglomerate(n, &mut merger, 0.3);
+                    black_box(clustering.cluster_count())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

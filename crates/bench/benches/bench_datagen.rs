@@ -1,0 +1,30 @@
+//! Criterion bench: synthetic world generation and catalog emission.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::{to_catalog, World, WorldConfig};
+use std::hint::black_box;
+
+fn bench_datagen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen");
+    group.sample_size(10);
+    group.bench_function("generate_tiny_world", |b| {
+        b.iter(|| black_box(World::generate(WorldConfig::tiny(5)).papers.len()))
+    });
+    group.bench_function("generate_default_world", |b| {
+        b.iter(|| {
+            let config = WorldConfig {
+                ambiguous: WorldConfig::table1_ambiguous(),
+                ..Default::default()
+            };
+            black_box(World::generate(config).papers.len())
+        })
+    });
+    group.bench_function("emit_catalog_tiny", |b| {
+        let world = World::generate(WorldConfig::tiny(5));
+        b.iter(|| black_box(to_catalog(&world).unwrap().catalog.tuple_count()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_datagen);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench: end-to-end DISTINCT stages — profile construction and
+//! full name resolution — on a generated world.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::{to_catalog, AmbiguousSpec, World, WorldConfig};
+use distinct::{build_profile, Distinct, DistinctConfig, TrainingConfig};
+use relgraph::LinkGraph;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut config = WorldConfig::tiny(5);
+    config.ambiguous = vec![AmbiguousSpec::new("Wei Wang", vec![20, 12, 8])];
+    let d = to_catalog(&World::generate(config)).unwrap();
+    let engine_config = DistinctConfig {
+        training: TrainingConfig {
+            positives: 60,
+            negatives: 60,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let engine = Distinct::prepare(&d.catalog, "Publish", "author", engine_config.clone()).unwrap();
+    let refs = d.truths[0].refs.clone();
+
+    // Raw profile construction (uncached).
+    let ex = relstore::expand_values(&d.catalog).unwrap();
+    let graph = LinkGraph::build(&ex.catalog);
+    let paths = distinct::PathSet::build(&ex.catalog, "Publish", "author", 4).unwrap();
+    c.bench_function("profile_build_one_reference", |b| {
+        b.iter(|| {
+            let p = build_profile(&graph, &ex.catalog, &paths, black_box(refs[0]));
+            black_box(p.neighbor_total())
+        })
+    });
+
+    // Resolution of a 40-reference name with warm profile cache.
+    for &r in &refs {
+        let _ = engine.profile(r);
+    }
+    c.bench_function("resolve_40_references_cached", |b| {
+        b.iter(|| {
+            let clustering = engine.resolve(black_box(&refs));
+            black_box(clustering.cluster_count())
+        })
+    });
+
+    // Engine preparation (expansion + path enumeration + CSR build).
+    let mut group = c.benchmark_group("prepare");
+    group.sample_size(10);
+    group.bench_function("prepare_engine", |b| {
+        b.iter(|| {
+            let e =
+                Distinct::prepare(&d.catalog, "Publish", "author", engine_config.clone()).unwrap();
+            black_box(e.paths().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

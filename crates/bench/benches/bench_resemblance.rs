@@ -1,0 +1,49 @@
+//! Criterion bench: weighted Jaccard resemblance between neighbor sets
+//! (Definition 2), at several set sizes and overlap regimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relgraph::{NodeId, WeightedSet};
+use std::hint::black_box;
+
+fn make_set(start: u32, len: u32) -> WeightedSet {
+    (start..start + len)
+        .map(|n| (NodeId(n), 1.0 / (n - start + 1) as f64))
+        .collect()
+}
+
+fn bench_resemblance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resemblance");
+    for &n in &[10u32, 100, 1000] {
+        // Half-overlapping sets.
+        let a = make_set(0, n);
+        let b = make_set(n / 2, n);
+        group.bench_with_input(
+            BenchmarkId::new("weighted_half_overlap", n),
+            &n,
+            |bench, _| bench.iter(|| black_box(a.resemblance(black_box(&b)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("unweighted_half_overlap", n),
+            &n,
+            |bench, _| bench.iter(|| black_box(a.jaccard_unweighted(black_box(&b)))),
+        );
+        // Disjoint sets (no shared keys).
+        let d = make_set(10 * n, n);
+        group.bench_with_input(BenchmarkId::new("weighted_disjoint", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.resemblance(black_box(&d))))
+        });
+    }
+    group.finish();
+
+    c.bench_function("weighted_set_merge_1000", |b| {
+        let src = make_set(0, 1000);
+        b.iter(|| {
+            let mut acc = make_set(500, 1000);
+            acc.merge(black_box(&src));
+            black_box(acc.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_resemblance);
+criterion_main!(benches);

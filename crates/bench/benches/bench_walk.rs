@@ -1,0 +1,41 @@
+//! Criterion bench: random-walk probability combination between reference
+//! propagations (§2.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relgraph::{walk_probability, NodeId, Propagation};
+use relstore::FxHashMap;
+use std::hint::black_box;
+
+fn make_prop(start: u32, len: u32) -> Propagation {
+    let mut fwd: FxHashMap<NodeId, f64> = FxHashMap::default();
+    let mut bwd: FxHashMap<NodeId, f64> = FxHashMap::default();
+    for n in start..start + len {
+        let w = 1.0 / (n - start + 1) as f64;
+        fwd.insert(NodeId(n), w);
+        bwd.insert(NodeId(n), w * 0.5);
+    }
+    Propagation {
+        forward: fwd,
+        backward: bwd,
+    }
+}
+
+fn bench_walk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walk_probability");
+    for &n in &[10u32, 100, 1000] {
+        let a = make_prop(0, n);
+        let b = make_prop(n / 2, n);
+        group.bench_with_input(BenchmarkId::new("half_overlap", n), &n, |bench, _| {
+            bench.iter(|| black_box(walk_probability(black_box(&a), black_box(&b))))
+        });
+        // Asymmetric supports exercise the smaller-side iteration choice.
+        let small = make_prop(0, 8);
+        group.bench_with_input(BenchmarkId::new("small_vs_large", n), &n, |bench, _| {
+            bench.iter(|| black_box(walk_probability(black_box(&small), black_box(&b))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_walk);
+criterion_main!(benches);

@@ -1,0 +1,179 @@
+//! Experiment A1 — ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. geometric vs arithmetic composition of the two cluster measures;
+//! 2. DISTINCT's Average-Link + collective-walk cluster similarity vs the
+//!    classic single / complete / average linkages over the same leaf
+//!    similarities (the §4.1 argument);
+//! 3. connection-strength-weighted Jaccard (Definition 2) vs unweighted
+//!    Jaccard over the same neighbor sets.
+//!
+//! Every arm gets its best `min-sim` from the grid so differences reflect
+//! the design choice, not a threshold.
+//!
+//! Run: `cargo run --release -p distinct-bench --bin exp_ablation`
+
+use cluster::{agglomerate, Linkage, MatrixMerger};
+use distinct::{min_sim_grid, weighted_sum, CompositeMode, Distinct, DistinctConfig, Profile};
+use distinct_bench::{build_dataset, sweep_best_min_sim, STANDARD_SEED};
+use eval::{f3, f4, Align, PairCounts, Table};
+
+/// Mean accuracy and f-measure of a matrix-linkage clustering over all
+/// names, sweeping min-sim.
+fn sweep_matrix(
+    per_name: &[(Vec<Vec<f64>>, Vec<usize>)],
+    linkage: Linkage,
+    grid: &[f64],
+) -> (f64, f64, f64) {
+    let mut best: Option<(f64, f64, f64)> = None;
+    for &min_sim in grid {
+        let mut acc_sum = 0.0;
+        let mut f_sum = 0.0;
+        for (matrix, gold) in per_name {
+            let mut merger = MatrixMerger::new(matrix.clone(), linkage);
+            let c = agglomerate(gold.len(), &mut merger, min_sim);
+            let counts = PairCounts::from_labels(gold, &c.labels);
+            acc_sum += counts.accuracy();
+            f_sum += counts.scores().f_measure;
+        }
+        let acc = acc_sum / per_name.len() as f64;
+        let f = f_sum / per_name.len() as f64;
+        if best.is_none_or(|(_, ba, _)| acc > ba) {
+            best = Some((min_sim, acc, f));
+        }
+    }
+    best.expect("non-empty grid")
+}
+
+fn main() {
+    let dataset = build_dataset(STANDARD_SEED);
+    let grid = min_sim_grid();
+    let mut table = Table::new(
+        &["Arm", "best min-sim", "accuracy", "f-measure"],
+        &[Align::Left, Align::Right, Align::Right, Align::Right],
+    )
+    .with_title("A1. Ablations of DISTINCT's design choices (standard world)");
+
+    // --- 1. Composite mode --------------------------------------------------
+    for (label, composite) in [
+        (
+            "composite: geometric mean (paper)",
+            CompositeMode::Geometric,
+        ),
+        ("composite: arithmetic mean", CompositeMode::Arithmetic),
+    ] {
+        let config = DistinctConfig {
+            composite,
+            ..Default::default()
+        };
+        let mut engine =
+            Distinct::prepare(&dataset.catalog, "Publish", "author", config).expect("prepare");
+        engine.train().expect("train");
+        let (min_sim, results) = sweep_best_min_sim(&engine, &dataset.truths, &grid);
+        table.row(vec![
+            label.to_string(),
+            f4(min_sim),
+            f3(distinct_bench::mean_accuracy(&results)),
+            f3(distinct_bench::mean_f(&results)),
+        ]);
+        eprintln!("done: {label}");
+    }
+
+    // One trained engine supplies profiles for the matrix-based arms.
+    let mut engine = Distinct::prepare(
+        &dataset.catalog,
+        "Publish",
+        "author",
+        DistinctConfig::default(),
+    )
+    .expect("prepare");
+    engine.train().expect("train");
+    let weights = engine.weights().clone();
+
+    // Leaf matrices per name: composite similarity, weighted resemblance,
+    // unweighted resemblance.
+    let mut composite_mats = Vec::new();
+    let mut weighted_mats = Vec::new();
+    let mut unweighted_mats = Vec::new();
+    for truth in &dataset.truths {
+        let profiles: Vec<Profile> = truth
+            .refs
+            .iter()
+            .map(|&r| (*engine.profile(r)).clone())
+            .collect();
+        let n = profiles.len();
+        let mut comp = vec![vec![0.0; n]; n];
+        let mut wj = vec![vec![0.0; n]; n];
+        let mut uj = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let r = weighted_sum(
+                    &distinct::resemblance_features(&profiles[i], &profiles[j]),
+                    &weights.resem,
+                );
+                let w = weighted_sum(
+                    &distinct::walk_features(&profiles[i], &profiles[j]),
+                    &weights.walk,
+                );
+                let u: f64 = profiles[i]
+                    .sets
+                    .iter()
+                    .zip(&profiles[j].sets)
+                    .zip(&weights.resem)
+                    .map(|((a, b), &wt)| wt * a.jaccard_unweighted(b))
+                    .sum();
+                comp[i][j] = (r * w).sqrt();
+                comp[j][i] = comp[i][j];
+                wj[i][j] = r;
+                wj[j][i] = r;
+                uj[i][j] = u;
+                uj[j][i] = u;
+            }
+        }
+        composite_mats.push((comp, truth.labels.clone()));
+        weighted_mats.push((wj, truth.labels.clone()));
+        unweighted_mats.push((uj, truth.labels.clone()));
+    }
+    eprintln!("leaf matrices built");
+
+    // --- 2. Cluster-similarity definition ----------------------------------
+    let (min_sim, results) = sweep_best_min_sim(&engine, &dataset.truths, &grid);
+    table.row(vec![
+        "cluster sim: Average-Link x collective walk (paper)".to_string(),
+        f4(min_sim),
+        f3(distinct_bench::mean_accuracy(&results)),
+        f3(distinct_bench::mean_f(&results)),
+    ]);
+    for (label, linkage) in [
+        (
+            "cluster sim: Single-Link on composite leaves",
+            Linkage::Single,
+        ),
+        (
+            "cluster sim: Complete-Link on composite leaves",
+            Linkage::Complete,
+        ),
+        (
+            "cluster sim: Average-Link on composite leaves",
+            Linkage::Average,
+        ),
+    ] {
+        let (min_sim, acc, f) = sweep_matrix(&composite_mats, linkage, &grid);
+        table.row(vec![label.to_string(), f4(min_sim), f3(acc), f3(f)]);
+        eprintln!("done: {label}");
+    }
+
+    // --- 3. Weighted vs unweighted Jaccard (resemblance-only, avg link) ----
+    for (label, mats) in [
+        (
+            "resemblance: strength-weighted Jaccard (paper)",
+            &weighted_mats,
+        ),
+        ("resemblance: unweighted Jaccard", &unweighted_mats),
+    ] {
+        let (min_sim, acc, f) = sweep_matrix(mats, Linkage::Average, &grid);
+        table.row(vec![label.to_string(), f4(min_sim), f3(acc), f3(f)]);
+        eprintln!("done: {label}");
+    }
+
+    println!("{}", table.render());
+}

@@ -1,0 +1,87 @@
+//! Experiment F4 — regenerate **Figure 4**: average pairwise accuracy and
+//! f-measure of the six method variants. Per the paper, DISTINCT runs at
+//! its fixed `min-sim`; every other variant gets the `min-sim` from the
+//! grid that maximizes its average accuracy.
+//!
+//! Run: `cargo run --release -p distinct-bench --bin exp_fig4`
+
+use distinct::{min_sim_grid, DistinctConfig, Variant};
+use distinct_bench::{
+    build_dataset, evaluate_name, mean_accuracy, mean_f, sweep_best_min_sim, variant_engine,
+    PAPER_FIG4, STANDARD_SEED,
+};
+use eval::{f3, f4, Align, Table};
+
+fn main() {
+    let dataset = build_dataset(STANDARD_SEED);
+    let base = DistinctConfig::default();
+    let grid = min_sim_grid();
+
+    let mut table = Table::new(
+        &[
+            "Variant",
+            "min-sim",
+            "accuracy",
+            "f-measure",
+            "paper acc",
+            "paper f",
+        ],
+        &[
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ],
+    )
+    .with_title("Figure 4. Accuracy and f-measure of the six variants");
+
+    let mut measured: Vec<(Variant, f64, f64)> = Vec::new();
+    for variant in Variant::all() {
+        let engine = variant_engine(&dataset, variant, &base);
+        let (min_sim, results) = if variant.sweeps_min_sim() {
+            sweep_best_min_sim(&engine, &dataset.truths, &grid)
+        } else {
+            let results: Vec<_> = dataset
+                .truths
+                .iter()
+                .map(|t| evaluate_name(&engine, t, base.min_sim))
+                .collect();
+            (base.min_sim, results)
+        };
+        let acc = mean_accuracy(&results);
+        let f = mean_f(&results);
+        let paper = PAPER_FIG4.iter().find(|(l, _, _)| *l == variant.label());
+        table.row(vec![
+            variant.label().to_string(),
+            f4(min_sim),
+            f3(acc),
+            f3(f),
+            paper.map_or_else(String::new, |(_, a, _)| f3(*a)),
+            paper.map_or_else(String::new, |(_, _, pf)| f3(*pf)),
+        ]);
+        measured.push((variant, acc, f));
+        eprintln!("done: {variant}");
+    }
+    println!("{}", table.render());
+
+    // The paper's three comparative claims, checked on our measurements.
+    let f_of = |v: Variant| measured.iter().find(|(m, _, _)| *m == v).unwrap().2;
+    let distinct = f_of(Variant::Distinct);
+    println!("shape checks (paper's claims, our measurements):");
+    println!(
+        "  DISTINCT vs unsupervised single-measure baselines: +{:.1}% / +{:.1}% f-measure (paper: ~15%)",
+        100.0 * (distinct - f_of(Variant::UnsupervisedResemblance)),
+        100.0 * (distinct - f_of(Variant::UnsupervisedWalk)),
+    );
+    println!(
+        "  supervision gain on combined measure: +{:.1}% f-measure (paper: >10%)",
+        100.0 * (distinct - f_of(Variant::UnsupervisedCombined)),
+    );
+    println!(
+        "  combined-measure gain over supervised single measures: +{:.1}% / +{:.1}% (paper: ~3%)",
+        100.0 * (distinct - f_of(Variant::SupervisedResemblance)),
+        100.0 * (distinct - f_of(Variant::SupervisedWalk)),
+    );
+}

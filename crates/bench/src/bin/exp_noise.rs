@@ -1,0 +1,52 @@
+//! Experiment R1 (extension) — robustness to linkage noise: sweep the
+//! generator's cross-community coauthorship probability (the knob behind
+//! the paper's Fig. 5 mistakes) and measure how DISTINCT degrades. The
+//! paper observes its errors come from "linkages between references to
+//! different authors"; this quantifies that sensitivity.
+//!
+//! Run: `cargo run --release -p distinct-bench --bin exp_noise`
+
+use datagen::{to_catalog, World, WorldConfig};
+use distinct::{Distinct, DistinctConfig};
+use distinct_bench::{evaluate_name, standard_world_config};
+use eval::{f3, Align, Table};
+
+fn main() {
+    let mut table = Table::new(
+        &[
+            "cross-community prob",
+            "avg precision",
+            "avg recall",
+            "avg f-measure",
+        ],
+        &[Align::Right, Align::Right, Align::Right, Align::Right],
+    )
+    .with_title("R1. DISTINCT vs cross-community linkage noise (standard world)");
+
+    for noise in [0.0, 0.04, 0.08, 0.16, 0.32] {
+        let mut config: WorldConfig = standard_world_config(99);
+        config.cross_community_prob = noise;
+        let dataset = to_catalog(&World::generate(config)).expect("valid world");
+        let mut engine = Distinct::prepare(
+            &dataset.catalog,
+            "Publish",
+            "author",
+            DistinctConfig::default(),
+        )
+        .expect("prepare");
+        engine.train().expect("train");
+        let min_sim = engine.config().min_sim;
+        let results: Vec<_> = dataset
+            .truths
+            .iter()
+            .map(|t| evaluate_name(&engine, t, min_sim))
+            .collect();
+        let n = results.len() as f64;
+        let p = results.iter().map(|r| r.scores.precision).sum::<f64>() / n;
+        let r = results.iter().map(|r| r.scores.recall).sum::<f64>() / n;
+        let f = results.iter().map(|r| r.scores.f_measure).sum::<f64>() / n;
+        table.row(vec![format!("{noise:.2}"), f3(p), f3(r), f3(f)]);
+        eprintln!("done: noise {noise}");
+    }
+    println!("{}", table.render());
+}

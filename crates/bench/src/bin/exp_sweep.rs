@@ -1,0 +1,64 @@
+//! Calibration utility — sweep `min-sim` for full DISTINCT on the
+//! standard world and print per-threshold average metrics. Used to pick
+//! the calibrated default documented in EXPERIMENTS.md; not one of the
+//! paper's artifacts itself.
+//!
+//! Run: `cargo run --release -p distinct-bench --bin exp_sweep`
+
+use distinct::{min_sim_grid, Distinct, DistinctConfig};
+use distinct_bench::{build_dataset, evaluate_name, mean_accuracy, mean_f, STANDARD_SEED};
+use eval::{f3, f4, Align, Table};
+
+fn main() {
+    let dataset = build_dataset(STANDARD_SEED);
+    let mut engine = Distinct::prepare(
+        &dataset.catalog,
+        "Publish",
+        "author",
+        DistinctConfig::default(),
+    )
+    .expect("prepare");
+    engine.train().expect("train");
+
+    let mut table = Table::new(
+        &[
+            "min-sim",
+            "avg precision",
+            "avg recall",
+            "avg f",
+            "avg accuracy",
+            "perfect-p names",
+        ],
+        &[
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ],
+    )
+    .with_title("DISTINCT min-sim calibration sweep (standard world)");
+    for min_sim in min_sim_grid() {
+        let results: Vec<_> = dataset
+            .truths
+            .iter()
+            .map(|t| evaluate_name(&engine, t, min_sim))
+            .collect();
+        let p = results.iter().map(|r| r.scores.precision).sum::<f64>() / results.len() as f64;
+        let r = results.iter().map(|r| r.scores.recall).sum::<f64>() / results.len() as f64;
+        let perfect = results
+            .iter()
+            .filter(|r| r.scores.precision >= 0.9999)
+            .count();
+        table.row(vec![
+            f4(min_sim),
+            f3(p),
+            f3(r),
+            f3(mean_f(&results)),
+            f3(mean_accuracy(&results)),
+            perfect.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,104 @@
+//! Experiment T2 — regenerate **Table 2**: per-name precision / recall /
+//! f-measure of full DISTINCT (supervised weighting + combined measure) at
+//! the fixed calibrated `min-sim`, next to the paper's reported values.
+//!
+//! Run: `cargo run --release -p distinct-bench --bin exp_table2`
+
+use distinct::{Distinct, DistinctConfig};
+use distinct_bench::{build_dataset, evaluate_name, PAPER_TABLE2, STANDARD_SEED};
+use eval::{f3, Align, PhaseTimer, Table};
+
+fn main() {
+    let mut timer = PhaseTimer::new();
+    let dataset = timer.time("generate world", || build_dataset(STANDARD_SEED));
+    let config = DistinctConfig::default();
+    let min_sim = config.min_sim;
+    let mut engine = timer.time("prepare engine (expand + paths + graph)", || {
+        Distinct::prepare(&dataset.catalog, "Publish", "author", config).expect("prepare")
+    });
+    let report = timer.time("training set + SVM (paper: 62.1 s at DBLP scale)", || {
+        engine.train().expect("train")
+    });
+    println!(
+        "training: {} unique names, {}+{} pairs, resem acc {:.3}, walk acc {:.3}\n",
+        report.unique_names,
+        report.positives,
+        report.negatives,
+        report.resem_accuracy,
+        report.walk_accuracy
+    );
+
+    let results: Vec<_> = timer.time("resolve 10 names", || {
+        dataset
+            .truths
+            .iter()
+            .map(|t| evaluate_name(&engine, t, min_sim))
+            .collect()
+    });
+
+    let mut table = Table::new(
+        &[
+            "Name",
+            "precision",
+            "recall",
+            "f-measure",
+            "paper p",
+            "paper r",
+            "paper f",
+        ],
+        &[
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ],
+    )
+    .with_title(format!(
+        "Table 2. Accuracy for distinguishing references (min-sim = {min_sim})"
+    ));
+    let mut sum = (0.0, 0.0, 0.0);
+    for r in &results {
+        let paper = PAPER_TABLE2.iter().find(|p| p.name == r.name);
+        table.row(vec![
+            r.name.clone(),
+            f3(r.scores.precision),
+            f3(r.scores.recall),
+            f3(r.scores.f_measure),
+            paper.map_or_else(String::new, |p| f3(p.precision)),
+            paper.map_or_else(String::new, |p| f3(p.recall)),
+            paper.map_or_else(String::new, |p| f3(p.f_measure)),
+        ]);
+        sum.0 += r.scores.precision;
+        sum.1 += r.scores.recall;
+        sum.2 += r.scores.f_measure;
+    }
+    let n = results.len() as f64;
+    let paper_avg = (
+        PAPER_TABLE2.iter().map(|p| p.precision).sum::<f64>() / PAPER_TABLE2.len() as f64,
+        PAPER_TABLE2.iter().map(|p| p.recall).sum::<f64>() / PAPER_TABLE2.len() as f64,
+        PAPER_TABLE2.iter().map(|p| p.f_measure).sum::<f64>() / PAPER_TABLE2.len() as f64,
+    );
+    table.row(vec![
+        "average".into(),
+        f3(sum.0 / n),
+        f3(sum.1 / n),
+        f3(sum.2 / n),
+        f3(paper_avg.0),
+        f3(paper_avg.1),
+        f3(paper_avg.2),
+    ]);
+    println!("{}", table.render());
+
+    let perfect_precision = results
+        .iter()
+        .filter(|r| r.scores.precision >= 0.9999)
+        .count();
+    println!(
+        "names with no false positive: {perfect_precision} / {} (paper: 7 / 10)",
+        results.len()
+    );
+    println!("\n{}", timer.report());
+}

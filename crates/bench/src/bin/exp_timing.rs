@@ -1,0 +1,90 @@
+//! Experiment S1 — the §5 runtime measurement: wall-clock of training-set
+//! construction + SVM learning (the paper reports 62.1 s at DBLP scale for
+//! 1000 + 1000 examples), measured here at several world scales to show
+//! how the cost grows.
+//!
+//! Run: `cargo run --release -p distinct-bench --bin exp_timing`
+
+use datagen::{to_catalog, World};
+use distinct::{Distinct, DistinctConfig};
+use distinct_bench::standard_world_config;
+use eval::{Align, Table};
+use std::time::Instant;
+
+fn main() {
+    let mut table = Table::new(
+        &[
+            "authors",
+            "papers",
+            "references",
+            "unique names",
+            "build graph (s)",
+            "train (s)",
+            "resolve all names (s)",
+        ],
+        &[
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ],
+    )
+    .with_title(
+        "S1. Training pipeline runtime by scale (paper: 62.1 s at DBLP scale,\n\
+         127K authors / 1.29M references, 2005-era hardware)",
+    );
+
+    for scale in [1usize, 2, 4, 8] {
+        let mut config = standard_world_config(7);
+        config.n_authors = 2000 * scale;
+        config.n_venues = 80 * scale.min(4);
+        config.n_communities = 32 * scale.min(4);
+        // Name diversity grows with population (as in real bibliographies);
+        // without this, no name stays rare and the §3 rare-name filter
+        // would find nothing to train on.
+        config.first_name_pool = 400 * scale;
+        config.last_name_pool = 900 * scale;
+        let world = World::generate(config);
+        let dataset = to_catalog(&world).expect("valid world");
+        let papers = dataset
+            .catalog
+            .relation(dataset.catalog.relation_id("Publications").unwrap())
+            .len();
+        let refs = dataset.catalog.relation(dataset.publish).len();
+
+        let t0 = Instant::now();
+        let mut engine = Distinct::prepare(
+            &dataset.catalog,
+            "Publish",
+            "author",
+            DistinctConfig::default(),
+        )
+        .expect("prepare");
+        let prep = t0.elapsed();
+
+        let t1 = Instant::now();
+        let report = engine.train().expect("train");
+        let train = t1.elapsed();
+
+        let t2 = Instant::now();
+        for truth in &dataset.truths {
+            let _ = engine.resolve(&truth.refs);
+        }
+        let resolve = t2.elapsed();
+
+        table.row(vec![
+            (2000 * scale).to_string(),
+            papers.to_string(),
+            refs.to_string(),
+            report.unique_names.to_string(),
+            format!("{:.2}", prep.as_secs_f64()),
+            format!("{:.2}", train.as_secs_f64()),
+            format!("{:.2}", resolve.as_secs_f64()),
+        ]);
+        eprintln!("done: scale {scale}x");
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,286 @@
+//! Shared experiment plumbing: the standard synthetic world, per-name
+//! evaluation, threshold sweeps, and the paper's reference numbers.
+
+use datagen::{to_catalog, DblpDataset, World, WorldConfig};
+use distinct::{Distinct, Variant};
+use eval::{PairCounts, PrfScores};
+
+/// Seed of the standard experiment world (all experiments share it so
+/// tables are mutually consistent).
+pub const STANDARD_SEED: u64 = 2007;
+
+/// The standard experiment world: default scale plus the ten ambiguous
+/// names of Table 1.
+pub fn standard_world_config(seed: u64) -> WorldConfig {
+    WorldConfig {
+        seed,
+        ambiguous: WorldConfig::table1_ambiguous(),
+        ..Default::default()
+    }
+}
+
+/// Generate the standard dataset.
+pub fn build_dataset(seed: u64) -> DblpDataset {
+    to_catalog(&World::generate(standard_world_config(seed))).expect("standard world is valid")
+}
+
+/// Evaluation of one name at one threshold.
+#[derive(Debug, Clone)]
+pub struct NameResult {
+    /// The ambiguous name.
+    pub name: String,
+    /// True number of entities.
+    pub entities: usize,
+    /// Number of references.
+    pub refs: usize,
+    /// Predicted number of clusters.
+    pub clusters: usize,
+    /// Pairwise precision / recall / f-measure.
+    pub scores: PrfScores,
+    /// Pairwise accuracy.
+    pub accuracy: f64,
+    /// Predicted labels (for reports).
+    pub labels: Vec<usize>,
+}
+
+/// Resolve one name and score it against ground truth.
+pub fn evaluate_name(
+    engine: &Distinct,
+    truth: &datagen::NameGroundTruth,
+    min_sim: f64,
+) -> NameResult {
+    let clustering = engine.resolve_with_min_sim(&truth.refs, min_sim);
+    let counts = PairCounts::from_labels(&truth.labels, &clustering.labels);
+    NameResult {
+        name: truth.name.clone(),
+        entities: truth.entity_count(),
+        refs: truth.refs.len(),
+        clusters: clustering.cluster_count(),
+        scores: counts.scores(),
+        accuracy: counts.accuracy(),
+        labels: clustering.labels,
+    }
+}
+
+/// Mean f-measure over results.
+pub fn mean_f(results: &[NameResult]) -> f64 {
+    results.iter().map(|r| r.scores.f_measure).sum::<f64>() / results.len().max(1) as f64
+}
+
+/// Mean pairwise accuracy over results.
+pub fn mean_accuracy(results: &[NameResult]) -> f64 {
+    results.iter().map(|r| r.accuracy).sum::<f64>() / results.len().max(1) as f64
+}
+
+/// Sweep `min-sim` over the grid and return `(best_min_sim, results)`
+/// maximizing mean accuracy (the paper's per-baseline protocol); ties
+/// break toward the higher f-measure.
+pub fn sweep_best_min_sim(
+    engine: &Distinct,
+    truths: &[datagen::NameGroundTruth],
+    grid: &[f64],
+) -> (f64, Vec<NameResult>) {
+    let mut best: Option<(f64, f64, f64, Vec<NameResult>)> = None;
+    for &min_sim in grid {
+        let results: Vec<NameResult> = truths
+            .iter()
+            .map(|t| evaluate_name(engine, t, min_sim))
+            .collect();
+        let acc = mean_accuracy(&results);
+        let f = mean_f(&results);
+        let better = match &best {
+            None => true,
+            Some((_, ba, bf, _)) => acc > *ba + 1e-12 || (acc > *ba - 1e-12 && f > *bf),
+        };
+        if better {
+            best = Some((min_sim, acc, f, results));
+        }
+    }
+    let (min_sim, _, _, results) = best.expect("non-empty grid");
+    (min_sim, results)
+}
+
+/// Build and (if the variant is supervised) train an engine for a Fig. 4
+/// variant.
+pub fn variant_engine(
+    dataset: &DblpDataset,
+    variant: Variant,
+    base: &distinct::DistinctConfig,
+) -> Distinct {
+    let config = variant.config(base);
+    let mut engine = Distinct::prepare(&dataset.catalog, "Publish", "author", config)
+        .expect("standard dataset prepares");
+    if variant.supervised() {
+        engine.train().expect("standard dataset trains");
+    }
+    engine
+}
+
+/// One row of the paper's Table 2 (reference values).
+#[derive(Debug, Clone, Copy)]
+pub struct PaperRow {
+    /// Ambiguous name.
+    pub name: &'static str,
+    /// Precision reported by the paper.
+    pub precision: f64,
+    /// Recall reported by the paper.
+    pub recall: f64,
+    /// F-measure reported by the paper.
+    pub f_measure: f64,
+}
+
+/// Table 2 of the paper.
+///
+/// The source text of the table is partially garbled; rows marked in
+/// EXPERIMENTS.md as *reconstructed* are best-effort values consistent
+/// with the paper's stated anchors: average recall 83.6%, zero false
+/// positives for 7 of 10 names, and the Michael Wagner split example.
+pub const PAPER_TABLE2: &[PaperRow] = &[
+    PaperRow {
+        name: "Hui Fang",
+        precision: 1.0,
+        recall: 1.0,
+        f_measure: 1.0,
+    },
+    PaperRow {
+        name: "Ajay Gupta",
+        precision: 1.0,
+        recall: 1.0,
+        f_measure: 1.0,
+    },
+    PaperRow {
+        name: "Joseph Hellerstein",
+        precision: 1.0,
+        recall: 0.810,
+        f_measure: 0.895,
+    },
+    PaperRow {
+        name: "Rakesh Kumar",
+        precision: 1.0,
+        recall: 1.0,
+        f_measure: 1.0,
+    },
+    PaperRow {
+        name: "Michael Wagner",
+        precision: 1.0,
+        recall: 0.395,
+        f_measure: 0.566,
+    },
+    PaperRow {
+        name: "Bing Liu",
+        precision: 1.0,
+        recall: 0.825,
+        f_measure: 0.904,
+    },
+    PaperRow {
+        name: "Jim Smith",
+        precision: 0.888,
+        recall: 0.926,
+        f_measure: 0.906,
+    },
+    PaperRow {
+        name: "Lei Wang",
+        precision: 0.920,
+        recall: 0.818,
+        f_measure: 0.866,
+    },
+    PaperRow {
+        name: "Wei Wang",
+        precision: 0.855,
+        recall: 0.782,
+        f_measure: 0.817,
+    },
+    PaperRow {
+        name: "Bin Yu",
+        precision: 1.0,
+        recall: 0.658,
+        f_measure: 0.794,
+    },
+];
+
+/// Fig. 4 of the paper: `(variant label, accuracy, f-measure)` reference
+/// series, read off the figure (bar heights are approximate).
+pub const PAPER_FIG4: &[(&str, f64, f64)] = &[
+    ("DISTINCT", 0.97, 0.87),
+    ("Unsupervised combined measure", 0.95, 0.76),
+    ("Supervised set resemblance", 0.96, 0.84),
+    ("Supervised random walk", 0.96, 0.83),
+    ("Unsupervised set resemblance", 0.94, 0.72),
+    ("Unsupervised random walk", 0.94, 0.71),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table2_matches_stated_anchors() {
+        // Average recall 83.6% (paper §5).
+        let avg_recall: f64 =
+            PAPER_TABLE2.iter().map(|r| r.recall).sum::<f64>() / PAPER_TABLE2.len() as f64;
+        assert!(
+            (avg_recall - 0.836).abs() < 0.015,
+            "avg recall {avg_recall}"
+        );
+        // Zero false positives (precision 1.0) for exactly 7 of 10 names.
+        let perfect = PAPER_TABLE2.iter().filter(|r| r.precision == 1.0).count();
+        assert_eq!(perfect, 7);
+        // F-measures are the harmonic means of their rows.
+        for r in PAPER_TABLE2 {
+            let f = 2.0 * r.precision * r.recall / (r.precision + r.recall);
+            assert!(
+                (f - r.f_measure).abs() < 0.01,
+                "{}: {f} vs {}",
+                r.name,
+                r.f_measure
+            );
+        }
+    }
+
+    #[test]
+    fn paper_fig4_ordering_matches_claims() {
+        let f = |label: &str| {
+            PAPER_FIG4
+                .iter()
+                .find(|(l, _, _)| *l == label)
+                .expect("label")
+                .2
+        };
+        let distinct = f("DISTINCT");
+        // DISTINCT leads the unsupervised single-measure baselines by ~15%.
+        assert!(distinct - f("Unsupervised set resemblance") >= 0.10);
+        assert!(distinct - f("Unsupervised random walk") >= 0.10);
+        // Supervision gains >10%.
+        assert!(f("Supervised set resemblance") - f("Unsupervised set resemblance") >= 0.10);
+        // Combined measure gains ~3% over single supervised measures.
+        assert!(distinct - f("Supervised set resemblance") >= 0.02);
+    }
+
+    #[test]
+    fn standard_world_is_buildable() {
+        // A smaller seed-varied sanity check would regenerate the full
+        // world; just validate the config here (the binaries build it).
+        standard_world_config(STANDARD_SEED).validate().unwrap();
+        let specs = &standard_world_config(STANDARD_SEED).ambiguous;
+        assert_eq!(specs.len(), 10);
+    }
+
+    #[test]
+    fn sweep_picks_accuracy_maximum() {
+        // Degenerate smoke test on a tiny world (full pipeline tested in
+        // integration tests).
+        let mut config = WorldConfig::tiny(3);
+        config.ambiguous = vec![datagen::AmbiguousSpec::new("Wei Wang", vec![4, 3])];
+        let d = to_catalog(&World::generate(config)).unwrap();
+        let engine = Distinct::prepare(
+            &d.catalog,
+            "Publish",
+            "author",
+            distinct::DistinctConfig::default(),
+        )
+        .unwrap();
+        let (best, results) = sweep_best_min_sim(&engine, &d.truths, &[1e-4, 1e-2, 1.0]);
+        assert!([1e-4, 1e-2, 1.0].contains(&best));
+        assert_eq!(results.len(), 1);
+    }
+}

@@ -1,0 +1,15 @@
+//! # distinct-bench — experiment harness
+//!
+//! Shared plumbing for the `exp_*` binaries that regenerate every table
+//! and figure of the paper, and for the Criterion performance benches.
+//! See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+//! paper-vs-measured results.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{
+    build_dataset, evaluate_name, mean_accuracy, mean_f, standard_world_config, sweep_best_min_sim,
+    variant_engine, NameResult, PaperRow, PAPER_FIG4, PAPER_TABLE2, STANDARD_SEED,
+};

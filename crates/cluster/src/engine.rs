@@ -1,0 +1,376 @@
+//! The agglomerative clustering engine (paper §4).
+//!
+//! Every item starts as a singleton cluster; the engine repeatedly merges
+//! the most similar pair of clusters until no pair reaches `min_sim`.
+//! Cluster-pair similarities come from a pluggable [`Merger`], which is
+//! also notified of merges so it can maintain its state *incrementally* —
+//! the efficiency technique of §4.2: the similarity between a merged
+//! cluster and any other cluster is aggregated from the children's
+//! similarities rather than recomputed from scratch.
+//!
+//! The engine keeps candidate pairs in a lazy max-heap. A pair's
+//! similarity never changes while both clusters are alive (only new
+//! clusters introduce new pairs), so stale entries are exactly those
+//! naming a dead cluster and can be skipped on pop.
+
+use crate::dendrogram::Dendrogram;
+use crate::linkage::Linkage;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Provides cluster-pair similarities and receives merge notifications.
+///
+/// Cluster ids follow the dendrogram convention: `0..n` are the initial
+/// singletons, and the `k`-th merge creates id `n + k`.
+pub trait Merger {
+    /// Similarity between two live clusters. Must be symmetric and finite.
+    fn similarity(&self, a: usize, b: usize) -> f64;
+
+    /// Clusters `a` and `b` were merged into the new cluster `into`.
+    ///
+    /// Implementations update their internal state so later
+    /// `similarity(into, _)` calls work. Sizes are tracked by the engine
+    /// and passed for convenience.
+    fn merged(&mut self, a: usize, b: usize, into: usize, size_a: usize, size_b: usize);
+}
+
+/// Result of a clustering run.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// Label per item (dense, in order of first appearance).
+    pub labels: Vec<usize>,
+    /// Full merge history.
+    pub dendrogram: Dendrogram,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.labels.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// Items grouped by cluster label.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        crate::dendrogram::groups(&self.labels)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    sim: f64,
+    a: usize,
+    b: usize,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.sim == other.sim && self.a == other.a && self.b == other.b
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap by similarity; ties broken by ids for determinism.
+        self.sim
+            .total_cmp(&other.sim)
+            .then_with(|| (other.a, other.b).cmp(&(self.a, self.b)))
+    }
+}
+
+/// Run agglomerative clustering over `n` items.
+///
+/// Merging stops when the best remaining pair's similarity is below
+/// `min_sim` (or nothing is left to merge). Similarities must be finite;
+/// non-finite values are treated as "do not merge".
+pub fn agglomerate<M: Merger>(n: usize, merger: &mut M, min_sim: f64) -> Clustering {
+    let mut dendrogram = Dendrogram::new(n);
+    if n == 0 {
+        return Clustering {
+            labels: Vec::new(),
+            dendrogram,
+        };
+    }
+
+    // alive[id] for ids 0..n+merges; sizes likewise.
+    let mut alive = vec![true; n];
+    let mut sizes = vec![1usize; n];
+    let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+
+    // NaN means "do not merge"; +inf (a must-link constraint) sorts first;
+    // −inf (a cannot-link veto) fails the threshold like any low value.
+    let push = |heap: &mut BinaryHeap<Candidate>, sim: f64, a: usize, b: usize| {
+        if !sim.is_nan() && sim >= min_sim {
+            heap.push(Candidate { sim, a, b });
+        }
+    };
+
+    for a in 0..n {
+        for b in (a + 1)..n {
+            push(&mut heap, merger.similarity(a, b), a, b);
+        }
+    }
+
+    while let Some(c) = heap.pop() {
+        if !alive[c.a] || !alive[c.b] {
+            continue; // stale entry
+        }
+        // Merge.
+        let (sa, sb) = (sizes[c.a], sizes[c.b]);
+        let into = dendrogram.record(c.a, c.b, c.sim, sa + sb);
+        alive[c.a] = false;
+        alive[c.b] = false;
+        alive.push(true);
+        sizes.push(sa + sb);
+        merger.merged(c.a, c.b, into, sa, sb);
+        // New candidate pairs against every live cluster.
+        for other in 0..into {
+            if alive[other] {
+                push(&mut heap, merger.similarity(into, other), into, other);
+            }
+        }
+    }
+
+    // The dendrogram only contains merges with sim >= min_sim, so cutting
+    // at -inf applies them all.
+    let labels = dendrogram.cut(f64::NEG_INFINITY);
+    Clustering { labels, dendrogram }
+}
+
+/// A [`Merger`] over a precomputed pairwise similarity matrix with a
+/// classic [`Linkage`] rule — the textbook algorithm, used directly by the
+/// ablation experiments and as the reference implementation in tests.
+#[derive(Debug, Clone)]
+pub struct MatrixMerger {
+    /// Similarities indexed by cluster id pairs; grows as merges happen.
+    sims: Vec<Vec<f64>>,
+    sizes: Vec<usize>,
+    linkage: Linkage,
+    n: usize,
+}
+
+impl MatrixMerger {
+    /// Build from a symmetric `n × n` similarity matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn new(matrix: Vec<Vec<f64>>, linkage: Linkage) -> Self {
+        let n = matrix.len();
+        for row in &matrix {
+            assert_eq!(row.len(), n, "similarity matrix must be square");
+        }
+        MatrixMerger {
+            sims: matrix,
+            sizes: vec![1; n],
+            linkage,
+            n,
+        }
+    }
+
+    /// Number of initial items.
+    pub fn items(&self) -> usize {
+        self.n
+    }
+}
+
+impl Merger for MatrixMerger {
+    fn similarity(&self, a: usize, b: usize) -> f64 {
+        self.sims[a][b]
+    }
+
+    fn merged(&mut self, a: usize, b: usize, into: usize, size_a: usize, size_b: usize) {
+        debug_assert_eq!(into, self.sims.len());
+        // Row/column for the new cluster, combined per the linkage rule.
+        let mut row: Vec<f64> = Vec::with_capacity(into + 1);
+        for c in 0..into {
+            row.push(
+                self.linkage
+                    .combine(self.sims[a][c], self.sims[b][c], size_a, size_b),
+            );
+        }
+        row.push(1.0); // self-similarity, never queried
+        for (c, &s) in row.iter().enumerate().take(into) {
+            self.sims[c].push(s);
+        }
+        self.sims.push(row);
+        self.sizes.push(size_a + size_b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three tight pairs: (0,1), (2,3), (4,5); weak links across.
+    fn three_pairs() -> Vec<Vec<f64>> {
+        let n = 6;
+        let mut m = vec![vec![0.0; n]; n];
+        let set = |m: &mut Vec<Vec<f64>>, i: usize, j: usize, v: f64| {
+            m[i][j] = v;
+            m[j][i] = v;
+        };
+        set(&mut m, 0, 1, 0.9);
+        set(&mut m, 2, 3, 0.8);
+        set(&mut m, 4, 5, 0.85);
+        set(&mut m, 1, 2, 0.1);
+        set(&mut m, 3, 4, 0.05);
+        m
+    }
+
+    #[test]
+    fn min_sim_controls_granularity() {
+        let mut merger = MatrixMerger::new(three_pairs(), Linkage::Average);
+        let c = agglomerate(6, &mut merger, 0.5);
+        assert_eq!(c.cluster_count(), 3);
+        let g = c.groups();
+        assert!(g.contains(&vec![0, 1]));
+        assert!(g.contains(&vec![2, 3]));
+        assert!(g.contains(&vec![4, 5]));
+    }
+
+    #[test]
+    fn zero_min_sim_merges_connected_components() {
+        // min_sim 0.0 still requires positive similarity? No: >= 0 merges
+        // everything with sim >= 0, i.e. all pairs here.
+        let mut merger = MatrixMerger::new(three_pairs(), Linkage::Single);
+        let c = agglomerate(6, &mut merger, 0.01);
+        // Single-link chains: 0-1-2-3-4-5 all connected via 0.1 and 0.05.
+        assert_eq!(c.cluster_count(), 1);
+    }
+
+    #[test]
+    fn high_min_sim_keeps_singletons() {
+        let mut merger = MatrixMerger::new(three_pairs(), Linkage::Average);
+        let c = agglomerate(6, &mut merger, 0.95);
+        assert_eq!(c.cluster_count(), 6);
+        assert!(c.dendrogram.merges().is_empty());
+    }
+
+    #[test]
+    fn merge_order_is_by_decreasing_similarity() {
+        let mut merger = MatrixMerger::new(three_pairs(), Linkage::Average);
+        let c = agglomerate(6, &mut merger, 0.5);
+        let sims: Vec<f64> = c.dendrogram.merges().iter().map(|m| m.similarity).collect();
+        assert_eq!(sims, vec![0.9, 0.85, 0.8]);
+    }
+
+    #[test]
+    fn complete_link_resists_chaining() {
+        // Chain 0-1-2 with strong consecutive links but zero 0-2 link.
+        let mut m = vec![vec![0.0; 3]; 3];
+        m[0][1] = 0.9;
+        m[1][0] = 0.9;
+        m[1][2] = 0.8;
+        m[2][1] = 0.8;
+        // Complete link: after (0,1) merge, sim to 2 is min(0, 0.8) = 0.
+        let mut merger = MatrixMerger::new(m.clone(), Linkage::Complete);
+        let c = agglomerate(3, &mut merger, 0.1);
+        assert_eq!(c.cluster_count(), 2);
+        // Single link: chain collapses into one cluster.
+        let mut merger = MatrixMerger::new(m, Linkage::Single);
+        let c = agglomerate(3, &mut merger, 0.1);
+        assert_eq!(c.cluster_count(), 1);
+    }
+
+    #[test]
+    fn average_link_matches_brute_force() {
+        // Compare engine's average-link result against a brute-force
+        // implementation on a random-ish fixed matrix.
+        let n = 8;
+        let mut m = vec![vec![0.0; n]; n];
+        let mut v = 0.13f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                v = (v * 7.7).fract();
+                m[i][j] = v;
+                m[j][i] = v;
+            }
+        }
+        let min_sim = 0.4;
+        let mut merger = MatrixMerger::new(m.clone(), Linkage::Average);
+        let got = agglomerate(n, &mut merger, min_sim);
+
+        // Brute force: repeatedly find best pair by average pairwise sim.
+        let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        loop {
+            let mut best = (f64::NEG_INFINITY, 0, 0);
+            for i in 0..clusters.len() {
+                for j in (i + 1)..clusters.len() {
+                    let mut s = 0.0;
+                    for &x in &clusters[i] {
+                        for &y in &clusters[j] {
+                            s += m[x][y];
+                        }
+                    }
+                    s /= (clusters[i].len() * clusters[j].len()) as f64;
+                    if s > best.0 {
+                        best = (s, i, j);
+                    }
+                }
+            }
+            if best.0 < min_sim || clusters.len() < 2 {
+                break;
+            }
+            let merged_b = clusters.remove(best.2);
+            clusters[best.1].extend(merged_b);
+        }
+        let mut expected: Vec<Vec<usize>> = clusters
+            .into_iter()
+            .map(|mut c| {
+                c.sort_unstable();
+                c
+            })
+            .collect();
+        expected.sort();
+        let mut actual: Vec<Vec<usize>> = got
+            .groups()
+            .into_iter()
+            .map(|mut c| {
+                c.sort_unstable();
+                c
+            })
+            .collect();
+        actual.sort();
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let mut merger = MatrixMerger::new(vec![], Linkage::Average);
+        let c = agglomerate(0, &mut merger, 0.5);
+        assert_eq!(c.cluster_count(), 0);
+        assert!(c.labels.is_empty());
+
+        let mut merger = MatrixMerger::new(vec![vec![1.0]], Linkage::Average);
+        let c = agglomerate(1, &mut merger, 0.5);
+        assert_eq!(c.labels, vec![0]);
+        assert_eq!(c.cluster_count(), 1);
+    }
+
+    #[test]
+    fn nan_similarity_means_no_merge() {
+        let m = vec![vec![0.0, f64::NAN], vec![f64::NAN, 0.0]];
+        let mut merger = MatrixMerger::new(m, Linkage::Average);
+        let c = agglomerate(2, &mut merger, 0.0);
+        assert_eq!(c.cluster_count(), 2);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Two identical-similarity pairs: results must be stable across runs.
+        let mut m = vec![vec![0.0; 4]; 4];
+        m[0][1] = 0.5;
+        m[1][0] = 0.5;
+        m[2][3] = 0.5;
+        m[3][2] = 0.5;
+        let run = || {
+            let mut merger = MatrixMerger::new(m.clone(), Linkage::Average);
+            agglomerate(4, &mut merger, 0.4).labels
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,83 @@
+//! Classic linkage rules for similarity-based agglomerative clustering.
+//!
+//! Expressed as Lance–Williams-style updates on *similarities* (not
+//! distances): when clusters `a` (size `na`) and `b` (size `nb`) merge,
+//! the similarity of the merged cluster to any other cluster `c` is a
+//! function of `sim(a, c)` and `sim(b, c)`.
+
+use serde::{Deserialize, Serialize};
+
+/// Linkage rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Linkage {
+    /// Similarity of the closest pair: `max(s_ac, s_bc)`.
+    Single,
+    /// Similarity of the farthest pair: `min(s_ac, s_bc)`.
+    Complete,
+    /// Size-weighted mean pairwise similarity (UPGMA):
+    /// `(na·s_ac + nb·s_bc) / (na + nb)`.
+    Average,
+}
+
+impl Linkage {
+    /// Combine the similarities of two merged clusters toward a third.
+    pub fn combine(self, s_ac: f64, s_bc: f64, na: usize, nb: usize) -> f64 {
+        match self {
+            Linkage::Single => s_ac.max(s_bc),
+            Linkage::Complete => s_ac.min(s_bc),
+            Linkage::Average => {
+                let (na, nb) = (na as f64, nb as f64);
+                (na * s_ac + nb * s_bc) / (na + nb)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_takes_max() {
+        assert_eq!(Linkage::Single.combine(0.2, 0.8, 3, 1), 0.8);
+    }
+
+    #[test]
+    fn complete_takes_min() {
+        assert_eq!(Linkage::Complete.combine(0.2, 0.8, 3, 1), 0.2);
+    }
+
+    #[test]
+    fn average_is_size_weighted() {
+        // (3*0.2 + 1*0.8) / 4 = 0.35
+        assert!((Linkage::Average.combine(0.2, 0.8, 3, 1) - 0.35).abs() < 1e-12);
+        // Equal sizes -> arithmetic mean.
+        assert!((Linkage::Average.combine(0.2, 0.8, 2, 2) - 0.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn combined_similarity_is_between_inputs(
+            a in 0.0f64..1.0, b in 0.0f64..1.0,
+            na in 1usize..100, nb in 1usize..100,
+        ) {
+            for l in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+                let s = l.combine(a, b, na, nb);
+                prop_assert!(s >= a.min(b) - 1e-12 && s <= a.max(b) + 1e-12);
+            }
+        }
+
+        #[test]
+        fn single_dominates_average_dominates_complete(
+            a in 0.0f64..1.0, b in 0.0f64..1.0,
+            na in 1usize..100, nb in 1usize..100,
+        ) {
+            let s = Linkage::Single.combine(a, b, na, nb);
+            let m = Linkage::Average.combine(a, b, na, nb);
+            let c = Linkage::Complete.combine(a, b, na, nb);
+            prop_assert!(s >= m - 1e-12);
+            prop_assert!(m >= c - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Automatic `min-sim` calibration — an extension beyond the paper.
+//!
+//! The paper fixes `min-sim` by hand (0.0005 for its weight scale). That
+//! constant does not transfer across databases, weight normalizations, or
+//! even training-set sizes. This module removes it: since the training
+//! stage already identified *unique* names, we can manufacture labelled
+//! ambiguity by **pooling the references of several unique names into one
+//! pseudo-ambiguous group** — by construction, the name identity is the
+//! ground truth. Sweeping the clustering threshold over these groups and
+//! keeping the best-scoring value yields a calibrated `min-sim` with no
+//! manual labels, in the same spirit as the paper's automatic training-set
+//! construction.
+
+use crate::pipeline::Distinct;
+use eval::PairCounts;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use relstore::TupleRef;
+use serde::{Deserialize, Serialize};
+
+/// Calibration parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationConfig {
+    /// Number of pseudo-ambiguous groups to synthesize.
+    pub groups: usize,
+    /// Entities pooled per group, inclusive range (mirrors Table 1's 2–14).
+    pub entities_per_group: (usize, usize),
+    /// Only unique names with at least this many references participate.
+    pub min_refs: usize,
+    /// Cap on references drawn per entity (keeps groups balanced-ish).
+    pub max_refs_per_entity: usize,
+    /// Sampling seed.
+    pub seed: u64,
+    /// Thresholds evaluated.
+    pub grid: Vec<f64>,
+    /// Conservative-pick tolerance: among thresholds whose mean f-measure
+    /// is within this of the best, the **largest** wins. Pseudo-ambiguous
+    /// groups are built from unique names and carry less cross-linkage
+    /// than genuinely ambiguous ones, so the raw optimum skews low
+    /// (over-merging); preferring the high end of the plateau compensates.
+    pub tolerance: f64,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        CalibrationConfig {
+            groups: 20,
+            entities_per_group: (2, 5),
+            min_refs: 3,
+            max_refs_per_entity: 30,
+            seed: 23,
+            grid: crate::variants::min_sim_grid(),
+            tolerance: 0.05,
+        }
+    }
+}
+
+/// Outcome of a calibration run.
+#[derive(Debug, Clone)]
+pub struct CalibrationResult {
+    /// The selected threshold.
+    pub min_sim: f64,
+    /// Mean pairwise f-measure at the selected threshold.
+    pub f_measure: f64,
+    /// Mean pairwise accuracy at the selected threshold.
+    pub accuracy: f64,
+    /// The full sweep: `(threshold, accuracy, f-measure)` per grid point.
+    pub sweep: Vec<(f64, f64, f64)>,
+    /// Number of pseudo-ambiguous groups actually built.
+    pub groups: usize,
+}
+
+/// One synthesized pseudo-ambiguous group.
+#[derive(Debug, Clone)]
+pub struct PseudoGroup {
+    /// Pooled references.
+    pub refs: Vec<TupleRef>,
+    /// Ground-truth entity index per reference.
+    pub labels: Vec<usize>,
+}
+
+/// Build pseudo-ambiguous groups from unique names.
+pub fn synthesize_groups(
+    names: &[(String, Vec<TupleRef>)],
+    cfg: &CalibrationConfig,
+) -> Vec<PseudoGroup> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut eligible: Vec<&(String, Vec<TupleRef>)> = names
+        .iter()
+        .filter(|(_, refs)| refs.len() >= cfg.min_refs)
+        .collect();
+    eligible.shuffle(&mut rng);
+    let mut groups = Vec::new();
+    let mut cursor = 0usize;
+    for _ in 0..cfg.groups {
+        let k = rng.gen_range(cfg.entities_per_group.0..=cfg.entities_per_group.1);
+        if cursor + k > eligible.len() {
+            break; // ran out of unique names
+        }
+        let mut refs = Vec::new();
+        let mut labels = Vec::new();
+        for (entity, (_, entity_refs)) in eligible[cursor..cursor + k].iter().enumerate() {
+            for &r in entity_refs.iter().take(cfg.max_refs_per_entity) {
+                refs.push(r);
+                labels.push(entity);
+            }
+        }
+        cursor += k;
+        groups.push(PseudoGroup { refs, labels });
+    }
+    groups
+}
+
+/// Sweep the grid over pseudo-ambiguous groups and pick the threshold with
+/// the best mean f-measure (accuracy breaks ties).
+///
+/// Returns `None` if fewer than two groups could be synthesized (not
+/// enough unique names) or the grid is empty.
+pub fn calibrate_min_sim(
+    engine: &Distinct,
+    names: &[(String, Vec<TupleRef>)],
+    cfg: &CalibrationConfig,
+) -> Option<CalibrationResult> {
+    let groups = synthesize_groups(names, cfg);
+    if groups.len() < 2 || cfg.grid.is_empty() {
+        return None;
+    }
+    let mut sweep = Vec::with_capacity(cfg.grid.len());
+    for &min_sim in &cfg.grid {
+        let mut f_sum = 0.0;
+        let mut acc_sum = 0.0;
+        for g in &groups {
+            let clustering = engine.resolve_with_min_sim(&g.refs, min_sim);
+            let counts = PairCounts::from_labels(&g.labels, &clustering.labels);
+            f_sum += counts.scores().f_measure;
+            acc_sum += counts.accuracy();
+        }
+        sweep.push((
+            min_sim,
+            acc_sum / groups.len() as f64,
+            f_sum / groups.len() as f64,
+        ));
+    }
+    // Conservative pick: largest threshold within `tolerance` of the best
+    // mean f-measure.
+    let best_f = sweep
+        .iter()
+        .map(|&(_, _, f)| f)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let (min_sim, accuracy, f_measure) = sweep
+        .iter()
+        .rev()
+        .find(|&&(_, _, f)| f >= best_f - cfg.tolerance)
+        .copied()?;
+    Some(CalibrationResult {
+        min_sim,
+        f_measure,
+        accuracy,
+        sweep,
+        groups: groups.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::{RelId, TupleId};
+
+    fn fake_names(n: usize, refs_each: usize) -> Vec<(String, Vec<TupleRef>)> {
+        (0..n)
+            .map(|i| {
+                let refs = (0..refs_each)
+                    .map(|j| TupleRef::new(RelId(0), TupleId((i * refs_each + j) as u32)))
+                    .collect();
+                (format!("Name {i}"), refs)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn groups_pool_disjoint_names() {
+        let names = fake_names(20, 4);
+        let cfg = CalibrationConfig {
+            groups: 5,
+            ..Default::default()
+        };
+        let groups = synthesize_groups(&names, &cfg);
+        assert!(!groups.is_empty());
+        let mut seen = std::collections::HashSet::new();
+        for g in &groups {
+            assert_eq!(g.refs.len(), g.labels.len());
+            // Entities labelled densely from 0.
+            let k = g.labels.iter().max().unwrap() + 1;
+            assert!((cfg.entities_per_group.0..=cfg.entities_per_group.1).contains(&k));
+            for &r in &g.refs {
+                assert!(seen.insert(r), "reference reused across groups");
+            }
+        }
+    }
+
+    #[test]
+    fn min_refs_filter_applies() {
+        let mut names = fake_names(10, 2); // below min_refs = 3
+        names.extend(
+            fake_names(1, 5)
+                .into_iter()
+                .map(|(n, r)| (format!("big {n}"), r)),
+        );
+        let cfg = CalibrationConfig::default();
+        let groups = synthesize_groups(&names, &cfg);
+        // Only one eligible name -> cannot form a 2+-entity group.
+        assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn max_refs_per_entity_caps_group_size() {
+        let names = fake_names(4, 50);
+        let cfg = CalibrationConfig {
+            groups: 1,
+            entities_per_group: (2, 2),
+            max_refs_per_entity: 10,
+            ..Default::default()
+        };
+        let groups = synthesize_groups(&names, &cfg);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].refs.len(), 20);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let names = fake_names(30, 4);
+        let cfg = CalibrationConfig::default();
+        let a = synthesize_groups(&names, &cfg);
+        let b = synthesize_groups(&names, &cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.refs, y.refs);
+            assert_eq!(x.labels, y.labels);
+        }
+    }
+}

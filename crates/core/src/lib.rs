@@ -1,0 +1,63 @@
+//! # distinct — the DISTINCT object-distinction methodology
+//!
+//! Reproduction of Yin, Han, Yu, *Object Distinction: Distinguishing
+//! Objects with Identical Names* (ICDE 2007). Given a relational database
+//! and a set of references sharing one textual name, DISTINCT splits the
+//! references into clusters, one per real-world entity, using only the
+//! linkage structure of the database:
+//!
+//! * per-join-path **set resemblance** of weighted neighbor tuples
+//!   (Definition 2) and **random walk probability** (§2.4) —
+//!   [`features`], backed by [`relgraph`];
+//! * **supervised path weighting** from an automatically constructed
+//!   training set of rare (hence unique) names — [`training`], [`learn`];
+//! * **agglomerative clustering** under a composite cluster similarity
+//!   (geometric mean of Average-Link resemblance and collective random
+//!   walk), maintained incrementally across merges — [`refcluster`],
+//!   backed by the [`cluster`] crate.
+//!
+//! Entry point: [`Distinct`] in [`pipeline`]. The six comparison variants
+//! of the paper's Fig. 4 live in [`variants`]; Fig. 5-style reports in
+//! [`report`].
+//!
+//! ```no_run
+//! use distinct::{Distinct, DistinctConfig};
+//! # fn main() -> Result<(), distinct::DistinctError> {
+//! # let catalog = relstore::Catalog::new();
+//! let mut engine = Distinct::prepare(&catalog, "Publish", "author", DistinctConfig::default())?;
+//! engine.train()?;
+//! let (refs, clustering) = engine.resolve_name("Wei Wang");
+//! println!("{} references -> {} authors", refs.len(), clustering.cluster_count());
+//! # Ok(()) }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod config;
+pub mod dedupe;
+pub mod features;
+pub mod learn;
+pub mod paths;
+pub mod pipeline;
+pub mod refcluster;
+pub mod report;
+pub mod training;
+pub mod variants;
+
+pub use calibrate::{
+    calibrate_min_sim, synthesize_groups, CalibrationConfig, CalibrationResult, PseudoGroup,
+};
+pub use config::{CompositeMode, DistinctConfig, MeasureMode, TrainingConfig, WeightingMode};
+pub use dedupe::{DedupeOptions, EntityAssignment, NameResolution};
+pub use features::{
+    build_profile, directed_walk_features, resemblance_features, walk_features, weighted_sum,
+    Profile,
+};
+pub use learn::{learn_weights, LearnedModel, PathWeights};
+pub use paths::PathSet;
+pub use pipeline::{Distinct, DistinctError, TrainingReport};
+pub use refcluster::DistinctMerger;
+pub use report::{render_name_dot, render_name_report};
+pub use training::{build_training_set, TrainingError, TrainingPair, TrainingSet};
+pub use variants::{min_sim_grid, Variant};

@@ -1,0 +1,838 @@
+//! The DISTINCT pipeline: prepare → train → resolve.
+//!
+//! ```text
+//! let mut engine = Distinct::prepare(&catalog, "Publish", "author", config)?;
+//! engine.train()?;                                  // §3 (or skip: uniform weights)
+//! let refs = engine.references_of("Wei Wang");
+//! let clustering = engine.resolve(&refs);           // §4
+//! ```
+
+use crate::config::{DistinctConfig, WeightingMode};
+use crate::features::{build_profile, resemblance_features, walk_features, Profile};
+use crate::learn::{learn_weights, LearnedModel, PathWeights};
+use crate::paths::PathSet;
+use crate::refcluster::DistinctMerger;
+use crate::training::{build_training_set, TrainingError, TrainingSet};
+use cluster::{agglomerate, Clustering};
+use parking_lot::Mutex;
+use relgraph::LinkGraph;
+use relstore::{Catalog, FxHashMap, StoreError, TupleId, TupleRef, Value};
+use std::fmt;
+use std::sync::Arc;
+use svm::{Dataset, SvmError};
+
+/// Errors surfaced by the pipeline.
+#[derive(Debug)]
+#[allow(missing_docs)] // variant payloads are self-describing
+pub enum DistinctError {
+    /// Invalid configuration.
+    Config(String),
+    /// The reference relation/attribute could not be resolved.
+    BadReferenceSpec(String),
+    /// Underlying store failure.
+    Store(StoreError),
+    /// Training-set construction failure.
+    Training(TrainingError),
+    /// SVM training failure.
+    Svm(SvmError),
+}
+
+impl fmt::Display for DistinctError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistinctError::Config(s) => write!(f, "bad configuration: {s}"),
+            DistinctError::BadReferenceSpec(s) => write!(f, "bad reference spec: {s}"),
+            DistinctError::Store(e) => write!(f, "store error: {e}"),
+            DistinctError::Training(e) => write!(f, "training error: {e}"),
+            DistinctError::Svm(e) => write!(f, "svm error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistinctError {}
+
+impl From<StoreError> for DistinctError {
+    fn from(e: StoreError) -> Self {
+        DistinctError::Store(e)
+    }
+}
+impl From<TrainingError> for DistinctError {
+    fn from(e: TrainingError) -> Self {
+        DistinctError::Training(e)
+    }
+}
+impl From<SvmError> for DistinctError {
+    fn from(e: SvmError) -> Self {
+        DistinctError::Svm(e)
+    }
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainingReport {
+    /// Names that passed the rare-name uniqueness filter.
+    pub unique_names: usize,
+    /// Positive / negative pair counts actually used.
+    pub positives: usize,
+    /// Negative pair count.
+    pub negatives: usize,
+    /// Training accuracy of the resemblance SVM.
+    pub resem_accuracy: f64,
+    /// Training accuracy of the walk SVM.
+    pub walk_accuracy: f64,
+    /// Per-path `(description, resemblance weight, walk weight)`.
+    pub path_weights: Vec<(String, f64, f64)>,
+}
+
+/// The prepared DISTINCT engine.
+pub struct Distinct {
+    config: DistinctConfig,
+    catalog: Catalog,
+    graph: LinkGraph,
+    paths: PathSet,
+    ref_attr_idx: usize,
+    weights: PathWeights,
+    learned: Option<LearnedModel>,
+    profile_cache: Mutex<FxHashMap<TupleRef, Arc<Profile>>>,
+}
+
+impl Distinct {
+    /// Prepare the engine over a catalog.
+    ///
+    /// `ref_relation.ref_attr` designates the references (a foreign key to
+    /// the named-object relation). The input catalog need not be
+    /// finalized; if `config.expand_attributes` is set (the default, per
+    /// §2.1) a value-expanded copy is analyzed instead.
+    pub fn prepare(
+        catalog: &Catalog,
+        ref_relation: &str,
+        ref_attr: &str,
+        config: DistinctConfig,
+    ) -> Result<Distinct, DistinctError> {
+        config.validate().map_err(DistinctError::Config)?;
+        let catalog = if config.expand_attributes {
+            relstore::expand_values(catalog)?.catalog
+        } else {
+            let mut c = catalog.clone();
+            if !c.is_finalized() {
+                c.finalize(false)?;
+            }
+            c
+        };
+        let paths = PathSet::build(&catalog, ref_relation, ref_attr, config.max_path_len)
+            .ok_or_else(|| {
+                DistinctError::BadReferenceSpec(format!(
+                    "`{ref_relation}.{ref_attr}` is not a foreign-key reference attribute"
+                ))
+            })?;
+        if paths.is_empty() {
+            return Err(DistinctError::BadReferenceSpec(
+                "no join paths available from the reference relation".into(),
+            ));
+        }
+        let ref_attr_idx = catalog
+            .relation(paths.start)
+            .schema()
+            .attr_index(ref_attr)
+            .expect("attr resolved by PathSet");
+        let graph = LinkGraph::build(&catalog);
+        let n_paths = paths.len();
+        Ok(Distinct {
+            config,
+            catalog,
+            graph,
+            paths,
+            ref_attr_idx,
+            weights: PathWeights::uniform(n_paths),
+            learned: None,
+            profile_cache: Mutex::new(FxHashMap::default()),
+        })
+    }
+
+    /// The (possibly expanded) catalog under analysis.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &DistinctConfig {
+        &self.config
+    }
+
+    /// The join paths under analysis.
+    pub fn paths(&self) -> &PathSet {
+        &self.paths
+    }
+
+    /// Index of the reference attribute within the reference relation.
+    pub fn ref_attr_index(&self) -> usize {
+        self.ref_attr_idx
+    }
+
+    /// Current per-path weights.
+    pub fn weights(&self) -> &PathWeights {
+        &self.weights
+    }
+
+    /// Override the per-path weights (e.g. to reuse a serialized model).
+    ///
+    /// Returns an error if the dimensionality does not match the path set.
+    pub fn set_weights(&mut self, weights: PathWeights) -> Result<(), DistinctError> {
+        if weights.resem.len() != self.paths.len() || weights.walk.len() != self.paths.len() {
+            return Err(DistinctError::Config(format!(
+                "weights cover {} paths, engine has {}",
+                weights.resem.len(),
+                self.paths.len()
+            )));
+        }
+        self.weights = weights;
+        Ok(())
+    }
+
+    /// The learned model from the last [`Distinct::train`] call.
+    pub fn learned(&self) -> Option<&LearnedModel> {
+        self.learned.as_ref()
+    }
+
+    /// All references whose value equals `name`.
+    pub fn references_of(&self, name: &str) -> Vec<TupleRef> {
+        self.catalog
+            .relation(self.paths.start)
+            .lookup(self.ref_attr_idx, &Value::str(name))
+            .into_iter()
+            .map(|tid: TupleId| TupleRef::new(self.paths.start, tid))
+            .collect()
+    }
+
+    /// The profile of a reference (cached).
+    pub fn profile(&self, r: TupleRef) -> Arc<Profile> {
+        if let Some(p) = self.profile_cache.lock().get(&r) {
+            return Arc::clone(p);
+        }
+        let p = Arc::new(build_profile(&self.graph, &self.catalog, &self.paths, r));
+        self.profile_cache.lock().insert(r, Arc::clone(&p));
+        p
+    }
+
+    /// Number of profiles currently cached.
+    pub fn cached_profiles(&self) -> usize {
+        self.profile_cache.lock().len()
+    }
+
+    /// Compute and cache the profiles of `refs` using `threads` worker
+    /// threads (profile construction is the pipeline's dominant cost and
+    /// is embarrassingly parallel — the engine state it reads is
+    /// immutable). A `threads` of 0 or 1 computes serially. Results are
+    /// bit-identical to serial computation.
+    pub fn precompute_profiles(&self, refs: &[TupleRef], threads: usize) {
+        // Skip already-cached references.
+        let todo: Vec<TupleRef> = {
+            let cache = self.profile_cache.lock();
+            let mut todo: Vec<TupleRef> = refs
+                .iter()
+                .copied()
+                .filter(|r| !cache.contains_key(r))
+                .collect();
+            todo.sort_unstable();
+            todo.dedup();
+            todo
+        };
+        if todo.is_empty() {
+            return;
+        }
+        if threads <= 1 || todo.len() < 2 {
+            for r in todo {
+                let _ = self.profile(r);
+            }
+            return;
+        }
+        let chunk = todo.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for part in todo.chunks(chunk) {
+                scope.spawn(move || {
+                    let mut local = Vec::with_capacity(part.len());
+                    for &r in part {
+                        local.push((
+                            r,
+                            Arc::new(build_profile(&self.graph, &self.catalog, &self.paths, r)),
+                        ));
+                    }
+                    let mut cache = self.profile_cache.lock();
+                    for (r, p) in local {
+                        cache.entry(r).or_insert(p);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Build the automatically constructed training set (§3) without
+    /// learning — exposed for inspection and experiments.
+    pub fn build_training_pairs(&self) -> Result<TrainingSet, DistinctError> {
+        let rel_name = self.catalog.relation(self.paths.start).name().to_string();
+        let attr_name = self.catalog.relation(self.paths.start).schema().attributes
+            [self.ref_attr_idx]
+            .name
+            .clone();
+        Ok(build_training_set(
+            &self.catalog,
+            &rel_name,
+            &attr_name,
+            &self.config.training,
+        )?)
+    }
+
+    /// Construct the training set, learn per-path weights with the SVM,
+    /// and install them (§3).
+    ///
+    /// If the engine is configured with [`WeightingMode::Uniform`] this
+    /// still trains (for reporting) but leaves uniform weights installed.
+    pub fn train(&mut self) -> Result<TrainingReport, DistinctError> {
+        let ts = self.build_training_pairs()?;
+        let mut resem_data = Dataset::new();
+        let mut walk_data = Dataset::new();
+        for pair in &ts.pairs {
+            let pa = self.profile(pair.a);
+            let pb = self.profile(pair.b);
+            resem_data
+                .push(resemblance_features(&pa, &pb), pair.label)
+                .map_err(DistinctError::Svm)?;
+            walk_data
+                .push(walk_features(&pa, &pb), pair.label)
+                .map_err(DistinctError::Svm)?;
+        }
+        let model = learn_weights(
+            &resem_data,
+            &walk_data,
+            self.config.training.svm_c,
+            self.config.training.seed,
+        )?;
+        let report = TrainingReport {
+            unique_names: ts.unique_names,
+            positives: ts.positives,
+            negatives: ts.negatives,
+            resem_accuracy: model.resem_train_accuracy,
+            walk_accuracy: model.walk_train_accuracy,
+            path_weights: self
+                .paths
+                .descriptions
+                .iter()
+                .cloned()
+                .zip(model.weights.resem.iter().copied())
+                .zip(model.weights.walk.iter().copied())
+                .map(|((d, r), w)| (d, r, w))
+                .collect(),
+        };
+        if self.config.weighting == WeightingMode::Supervised {
+            self.weights = model.weights.clone();
+        }
+        self.learned = Some(model);
+        Ok(report)
+    }
+
+    /// Calibrate `min_sim` automatically from pseudo-ambiguous groups of
+    /// unique names (see [`crate::calibrate`]) and install the selected
+    /// threshold. Call after [`Distinct::train`] so the calibration runs
+    /// under the final weights.
+    ///
+    /// Returns `None` (leaving the configured threshold untouched) when too
+    /// few unique names exist to synthesize groups.
+    pub fn calibrate_threshold(
+        &mut self,
+        cfg: &crate::calibrate::CalibrationConfig,
+    ) -> Result<Option<crate::calibrate::CalibrationResult>, DistinctError> {
+        let ts = self.build_training_pairs()?;
+        let result = crate::calibrate::calibrate_min_sim(self, &ts.names, cfg);
+        if let Some(r) = &result {
+            self.config.min_sim = r.min_sim;
+        }
+        Ok(result)
+    }
+
+    /// Cluster a set of references (§4) with the configured measure,
+    /// weighting, composite, and `min_sim`.
+    pub fn resolve(&self, refs: &[TupleRef]) -> Clustering {
+        self.resolve_with_min_sim(refs, self.config.min_sim)
+    }
+
+    /// Cluster with an explicit `min_sim` (used by the baselines' per-
+    /// method threshold sweep in Fig. 4).
+    pub fn resolve_with_min_sim(&self, refs: &[TupleRef], min_sim: f64) -> Clustering {
+        let profiles: Vec<Profile> = refs.iter().map(|&r| (*self.profile(r)).clone()).collect();
+        let mut merger = DistinctMerger::from_profiles(
+            &profiles,
+            &self.weights,
+            self.config.measure,
+            self.config.composite,
+        );
+        agglomerate(refs.len(), &mut merger, min_sim)
+    }
+
+    /// Calibrated probability that two references denote the same entity,
+    /// combining the trained resemblance and walk models through their
+    /// Platt scalers. Returns `None` before training.
+    pub fn pair_probability(&self, a: TupleRef, b: TupleRef) -> Option<f64> {
+        let learned = self.learned.as_ref()?;
+        let pa = self.profile(a);
+        let pb = self.profile(b);
+        Some(learned.pair_probability(&resemblance_features(&pa, &pb), &walk_features(&pa, &pb)))
+    }
+
+    /// Convenience: references of `name`, clustered.
+    pub fn resolve_name(&self, name: &str) -> (Vec<TupleRef>, Clustering) {
+        let refs = self.references_of(name);
+        let clustering = self.resolve(&refs);
+        (refs, clustering)
+    }
+
+    /// Cluster under user-supplied constraints: `must_link` /
+    /// `cannot_link` pairs are indexes into `refs`. Constraint semantics
+    /// follow [`cluster::ConstrainedMerger`]: vetoes propagate across
+    /// merges, forced pairs merge before anything else.
+    ///
+    /// # Panics
+    /// Panics on out-of-range, self-referential, or contradictory
+    /// constraint pairs (programmer error, matching the wrapped merger).
+    pub fn resolve_constrained(
+        &self,
+        refs: &[TupleRef],
+        must_link: &[(usize, usize)],
+        cannot_link: &[(usize, usize)],
+    ) -> Clustering {
+        let profiles: Vec<Profile> = refs.iter().map(|&r| (*self.profile(r)).clone()).collect();
+        let inner = DistinctMerger::from_profiles(
+            &profiles,
+            &self.weights,
+            self.config.measure,
+            self.config.composite,
+        );
+        let mut merger = cluster::ConstrainedMerger::new(inner, refs.len(), must_link, cannot_link);
+        agglomerate(refs.len(), &mut merger, self.config.min_sim)
+    }
+
+    /// Export the trained state (configuration + weights + path
+    /// descriptions) as JSON. Returns `None` before training.
+    pub fn export_model(&self) -> Option<String> {
+        let learned = self.learned.as_ref()?;
+        let saved = SavedModel {
+            config: self.config.clone(),
+            weights: self.weights.clone(),
+            paths: self.paths.descriptions.clone(),
+            resem_train_accuracy: learned.resem_train_accuracy,
+            walk_train_accuracy: learned.walk_train_accuracy,
+        };
+        Some(serde_json::to_string_pretty(&saved).expect("model serializes"))
+    }
+
+    /// Import a model exported by [`Distinct::export_model`] into this
+    /// engine. The path descriptions must match exactly — a model is only
+    /// valid for the schema (and path enumeration settings) it was trained
+    /// on.
+    pub fn import_model(&mut self, json: &str) -> Result<(), DistinctError> {
+        let saved: SavedModel = serde_json::from_str(json)
+            .map_err(|e| DistinctError::Config(format!("unparseable model: {e}")))?;
+        if saved.paths != self.paths.descriptions {
+            return Err(DistinctError::Config(
+                "model was trained on a different join-path set".into(),
+            ));
+        }
+        self.config.min_sim = saved.config.min_sim;
+        self.config.measure = saved.config.measure;
+        self.config.composite = saved.config.composite;
+        self.set_weights(saved.weights)
+    }
+}
+
+/// On-disk form of a trained engine (see [`Distinct::export_model`]).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct SavedModel {
+    config: DistinctConfig,
+    weights: PathWeights,
+    paths: Vec<String>,
+    resem_train_accuracy: f64,
+    walk_train_accuracy: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MeasureMode;
+    use datagen::{AmbiguousSpec, World, WorldConfig};
+    use eval::pairwise_scores;
+
+    fn dataset() -> datagen::DblpDataset {
+        let mut config = WorldConfig::tiny(21);
+        config.ambiguous = vec![
+            AmbiguousSpec::new("Wei Wang", vec![10, 8, 5]),
+            AmbiguousSpec::new("Hui Fang", vec![5, 4]),
+        ];
+        datagen::to_catalog(&World::generate(config)).unwrap()
+    }
+
+    fn small_training() -> crate::config::TrainingConfig {
+        crate::config::TrainingConfig {
+            positives: 80,
+            negatives: 80,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn prepare_validates_inputs() {
+        let d = dataset();
+        let mut bad = DistinctConfig::default();
+        bad.max_path_len = 0;
+        assert!(matches!(
+            Distinct::prepare(&d.catalog, "Publish", "author", bad),
+            Err(DistinctError::Config(_))
+        ));
+        assert!(matches!(
+            Distinct::prepare(&d.catalog, "Nope", "author", DistinctConfig::default()),
+            Err(DistinctError::BadReferenceSpec(_))
+        ));
+    }
+
+    #[test]
+    fn prepare_exposes_paths_and_uniform_weights() {
+        let d = dataset();
+        let config = DistinctConfig {
+            training: small_training(),
+            ..Default::default()
+        };
+        let engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
+        assert!(!engine.paths().is_empty());
+        assert_eq!(engine.weights().path_count(), engine.paths().len());
+        assert!(engine.learned().is_none());
+        let sum: f64 = engine.weights().resem.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn references_of_finds_planted_name() {
+        let d = dataset();
+        let config = DistinctConfig {
+            training: small_training(),
+            ..Default::default()
+        };
+        let engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
+        let refs = engine.references_of("Wei Wang");
+        assert_eq!(refs.len(), 23);
+        assert!(engine.references_of("Nobody Here").is_empty());
+    }
+
+    #[test]
+    fn profiles_are_cached() {
+        let d = dataset();
+        let config = DistinctConfig {
+            training: small_training(),
+            ..Default::default()
+        };
+        let engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
+        let r = engine.references_of("Wei Wang")[0];
+        assert_eq!(engine.cached_profiles(), 0);
+        let p1 = engine.profile(r);
+        let p2 = engine.profile(r);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(engine.cached_profiles(), 1);
+    }
+
+    #[test]
+    fn training_learns_informative_weights() {
+        let d = dataset();
+        let config = DistinctConfig {
+            training: small_training(),
+            ..Default::default()
+        };
+        let mut engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
+        let report = engine.train().unwrap();
+        assert!(report.unique_names >= 2);
+        assert_eq!(report.positives, 80);
+        assert_eq!(report.negatives, 80);
+        // Hard, realistic training data: an author's two papers often share
+        // nothing, so accuracies well above chance (not near 1.0) are the
+        // expected regime.
+        assert!(
+            report.resem_accuracy > 0.6,
+            "resem acc {}",
+            report.resem_accuracy
+        );
+        assert!(
+            report.walk_accuracy > 0.55,
+            "walk acc {}",
+            report.walk_accuracy
+        );
+        // Weights are installed and normalized.
+        let sum: f64 = engine.weights().resem.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(engine.learned().is_some());
+        // The coauthor-flavored path family (through sibling Publish
+        // records) must dominate the resemblance weights.
+        let coauthor_family: f64 = report
+            .path_weights
+            .iter()
+            .filter(|(d, _, _)| d.contains("<-[paper_key] Publish"))
+            .map(|(_, r, _)| r)
+            .sum();
+        assert!(
+            coauthor_family > 0.2,
+            "coauthor-family resem weight {coauthor_family}"
+        );
+    }
+
+    #[test]
+    fn uniform_mode_trains_but_keeps_uniform_weights() {
+        let d = dataset();
+        let config = DistinctConfig {
+            weighting: WeightingMode::Uniform,
+            training: small_training(),
+            ..Default::default()
+        };
+        let mut engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
+        let before = engine.weights().clone();
+        engine.train().unwrap();
+        assert_eq!(engine.weights(), &before);
+        assert!(engine.learned().is_some());
+    }
+
+    #[test]
+    fn end_to_end_distinguishes_planted_entities() {
+        let d = dataset();
+        let config = DistinctConfig {
+            training: small_training(),
+            ..Default::default()
+        };
+        let mut engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
+        engine.train().unwrap();
+        let truth = &d.truths[0];
+        let clustering = engine.resolve(&truth.refs);
+        let scores = pairwise_scores(&truth.labels, &clustering.labels);
+        assert!(
+            scores.f_measure > 0.75,
+            "f-measure {} (p {}, r {})",
+            scores.f_measure,
+            scores.precision,
+            scores.recall
+        );
+    }
+
+    #[test]
+    fn resolve_name_matches_manual_resolution() {
+        let d = dataset();
+        let config = DistinctConfig {
+            training: small_training(),
+            ..Default::default()
+        };
+        let engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
+        let (refs, clustering) = engine.resolve_name("Hui Fang");
+        assert_eq!(refs.len(), 9);
+        assert_eq!(clustering.labels.len(), 9);
+    }
+
+    #[test]
+    fn set_weights_validates_dimension() {
+        let d = dataset();
+        let config = DistinctConfig {
+            training: small_training(),
+            ..Default::default()
+        };
+        let mut engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
+        assert!(engine.set_weights(PathWeights::uniform(1)).is_err());
+        let n = engine.paths().len();
+        assert!(engine.set_weights(PathWeights::uniform(n)).is_ok());
+    }
+
+    #[test]
+    fn min_sim_extremes() {
+        let d = dataset();
+        let config = DistinctConfig {
+            training: small_training(),
+            ..Default::default()
+        };
+        let engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
+        let refs = engine.references_of("Wei Wang");
+        // Impossibly high threshold: all singletons.
+        let c = engine.resolve_with_min_sim(&refs, 10.0);
+        assert_eq!(c.cluster_count(), refs.len());
+        // Zero-ish threshold merges anything with positive similarity:
+        // far fewer clusters.
+        let c = engine.resolve_with_min_sim(&refs, 1e-12);
+        assert!(c.cluster_count() < refs.len());
+    }
+
+    #[test]
+    fn constrained_resolution_honors_user_feedback() {
+        let d = dataset();
+        let config = DistinctConfig {
+            training: small_training(),
+            ..Default::default()
+        };
+        let mut engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
+        engine.train().unwrap();
+        let truth = &d.truths[0];
+        let unconstrained = engine.resolve(&truth.refs);
+
+        // Cannot-link two references that the unconstrained run merged.
+        let groups = unconstrained.groups();
+        let merged_group = groups.iter().find(|g| g.len() >= 2).expect("some merge");
+        let (a, b) = (merged_group[0], merged_group[1]);
+        let c = engine.resolve_constrained(&truth.refs, &[], &[(a, b)]);
+        assert_ne!(c.labels[a], c.labels[b]);
+
+        // Must-link two references the unconstrained run separated.
+        let (x, y) = {
+            let mut found = None;
+            'outer: for i in 0..truth.refs.len() {
+                for j in (i + 1)..truth.refs.len() {
+                    if unconstrained.labels[i] != unconstrained.labels[j] {
+                        found = Some((i, j));
+                        break 'outer;
+                    }
+                }
+            }
+            found.expect("some separated pair")
+        };
+        let c = engine.resolve_constrained(&truth.refs, &[(x, y)], &[]);
+        assert_eq!(c.labels[x], c.labels[y]);
+    }
+
+    #[test]
+    fn model_export_import_round_trip() {
+        let d = dataset();
+        let config = DistinctConfig {
+            training: small_training(),
+            ..Default::default()
+        };
+        let mut trained =
+            Distinct::prepare(&d.catalog, "Publish", "author", config.clone()).unwrap();
+        assert!(trained.export_model().is_none(), "no model before training");
+        trained.train().unwrap();
+        let json = trained.export_model().unwrap();
+
+        let mut fresh = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
+        fresh.import_model(&json).unwrap();
+        assert_eq!(fresh.weights(), trained.weights());
+        let truth = &d.truths[0];
+        assert_eq!(
+            fresh.resolve(&truth.refs).labels,
+            trained.resolve(&truth.refs).labels
+        );
+
+        // A model for a different path set is rejected.
+        let mut shallow = Distinct::prepare(
+            &d.catalog,
+            "Publish",
+            "author",
+            DistinctConfig {
+                max_path_len: 2,
+                training: small_training(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            shallow.import_model(&json),
+            Err(DistinctError::Config(_))
+        ));
+        assert!(fresh.import_model("not json").is_err());
+    }
+
+    #[test]
+    fn pair_probability_orders_same_vs_cross_entity_pairs() {
+        let d = dataset();
+        let config = DistinctConfig {
+            training: small_training(),
+            ..Default::default()
+        };
+        let mut engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
+        assert!(engine
+            .pair_probability(d.truths[0].refs[0], d.truths[0].refs[1])
+            .is_none());
+        engine.train().unwrap();
+        let truth = &d.truths[0];
+        // Average probability over same-entity pairs must exceed the
+        // average over cross-entity pairs, and all values must be valid
+        // probabilities.
+        let (mut same, mut cross) = (Vec::new(), Vec::new());
+        for i in 0..truth.refs.len() {
+            for j in (i + 1)..truth.refs.len() {
+                let p = engine
+                    .pair_probability(truth.refs[i], truth.refs[j])
+                    .unwrap();
+                assert!((0.0..=1.0).contains(&p), "p = {p}");
+                if truth.labels[i] == truth.labels[j] {
+                    same.push(p);
+                } else {
+                    cross.push(p);
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&same) > mean(&cross),
+            "same-entity mean P {} vs cross {}",
+            mean(&same),
+            mean(&cross)
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_reference_sets() {
+        let d = dataset();
+        let config = DistinctConfig {
+            training: small_training(),
+            ..Default::default()
+        };
+        let engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
+        let empty = engine.resolve(&[]);
+        assert!(empty.labels.is_empty());
+        assert_eq!(empty.cluster_count(), 0);
+        let one = engine.resolve(&d.truths[0].refs[..1]);
+        assert_eq!(one.labels, vec![0]);
+        assert_eq!(one.cluster_count(), 1);
+    }
+
+    #[test]
+    fn unexpanded_mode_still_works() {
+        // expand_attributes = false: only the raw FK paths exist
+        // (no pseudo-value relations), but the pipeline must run end to end.
+        let d = dataset();
+        let config = DistinctConfig {
+            expand_attributes: false,
+            training: small_training(),
+            ..Default::default()
+        };
+        let mut engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
+        // No pseudo-relations in the analyzed catalog.
+        assert!(
+            engine.paths().descriptions.iter().all(|p| !p.contains('#')),
+            "{:?}",
+            engine.paths().descriptions
+        );
+        engine.train().unwrap();
+        let truth = &d.truths[0];
+        let c = engine.resolve(&truth.refs);
+        assert_eq!(c.labels.len(), truth.refs.len());
+        let s = pairwise_scores(&truth.labels, &c.labels);
+        assert!(s.f_measure > 0.3, "f {}", s.f_measure);
+    }
+
+    #[test]
+    fn measure_modes_produce_valid_clusterings() {
+        let d = dataset();
+        for measure in [
+            MeasureMode::Combined,
+            MeasureMode::SetResemblance,
+            MeasureMode::RandomWalk,
+        ] {
+            let config = DistinctConfig {
+                measure,
+                training: small_training(),
+                ..Default::default()
+            };
+            let engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
+            let truth = &d.truths[1];
+            let c = engine.resolve(&truth.refs);
+            assert_eq!(c.labels.len(), truth.refs.len());
+        }
+    }
+}

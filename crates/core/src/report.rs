@@ -1,0 +1,186 @@
+//! Fig. 5-style textual reports: predicted groups vs real entities, with
+//! split/merge mistakes called out.
+
+use eval::Confusion;
+
+/// Render the clustering of one name against ground truth, in the spirit
+/// of the paper's Fig. 5 visualization of "Wei Wang".
+///
+/// `gold` and `pred` are parallel label vectors over the name's
+/// references; `entity_names` (optional) gives a display string per gold
+/// label (e.g. an affiliation like "UNC-CH").
+pub fn render_name_report(
+    name: &str,
+    gold: &[usize],
+    pred: &[usize],
+    entity_names: Option<&[String]>,
+) -> String {
+    let confusion = Confusion::from_labels(gold, pred);
+    let scores = eval::pairwise_scores(gold, pred);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "=== {name}: {} references, {} real entities, {} predicted groups ===\n",
+        gold.len(),
+        confusion.gold_labels().len(),
+        confusion.pred_labels().len()
+    ));
+    out.push_str(&format!(
+        "precision {:.3}  recall {:.3}  f-measure {:.3}  purity {:.3}\n",
+        scores.precision,
+        scores.recall,
+        scores.f_measure,
+        confusion.purity()
+    ));
+
+    // Per-entity composition.
+    for g in confusion.gold_labels() {
+        let label = entity_names
+            .and_then(|names| names.get(g))
+            .cloned()
+            .unwrap_or_else(|| format!("entity {g}"));
+        let mut frags: Vec<(usize, usize)> = confusion
+            .pred_labels()
+            .into_iter()
+            .filter_map(|p| {
+                let c = confusion.count(g, p);
+                (c > 0).then_some((p, c))
+            })
+            .collect();
+        frags.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        let frag_str: Vec<String> = frags
+            .iter()
+            .map(|(p, c)| format!("group {p}: {c}"))
+            .collect();
+        out.push_str(&format!(
+            "  [{label}] ({} refs) -> {}\n",
+            confusion.gold_size(g),
+            frag_str.join(", ")
+        ));
+    }
+
+    // Mistakes.
+    let splits = confusion.splits();
+    let merges = confusion.merges();
+    if splits.is_empty() && merges.is_empty() {
+        out.push_str("  no mistakes: perfect correspondence\n");
+    } else {
+        for (g, frags) in &splits {
+            let label = entity_names
+                .and_then(|names| names.get(*g))
+                .cloned()
+                .unwrap_or_else(|| format!("entity {g}"));
+            out.push_str(&format!(
+                "  SPLIT: {label} divided into {} groups ({})\n",
+                frags.len(),
+                frags
+                    .iter()
+                    .map(|(p, c)| format!("{c} in group {p}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        for (p, parts) in &merges {
+            out.push_str(&format!(
+                "  MERGE: group {p} mixes {} entities ({})\n",
+                parts.len(),
+                parts
+                    .iter()
+                    .map(|(g, c)| {
+                        let label = entity_names
+                            .and_then(|names| names.get(*g))
+                            .cloned()
+                            .unwrap_or_else(|| format!("entity {g}"));
+                        format!("{c} of {label}")
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+    }
+    out
+}
+
+/// Render the report as Graphviz DOT: one node per (entity, group) cell,
+/// entity clusters boxed, predicted-group mistakes drawn as edges.
+pub fn render_name_dot(name: &str, gold: &[usize], pred: &[usize]) -> String {
+    let confusion = Confusion::from_labels(gold, pred);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "digraph \"{name}\" {{\n  rankdir=LR;\n  node [shape=box];\n"
+    ));
+    for g in confusion.gold_labels() {
+        out.push_str(&format!(
+            "  subgraph cluster_e{g} {{ label=\"entity {g} ({} refs)\";\n",
+            confusion.gold_size(g)
+        ));
+        for p in confusion.pred_labels() {
+            let c = confusion.count(g, p);
+            if c > 0 {
+                out.push_str(&format!("    e{g}_g{p} [label=\"group {p}: {c}\"];\n"));
+            }
+        }
+        out.push_str("  }\n");
+    }
+    // Edges between cells of the same predicted group across entities
+    // (merge mistakes).
+    for (p, parts) in confusion.merges() {
+        for w in parts.windows(2) {
+            out.push_str(&format!(
+                "  e{}_g{p} -> e{}_g{p} [color=red, dir=both, label=\"merged\"];\n",
+                w[0].0, w[1].0
+            ));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_report() {
+        let gold = vec![0, 0, 1, 1];
+        let s = render_name_report("Hui Fang", &gold, &gold, None);
+        assert!(s.contains("Hui Fang"));
+        assert!(s.contains("4 references"));
+        assert!(s.contains("2 real entities"));
+        assert!(s.contains("no mistakes"));
+        assert!(s.contains("f-measure 1.000"));
+    }
+
+    #[test]
+    fn split_is_reported() {
+        let gold = vec![0, 0, 0, 0];
+        let pred = vec![0, 0, 1, 1];
+        let s = render_name_report("Michael Wagner", &gold, &pred, None);
+        assert!(s.contains("SPLIT"), "{s}");
+        assert!(s.contains("divided into 2 groups"));
+    }
+
+    #[test]
+    fn merge_is_reported_with_entity_names() {
+        let gold = vec![0, 0, 1];
+        let pred = vec![0, 0, 0];
+        let names = vec!["UNC-CH".to_string(), "Fudan U".to_string()];
+        let s = render_name_report("Wei Wang", &gold, &pred, Some(&names));
+        assert!(s.contains("MERGE"), "{s}");
+        assert!(s.contains("UNC-CH"));
+        assert!(s.contains("Fudan U"));
+    }
+
+    #[test]
+    fn dot_output_is_structurally_valid() {
+        let gold = vec![0, 0, 1, 1];
+        let pred = vec![0, 0, 0, 1];
+        let dot = render_name_dot("Wei Wang", &gold, &pred);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("cluster_e0"));
+        assert!(dot.contains("cluster_e1"));
+        assert!(dot.contains("merged"));
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}

@@ -1,0 +1,159 @@
+//! The six method variants compared in Fig. 4.
+//!
+//! 1. **DISTINCT** — supervised weighting, combined measure, fixed
+//!    `min-sim` (0.0005);
+//! 2. **unsupervised combined** — DISTINCT without supervised learning;
+//! 3. **supervised set resemblance** — one measure, learned weights;
+//! 4. **supervised random walk** — one measure, learned weights;
+//! 5. **unsupervised set resemblance** — the approach of \[1\];
+//! 6. **unsupervised random walk** — the approach of \[9\].
+//!
+//! Per the paper, every approach except DISTINCT gets the `min-sim` that
+//! maximizes its average accuracy (a sweep), so differences reflect the
+//! method, not a lucky threshold.
+
+use crate::config::{DistinctConfig, MeasureMode, WeightingMode};
+use serde::{Deserialize, Serialize};
+
+/// One of the six compared variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// Full DISTINCT.
+    Distinct,
+    /// Combined measure, uniform weights.
+    UnsupervisedCombined,
+    /// Set resemblance only, learned weights.
+    SupervisedResemblance,
+    /// Random walk only, learned weights.
+    SupervisedWalk,
+    /// Set resemblance only, uniform weights (\[1\]).
+    UnsupervisedResemblance,
+    /// Random walk only, uniform weights (\[9\]).
+    UnsupervisedWalk,
+}
+
+impl Variant {
+    /// All six variants, in the paper's Fig. 4 order.
+    pub fn all() -> [Variant; 6] {
+        [
+            Variant::Distinct,
+            Variant::UnsupervisedCombined,
+            Variant::SupervisedResemblance,
+            Variant::SupervisedWalk,
+            Variant::UnsupervisedResemblance,
+            Variant::UnsupervisedWalk,
+        ]
+    }
+
+    /// Display label matching the paper's legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Distinct => "DISTINCT",
+            Variant::UnsupervisedCombined => "Unsupervised combined measure",
+            Variant::SupervisedResemblance => "Supervised set resemblance",
+            Variant::SupervisedWalk => "Supervised random walk",
+            Variant::UnsupervisedResemblance => "Unsupervised set resemblance",
+            Variant::UnsupervisedWalk => "Unsupervised random walk",
+        }
+    }
+
+    /// Whether the variant trains SVM path weights.
+    pub fn supervised(self) -> bool {
+        matches!(
+            self,
+            Variant::Distinct | Variant::SupervisedResemblance | Variant::SupervisedWalk
+        )
+    }
+
+    /// Whether the variant's `min-sim` is swept (every one but DISTINCT).
+    pub fn sweeps_min_sim(self) -> bool {
+        self != Variant::Distinct
+    }
+
+    /// Derive this variant's configuration from a base configuration
+    /// (keeping path length, training parameters, and expansion settings).
+    pub fn config(self, base: &DistinctConfig) -> DistinctConfig {
+        let mut c = base.clone();
+        c.measure = match self {
+            Variant::Distinct | Variant::UnsupervisedCombined => MeasureMode::Combined,
+            Variant::SupervisedResemblance | Variant::UnsupervisedResemblance => {
+                MeasureMode::SetResemblance
+            }
+            Variant::SupervisedWalk | Variant::UnsupervisedWalk => MeasureMode::RandomWalk,
+        };
+        c.weighting = if self.supervised() {
+            WeightingMode::Supervised
+        } else {
+            WeightingMode::Uniform
+        };
+        c
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The default grid of `min-sim` values swept for the non-DISTINCT
+/// variants (log-spaced; brackets the paper's 0.0005 from both sides).
+pub fn min_sim_grid() -> Vec<f64> {
+    vec![
+        1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1, 2e-1,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_variants_with_unique_labels() {
+        let all = Variant::all();
+        assert_eq!(all.len(), 6);
+        let labels: std::collections::HashSet<&str> = all.iter().map(|v| v.label()).collect();
+        assert_eq!(labels.len(), 6);
+        assert_eq!(all[0].to_string(), "DISTINCT");
+    }
+
+    #[test]
+    fn supervision_flags() {
+        assert!(Variant::Distinct.supervised());
+        assert!(Variant::SupervisedWalk.supervised());
+        assert!(!Variant::UnsupervisedCombined.supervised());
+        assert!(!Variant::UnsupervisedResemblance.supervised());
+    }
+
+    #[test]
+    fn only_distinct_uses_fixed_threshold() {
+        for v in Variant::all() {
+            assert_eq!(v.sweeps_min_sim(), v != Variant::Distinct);
+        }
+    }
+
+    #[test]
+    fn config_derivation() {
+        let base = DistinctConfig::default();
+        let c = Variant::UnsupervisedResemblance.config(&base);
+        assert_eq!(c.measure, MeasureMode::SetResemblance);
+        assert_eq!(c.weighting, WeightingMode::Uniform);
+        assert_eq!(c.max_path_len, base.max_path_len);
+
+        let c = Variant::SupervisedWalk.config(&base);
+        assert_eq!(c.measure, MeasureMode::RandomWalk);
+        assert_eq!(c.weighting, WeightingMode::Supervised);
+
+        let c = Variant::Distinct.config(&base);
+        assert_eq!(c.measure, MeasureMode::Combined);
+        assert_eq!(c.weighting, WeightingMode::Supervised);
+    }
+
+    #[test]
+    fn grid_is_sorted_and_brackets_paper_threshold() {
+        let g = min_sim_grid();
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+        assert!(g.contains(&5e-4));
+        assert!(g[0] < 5e-4 && *g.last().unwrap() > 5e-4);
+    }
+}

@@ -1,0 +1,27 @@
+//! # datagen — synthetic bibliographic world generator
+//!
+//! The paper evaluates DISTINCT on a DBLP snapshot with manually labelled
+//! ground truth for ten ambiguous author names. Neither resource is
+//! redistributable, so this crate generates a faithful synthetic
+//! substitute (see DESIGN.md §2 for the substitution argument):
+//!
+//! * [`WorldConfig`] — knobs for scale, community structure, collaboration
+//!   stickiness, venue affinity, cross-community noise, and Zipf name
+//!   pools; [`WorldConfig::table1_ambiguous`] reproduces Table 1's
+//!   (#authors, #references) profile;
+//! * [`World::generate`] — deterministic generation of entities,
+//!   communities, venues, and papers;
+//! * [`to_catalog`] — emission as a [`relstore::Catalog`] in the Fig. 2
+//!   DBLP schema, with [`NameGroundTruth`] per planted name.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dblp;
+pub mod names;
+pub mod world;
+
+pub use config::{AmbiguousSpec, WorldConfig};
+pub use dblp::{to_catalog, DblpDataset, NameGroundTruth};
+pub use names::{NamePool, Zipf};
+pub use world::{AmbiguousGroup, Entity, EntityId, Paper, Venue, World};

@@ -1,0 +1,677 @@
+//! The synthetic bibliographic world: entities, communities, venues, and
+//! papers with community-structured coauthorship.
+//!
+//! Structural properties (the ones DISTINCT exploits, per §1–2 of the
+//! paper):
+//!
+//! * every real author (entity) belongs to a research community; coauthors
+//!   come overwhelmingly from that community, with sticky repeat
+//!   collaborations — so references to one entity share coauthor context;
+//! * each community prefers a small set of venues — so references to one
+//!   entity share conference context;
+//! * a configurable fraction of papers pull a coauthor from a foreign
+//!   community — the cross-linkage noise that produces realistic errors;
+//! * planted ambiguous entities share one author string but live in
+//!   different communities (two may share a community when the spec packs
+//!   more entities than communities, mirroring the genuinely hard cases).
+
+use crate::config::{AmbiguousSpec, WorldConfig};
+use crate::names::NamePool;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Identifier of an entity (a real author).
+pub type EntityId = usize;
+
+/// One real author.
+#[derive(Debug, Clone)]
+pub struct Entity {
+    /// Dense id.
+    pub id: EntityId,
+    /// Display name ("First Last") — shared across entities for planted
+    /// ambiguous names.
+    pub name: String,
+    /// Home community.
+    pub community: usize,
+    /// Number of authorship records this entity must produce.
+    pub target_refs: usize,
+    /// True if this entity belongs to a planted ambiguous group.
+    pub planted: bool,
+    /// Active publication years, inclusive (real authors publish within a
+    /// career window, which makes the year attribute genuinely
+    /// informative — namesakes from different eras rarely overlap).
+    pub active_years: (i64, i64),
+}
+
+/// One venue (conference series).
+#[derive(Debug, Clone)]
+pub struct Venue {
+    /// Dense id.
+    pub id: usize,
+    /// Conference name, unique.
+    pub name: String,
+    /// Publisher name.
+    pub publisher: String,
+}
+
+/// One paper.
+#[derive(Debug, Clone)]
+pub struct Paper {
+    /// Dense id.
+    pub id: usize,
+    /// Title (unique).
+    pub title: String,
+    /// Venue id.
+    pub venue: usize,
+    /// Publication year.
+    pub year: i64,
+    /// Author entities, in byline order (no duplicates).
+    pub authors: Vec<EntityId>,
+}
+
+/// A planted ambiguous group: which entities share the name.
+#[derive(Debug, Clone)]
+pub struct AmbiguousGroup {
+    /// The shared name.
+    pub name: String,
+    /// Entity ids sharing it (index = entity number within the group).
+    pub entity_ids: Vec<EntityId>,
+}
+
+/// The generated world.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// Configuration it was generated from.
+    pub config: WorldConfig,
+    /// All entities; planted ones come after the ordinary ones.
+    pub entities: Vec<Entity>,
+    /// All venues.
+    pub venues: Vec<Venue>,
+    /// All papers.
+    pub papers: Vec<Paper>,
+    /// Planted groups with ground truth entity ids.
+    pub ambiguous_groups: Vec<AmbiguousGroup>,
+    /// Per-community preferred venue ids.
+    pub community_venues: Vec<Vec<usize>>,
+}
+
+/// Venue name for an index (deterministic, acronym-like).
+fn venue_name(i: usize) -> String {
+    const STEMS: &[&str] = &[
+        "VLDB", "SIGMOD", "ICDE", "KDD", "ICDM", "SDM", "CIKM", "WWW", "EDBT", "PODS", "DASFAA",
+        "PAKDD", "SSDBM", "WSDM", "ECML", "ICML", "AAAI", "IJCAI", "SIGIR", "WISE",
+    ];
+    if i < STEMS.len() {
+        STEMS[i].to_string()
+    } else {
+        format!("{}-{}", STEMS[i % STEMS.len()], i / STEMS.len() + 1)
+    }
+}
+
+/// Publisher name for an index.
+fn publisher_name(i: usize) -> String {
+    const NAMES: &[&str] = &[
+        "ACM",
+        "IEEE",
+        "Springer",
+        "Elsevier",
+        "Morgan Kaufmann",
+        "USENIX",
+    ];
+    if i < NAMES.len() {
+        NAMES[i].to_string()
+    } else {
+        format!("Press-{i}")
+    }
+}
+
+impl World {
+    /// Generate a world from a configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`WorldConfig::validate`].
+    pub fn generate(config: WorldConfig) -> World {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid WorldConfig: {e}"));
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // --- Venues & publishers -----------------------------------------
+        let venues: Vec<Venue> = (0..config.n_venues)
+            .map(|i| Venue {
+                id: i,
+                name: venue_name(i),
+                publisher: publisher_name(rng.gen_range(0..config.n_publishers)),
+            })
+            .collect();
+
+        // Preferred venues per community.
+        let mut community_venues = Vec::with_capacity(config.n_communities);
+        let mut venue_ids: Vec<usize> = (0..config.n_venues).collect();
+        for _ in 0..config.n_communities {
+            venue_ids.shuffle(&mut rng);
+            community_venues.push(venue_ids[..config.venues_per_community].to_vec());
+        }
+
+        // --- Ordinary entities -------------------------------------------
+        let first = NamePool::first_names(config.first_name_pool, config.zipf_exponent);
+        let last = NamePool::last_names(config.last_name_pool, config.zipf_exponent);
+        let career = |rng: &mut StdRng| career_window(config.year_range, rng);
+        let mut entities: Vec<Entity> = Vec::with_capacity(config.n_authors);
+        for id in 0..config.n_authors {
+            let name = format!("{} {}", first.sample(&mut rng), last.sample(&mut rng));
+            // Geometric-ish paper count with mean ≈ mean_papers_per_author,
+            // floored at 3 (the paper drops authors with ≤ 2 papers).
+            let extra_mean = (config.mean_papers_per_author - 3.0).max(0.0);
+            let mut refs = 3usize;
+            if extra_mean > 0.0 {
+                let p = 1.0 / (1.0 + extra_mean);
+                while rng.gen::<f64>() > p {
+                    refs += 1;
+                    if refs > 200 {
+                        break;
+                    }
+                }
+            }
+            let active_years = career(&mut rng);
+            entities.push(Entity {
+                id,
+                name,
+                community: rng.gen_range(0..config.n_communities),
+                target_refs: refs,
+                planted: false,
+                active_years,
+            });
+        }
+
+        // --- Planted ambiguous entities ----------------------------------
+        let mut ambiguous_groups = Vec::with_capacity(config.ambiguous.len());
+        for spec in &config.ambiguous {
+            let group = plant_group(
+                spec,
+                &mut entities,
+                config.n_communities,
+                config.year_range,
+                &first,
+                &last,
+                &mut rng,
+            );
+            ambiguous_groups.push(group);
+        }
+
+        // --- Papers --------------------------------------------------------
+        let papers = generate_papers(&config, &entities, &community_venues, &mut rng);
+
+        World {
+            config,
+            entities,
+            venues,
+            papers,
+            ambiguous_groups,
+            community_venues,
+        }
+    }
+
+    /// Entities in a community.
+    pub fn community_members(&self, community: usize) -> Vec<EntityId> {
+        self.entities
+            .iter()
+            .filter(|e| e.community == community)
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// Total number of authorship records across all papers.
+    pub fn reference_count(&self) -> usize {
+        self.papers.iter().map(|p| p.authors.len()).sum()
+    }
+
+    /// Number of references produced for an entity.
+    pub fn refs_of(&self, entity: EntityId) -> usize {
+        self.papers
+            .iter()
+            .map(|p| p.authors.iter().filter(|&&a| a == entity).count())
+            .sum()
+    }
+}
+
+/// Create the entities for one ambiguous spec, assigning communities
+/// round-robin so entities sharing the name differ in context wherever
+/// the community budget allows.
+///
+/// Also plants *namesake* ordinary authors sharing the first or last token
+/// of the ambiguous name ("Wei Xu", "Jing Wang"). Real ambiguous names are
+/// ambiguous precisely because their parts are common; without namesakes
+/// the automatic training-set builder would judge the planted name rare —
+/// hence unique — and feed cross-entity pairs to the SVM as positives.
+fn plant_group(
+    spec: &AmbiguousSpec,
+    entities: &mut Vec<Entity>,
+    n_communities: usize,
+    year_range: (i64, i64),
+    first_pool: &NamePool,
+    last_pool: &NamePool,
+    rng: &mut StdRng,
+) -> AmbiguousGroup {
+    let start_comm = rng.gen_range(0..n_communities);
+    let mut entity_ids = Vec::with_capacity(spec.refs_per_entity.len());
+    for (k, &refs) in spec.refs_per_entity.iter().enumerate() {
+        let id = entities.len();
+        entities.push(Entity {
+            id,
+            name: spec.name.clone(),
+            community: (start_comm + k) % n_communities,
+            target_refs: refs,
+            planted: true,
+            active_years: career_window(year_range, rng),
+        });
+        entity_ids.push(id);
+    }
+    // Namesakes: 6 sharing the first token, 6 sharing the last token.
+    let tokens: Vec<&str> = spec.name.split_whitespace().collect();
+    if let (Some(&first_tok), Some(&last_tok)) = (tokens.first(), tokens.last()) {
+        for _ in 0..6 {
+            let id = entities.len();
+            entities.push(Entity {
+                id,
+                name: format!("{first_tok} {}", last_pool.sample(rng)),
+                community: rng.gen_range(0..n_communities),
+                target_refs: 3 + rng.gen_range(0..4),
+                planted: false,
+                active_years: career_window(year_range, rng),
+            });
+            let id = id + 1;
+            entities.push(Entity {
+                id,
+                name: format!("{} {last_tok}", first_pool.sample(rng)),
+                community: rng.gen_range(0..n_communities),
+                target_refs: 3 + rng.gen_range(0..4),
+                planted: false,
+                active_years: career_window(year_range, rng),
+            });
+        }
+    }
+    AmbiguousGroup {
+        name: spec.name.clone(),
+        entity_ids,
+    }
+}
+
+/// Draw a career window: a 5–10 year active span inside the global range
+/// (clamped to it).
+fn career_window(range: (i64, i64), rng: &mut StdRng) -> (i64, i64) {
+    let (lo, hi) = range;
+    let span = (hi - lo).max(0);
+    let duration = rng.gen_range(5..=10).min(span + 1);
+    let start = lo + rng.gen_range(0..=(span + 1 - duration).max(0));
+    (start, (start + duration - 1).min(hi))
+}
+
+/// Generate papers until every entity has produced its target number of
+/// authorship records.
+fn generate_papers(
+    config: &WorldConfig,
+    entities: &[Entity],
+    community_venues: &[Vec<usize>],
+    rng: &mut StdRng,
+) -> Vec<Paper> {
+    // Community membership lists for fresh-coauthor draws.
+    let mut members: Vec<Vec<EntityId>> = vec![Vec::new(); config.n_communities];
+    for e in entities {
+        members[e.community].push(e.id);
+    }
+    // Remaining reference budget per entity; past collaborators per entity.
+    let mut budget: Vec<usize> = entities.iter().map(|e| e.target_refs).collect();
+    let mut collaborators: Vec<Vec<EntityId>> = vec![Vec::new(); entities.len()];
+
+    let mut papers: Vec<Paper> = Vec::new();
+    // Lead authors in shuffled order, revisited while they have budget.
+    let mut leads: Vec<EntityId> = (0..entities.len()).collect();
+    leads.shuffle(rng);
+
+    let mut title_counter = 0usize;
+    loop {
+        let mut progressed = false;
+        for &lead in &leads {
+            if budget[lead] == 0 {
+                continue;
+            }
+            progressed = true;
+            // --- Assemble the byline -----------------------------------
+            let n_co = rng.gen_range(config.coauthors_per_paper.0..=config.coauthors_per_paper.1);
+            let mut authors = vec![lead];
+            let home = entities[lead].community;
+            for _ in 0..n_co {
+                let candidate = if !collaborators[lead].is_empty()
+                    && rng.gen::<f64>() < config.repeat_collaborator_prob
+                {
+                    collaborators[lead][rng.gen_range(0..collaborators[lead].len())]
+                } else if rng.gen::<f64>() < config.cross_community_prob {
+                    // Cross-community noise coauthor.
+                    rng.gen_range(0..entities.len())
+                } else {
+                    let pool = &members[home];
+                    pool[rng.gen_range(0..pool.len())]
+                };
+                // Planted entities must hit their Table-1 reference counts
+                // exactly, so they stop appearing once their budget is spent.
+                if entities[candidate].planted && budget[candidate] == 0 {
+                    continue;
+                }
+                if !authors.contains(&candidate) {
+                    authors.push(candidate);
+                }
+            }
+            // --- Venue & year -------------------------------------------
+            let venue = if rng.gen::<f64>() < config.venue_affinity {
+                let pref = &community_venues[home];
+                pref[rng.gen_range(0..pref.len())]
+            } else {
+                rng.gen_range(0..config.n_venues)
+            };
+            // Years come from the lead author's career window.
+            let (y0, y1) = entities[lead].active_years;
+            let year = rng.gen_range(y0..=y1);
+            // --- Record ---------------------------------------------------
+            for &a in &authors {
+                budget[a] = budget[a].saturating_sub(1);
+            }
+            // Sticky collaboration only forms inside a community: real
+            // cross-community coauthorships are one-off, and letting them
+            // into the repeat-collaborator pool would amplify a single
+            // noise edge into a bridge between communities.
+            for i in 0..authors.len() {
+                for j in 0..authors.len() {
+                    if i != j
+                        && entities[authors[i]].community == entities[authors[j]].community
+                        && !collaborators[authors[i]].contains(&authors[j])
+                    {
+                        collaborators[authors[i]].push(authors[j]);
+                    }
+                }
+            }
+            title_counter += 1;
+            papers.push(Paper {
+                id: papers.len(),
+                title: format!("On Topic {title_counter}"),
+                venue,
+                year,
+                authors,
+            });
+        }
+        if !progressed {
+            break;
+        }
+    }
+    papers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_world() -> World {
+        let mut config = WorldConfig::tiny(7);
+        config.ambiguous = vec![
+            AmbiguousSpec::new("Wei Wang", vec![20, 10, 5]),
+            AmbiguousSpec::new("Hui Fang", vec![4, 3]),
+        ];
+        World::generate(config)
+    }
+
+    #[test]
+    fn world_has_expected_shape() {
+        let w = tiny_world();
+        // 250 ordinary + (3 + 2) planted + 12 namesakes per planted group.
+        assert_eq!(w.entities.len(), 250 + 3 + 2 + 24);
+        assert_eq!(w.venues.len(), 24);
+        assert_eq!(w.ambiguous_groups.len(), 2);
+        assert!(!w.papers.is_empty());
+        assert_eq!(w.community_venues.len(), 10);
+        for cv in &w.community_venues {
+            assert_eq!(cv.len(), w.config.venues_per_community);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny_world();
+        let b = tiny_world();
+        assert_eq!(a.papers.len(), b.papers.len());
+        for (pa, pb) in a.papers.iter().zip(&b.papers) {
+            assert_eq!(pa.authors, pb.authors);
+            assert_eq!(pa.venue, pb.venue);
+            assert_eq!(pa.year, pb.year);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = World::generate(WorldConfig::tiny(1));
+        let b = World::generate(WorldConfig::tiny(2));
+        let same = a.papers.len() == b.papers.len()
+            && a.papers
+                .iter()
+                .zip(&b.papers)
+                .all(|(x, y)| x.authors == y.authors);
+        assert!(!same);
+    }
+
+    #[test]
+    fn planted_entities_share_name_and_meet_ref_targets() {
+        let w = tiny_world();
+        let group = &w.ambiguous_groups[0];
+        assert_eq!(group.name, "Wei Wang");
+        assert_eq!(group.entity_ids.len(), 3);
+        for &eid in &group.entity_ids {
+            assert_eq!(w.entities[eid].name, "Wei Wang");
+            assert!(w.entities[eid].planted);
+        }
+        // Planted reference counts are exact (Table 1 fidelity).
+        for (k, &eid) in group.entity_ids.iter().enumerate() {
+            let want = w.config.ambiguous[0].refs_per_entity[k];
+            let got = w.refs_of(eid);
+            assert_eq!(got, want, "entity {eid}");
+        }
+    }
+
+    #[test]
+    fn planted_entities_get_distinct_communities() {
+        let w = tiny_world();
+        let group = &w.ambiguous_groups[0];
+        let comms: std::collections::HashSet<usize> = group
+            .entity_ids
+            .iter()
+            .map(|&e| w.entities[e].community)
+            .collect();
+        // 3 entities, 6 communities -> all distinct.
+        assert_eq!(comms.len(), 3);
+    }
+
+    #[test]
+    fn every_entity_reaches_its_budget() {
+        let w = tiny_world();
+        for e in &w.entities {
+            let got = w.refs_of(e.id);
+            assert!(
+                got >= e.target_refs,
+                "entity {} got {got} < {}",
+                e.id,
+                e.target_refs
+            );
+        }
+    }
+
+    #[test]
+    fn bylines_have_no_duplicates() {
+        let w = tiny_world();
+        for p in &w.papers {
+            let set: std::collections::HashSet<_> = p.authors.iter().collect();
+            assert_eq!(
+                set.len(),
+                p.authors.len(),
+                "paper {} byline {:?}",
+                p.id,
+                p.authors
+            );
+            assert!(!p.authors.is_empty());
+        }
+    }
+
+    #[test]
+    fn coauthorship_is_community_dominated() {
+        let w = tiny_world();
+        let mut same = 0usize;
+        let mut cross = 0usize;
+        for p in &w.papers {
+            let lead_comm = w.entities[p.authors[0]].community;
+            for &a in &p.authors[1..] {
+                if w.entities[a].community == lead_comm {
+                    same += 1;
+                } else {
+                    cross += 1;
+                }
+            }
+        }
+        assert!(same > 3 * cross, "same {same}, cross {cross}");
+    }
+
+    #[test]
+    fn venues_are_community_dominated() {
+        let w = tiny_world();
+        let mut preferred = 0usize;
+        let mut other = 0usize;
+        for p in &w.papers {
+            let lead_comm = w.entities[p.authors[0]].community;
+            if w.community_venues[lead_comm].contains(&p.venue) {
+                preferred += 1;
+            } else {
+                other += 1;
+            }
+        }
+        assert!(
+            preferred > 2 * other,
+            "preferred {preferred}, other {other}"
+        );
+    }
+
+    #[test]
+    fn years_within_range() {
+        let w = tiny_world();
+        let (lo, hi) = w.config.year_range;
+        assert!(w.papers.iter().all(|p| (lo..=hi).contains(&p.year)));
+    }
+
+    #[test]
+    fn titles_are_unique() {
+        let w = tiny_world();
+        let set: std::collections::HashSet<&str> =
+            w.papers.iter().map(|p| p.title.as_str()).collect();
+        assert_eq!(set.len(), w.papers.len());
+    }
+
+    #[test]
+    fn community_members_listing() {
+        let w = tiny_world();
+        let all: usize = (0..w.config.n_communities)
+            .map(|c| w.community_members(c).len())
+            .sum();
+        assert_eq!(all, w.entities.len());
+    }
+
+    #[test]
+    fn reference_count_sums_bylines() {
+        let w = tiny_world();
+        let total: usize = w.papers.iter().map(|p| p.authors.len()).sum();
+        assert_eq!(w.reference_count(), total);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Small random-but-valid configurations.
+        fn arbitrary_config() -> impl Strategy<Value = WorldConfig> {
+            (
+                any::<u64>(),
+                20usize..80,                                   // authors
+                2usize..8,                                     // communities
+                1usize..3,                                     // venues per community
+                0.0f64..0.9,                                   // repeat collaborator
+                0.0f64..0.4,                                   // cross community
+                0.3f64..1.0,                                   // venue affinity
+                proptest::option::of((2usize..5, 3usize..12)), // ambiguous spec
+            )
+                .prop_map(
+                    |(seed, authors, comms, vpc, repeat, cross, affinity, amb)| WorldConfig {
+                        seed,
+                        n_authors: authors,
+                        n_venues: (comms * vpc).max(4) + 4,
+                        n_communities: comms,
+                        venues_per_community: vpc,
+                        repeat_collaborator_prob: repeat,
+                        cross_community_prob: cross,
+                        venue_affinity: affinity,
+                        mean_papers_per_author: 4.0,
+                        first_name_pool: 30,
+                        last_name_pool: 60,
+                        ambiguous: amb
+                            .map(|(entities, per)| {
+                                vec![AmbiguousSpec::new("Test Name", vec![per; entities])]
+                            })
+                            .unwrap_or_default(),
+                        ..Default::default()
+                    },
+                )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            #[test]
+            fn generated_worlds_satisfy_invariants(config in arbitrary_config()) {
+                config.validate().unwrap();
+                let w = World::generate(config.clone());
+                // Every entity reaches its reference budget; planted ones
+                // exactly.
+                for e in &w.entities {
+                    let got = w.refs_of(e.id);
+                    if e.planted {
+                        prop_assert_eq!(got, e.target_refs, "planted entity {}", e.id);
+                    } else {
+                        prop_assert!(got >= e.target_refs);
+                    }
+                }
+                // Bylines are duplicate-free and non-empty; years in the
+                // lead author's window.
+                for p in &w.papers {
+                    prop_assert!(!p.authors.is_empty());
+                    let set: std::collections::HashSet<_> = p.authors.iter().collect();
+                    prop_assert_eq!(set.len(), p.authors.len());
+                    let (lo, hi) = w.entities[p.authors[0]].active_years;
+                    prop_assert!((lo..=hi).contains(&p.year));
+                    prop_assert!(p.venue < w.venues.len());
+                }
+                // The catalog emits with referential integrity.
+                let d = crate::dblp::to_catalog(&w).unwrap();
+                prop_assert!(d.catalog.is_finalized());
+                prop_assert_eq!(
+                    d.publish_entities.len(),
+                    d.catalog.relation(d.publish).len()
+                );
+            }
+
+            #[test]
+            fn generation_is_deterministic_for_any_config(config in arbitrary_config()) {
+                let a = World::generate(config.clone());
+                let b = World::generate(config);
+                prop_assert_eq!(a.papers.len(), b.papers.len());
+                for (x, y) in a.papers.iter().zip(&b.papers) {
+                    prop_assert_eq!(&x.authors, &y.authors);
+                    prop_assert_eq!(x.venue, y.venue);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! B-cubed clustering metrics (Bagga & Baldwin), a per-item complement to
+//! the paper's pairwise metrics.
+//!
+//! For each item `i`, B³ precision is the fraction of `i`'s predicted
+//! cluster that shares `i`'s gold label, and B³ recall is the fraction of
+//! `i`'s gold cluster captured by its predicted cluster; both are averaged
+//! over items. Unlike pairwise scores, B³ is not dominated by large
+//! clusters, which is useful for names like "Wei Wang" where one author
+//! holds most references.
+
+use crate::pairwise::PrfScores;
+
+/// Compute B³ precision / recall / F over parallel label vectors.
+///
+/// # Panics
+/// Panics if the vectors differ in length.
+pub fn bcubed_scores(gold: &[usize], pred: &[usize]) -> PrfScores {
+    assert_eq!(gold.len(), pred.len(), "label vectors must be parallel");
+    let n = gold.len();
+    if n == 0 {
+        return PrfScores {
+            precision: 1.0,
+            recall: 1.0,
+            f_measure: 1.0,
+        };
+    }
+    let mut precision = 0.0f64;
+    let mut recall = 0.0f64;
+    for i in 0..n {
+        let mut same_pred = 0usize; // |pred cluster of i|
+        let mut same_gold = 0usize; // |gold cluster of i|
+        let mut same_both = 0usize; // overlap
+        for j in 0..n {
+            let sp = pred[i] == pred[j];
+            let sg = gold[i] == gold[j];
+            same_pred += sp as usize;
+            same_gold += sg as usize;
+            same_both += (sp && sg) as usize;
+        }
+        precision += same_both as f64 / same_pred as f64;
+        recall += same_both as f64 / same_gold as f64;
+    }
+    precision /= n as f64;
+    recall /= n as f64;
+    let f_measure = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    PrfScores {
+        precision,
+        recall,
+        f_measure,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let gold = vec![0, 0, 1, 2, 2];
+        let s = bcubed_scores(&gold, &gold);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.f_measure, 1.0);
+    }
+
+    #[test]
+    fn all_merged() {
+        // gold: {0,1}, {2,3}; pred: one cluster of 4.
+        let s = bcubed_scores(&[0, 0, 1, 1], &[0, 0, 0, 0]);
+        // precision per item: 2/4; recall per item: 2/2.
+        assert!((s.precision - 0.5).abs() < 1e-12);
+        assert_eq!(s.recall, 1.0);
+    }
+
+    #[test]
+    fn all_singletons() {
+        let s = bcubed_scores(&[0, 0, 1, 1], &[0, 1, 2, 3]);
+        assert_eq!(s.precision, 1.0);
+        assert!((s.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_asymmetric_case() {
+        // gold: {0,1,2}, {3}; pred: {0,1}, {2,3}.
+        let s = bcubed_scores(&[0, 0, 0, 1], &[0, 0, 1, 1]);
+        // precision: items 0,1 -> 2/2; item 2 -> 1/2; item 3 -> 1/2 => 3/4.
+        assert!((s.precision - 0.75).abs() < 1e-12);
+        // recall: items 0,1 -> 2/3; item 2 -> 1/3; item 3 -> 1/1 => (2/3+2/3+1/3+1)/4.
+        let expected = (2.0 / 3.0 + 2.0 / 3.0 + 1.0 / 3.0 + 1.0) / 4.0;
+        assert!((s.recall - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        let s = bcubed_scores(&[], &[]);
+        assert_eq!(s.f_measure, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn bounded_and_perfect_on_identity(
+            gold in proptest::collection::vec(0usize..4, 0..25),
+        ) {
+            let s = bcubed_scores(&gold, &gold);
+            prop_assert_eq!(s.f_measure, 1.0);
+        }
+
+        #[test]
+        fn scores_in_unit_interval(
+            gold in proptest::collection::vec(0usize..4, 1..25),
+            pred in proptest::collection::vec(0usize..4, 1..25),
+        ) {
+            let n = gold.len().min(pred.len());
+            let s = bcubed_scores(&gold[..n], &pred[..n]);
+            prop_assert!((0.0..=1.0).contains(&s.precision));
+            prop_assert!((0.0..=1.0).contains(&s.recall));
+            prop_assert!((0.0..=1.0).contains(&s.f_measure));
+        }
+
+        #[test]
+        fn splitting_never_hurts_precision(
+            gold in proptest::collection::vec(0usize..3, 2..20),
+        ) {
+            let pred: Vec<usize> = (0..gold.len()).collect();
+            let s = bcubed_scores(&gold, &pred);
+            prop_assert_eq!(s.precision, 1.0);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Cluster-vs-gold confusion analysis, used by the Fig. 5 style report:
+//! which predicted clusters map to which real entities, and where are the
+//! splits and merges?
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The contingency table between a gold clustering and a prediction.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Confusion {
+    /// `counts[(gold, pred)]` = number of items with that label pair.
+    counts: BTreeMap<(usize, usize), usize>,
+    gold_sizes: BTreeMap<usize, usize>,
+    pred_sizes: BTreeMap<usize, usize>,
+}
+
+impl Confusion {
+    /// Build from parallel label vectors.
+    ///
+    /// # Panics
+    /// Panics if the vectors differ in length.
+    pub fn from_labels(gold: &[usize], pred: &[usize]) -> Self {
+        assert_eq!(gold.len(), pred.len(), "label vectors must be parallel");
+        let mut c = Confusion::default();
+        for (&g, &p) in gold.iter().zip(pred) {
+            *c.counts.entry((g, p)).or_insert(0) += 1;
+            *c.gold_sizes.entry(g).or_insert(0) += 1;
+            *c.pred_sizes.entry(p).or_insert(0) += 1;
+        }
+        c
+    }
+
+    /// Number of items with gold label `g` and predicted label `p`.
+    pub fn count(&self, g: usize, p: usize) -> usize {
+        self.counts.get(&(g, p)).copied().unwrap_or(0)
+    }
+
+    /// Size of gold cluster `g`.
+    pub fn gold_size(&self, g: usize) -> usize {
+        self.gold_sizes.get(&g).copied().unwrap_or(0)
+    }
+
+    /// Size of predicted cluster `p`.
+    pub fn pred_size(&self, p: usize) -> usize {
+        self.pred_sizes.get(&p).copied().unwrap_or(0)
+    }
+
+    /// Gold labels present.
+    pub fn gold_labels(&self) -> Vec<usize> {
+        self.gold_sizes.keys().copied().collect()
+    }
+
+    /// Predicted labels present.
+    pub fn pred_labels(&self) -> Vec<usize> {
+        self.pred_sizes.keys().copied().collect()
+    }
+
+    /// Gold clusters split across more than one predicted cluster, with
+    /// the list of `(pred label, count)` fragments, largest first.
+    pub fn splits(&self) -> Vec<(usize, Vec<(usize, usize)>)> {
+        let mut out = Vec::new();
+        for &g in self.gold_sizes.keys() {
+            let mut frags: Vec<(usize, usize)> = self
+                .counts
+                .iter()
+                .filter(|((gg, _), _)| *gg == g)
+                .map(|((_, p), &n)| (*p, n))
+                .collect();
+            if frags.len() > 1 {
+                frags.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                out.push((g, frags));
+            }
+        }
+        out
+    }
+
+    /// Predicted clusters containing more than one gold entity, with the
+    /// list of `(gold label, count)` constituents, largest first.
+    pub fn merges(&self) -> Vec<(usize, Vec<(usize, usize)>)> {
+        let mut out = Vec::new();
+        for &p in self.pred_sizes.keys() {
+            let mut parts: Vec<(usize, usize)> = self
+                .counts
+                .iter()
+                .filter(|((_, pp), _)| *pp == p)
+                .map(|((g, _), &n)| (*g, n))
+                .collect();
+            if parts.len() > 1 {
+                parts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                out.push((p, parts));
+            }
+        }
+        out
+    }
+
+    /// Purity: fraction of items whose predicted cluster's majority gold
+    /// label matches their own.
+    pub fn purity(&self) -> f64 {
+        let total: usize = self.gold_sizes.values().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mut majority_sum = 0usize;
+        for &p in self.pred_sizes.keys() {
+            let best = self
+                .counts
+                .iter()
+                .filter(|((_, pp), _)| *pp == p)
+                .map(|(_, &n)| n)
+                .max()
+                .unwrap_or(0);
+            majority_sum += best;
+        }
+        majority_sum as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_sizes() {
+        let c = Confusion::from_labels(&[0, 0, 1, 1, 1], &[0, 1, 1, 1, 1]);
+        assert_eq!(c.count(0, 0), 1);
+        assert_eq!(c.count(0, 1), 1);
+        assert_eq!(c.count(1, 1), 3);
+        assert_eq!(c.gold_size(0), 2);
+        assert_eq!(c.gold_size(1), 3);
+        assert_eq!(c.pred_size(1), 4);
+        assert_eq!(c.gold_labels(), vec![0, 1]);
+        assert_eq!(c.pred_labels(), vec![0, 1]);
+    }
+
+    #[test]
+    fn splits_detected() {
+        // Gold 0 split across pred 0 (2 items) and pred 1 (1 item).
+        let c = Confusion::from_labels(&[0, 0, 0, 1], &[0, 0, 1, 2]);
+        let splits = c.splits();
+        assert_eq!(splits.len(), 1);
+        assert_eq!(splits[0].0, 0);
+        assert_eq!(splits[0].1, vec![(0, 2), (1, 1)]);
+    }
+
+    #[test]
+    fn merges_detected() {
+        // Pred 0 contains gold 0 (2) and gold 1 (1).
+        let c = Confusion::from_labels(&[0, 0, 1, 1], &[0, 0, 0, 1]);
+        let merges = c.merges();
+        assert_eq!(merges.len(), 1);
+        assert_eq!(merges[0].0, 0);
+        assert_eq!(merges[0].1, vec![(0, 2), (1, 1)]);
+    }
+
+    #[test]
+    fn perfect_prediction_has_no_splits_or_merges() {
+        let gold = vec![0, 0, 1, 2, 2];
+        let c = Confusion::from_labels(&gold, &gold);
+        assert!(c.splits().is_empty());
+        assert!(c.merges().is_empty());
+        assert_eq!(c.purity(), 1.0);
+    }
+
+    #[test]
+    fn purity_hand_computed() {
+        // pred 0 = {g0, g0, g1} majority 2; pred 1 = {g1} majority 1 => 3/4.
+        let c = Confusion::from_labels(&[0, 0, 1, 1], &[0, 0, 0, 1]);
+        assert!((c.purity() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = Confusion::from_labels(&[], &[]);
+        assert_eq!(c.purity(), 1.0);
+        assert!(c.splits().is_empty());
+        assert!(c.merges().is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! # eval — evaluation toolkit for object distinction experiments
+//!
+//! * [`PairCounts`] / [`pairwise_scores`] — the paper's §5 pairwise
+//!   precision / recall / f-measure over reference pairs;
+//! * [`bcubed_scores`] — B³ metrics as a per-item complement;
+//! * [`adjusted_rand_index`] — chance-corrected pairwise agreement;
+//! * [`Confusion`] — cluster-vs-gold contingency analysis (splits, merges,
+//!   purity) backing the Fig. 5 report;
+//! * [`Table`] — aligned ASCII tables so harness output mirrors the
+//!   paper's tables;
+//! * [`PhaseTimer`] — wall-clock phase timing for the §5 runtime numbers.
+
+#![warn(missing_docs)]
+
+pub mod bcubed;
+pub mod confusion;
+pub mod pairwise;
+pub mod rand_index;
+pub mod table;
+pub mod timing;
+
+pub use bcubed::bcubed_scores;
+pub use confusion::Confusion;
+pub use pairwise::{pairwise_scores, PairCounts, PrfScores};
+pub use rand_index::{adjusted_rand_index, rand_index};
+pub use table::{f3, f4, Align, Table};
+pub use timing::PhaseTimer;

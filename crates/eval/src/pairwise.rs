@@ -1,0 +1,284 @@
+//! Pairwise clustering metrics — exactly the paper's §5 definitions.
+//!
+//! Given the gold clustering `C*` and a predicted clustering `C`:
+//! *TP* counts reference pairs co-clustered in both, *FP* pairs
+//! co-clustered only in the prediction, *FN* pairs co-clustered only in
+//! the gold standard. Precision = TP/(TP+FP), recall = TP/(TP+FN),
+//! f-measure = their harmonic mean.
+
+use serde::{Deserialize, Serialize};
+
+/// Pair counts underlying the metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PairCounts {
+    /// Pairs together in both clusterings.
+    pub tp: u64,
+    /// Pairs together only in the prediction.
+    pub fp: u64,
+    /// Pairs together only in the gold standard.
+    pub fn_: u64,
+    /// Pairs apart in both clusterings.
+    pub tn: u64,
+}
+
+/// Precision / recall / f-measure triple.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrfScores {
+    /// TP / (TP + FP); 1.0 when the prediction makes no positive pairs.
+    pub precision: f64,
+    /// TP / (TP + FN); 1.0 when the gold standard has no positive pairs.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f_measure: f64,
+}
+
+impl PairCounts {
+    /// Count pairs from two parallel label vectors.
+    ///
+    /// `gold[i]` and `pred[i]` are the cluster labels of item `i`; label
+    /// values are arbitrary (only equality matters).
+    ///
+    /// # Panics
+    /// Panics if the vectors differ in length.
+    pub fn from_labels(gold: &[usize], pred: &[usize]) -> Self {
+        assert_eq!(gold.len(), pred.len(), "label vectors must be parallel");
+        let n = gold.len();
+        let mut counts = PairCounts::default();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let same_gold = gold[i] == gold[j];
+                let same_pred = pred[i] == pred[j];
+                match (same_gold, same_pred) {
+                    (true, true) => counts.tp += 1,
+                    (false, true) => counts.fp += 1,
+                    (true, false) => counts.fn_ += 1,
+                    (false, false) => counts.tn += 1,
+                }
+            }
+        }
+        counts
+    }
+
+    /// Accumulate another set of counts (for micro-averaging across names).
+    pub fn add(&mut self, other: PairCounts) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+        self.tn += other.tn;
+    }
+
+    /// Pairwise accuracy: fraction of reference pairs whose together/apart
+    /// decision matches the gold standard (the "accuracy" bar of Fig. 4).
+    /// 1.0 when there are no pairs at all.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.fn_ + self.tn;
+        if total == 0 {
+            1.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+
+    /// Derive precision / recall / f-measure.
+    ///
+    /// Empty denominators score 1.0 (a prediction that asserts no pairs
+    /// has perfect precision; a gold standard with no pairs is perfectly
+    /// recalled) — the standard convention so that singleton-only names do
+    /// not corrupt averages.
+    pub fn scores(&self) -> PrfScores {
+        let precision = if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        };
+        let recall = if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        };
+        let f_measure = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        PrfScores {
+            precision,
+            recall,
+            f_measure,
+        }
+    }
+}
+
+/// Convenience: scores straight from label vectors.
+pub fn pairwise_scores(gold: &[usize], pred: &[usize]) -> PrfScores {
+    PairCounts::from_labels(gold, pred).scores()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let gold = vec![0, 0, 1, 1, 2];
+        let s = pairwise_scores(&gold, &gold);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.f_measure, 1.0);
+    }
+
+    #[test]
+    fn label_values_do_not_matter() {
+        let gold = vec![0, 0, 1, 1];
+        let pred = vec![7, 7, 3, 3];
+        let s = pairwise_scores(&gold, &pred);
+        assert_eq!(s.f_measure, 1.0);
+    }
+
+    #[test]
+    fn all_merged_prediction_has_full_recall() {
+        let gold = vec![0, 0, 1, 1];
+        let pred = vec![0, 0, 0, 0];
+        let c = PairCounts::from_labels(&gold, &pred);
+        assert_eq!(
+            c,
+            PairCounts {
+                tp: 2,
+                fp: 4,
+                fn_: 0,
+                tn: 0
+            }
+        );
+        let s = c.scores();
+        assert_eq!(s.recall, 1.0);
+        assert!((s.precision - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_singletons_prediction_has_full_precision() {
+        let gold = vec![0, 0, 1, 1];
+        let pred = vec![0, 1, 2, 3];
+        let c = PairCounts::from_labels(&gold, &pred);
+        assert_eq!(
+            c,
+            PairCounts {
+                tp: 0,
+                fp: 0,
+                fn_: 2,
+                tn: 4
+            }
+        );
+        let s = c.scores();
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.f_measure, 0.0);
+    }
+
+    #[test]
+    fn split_one_gold_cluster_costs_recall_only() {
+        // One author's 4 refs split into two groups of 2 (the "Michael
+        // Wagner" failure mode): precision 1, recall = 2/6.
+        let gold = vec![0, 0, 0, 0];
+        let pred = vec![0, 0, 1, 1];
+        let s = pairwise_scores(&gold, &pred);
+        assert_eq!(s.precision, 1.0);
+        assert!((s.recall - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_mixed_case() {
+        let gold = vec![0, 0, 1, 1];
+        let pred = vec![0, 1, 1, 0];
+        // gold pairs: (0,1), (2,3). pred pairs: (0,3), (1,2).
+        let c = PairCounts::from_labels(&gold, &pred);
+        assert_eq!(
+            c,
+            PairCounts {
+                tp: 0,
+                fp: 2,
+                fn_: 2,
+                tn: 2
+            }
+        );
+    }
+
+    #[test]
+    fn accumulation_micro_averages() {
+        let mut total = PairCounts::from_labels(&[0, 0], &[0, 0]); // tp 1
+        total.add(PairCounts::from_labels(&[0, 1], &[0, 0])); // fp 1
+        assert_eq!(
+            total,
+            PairCounts {
+                tp: 1,
+                fp: 1,
+                fn_: 0,
+                tn: 0
+            }
+        );
+        let s = total.scores();
+        assert_eq!(s.precision, 0.5);
+        assert_eq!(s.recall, 1.0);
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let s = pairwise_scores(&[], &[]);
+        assert_eq!(s.f_measure, 1.0);
+        let s = pairwise_scores(&[0], &[0]);
+        assert_eq!(s.f_measure, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn mismatched_lengths_panic() {
+        pairwise_scores(&[0, 1], &[0]);
+    }
+
+    #[test]
+    fn accuracy_counts_both_decisions() {
+        // gold {0,1},{2,3}; pred {0,1},{2},{3}: tp 1, tn 4, fn 1, fp 0.
+        let c = PairCounts::from_labels(&[0, 0, 1, 1], &[0, 0, 1, 2]);
+        assert!((c.accuracy() - 5.0 / 6.0).abs() < 1e-12);
+        // Perfect prediction = accuracy 1.
+        let c = PairCounts::from_labels(&[0, 0, 1], &[0, 0, 1]);
+        assert_eq!(c.accuracy(), 1.0);
+        // No pairs at all.
+        assert_eq!(PairCounts::default().accuracy(), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn scores_are_in_unit_interval(
+            gold in proptest::collection::vec(0usize..4, 0..30),
+            pred_seed in proptest::collection::vec(0usize..4, 0..30),
+        ) {
+            let n = gold.len().min(pred_seed.len());
+            let s = pairwise_scores(&gold[..n], &pred_seed[..n]);
+            prop_assert!((0.0..=1.0).contains(&s.precision));
+            prop_assert!((0.0..=1.0).contains(&s.recall));
+            prop_assert!((0.0..=1.0).contains(&s.f_measure));
+            prop_assert!(s.f_measure <= s.precision.max(s.recall) + 1e-12);
+            prop_assert!(s.f_measure >= 0.0);
+        }
+
+        #[test]
+        fn identical_labelings_are_perfect(
+            gold in proptest::collection::vec(0usize..5, 1..40),
+        ) {
+            let s = pairwise_scores(&gold, &gold);
+            prop_assert_eq!(s.f_measure, 1.0);
+        }
+
+        #[test]
+        fn refining_prediction_keeps_precision_at_one(
+            gold in proptest::collection::vec(0usize..3, 2..30),
+        ) {
+            // A prediction that splits gold clusters further (here: every
+            // item alone) can never create a false positive.
+            let pred: Vec<usize> = (0..gold.len()).collect();
+            let c = PairCounts::from_labels(&gold, &pred);
+            prop_assert_eq!(c.fp, 0);
+        }
+    }
+}

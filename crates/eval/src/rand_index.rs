@@ -1,0 +1,117 @@
+//! Rand index and Adjusted Rand Index (ARI).
+//!
+//! The Rand index is the pairwise accuracy already exposed by
+//! [`PairCounts::accuracy`](crate::pairwise::PairCounts::accuracy); the
+//! *adjusted* form corrects it for chance agreement (Hubert & Arabie), so
+//! 0 means "no better than random labels" regardless of cluster-size
+//! skew — a useful complement when one entity holds most references.
+
+use crate::pairwise::PairCounts;
+
+/// Rand index: fraction of pairs on which the two clusterings agree.
+pub fn rand_index(gold: &[usize], pred: &[usize]) -> f64 {
+    PairCounts::from_labels(gold, pred).accuracy()
+}
+
+/// Adjusted Rand Index in `[-1, 1]`; 1 = identical partitions, ~0 =
+/// chance-level agreement.
+pub fn adjusted_rand_index(gold: &[usize], pred: &[usize]) -> f64 {
+    assert_eq!(gold.len(), pred.len(), "label vectors must be parallel");
+    let n = gold.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let c = PairCounts::from_labels(gold, pred);
+    // Pair-count formulation: a = TP, b = TN, and the expected index comes
+    // from the marginals (pairs together in gold / in pred).
+    let together_gold = (c.tp + c.fn_) as f64;
+    let together_pred = (c.tp + c.fp) as f64;
+    let total = (c.tp + c.fp + c.fn_ + c.tn) as f64;
+    let expected = together_gold * together_pred / total;
+    let max_index = 0.5 * (together_gold + together_pred);
+    let index = c.tp as f64;
+    if (max_index - expected).abs() < 1e-12 {
+        // Both partitions are all-singletons or all-one-cluster in a way
+        // that leaves no room above chance; identical partitions score 1.
+        return if gold_equivalent(gold, pred) {
+            1.0
+        } else {
+            0.0
+        };
+    }
+    (index - expected) / (max_index - expected)
+}
+
+/// True if two labelings induce the same partition.
+fn gold_equivalent(a: &[usize], b: &[usize]) -> bool {
+    let c = PairCounts::from_labels(a, b);
+    c.fp == 0 && c.fn_ == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let gold = vec![0, 0, 1, 1, 2];
+        assert_eq!(adjusted_rand_index(&gold, &gold), 1.0);
+        // Label permutation does not matter.
+        let renamed = vec![5, 5, 9, 9, 1];
+        assert_eq!(adjusted_rand_index(&gold, &renamed), 1.0);
+        assert_eq!(rand_index(&gold, &renamed), 1.0);
+    }
+
+    #[test]
+    fn hand_computed_example() {
+        // Classic example: gold {0,0,0,1,1,1}, pred {0,0,1,1,2,2}.
+        let gold = vec![0, 0, 0, 1, 1, 1];
+        let pred = vec![0, 0, 1, 1, 2, 2];
+        // TP pairs: (0,1), (4,5) -> 2. together_gold = 6, together_pred = 3.
+        // expected = 6*3/15 = 1.2; max = 4.5; ari = (2-1.2)/(4.5-1.2).
+        let ari = adjusted_rand_index(&gold, &pred);
+        assert!((ari - 0.8 / 3.3).abs() < 1e-12, "{ari}");
+    }
+
+    #[test]
+    fn chance_level_is_near_zero() {
+        // A prediction independent of gold hovers around ARI 0.
+        let gold: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        let pred: Vec<usize> = (0..40).map(|i| (i / 2) % 2).collect();
+        let ari = adjusted_rand_index(&gold, &pred);
+        assert!(ari.abs() < 0.2, "{ari}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(adjusted_rand_index(&[], &[]), 1.0);
+        assert_eq!(adjusted_rand_index(&[0], &[0]), 1.0);
+        // All singletons in both: identical partitions.
+        assert_eq!(adjusted_rand_index(&[0, 1, 2], &[2, 0, 1]), 1.0);
+        // All-merged gold vs all-singleton pred: no agreement possible
+        // above chance.
+        assert_eq!(adjusted_rand_index(&[0, 0, 0], &[0, 1, 2]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn ari_is_bounded_and_symmetric(
+            gold in proptest::collection::vec(0usize..4, 2..25),
+            pred in proptest::collection::vec(0usize..4, 2..25),
+        ) {
+            let n = gold.len().min(pred.len());
+            let (g, p) = (&gold[..n], &pred[..n]);
+            let ari = adjusted_rand_index(g, p);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&ari));
+            prop_assert!((ari - adjusted_rand_index(p, g)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn identical_is_always_one(
+            gold in proptest::collection::vec(0usize..5, 2..25),
+        ) {
+            prop_assert_eq!(adjusted_rand_index(&gold, &gold), 1.0);
+        }
+    }
+}

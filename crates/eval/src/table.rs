@@ -1,0 +1,174 @@
+//! Aligned ASCII tables for experiment output.
+//!
+//! Every experiment binary prints its table/figure through this module so
+//! the harness output visually matches the paper's tables.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (text).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Start a table with headers and per-column alignment.
+    ///
+    /// # Panics
+    /// Panics if `headers` and `aligns` differ in length.
+    pub fn new(headers: &[&str], aligns: &[Align]) -> Self {
+        assert_eq!(headers.len(), aligns.len(), "one alignment per header");
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            aligns: aligns.to_vec(),
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Attach a title printed above the table.
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Add a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(t);
+            out.push('\n');
+        }
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        let fmt_row = |cells: &[String], widths: &[usize], aligns: &[Align]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push('|');
+                }
+                let cell = &cells[i];
+                let pad = widths[i] - cell.len();
+                match aligns[i] {
+                    Align::Left => {
+                        line.push(' ');
+                        line.push_str(cell);
+                        line.push_str(&" ".repeat(pad + 1));
+                    }
+                    Align::Right => {
+                        line.push_str(&" ".repeat(pad + 1));
+                        line.push_str(cell);
+                        line.push(' ');
+                    }
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths, &vec![Align::Left; cols]));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths, &self.aligns));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with 3 decimal places (the paper's table precision).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a float with 4 decimal places.
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["Name", "#refs"], &[Align::Left, Align::Right]);
+        t.row(vec!["Wei Wang".into(), "141".into()]);
+        t.row(vec!["Hui Fang".into(), "9".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Name"));
+        assert!(lines[1].starts_with('-'));
+        // Right alignment: "9" ends at the same column as "141".
+        let col_141 = lines[2].rfind("141").unwrap() + 3;
+        let col_9 = lines[3].rfind('9').unwrap() + 1;
+        assert_eq!(col_141, col_9);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn title_is_printed_first() {
+        let t = Table::new(&["a"], &[Align::Left]).with_title("Table 1.");
+        assert!(t.render().starts_with("Table 1.\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_panics() {
+        let mut t = Table::new(&["a", "b"], &[Align::Left, Align::Left]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f3(0.83649), "0.836");
+        assert_eq!(f4(0.0005), "0.0005");
+        assert_eq!(f3(1.0), "1.000");
+    }
+}

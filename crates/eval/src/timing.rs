@@ -1,0 +1,90 @@
+//! Lightweight phase timing for the experiment harness (the paper reports
+//! wall-clock for training-set construction + SVM learning: 62.1 s at DBLP
+//! scale).
+
+use std::time::{Duration, Instant};
+
+/// Records named phases with wall-clock durations.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTimer {
+    phases: Vec<(String, Duration)>,
+}
+
+impl PhaseTimer {
+    /// A fresh timer.
+    pub fn new() -> Self {
+        PhaseTimer::default()
+    }
+
+    /// Time a closure as a named phase, returning its output.
+    pub fn time<T>(&mut self, name: impl Into<String>, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.phases.push((name.into(), start.elapsed()));
+        out
+    }
+
+    /// Record a duration measured elsewhere.
+    pub fn record(&mut self, name: impl Into<String>, d: Duration) {
+        self.phases.push((name.into(), d));
+    }
+
+    /// All recorded phases, in order.
+    pub fn phases(&self) -> &[(String, Duration)] {
+        &self.phases
+    }
+
+    /// Total of all phases.
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Duration of a named phase (first match).
+    pub fn get(&self, name: &str) -> Option<Duration> {
+        self.phases.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
+    }
+
+    /// Render as `name: seconds` lines.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        for (name, d) in &self.phases {
+            out.push_str(&format!("{name}: {:.3} s\n", d.as_secs_f64()));
+        }
+        out.push_str(&format!("total: {:.3} s\n", self.total().as_secs_f64()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_records_phase_and_returns_output() {
+        let mut t = PhaseTimer::new();
+        let v = t.time("phase-a", || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(t.phases().len(), 1);
+        assert!(t.get("phase-a").is_some());
+        assert!(t.get("missing").is_none());
+    }
+
+    #[test]
+    fn record_and_total() {
+        let mut t = PhaseTimer::new();
+        t.record("x", Duration::from_millis(10));
+        t.record("y", Duration::from_millis(20));
+        assert_eq!(t.total(), Duration::from_millis(30));
+    }
+
+    #[test]
+    fn report_contains_all_phases() {
+        let mut t = PhaseTimer::new();
+        t.record("build", Duration::from_millis(5));
+        t.record("train", Duration::from_millis(7));
+        let r = t.report();
+        assert!(r.contains("build:"));
+        assert!(r.contains("train:"));
+        assert!(r.contains("total:"));
+    }
+}

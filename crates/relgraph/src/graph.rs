@@ -1,0 +1,287 @@
+//! Compact linkage graph over a finalized catalog.
+//!
+//! Probability propagation visits foreign-key neighborhoods millions of
+//! times; hash lookups in the catalog's indexes would dominate. The
+//! [`LinkGraph`] flattens every tuple into a dense `u32` node id and stores
+//! each foreign-key edge's adjacency in CSR (compressed sparse row) form,
+//! one forward table and one backward table per edge, so a traversal step
+//! is a slice lookup.
+
+use relstore::{Catalog, Direction, FkId, JoinStep, RelId, TupleId, TupleRef};
+
+/// Dense node id: a tuple's position in the flattened catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// CSR adjacency: `targets[offsets[i]..offsets[i+1]]` are node `i`'s
+/// neighbors, where `i` is the tuple id *within the edge's source relation*.
+#[derive(Debug, Clone, Default)]
+struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+}
+
+impl Csr {
+    fn neighbors(&self, local: usize) -> &[NodeId] {
+        let lo = self.offsets[local] as usize;
+        let hi = self.offsets[local + 1] as usize;
+        &self.targets[lo..hi]
+    }
+}
+
+/// Flattened, immutable linkage graph for fast join-path traversal.
+#[derive(Debug, Clone)]
+pub struct LinkGraph {
+    /// Offset of each relation's tuples in the global node id space; one
+    /// extra entry holds the total node count.
+    base: Vec<u32>,
+    /// Per FK edge: forward adjacency (source relation local id -> 0/1 target).
+    forward: Vec<Csr>,
+    /// Per FK edge: backward adjacency (target relation local id -> referrers).
+    backward: Vec<Csr>,
+}
+
+impl LinkGraph {
+    /// Build the graph from a finalized catalog.
+    ///
+    /// # Panics
+    /// Panics if the catalog is not finalized (edges would be stale).
+    pub fn build(catalog: &Catalog) -> Self {
+        assert!(
+            catalog.is_finalized(),
+            "LinkGraph::build requires a finalized catalog"
+        );
+        let mut base = Vec::with_capacity(catalog.relation_count() + 1);
+        let mut total = 0u32;
+        for (_, rel) in catalog.relations() {
+            base.push(total);
+            total += rel.len() as u32;
+        }
+        base.push(total);
+
+        let global = |t: TupleRef| NodeId(base[t.rel.index()] + t.tid.0);
+
+        let mut forward = Vec::with_capacity(catalog.fk_edges().len());
+        let mut backward = Vec::with_capacity(catalog.fk_edges().len());
+        for edge in catalog.fk_edges() {
+            // Forward: each tuple of `from` points to <= 1 tuple of `to`.
+            let from_rel = catalog.relation(edge.from);
+            let mut f = Csr {
+                offsets: Vec::with_capacity(from_rel.len() + 1),
+                targets: Vec::new(),
+            };
+            f.offsets.push(0);
+            for (tid, _) in from_rel.iter() {
+                if let Some(t) = catalog.follow_forward(edge.id, TupleRef::new(edge.from, tid)) {
+                    f.targets.push(global(t));
+                }
+                f.offsets.push(f.targets.len() as u32);
+            }
+            // Backward: each tuple of `to` points to all referrers in `from`.
+            let to_rel = catalog.relation(edge.to);
+            let mut b = Csr {
+                offsets: Vec::with_capacity(to_rel.len() + 1),
+                targets: Vec::new(),
+            };
+            b.offsets.push(0);
+            for (tid, _) in to_rel.iter() {
+                for t in catalog.follow_backward(edge.id, TupleRef::new(edge.to, tid)) {
+                    b.targets.push(global(t));
+                }
+                b.offsets.push(b.targets.len() as u32);
+            }
+            forward.push(f);
+            backward.push(b);
+        }
+        LinkGraph {
+            base,
+            forward,
+            backward,
+        }
+    }
+
+    /// Total number of nodes (tuples across all relations).
+    pub fn node_count(&self) -> usize {
+        *self.base.last().unwrap_or(&0) as usize
+    }
+
+    /// Map a tuple to its dense node id.
+    #[inline]
+    pub fn node(&self, t: TupleRef) -> NodeId {
+        NodeId(self.base[t.rel.index()] + t.tid.0)
+    }
+
+    /// Map a node id back to its tuple.
+    pub fn tuple(&self, n: NodeId) -> TupleRef {
+        // base is sorted; partition_point finds the relation.
+        let rel = self.base.partition_point(|&b| b <= n.0) - 1;
+        TupleRef::new(RelId(rel as u32), TupleId(n.0 - self.base[rel]))
+    }
+
+    /// Local (within-relation) index of a node, given its relation.
+    #[inline]
+    fn local(&self, n: NodeId, rel: RelId) -> usize {
+        (n.0 - self.base[rel.index()]) as usize
+    }
+
+    /// Neighbors of `n` along one join step. `src_rel` must be the step's
+    /// source relation (i.e. the relation `n` belongs to).
+    #[inline]
+    pub fn step_neighbors(&self, step: JoinStep, n: NodeId, src_rel: RelId) -> &[NodeId] {
+        let local = self.local(n, src_rel);
+        match step.dir {
+            Direction::Forward => self.forward[step.fk.index()].neighbors(local),
+            Direction::Backward => self.backward[step.fk.index()].neighbors(local),
+        }
+    }
+
+    /// Fanout of `n` along one join step.
+    #[inline]
+    pub fn step_fanout(&self, step: JoinStep, n: NodeId, src_rel: RelId) -> usize {
+        self.step_neighbors(step, n, src_rel).len()
+    }
+
+    /// Memory the adjacency tables occupy, in bytes (diagnostics).
+    pub fn adjacency_bytes(&self) -> usize {
+        let csr = |c: &Csr| c.offsets.len() * 4 + c.targets.len() * 4;
+        self.forward.iter().map(csr).sum::<usize>() + self.backward.iter().map(csr).sum::<usize>()
+    }
+
+    /// Check that an edge id is valid for this graph.
+    pub fn edge_count(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Does this graph know the given FK edge?
+    pub fn has_edge(&self, fk: FkId) -> bool {
+        fk.index() < self.forward.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::{AttrType, SchemaBuilder, Value};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation(
+            SchemaBuilder::new("Authors")
+                .key("a", AttrType::Str)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        c.add_relation(
+            SchemaBuilder::new("Papers")
+                .key("p", AttrType::Int)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        c.add_relation(
+            SchemaBuilder::new("Publish")
+                .fk("a", AttrType::Str, "Authors")
+                .fk("p", AttrType::Int, "Papers")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for a in ["x", "y"] {
+            c.insert("Authors", [Value::str(a)].into()).unwrap();
+        }
+        for p in 1..=3 {
+            c.insert("Papers", [Value::Int(p)].into()).unwrap();
+        }
+        c.insert("Publish", [Value::str("x"), Value::Int(1)].into())
+            .unwrap();
+        c.insert("Publish", [Value::str("y"), Value::Int(1)].into())
+            .unwrap();
+        c.insert("Publish", [Value::str("x"), Value::Int(2)].into())
+            .unwrap();
+        c.insert("Publish", [Value::str("x"), Value::Int(3)].into())
+            .unwrap();
+        c.finalize(true).unwrap();
+        c
+    }
+
+    #[test]
+    #[should_panic(expected = "finalized")]
+    fn unfinalized_catalog_panics() {
+        let mut c = catalog();
+        c.insert("Papers", [Value::Int(9)].into()).unwrap();
+        let _ = LinkGraph::build(&c);
+    }
+
+    #[test]
+    fn node_ids_round_trip() {
+        let c = catalog();
+        let g = LinkGraph::build(&c);
+        assert_eq!(g.node_count(), 2 + 3 + 4);
+        for (rid, rel) in c.relations() {
+            for (tid, _) in rel.iter() {
+                let t = TupleRef::new(rid, tid);
+                assert_eq!(g.tuple(g.node(t)), t);
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_matches_catalog() {
+        let c = catalog();
+        let g = LinkGraph::build(&c);
+        let publish = c.relation_id("Publish").unwrap();
+        let papers = c.relation_id("Papers").unwrap();
+        let fk_p = c
+            .fk_edges()
+            .iter()
+            .find(|e| e.label == "Publish.p->Papers")
+            .unwrap()
+            .id;
+
+        // Forward from each publish tuple: 1 paper.
+        for (tid, _) in c.relation(publish).iter() {
+            let t = TupleRef::new(publish, tid);
+            let expected: Vec<NodeId> = c
+                .follow_forward(fk_p, t)
+                .into_iter()
+                .map(|x| g.node(x))
+                .collect();
+            let got = g.step_neighbors(JoinStep::forward(fk_p), g.node(t), publish);
+            assert_eq!(got, expected.as_slice());
+        }
+        // Backward from paper 1: two publish records.
+        let p1 = TupleRef::new(papers, c.relation(papers).by_key(&Value::Int(1)).unwrap());
+        let back = g.step_neighbors(JoinStep::backward(fk_p), g.node(p1), papers);
+        assert_eq!(back.len(), 2);
+        assert_eq!(
+            g.step_fanout(JoinStep::backward(fk_p), g.node(p1), papers),
+            2
+        );
+        // Paper 3 has one record, paper key space is dense.
+        let p3 = TupleRef::new(papers, c.relation(papers).by_key(&Value::Int(3)).unwrap());
+        assert_eq!(
+            g.step_fanout(JoinStep::backward(fk_p), g.node(p3), papers),
+            1
+        );
+    }
+
+    #[test]
+    fn edge_bookkeeping() {
+        let c = catalog();
+        let g = LinkGraph::build(&c);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(FkId(0)));
+        assert!(g.has_edge(FkId(1)));
+        assert!(!g.has_edge(FkId(2)));
+        assert!(g.adjacency_bytes() > 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Weighted neighbor-tuple sets and the weighted Jaccard resemblance.
+//!
+//! The forward probabilities of a [`Propagation`](crate::Propagation) form
+//! a weighted set of neighbor tuples; Definition 2 of the paper compares
+//! two such sets with a connection-strength-weighted Jaccard coefficient:
+//!
+//! ```text
+//!                Σ_{t ∈ A ∩ B} min(w_A(t), w_B(t))
+//! Resem(A, B) = -----------------------------------
+//!                Σ_{t ∈ A ∪ B} max(w_A(t), w_B(t))
+//! ```
+
+use crate::graph::NodeId;
+use relstore::FxHashMap;
+
+/// A weighted set of nodes (neighbor tuples with connection strengths).
+#[derive(Debug, Clone, Default)]
+pub struct WeightedSet {
+    weights: FxHashMap<NodeId, f64>,
+}
+
+impl WeightedSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        WeightedSet::default()
+    }
+
+    /// Build from a map of node weights; non-positive weights are dropped.
+    pub fn from_map(weights: FxHashMap<NodeId, f64>) -> Self {
+        let mut w = weights;
+        w.retain(|_, v| *v > 0.0);
+        WeightedSet { weights: w }
+    }
+
+    /// Build from `(node, weight)` pairs, summing duplicates.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (NodeId, f64)>) -> Self {
+        let mut w: FxHashMap<NodeId, f64> = FxHashMap::default();
+        for (n, v) in pairs {
+            *w.entry(n).or_insert(0.0) += v;
+        }
+        Self::from_map(w)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Weight of a node (0 when absent).
+    pub fn weight(&self, n: NodeId) -> f64 {
+        self.weights.get(&n).copied().unwrap_or(0.0)
+    }
+
+    /// Iterate `(node, weight)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.weights.iter().map(|(&n, &w)| (n, w))
+    }
+
+    /// Sum of all weights.
+    pub fn total(&self) -> f64 {
+        self.weights.values().sum()
+    }
+
+    /// Scale every weight by `factor` (used when averaging cluster members).
+    pub fn scale(&mut self, factor: f64) {
+        for v in self.weights.values_mut() {
+            *v *= factor;
+        }
+    }
+
+    /// Merge another set into this one, summing weights.
+    pub fn merge(&mut self, other: &WeightedSet) {
+        for (n, w) in other.iter() {
+            *self.weights.entry(n).or_insert(0.0) += w;
+        }
+    }
+
+    /// Weighted Jaccard resemblance of Definition 2.
+    ///
+    /// Returns 0 when either set is empty (no shared context — the paper's
+    /// convention for references with no neighbors along a path).
+    ///
+    /// ```
+    /// use relgraph::{NodeId, WeightedSet};
+    /// let a: WeightedSet = [(NodeId(1), 0.5), (NodeId(2), 0.5)].into_iter().collect();
+    /// let b: WeightedSet = [(NodeId(2), 0.25), (NodeId(3), 0.75)].into_iter().collect();
+    /// // Σ min over ∩ = 0.25; Σ max over ∪ = 0.5 + 0.5 + 0.75 = 1.75.
+    /// assert!((a.resemblance(&b) - 0.25 / 1.75).abs() < 1e-12);
+    /// ```
+    pub fn resemblance(&self, other: &WeightedSet) -> f64 {
+        if self.is_empty() || other.is_empty() {
+            return 0.0;
+        }
+        // Iterate over the smaller set for the intersection.
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut num = 0.0; // Σ min over intersection
+        for (n, w) in small.iter() {
+            let v = large.weight(n);
+            if v > 0.0 {
+                num += w.min(v);
+            }
+        }
+        // Σ max over the union = total_A + total_B − Σ min over the
+        // intersection (min + max = w_A + w_B pointwise on the intersection).
+        let den = self.total() + other.total() - num;
+        debug_assert!(den >= num - 1e-12);
+        if den <= 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+
+    /// Unweighted Jaccard (|A ∩ B| / |A ∪ B|) — the ablation baseline that
+    /// ignores connection strengths.
+    pub fn jaccard_unweighted(&self, other: &WeightedSet) -> f64 {
+        if self.is_empty() || other.is_empty() {
+            return 0.0;
+        }
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let inter = small.iter().filter(|(n, _)| large.weight(*n) > 0.0).count();
+        let union = self.len() + other.len() - inter;
+        inter as f64 / union as f64
+    }
+}
+
+impl FromIterator<(NodeId, f64)> for WeightedSet {
+    fn from_iter<T: IntoIterator<Item = (NodeId, f64)>>(iter: T) -> Self {
+        Self::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn set(pairs: &[(u32, f64)]) -> WeightedSet {
+        pairs.iter().map(|&(n, w)| (NodeId(n), w)).collect()
+    }
+
+    #[test]
+    fn construction_drops_nonpositive_and_sums_duplicates() {
+        let s = set(&[(1, 0.5), (1, 0.25), (2, 0.0), (3, -1.0)]);
+        assert_eq!(s.len(), 1);
+        assert!((s.weight(NodeId(1)) - 0.75).abs() < 1e-12);
+        assert_eq!(s.weight(NodeId(2)), 0.0);
+    }
+
+    #[test]
+    fn identical_sets_have_resemblance_one() {
+        let s = set(&[(1, 0.3), (2, 0.7)]);
+        assert!((s.resemblance(&s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_sets_have_resemblance_zero() {
+        let a = set(&[(1, 0.5)]);
+        let b = set(&[(2, 0.5)]);
+        assert_eq!(a.resemblance(&b), 0.0);
+    }
+
+    #[test]
+    fn empty_set_convention() {
+        let a = WeightedSet::new();
+        let b = set(&[(1, 1.0)]);
+        assert_eq!(a.resemblance(&b), 0.0);
+        assert_eq!(b.resemblance(&a), 0.0);
+        assert_eq!(a.resemblance(&a), 0.0);
+        assert_eq!(a.jaccard_unweighted(&b), 0.0);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn hand_computed_resemblance() {
+        // A = {1: .5, 2: .5}, B = {2: .25, 3: .75}
+        // Σ min over ∩ = min(.5,.25) = .25
+        // Σ max over ∪ = .5 (1) + max(.5,.25)=.5 (2) + .75 (3) = 1.75
+        let a = set(&[(1, 0.5), (2, 0.5)]);
+        let b = set(&[(2, 0.25), (3, 0.75)]);
+        let r = a.resemblance(&b);
+        assert!((r - 0.25 / 1.75).abs() < 1e-12, "{r}");
+        // Symmetric.
+        assert!((b.resemblance(&a) - r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unweighted_jaccard_hand_computed() {
+        let a = set(&[(1, 0.9), (2, 0.1)]);
+        let b = set(&[(2, 0.5), (3, 0.5)]);
+        assert!((a.jaccard_unweighted(&b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let mut a = set(&[(1, 0.5)]);
+        let b = set(&[(1, 0.5), (2, 1.0)]);
+        a.merge(&b);
+        assert!((a.weight(NodeId(1)) - 1.0).abs() < 1e-12);
+        assert!((a.total() - 2.0).abs() < 1e-12);
+        a.scale(0.5);
+        assert!((a.total() - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn resemblance_is_symmetric_and_bounded(
+            xs in proptest::collection::vec((0u32..20, 0.01f64..1.0), 0..15),
+            ys in proptest::collection::vec((0u32..20, 0.01f64..1.0), 0..15),
+        ) {
+            let a = set(&xs);
+            let b = set(&ys);
+            let r1 = a.resemblance(&b);
+            let r2 = b.resemblance(&a);
+            prop_assert!((r1 - r2).abs() < 1e-9);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&r1));
+        }
+
+        #[test]
+        fn self_resemblance_is_one_for_nonempty(
+            xs in proptest::collection::vec((0u32..20, 0.01f64..1.0), 1..15),
+        ) {
+            let a = set(&xs);
+            prop_assert!((a.resemblance(&a) - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn unweighted_bounded_and_symmetric(
+            xs in proptest::collection::vec((0u32..20, 0.01f64..1.0), 0..15),
+            ys in proptest::collection::vec((0u32..20, 0.01f64..1.0), 0..15),
+        ) {
+            let a = set(&xs);
+            let b = set(&ys);
+            let j = a.jaccard_unweighted(&b);
+            prop_assert!((j - b.jaccard_unweighted(&a)).abs() < 1e-12);
+            prop_assert!((0.0..=1.0).contains(&j));
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Random-walk probabilities between references (paper §2.4).
+//!
+//! The linkage strength between two references along a join path `P` is
+//! the probability of walking from one to the other: out along `P` and
+//! back along its reverse. Because [`propagate()`](crate::propagate()) already
+//! yields, for each reference `r`, both `Prob_P(r → t)` and
+//! `Prob_P(t → r)` over the path's end relation, the walk probability is a
+//! simple combination — the "combine such probabilities" optimization the
+//! paper describes instead of walking long concatenated paths:
+//!
+//! ```text
+//! Walk_P(r1 → r2) = Σ_t  Prob_P(r1 → t) · Prob_P(t → r2)
+//! ```
+//!
+//! We report the symmetrized value `(Walk_P(r1→r2) + Walk_P(r2→r1)) / 2`.
+
+use crate::propagate::Propagation;
+
+/// Directed walk probability `Walk_P(a → b)`: leave `a` forward along the
+/// path, return to `b` along the reverse path.
+pub fn directed_walk(a: &Propagation, b: &Propagation) -> f64 {
+    // Iterate over the smaller support.
+    if a.forward.len() <= b.backward.len() {
+        a.forward
+            .iter()
+            .map(|(n, &fa)| fa * b.backward.get(n).copied().unwrap_or(0.0))
+            .sum()
+    } else {
+        b.backward
+            .iter()
+            .map(|(n, &bb)| bb * a.forward.get(n).copied().unwrap_or(0.0))
+            .sum()
+    }
+}
+
+/// Symmetrized walk probability between two references along one path.
+pub fn walk_probability(a: &Propagation, b: &Propagation) -> f64 {
+    0.5 * (directed_walk(a, b) + directed_walk(b, a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{LinkGraph, NodeId};
+    use crate::propagate::propagate;
+    use relstore::{
+        AttrType, Catalog, FxHashMap, JoinPath, JoinStep, SchemaBuilder, TupleId, TupleRef, Value,
+    };
+
+    fn prop(fwd: &[(u32, f64)], bwd: &[(u32, f64)]) -> Propagation {
+        let mut f: FxHashMap<NodeId, f64> = FxHashMap::default();
+        for &(n, w) in fwd {
+            f.insert(NodeId(n), w);
+        }
+        let mut b: FxHashMap<NodeId, f64> = FxHashMap::default();
+        for &(n, w) in bwd {
+            b.insert(NodeId(n), w);
+        }
+        Propagation {
+            forward: f,
+            backward: b,
+        }
+    }
+
+    #[test]
+    fn directed_walk_hand_computed() {
+        let a = prop(&[(1, 0.5), (2, 0.5)], &[(1, 0.2), (2, 0.3)]);
+        let b = prop(&[(2, 1.0)], &[(2, 0.4)]);
+        // a→b: f_a(2) * b_b(2) = 0.5 * 0.4 = 0.2 (node 1 not in b's support).
+        assert!((directed_walk(&a, &b) - 0.2).abs() < 1e-12);
+        // b→a: f_b(2) * b_a(2) = 1.0 * 0.3 = 0.3.
+        assert!((directed_walk(&b, &a) - 0.3).abs() < 1e-12);
+        assert!((walk_probability(&a, &b) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_supports_walk_zero() {
+        let a = prop(&[(1, 1.0)], &[(1, 1.0)]);
+        let b = prop(&[(2, 1.0)], &[(2, 1.0)]);
+        assert_eq!(walk_probability(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn walk_probability_is_symmetric() {
+        let a = prop(&[(1, 0.4), (3, 0.6)], &[(1, 0.5), (3, 0.1)]);
+        let b = prop(&[(1, 0.9), (2, 0.1)], &[(1, 0.7), (2, 0.2)]);
+        assert!((walk_probability(&a, &b) - walk_probability(&b, &a)).abs() < 1e-15);
+    }
+
+    /// End-to-end: walk probabilities computed from real propagations over
+    /// a shared-paper graph behave as the paper intends — references that
+    /// share a paper have a much higher walk probability than references
+    /// merely sharing a venue-sized neighborhood.
+    #[test]
+    fn end_to_end_shared_paper_beats_unrelated() {
+        let mut c = Catalog::new();
+        c.add_relation(
+            SchemaBuilder::new("Papers")
+                .key("p", AttrType::Int)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        c.add_relation(
+            SchemaBuilder::new("Publish")
+                .fk("p", AttrType::Int, "Papers")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for p in 1..=2 {
+            c.insert("Papers", [Value::Int(p)].into()).unwrap();
+        }
+        // Records 0,1 share paper 1; record 2 is alone on paper 2.
+        for p in [1, 1, 2] {
+            c.insert("Publish", [Value::Int(p)].into()).unwrap();
+        }
+        c.finalize(true).unwrap();
+        let g = LinkGraph::build(&c);
+        let publish = c.relation_id("Publish").unwrap();
+        let fk = c.fk_edges()[0].id;
+        let path = JoinPath::new(publish, vec![JoinStep::forward(fk)], &c).unwrap();
+        let p0 = propagate(&g, &c, &path, TupleRef::new(publish, TupleId(0)));
+        let p1 = propagate(&g, &c, &path, TupleRef::new(publish, TupleId(1)));
+        let p2 = propagate(&g, &c, &path, TupleRef::new(publish, TupleId(2)));
+        let same = walk_probability(&p0, &p1);
+        let diff = walk_probability(&p0, &p2);
+        // Shared paper: 1 * 1/2 both ways = 0.5. Unrelated: 0.
+        assert!((same - 0.5).abs() < 1e-12);
+        assert_eq!(diff, 0.0);
+    }
+
+    #[test]
+    fn self_walk_reflects_fanout() {
+        // A reference's walk probability to itself along a path equals the
+        // chance of returning to itself — 1/|paper records|.
+        let mut c = Catalog::new();
+        c.add_relation(
+            SchemaBuilder::new("Papers")
+                .key("p", AttrType::Int)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        c.add_relation(
+            SchemaBuilder::new("Publish")
+                .fk("p", AttrType::Int, "Papers")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        c.insert("Papers", [Value::Int(1)].into()).unwrap();
+        for _ in 0..4 {
+            c.insert("Publish", [Value::Int(1)].into()).unwrap();
+        }
+        c.finalize(true).unwrap();
+        let g = LinkGraph::build(&c);
+        let publish = c.relation_id("Publish").unwrap();
+        let fk = c.fk_edges()[0].id;
+        let path = JoinPath::new(publish, vec![JoinStep::forward(fk)], &c).unwrap();
+        let p = propagate(&g, &c, &path, TupleRef::new(publish, TupleId(0)));
+        assert!((walk_probability(&p, &p) - 0.25).abs() < 1e-12);
+    }
+}

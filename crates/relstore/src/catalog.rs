@@ -1,0 +1,484 @@
+//! The catalog: a named collection of relations linked by foreign keys.
+//!
+//! The catalog is the unit the rest of the system operates on. After all
+//! relations are registered and populated, call [`Catalog::finalize`]: it
+//! resolves foreign-key targets, builds the reverse foreign-key indexes
+//! required for join-path traversal, and (optionally) checks referential
+//! integrity.
+
+use crate::error::{Result, StoreError};
+use crate::fxhash::FxHashMap;
+use crate::relation::Relation;
+use crate::schema::RelationSchema;
+use crate::tuple::{RelId, Tuple, TupleRef};
+use crate::value::Value;
+use std::fmt;
+
+/// Identifier of a foreign-key edge within a catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FkId(pub u32);
+
+impl FkId {
+    /// The id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A resolved foreign-key edge: `from.attr` references the key of `to`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FkEdge {
+    /// Edge id.
+    pub id: FkId,
+    /// Referencing relation.
+    pub from: RelId,
+    /// Attribute position in `from` carrying the foreign key.
+    pub attr: usize,
+    /// Referenced relation (must declare a key).
+    pub to: RelId,
+    /// Key attribute position in `to`.
+    pub to_key: usize,
+    /// Human-readable label, e.g. `Publish.paper_key->Publications`.
+    pub label: String,
+}
+
+/// A populated, linked relational database.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    relations: Vec<Relation>,
+    by_name: FxHashMap<String, RelId>,
+    fks: Vec<FkEdge>,
+    /// Outgoing FK edge ids per relation.
+    out_edges: Vec<Vec<FkId>>,
+    /// Incoming FK edge ids per relation.
+    in_edges: Vec<Vec<FkId>>,
+    finalized: bool,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a relation schema, returning the relation id.
+    pub fn add_relation(&mut self, schema: RelationSchema) -> Result<RelId> {
+        if self.by_name.contains_key(&schema.name) {
+            return Err(StoreError::DuplicateRelation(schema.name));
+        }
+        let id = RelId(self.relations.len() as u32);
+        self.by_name.insert(schema.name.clone(), id);
+        self.relations.push(Relation::new(schema));
+        self.out_edges.push(Vec::new());
+        self.in_edges.push(Vec::new());
+        self.finalized = false;
+        Ok(id)
+    }
+
+    /// Number of relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn tuple_count(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// Resolve a relation by name.
+    pub fn relation_id(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The relation with the given id.
+    pub fn relation(&self, id: RelId) -> &Relation {
+        &self.relations[id.index()]
+    }
+
+    /// Mutable access to a relation (invalidates finalization).
+    pub fn relation_mut(&mut self, id: RelId) -> &mut Relation {
+        self.finalized = false;
+        &mut self.relations[id.index()]
+    }
+
+    /// Iterate over relations with their ids.
+    pub fn relations(&self) -> impl Iterator<Item = (RelId, &Relation)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelId(i as u32), r))
+    }
+
+    /// Insert a tuple into the named relation.
+    pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<TupleRef> {
+        let rel = self
+            .relation_id(relation)
+            .ok_or_else(|| StoreError::UnknownRelation(relation.to_string()))?;
+        self.finalized = false;
+        let tid = self.relations[rel.index()].insert(tuple)?;
+        Ok(TupleRef::new(rel, tid))
+    }
+
+    /// Resolve foreign keys, build reverse FK indexes, and optionally verify
+    /// referential integrity (`check_integrity`).
+    ///
+    /// Must be called after loading and before traversal; it is idempotent.
+    pub fn finalize(&mut self, check_integrity: bool) -> Result<()> {
+        self.fks.clear();
+        for edges in self.out_edges.iter_mut().chain(self.in_edges.iter_mut()) {
+            edges.clear();
+        }
+        // Resolve FK declarations into edges.
+        let mut resolved: Vec<(RelId, usize, RelId, usize, String)> = Vec::new();
+        for (rid, rel) in self.relations.iter().enumerate() {
+            let rid = RelId(rid as u32);
+            let fk_list: Vec<(usize, String)> = rel
+                .schema()
+                .foreign_keys()
+                .map(|(a, t)| (a, t.to_string()))
+                .collect();
+            for (attr, target) in fk_list {
+                let to =
+                    self.relation_id(&target)
+                        .ok_or_else(|| StoreError::InvalidForeignKey {
+                            relation: rel.name().to_string(),
+                            attribute: rel.schema().attributes[attr].name.clone(),
+                            reason: format!("target relation `{target}` does not exist"),
+                        })?;
+                let to_key = self.relations[to.index()]
+                    .schema()
+                    .key_index()
+                    .ok_or_else(|| StoreError::InvalidForeignKey {
+                        relation: rel.name().to_string(),
+                        attribute: rel.schema().attributes[attr].name.clone(),
+                        reason: format!("target relation `{target}` declares no key"),
+                    })?;
+                let label = format!(
+                    "{}.{}->{}",
+                    rel.name(),
+                    rel.schema().attributes[attr].name,
+                    target
+                );
+                resolved.push((rid, attr, to, to_key, label));
+            }
+        }
+        for (from, attr, to, to_key, label) in resolved {
+            let id = FkId(self.fks.len() as u32);
+            self.fks.push(FkEdge {
+                id,
+                from,
+                attr,
+                to,
+                to_key,
+                label,
+            });
+            self.out_edges[from.index()].push(id);
+            self.in_edges[to.index()].push(id);
+            // Reverse traversal (target -> referrers) needs an index on the
+            // FK attribute of the referencing relation.
+            if !self.relations[from.index()].has_index(attr) {
+                self.relations[from.index()].build_index(attr);
+            }
+        }
+        if check_integrity {
+            for fk in &self.fks {
+                let from_rel = &self.relations[fk.from.index()];
+                let to_rel = &self.relations[fk.to.index()];
+                for (_, t) in from_rel.iter() {
+                    let v = t.get(fk.attr);
+                    if !v.is_null() && to_rel.by_key(v).is_none() {
+                        return Err(StoreError::DanglingForeignKey {
+                            relation: from_rel.name().to_string(),
+                            attribute: from_rel.schema().attributes[fk.attr].name.clone(),
+                            value: v.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        self.finalized = true;
+        Ok(())
+    }
+
+    /// True once [`Catalog::finalize`] has run since the last mutation.
+    pub fn is_finalized(&self) -> bool {
+        self.finalized
+    }
+
+    /// All foreign-key edges.
+    pub fn fk_edges(&self) -> &[FkEdge] {
+        &self.fks
+    }
+
+    /// The edge with the given id.
+    pub fn fk(&self, id: FkId) -> &FkEdge {
+        &self.fks[id.index()]
+    }
+
+    /// FK edges leaving `rel` (rel is the referencing side).
+    pub fn out_edges(&self, rel: RelId) -> &[FkId] {
+        &self.out_edges[rel.index()]
+    }
+
+    /// FK edges entering `rel` (rel is the referenced side).
+    pub fn in_edges(&self, rel: RelId) -> &[FkId] {
+        &self.in_edges[rel.index()]
+    }
+
+    /// Follow edge `fk` forward from a tuple of the referencing relation:
+    /// the single target tuple whose key equals the FK value (if any).
+    pub fn follow_forward(&self, fk: FkId, t: TupleRef) -> Option<TupleRef> {
+        let edge = self.fk(fk);
+        debug_assert_eq!(t.rel, edge.from, "tuple not in FK source relation");
+        let v = self.relations[edge.from.index()]
+            .tuple(t.tid)
+            .get(edge.attr);
+        if v.is_null() {
+            return None;
+        }
+        self.relations[edge.to.index()]
+            .by_key(v)
+            .map(|tid| TupleRef::new(edge.to, tid))
+    }
+
+    /// Follow edge `fk` backward from a tuple of the referenced relation:
+    /// all referrer tuples whose FK value equals this tuple's key.
+    pub fn follow_backward(&self, fk: FkId, t: TupleRef) -> Vec<TupleRef> {
+        let edge = self.fk(fk);
+        debug_assert_eq!(t.rel, edge.to, "tuple not in FK target relation");
+        let key = self.relations[edge.to.index()]
+            .tuple(t.tid)
+            .get(edge.to_key);
+        self.relations[edge.from.index()]
+            .lookup(edge.attr, key)
+            .into_iter()
+            .map(|tid| TupleRef::new(edge.from, tid))
+            .collect()
+    }
+
+    /// Fanout of backward traversal without materializing the tuples.
+    pub fn backward_count(&self, fk: FkId, t: TupleRef) -> usize {
+        let edge = self.fk(fk);
+        let key = self.relations[edge.to.index()]
+            .tuple(t.tid)
+            .get(edge.to_key);
+        self.relations[edge.from.index()].lookup_count(edge.attr, key)
+    }
+
+    /// The value of attribute `attr` of a tuple.
+    pub fn value(&self, t: TupleRef, attr: usize) -> &Value {
+        self.relations[t.rel.index()].tuple(t.tid).get(attr)
+    }
+}
+
+impl fmt::Display for Catalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Catalog ({} relations, {} tuples)",
+            self.relation_count(),
+            self.tuple_count()
+        )?;
+        for (_, r) in self.relations() {
+            writeln!(f, "  {}  [{} tuples]", r.schema(), r.len())?;
+        }
+        for fk in &self.fks {
+            writeln!(f, "  FK {}", fk.label)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+    use crate::tuple::TupleId;
+    use crate::value::AttrType;
+
+    /// Tiny two-relation catalog: Papers(paper KEY, venue->Venues), Venues(venue KEY).
+    fn tiny() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation(
+            SchemaBuilder::new("Venues")
+                .key("venue", AttrType::Str)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        c.add_relation(
+            SchemaBuilder::new("Papers")
+                .key("paper", AttrType::Int)
+                .fk("venue", AttrType::Str, "Venues")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        c.insert("Venues", [Value::str("VLDB")].into()).unwrap();
+        c.insert("Venues", [Value::str("KDD")].into()).unwrap();
+        c.insert("Papers", [Value::Int(1), Value::str("VLDB")].into())
+            .unwrap();
+        c.insert("Papers", [Value::Int(2), Value::str("VLDB")].into())
+            .unwrap();
+        c.insert("Papers", [Value::Int(3), Value::str("KDD")].into())
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let c = tiny();
+        assert_eq!(c.relation_count(), 2);
+        assert_eq!(c.tuple_count(), 5);
+        assert!(c.relation_id("Venues").is_some());
+        assert!(c.relation_id("Nope").is_none());
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut c = tiny();
+        let r = c.add_relation(
+            SchemaBuilder::new("Venues")
+                .key("venue", AttrType::Str)
+                .build()
+                .unwrap(),
+        );
+        assert!(matches!(r, Err(StoreError::DuplicateRelation(_))));
+    }
+
+    #[test]
+    fn insert_unknown_relation_rejected() {
+        let mut c = tiny();
+        let r = c.insert("Nope", [Value::Int(1)].into());
+        assert!(matches!(r, Err(StoreError::UnknownRelation(_))));
+    }
+
+    #[test]
+    fn finalize_builds_edges_and_indexes() {
+        let mut c = tiny();
+        assert!(!c.is_finalized());
+        c.finalize(true).unwrap();
+        assert!(c.is_finalized());
+        assert_eq!(c.fk_edges().len(), 1);
+        let fk = &c.fk_edges()[0];
+        assert_eq!(fk.label, "Papers.venue->Venues");
+        let papers = c.relation_id("Papers").unwrap();
+        let venues = c.relation_id("Venues").unwrap();
+        assert_eq!(c.out_edges(papers), &[fk.id]);
+        assert_eq!(c.in_edges(venues), &[fk.id]);
+        assert!(c.relation(papers).has_index(1));
+    }
+
+    #[test]
+    fn forward_and_backward_traversal() {
+        let mut c = tiny();
+        c.finalize(true).unwrap();
+        let papers = c.relation_id("Papers").unwrap();
+        let venues = c.relation_id("Venues").unwrap();
+        let fk = c.fk_edges()[0].id;
+
+        let p0 = TupleRef::new(papers, TupleId(0));
+        let v = c.follow_forward(fk, p0).unwrap();
+        assert_eq!(v.rel, venues);
+        assert_eq!(c.value(v, 0).as_str(), Some("VLDB"));
+
+        let back = c.follow_backward(fk, v);
+        assert_eq!(back.len(), 2);
+        assert_eq!(c.backward_count(fk, v), 2);
+    }
+
+    #[test]
+    fn integrity_check_catches_dangling_fk() {
+        let mut c = tiny();
+        c.insert("Papers", [Value::Int(9), Value::str("NOSUCH")].into())
+            .unwrap();
+        let r = c.finalize(true);
+        assert!(matches!(r, Err(StoreError::DanglingForeignKey { .. })));
+        // Without the check it finalizes, and forward traversal yields None.
+        let mut c2 = tiny();
+        c2.insert("Papers", [Value::Int(9), Value::str("NOSUCH")].into())
+            .unwrap();
+        c2.finalize(false).unwrap();
+        let papers = c2.relation_id("Papers").unwrap();
+        let fk = c2.fk_edges()[0].id;
+        assert_eq!(
+            c2.follow_forward(fk, TupleRef::new(papers, TupleId(3))),
+            None
+        );
+    }
+
+    #[test]
+    fn fk_to_missing_relation_rejected() {
+        let mut c = Catalog::new();
+        c.add_relation(
+            SchemaBuilder::new("A")
+                .key("a", AttrType::Int)
+                .fk("b", AttrType::Int, "B")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(
+            c.finalize(false),
+            Err(StoreError::InvalidForeignKey { .. })
+        ));
+    }
+
+    #[test]
+    fn fk_to_keyless_relation_rejected() {
+        let mut c = Catalog::new();
+        c.add_relation(
+            SchemaBuilder::new("B")
+                .data("x", AttrType::Int)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        c.add_relation(
+            SchemaBuilder::new("A")
+                .fk("b", AttrType::Int, "B")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(
+            c.finalize(false),
+            Err(StoreError::InvalidForeignKey { .. })
+        ));
+    }
+
+    #[test]
+    fn mutation_invalidates_finalization() {
+        let mut c = tiny();
+        c.finalize(false).unwrap();
+        assert!(c.is_finalized());
+        c.insert("Venues", [Value::str("ICDE")].into()).unwrap();
+        assert!(!c.is_finalized());
+        c.finalize(true).unwrap();
+        assert!(c.is_finalized());
+    }
+
+    #[test]
+    fn null_fk_is_allowed_and_skipped() {
+        let mut c = tiny();
+        c.insert("Papers", [Value::Int(10), Value::Null].into())
+            .unwrap();
+        c.finalize(true).unwrap();
+        let papers = c.relation_id("Papers").unwrap();
+        let fk = c.fk_edges()[0].id;
+        assert_eq!(
+            c.follow_forward(fk, TupleRef::new(papers, TupleId(3))),
+            None
+        );
+    }
+
+    #[test]
+    fn display_mentions_relations_and_fks() {
+        let mut c = tiny();
+        c.finalize(false).unwrap();
+        let s = c.to_string();
+        assert!(s.contains("Papers"));
+        assert!(s.contains("FK Papers.venue->Venues"));
+    }
+}

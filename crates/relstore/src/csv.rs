@@ -1,0 +1,344 @@
+//! Minimal CSV import/export for relations.
+//!
+//! Supports RFC-4180-style quoting (fields containing commas, quotes, or
+//! newlines are wrapped in double quotes; embedded quotes are doubled).
+//! A bare empty field parses as `Null`; a quoted empty field (`""`) is the
+//! empty string — the distinction keeps arbitrary data round-trippable.
+
+use crate::error::{Result, StoreError};
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::{AttrType, Value};
+
+/// One parsed field: its text plus whether any part of it was quoted
+/// (distinguishes a bare empty field, i.e. `Null`, from `""`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Field {
+    text: String,
+    quoted: bool,
+}
+
+/// Split one CSV document into records of fields, honoring quotes.
+fn parse_records(text: &str) -> Result<Vec<Vec<Field>>> {
+    let mut records = Vec::new();
+    let mut field = String::new();
+    let mut quoted = false;
+    let mut record: Vec<Field> = Vec::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let mut line = 1usize;
+
+    let take = |field: &mut String, quoted: &mut bool| Field {
+        text: std::mem::take(field),
+        quoted: std::mem::take(quoted),
+    };
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if !field.is_empty() {
+                        return Err(StoreError::Csv {
+                            line,
+                            reason: "quote inside unquoted field".into(),
+                        });
+                    }
+                    in_quotes = true;
+                    quoted = true;
+                }
+                ',' => {
+                    record.push(take(&mut field, &mut quoted));
+                }
+                '\r' => {} // tolerate CRLF
+                '\n' => {
+                    line += 1;
+                    record.push(take(&mut field, &mut quoted));
+                    records.push(std::mem::take(&mut record));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(StoreError::Csv {
+            line,
+            reason: "unterminated quoted field".into(),
+        });
+    }
+    if !field.is_empty() || quoted || !record.is_empty() {
+        record.push(take(&mut field, &mut quoted));
+        records.push(record);
+    }
+    // Drop fully empty trailing records (blank lines).
+    records.retain(|r| !(r.len() == 1 && r[0].text.is_empty() && !r[0].quoted));
+    Ok(records)
+}
+
+/// Parse one field into a typed value. A bare empty field is `Null`; a
+/// quoted empty field is the empty string (Str only).
+fn parse_value(field: &Field, ty: AttrType, line: usize) -> Result<Value> {
+    if field.text.is_empty() && !field.quoted {
+        return Ok(Value::Null);
+    }
+    let field = field.text.as_str();
+    match ty {
+        AttrType::Int => field
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| StoreError::Csv {
+                line,
+                reason: format!("`{field}` is not an integer"),
+            }),
+        AttrType::Float => field
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| StoreError::Csv {
+                line,
+                reason: format!("`{field}` is not a float"),
+            }),
+        AttrType::Bool => match field {
+            "true" | "1" => Ok(Value::Bool(true)),
+            "false" | "0" => Ok(Value::Bool(false)),
+            _ => Err(StoreError::Csv {
+                line,
+                reason: format!("`{field}` is not a bool"),
+            }),
+        },
+        AttrType::Str => Ok(Value::str(field)),
+    }
+}
+
+/// Load CSV text (with a header row naming attributes, in any order) into an
+/// existing relation.
+///
+/// Returns the number of tuples inserted.
+pub fn load_csv(relation: &mut Relation, text: &str) -> Result<usize> {
+    let records = parse_records(text)?;
+    let Some((header, rows)) = records.split_first() else {
+        return Ok(0);
+    };
+    // Map CSV columns to schema attribute positions.
+    let mut mapping = Vec::with_capacity(header.len());
+    for name in header {
+        let idx = relation.schema().attr_index(&name.text).ok_or_else(|| {
+            StoreError::UnknownAttribute {
+                relation: relation.name().to_string(),
+                attribute: name.text.clone(),
+            }
+        })?;
+        mapping.push(idx);
+    }
+    if mapping.len() != relation.schema().arity() {
+        return Err(StoreError::ArityMismatch {
+            relation: relation.name().to_string(),
+            expected: relation.schema().arity(),
+            got: mapping.len(),
+        });
+    }
+    let mut inserted = 0usize;
+    for (i, row) in rows.iter().enumerate() {
+        let line = i + 2;
+        if row.len() != mapping.len() {
+            return Err(StoreError::Csv {
+                line,
+                reason: format!("expected {} fields, got {}", mapping.len(), row.len()),
+            });
+        }
+        let mut values = vec![Value::Null; relation.schema().arity()];
+        for (col, field) in row.iter().enumerate() {
+            let attr = mapping[col];
+            let ty = relation.schema().attributes[attr].ty;
+            values[attr] = parse_value(field, ty, line)?;
+        }
+        relation.insert(Tuple::new(values))?;
+        inserted += 1;
+    }
+    Ok(inserted)
+}
+
+/// Quote a field if needed (empty strings are quoted so they stay
+/// distinguishable from `Null`'s bare empty field).
+fn escape(field: &str) -> String {
+    if field.is_empty() {
+        "\"\"".to_string()
+    } else if field.contains(',')
+        || field.contains('"')
+        || field.contains('\n')
+        || field.contains('\r')
+    {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serialize a relation to CSV text, header first, `Null` as the empty field.
+pub fn to_csv(relation: &Relation) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = relation
+        .schema()
+        .attributes
+        .iter()
+        .map(|a| escape(&a.name))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for (_, t) in relation.iter() {
+        let row: Vec<String> = t
+            .values()
+            .iter()
+            .map(|v| {
+                if v.is_null() {
+                    String::new()
+                } else {
+                    escape(&v.to_string())
+                }
+            })
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+    use crate::tuple::TupleId;
+
+    fn relation() -> Relation {
+        Relation::new(
+            SchemaBuilder::new("Papers")
+                .key("paper", AttrType::Int)
+                .data("title", AttrType::Str)
+                .data("year", AttrType::Int)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn load_simple_csv() {
+        let mut r = relation();
+        let n = load_csv(
+            &mut r,
+            "paper,title,year\n1,Mining Streams,2002\n2,Graph Joins,2003\n",
+        )
+        .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(r.tuple(TupleId(0)).get(1).as_str(), Some("Mining Streams"));
+        assert_eq!(r.tuple(TupleId(1)).get(2).as_int(), Some(2003));
+    }
+
+    #[test]
+    fn header_order_can_differ_from_schema() {
+        let mut r = relation();
+        load_csv(&mut r, "year,paper,title\n1999,7,Cubes\n").unwrap();
+        assert_eq!(r.tuple(TupleId(0)).get(0).as_int(), Some(7));
+        assert_eq!(r.tuple(TupleId(0)).get(1).as_str(), Some("Cubes"));
+        assert_eq!(r.tuple(TupleId(0)).get(2).as_int(), Some(1999));
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let mut r = relation();
+        load_csv(
+            &mut r,
+            "paper,title,year\n1,\"Mining, with \"\"Noise\"\"\",2004\n",
+        )
+        .unwrap();
+        assert_eq!(
+            r.tuple(TupleId(0)).get(1).as_str(),
+            Some("Mining, with \"Noise\"")
+        );
+    }
+
+    #[test]
+    fn empty_field_is_null() {
+        let mut r = relation();
+        load_csv(&mut r, "paper,title,year\n1,,2004\n").unwrap();
+        assert!(r.tuple(TupleId(0)).get(1).is_null());
+    }
+
+    #[test]
+    fn bad_int_reports_line() {
+        let mut r = relation();
+        let e = load_csv(&mut r, "paper,title,year\n1,T,xx\n").unwrap_err();
+        match e {
+            StoreError::Csv { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_header_rejected() {
+        let mut r = relation();
+        let e = load_csv(&mut r, "paper,nope,year\n1,T,2000\n").unwrap_err();
+        assert!(matches!(e, StoreError::UnknownAttribute { .. }));
+    }
+
+    #[test]
+    fn missing_column_rejected() {
+        let mut r = relation();
+        let e = load_csv(&mut r, "paper,title\n1,T\n").unwrap_err();
+        assert!(matches!(e, StoreError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn ragged_row_rejected() {
+        let mut r = relation();
+        let e = load_csv(&mut r, "paper,title,year\n1,T\n").unwrap_err();
+        assert!(matches!(e, StoreError::Csv { .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let mut r = relation();
+        let e = load_csv(&mut r, "paper,title,year\n1,\"T,2000\n").unwrap_err();
+        assert!(matches!(e, StoreError::Csv { .. }));
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut r = relation();
+        let src = "paper,title,year\n1,\"A, B\",2000\n2,,1999\n3,\"say \"\"hi\"\"\",2001\n";
+        load_csv(&mut r, src).unwrap();
+        let emitted = to_csv(&r);
+        let mut r2 = relation();
+        load_csv(&mut r2, &emitted).unwrap();
+        assert_eq!(r2.len(), r.len());
+        for i in 0..r.len() {
+            assert_eq!(r.tuple(TupleId(i as u32)), r2.tuple(TupleId(i as u32)));
+        }
+    }
+
+    #[test]
+    fn crlf_and_blank_lines_tolerated() {
+        let mut r = relation();
+        let n = load_csv(&mut r, "paper,title,year\r\n1,T,2000\r\n\r\n").unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn empty_document() {
+        let mut r = relation();
+        assert_eq!(load_csv(&mut r, "").unwrap(), 0);
+    }
+}

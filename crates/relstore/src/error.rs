@@ -1,0 +1,137 @@
+//! Error types for the relational store.
+
+use std::fmt;
+
+/// Errors produced by catalog construction, data loading, and traversal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum StoreError {
+    /// A relation name was registered twice in the same catalog.
+    DuplicateRelation(String),
+    /// A relation name was referenced but never registered.
+    UnknownRelation(String),
+    /// An attribute name was referenced but does not exist on the relation.
+    UnknownAttribute { relation: String, attribute: String },
+    /// A tuple's arity does not match its relation schema.
+    ArityMismatch {
+        relation: String,
+        expected: usize,
+        got: usize,
+    },
+    /// A value's type does not match the declared attribute type.
+    TypeMismatch {
+        relation: String,
+        attribute: String,
+        expected: String,
+        got: String,
+    },
+    /// A key value was inserted twice.
+    DuplicateKey { relation: String, key: String },
+    /// A foreign key referenced a key value absent from the target relation.
+    DanglingForeignKey {
+        relation: String,
+        attribute: String,
+        value: String,
+    },
+    /// A foreign key definition was structurally invalid (e.g. target has no key).
+    InvalidForeignKey {
+        relation: String,
+        attribute: String,
+        reason: String,
+    },
+    /// CSV input could not be parsed.
+    Csv { line: usize, reason: String },
+    /// A join path was structurally invalid for this catalog.
+    InvalidJoinPath(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` is already defined")
+            }
+            StoreError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            StoreError::UnknownAttribute {
+                relation,
+                attribute,
+            } => {
+                write!(f, "relation `{relation}` has no attribute `{attribute}`")
+            }
+            StoreError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "tuple for `{relation}` has {got} values but the schema declares {expected}"
+            ),
+            StoreError::TypeMismatch {
+                relation,
+                attribute,
+                expected,
+                got,
+            } => write!(
+                f,
+                "value for `{relation}.{attribute}` has type {got}, expected {expected}"
+            ),
+            StoreError::DuplicateKey { relation, key } => {
+                write!(f, "duplicate key {key} in relation `{relation}`")
+            }
+            StoreError::DanglingForeignKey {
+                relation,
+                attribute,
+                value,
+            } => write!(
+                f,
+                "foreign key `{relation}.{attribute}` = {value} has no matching target tuple"
+            ),
+            StoreError::InvalidForeignKey {
+                relation,
+                attribute,
+                reason,
+            } => write!(f, "invalid foreign key `{relation}.{attribute}`: {reason}"),
+            StoreError::Csv { line, reason } => {
+                write!(f, "CSV parse error at line {line}: {reason}")
+            }
+            StoreError::InvalidJoinPath(reason) => write!(f, "invalid join path: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = StoreError::DuplicateRelation("Authors".into());
+        assert!(e.to_string().contains("Authors"));
+
+        let e = StoreError::UnknownAttribute {
+            relation: "Publish".into(),
+            attribute: "zzz".into(),
+        };
+        assert!(e.to_string().contains("Publish"));
+        assert!(e.to_string().contains("zzz"));
+
+        let e = StoreError::ArityMismatch {
+            relation: "R".into(),
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('2'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&StoreError::UnknownRelation("x".into()));
+    }
+}

@@ -1,0 +1,141 @@
+//! A small, fast, non-cryptographic hasher in the style of rustc's FxHash.
+//!
+//! The store hashes millions of small keys (integers, short strings, tuple
+//! ids) on hot paths such as index lookups and neighbor-set intersection.
+//! SipHash — the standard library default — is designed to resist HashDoS,
+//! which is irrelevant for an in-process research store, and is markedly
+//! slower for small keys. This module provides a word-at-a-time
+//! multiply-rotate hasher and type aliases for maps and sets built on it.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit golden-ratio constant used to mix each word into the state.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Word-at-a-time multiplicative hasher (FxHash algorithm).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+            self.add_to_hash(word);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+            // Mix in the length so prefixes of each other hash differently.
+            self.add_to_hash(rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        let mut h = FxHasher::default();
+        value.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+        assert_eq!(hash_of(&(1u32, "a")), hash_of(&(1u32, "a")));
+    }
+
+    #[test]
+    fn different_values_usually_hash_differently() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&"abc"), hash_of(&"abd"));
+        // Prefixes must not collide (length mixing).
+        assert_ne!(hash_of(&"abcdefgh"), hash_of(&"abcdefg"));
+        assert_ne!(hash_of(&""), hash_of(&"\0"));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("x".into(), 1);
+        m.insert("y".into(), 2);
+        assert_eq!(m.get("x"), Some(&1));
+
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000 {
+            s.insert(i);
+        }
+        assert_eq!(s.len(), 1000);
+        assert!(s.contains(&999));
+    }
+
+    #[test]
+    fn build_hasher_is_deterministic() {
+        let b = FxBuildHasher::default();
+        let h1 = { b.hash_one(7u64) };
+        let h2 = { b.hash_one(7u64) };
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn distribution_smoke_test() {
+        // 10k sequential integers should produce close to 10k distinct hashes.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(hash_of(&i));
+        }
+        assert!(seen.len() > 9_990, "too many collisions: {}", seen.len());
+    }
+}

@@ -1,0 +1,518 @@
+//! Join paths: sequences of foreign-key traversals through the schema graph.
+//!
+//! A *join path* starts at a designated relation and follows foreign-key
+//! edges, each either *forward* (referencing relation to referenced
+//! relation, many-to-one) or *backward* (referenced to referencing,
+//! one-to-many). In the DBLP schema of the paper, the path
+//! `Publish -> Publications -> Publish -> Authors` (forward, backward,
+//! forward) reaches the coauthors of a reference's paper.
+//!
+//! Path semantics differ per path, so the enumeration in
+//! [`enumerate_paths`] yields *every* path up to a length bound; the
+//! DISTINCT layer weighs them by supervised learning rather than pruning
+//! them by hand.
+
+use crate::catalog::{Catalog, FkId};
+use crate::error::{Result, StoreError};
+use crate::tuple::RelId;
+use std::fmt;
+
+/// Direction of one foreign-key traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// From the referencing relation to the referenced relation (many -> 1).
+    Forward,
+    /// From the referenced relation to the referencing relation (1 -> many).
+    Backward,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn reverse(self) -> Self {
+        match self {
+            Direction::Forward => Direction::Backward,
+            Direction::Backward => Direction::Forward,
+        }
+    }
+}
+
+/// One step of a join path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JoinStep {
+    /// The foreign-key edge traversed.
+    pub fk: FkId,
+    /// Traversal direction.
+    pub dir: Direction,
+}
+
+impl JoinStep {
+    /// Forward step over `fk`.
+    pub fn forward(fk: FkId) -> Self {
+        JoinStep {
+            fk,
+            dir: Direction::Forward,
+        }
+    }
+
+    /// Backward step over `fk`.
+    pub fn backward(fk: FkId) -> Self {
+        JoinStep {
+            fk,
+            dir: Direction::Backward,
+        }
+    }
+
+    /// Source relation of this step.
+    pub fn source(&self, catalog: &Catalog) -> RelId {
+        let edge = catalog.fk(self.fk);
+        match self.dir {
+            Direction::Forward => edge.from,
+            Direction::Backward => edge.to,
+        }
+    }
+
+    /// Destination relation of this step.
+    pub fn dest(&self, catalog: &Catalog) -> RelId {
+        let edge = catalog.fk(self.fk);
+        match self.dir {
+            Direction::Forward => edge.to,
+            Direction::Backward => edge.from,
+        }
+    }
+
+    /// The same edge traversed in the opposite direction.
+    pub fn reversed(&self) -> Self {
+        JoinStep {
+            fk: self.fk,
+            dir: self.dir.reverse(),
+        }
+    }
+}
+
+/// A join path: a start relation plus a sequence of steps.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JoinPath {
+    /// Relation the path starts at (where the references live, for DISTINCT).
+    pub start: RelId,
+    /// Steps in traversal order.
+    pub steps: Vec<JoinStep>,
+}
+
+impl JoinPath {
+    /// A zero-step path anchored at `start`.
+    pub fn empty(start: RelId) -> Self {
+        JoinPath {
+            start,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Build a path and validate that its steps chain correctly.
+    pub fn new(start: RelId, steps: Vec<JoinStep>, catalog: &Catalog) -> Result<Self> {
+        let path = JoinPath { start, steps };
+        path.validate(catalog)?;
+        Ok(path)
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if the path has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Verify each step's source matches the previous step's destination.
+    pub fn validate(&self, catalog: &Catalog) -> Result<()> {
+        let mut at = self.start;
+        for (i, step) in self.steps.iter().enumerate() {
+            let src = step.source(catalog);
+            if src != at {
+                return Err(StoreError::InvalidJoinPath(format!(
+                    "step {i} starts at relation {:?} but the path is at {:?}",
+                    src, at
+                )));
+            }
+            at = step.dest(catalog);
+        }
+        Ok(())
+    }
+
+    /// The relation the path ends at.
+    pub fn end(&self, catalog: &Catalog) -> RelId {
+        self.steps.last().map_or(self.start, |s| s.dest(catalog))
+    }
+
+    /// The sequence of relations visited, including start and end.
+    pub fn relations(&self, catalog: &Catalog) -> Vec<RelId> {
+        let mut rels = Vec::with_capacity(self.steps.len() + 1);
+        rels.push(self.start);
+        for step in &self.steps {
+            rels.push(step.dest(catalog));
+        }
+        rels
+    }
+
+    /// The reverse path: from the end relation back to the start.
+    pub fn reversed(&self, catalog: &Catalog) -> JoinPath {
+        let end = self.end(catalog);
+        let steps = self.steps.iter().rev().map(JoinStep::reversed).collect();
+        JoinPath { start: end, steps }
+    }
+
+    /// Append a step, returning the extended path (no validation).
+    pub fn extended(&self, step: JoinStep) -> JoinPath {
+        let mut steps = Vec::with_capacity(self.steps.len() + 1);
+        steps.extend_from_slice(&self.steps);
+        steps.push(step);
+        JoinPath {
+            start: self.start,
+            steps,
+        }
+    }
+
+    /// Human-readable description, e.g.
+    /// `Publish ->[paper_key] Publications <-[paper_key] Publish ->[author] Authors`.
+    pub fn describe(&self, catalog: &Catalog) -> String {
+        let mut out = catalog.relation(self.start).name().to_string();
+        for step in &self.steps {
+            let edge = catalog.fk(step.fk);
+            let attr = &catalog.relation(edge.from).schema().attributes[edge.attr].name;
+            let dest = catalog.relation(step.dest(catalog)).name();
+            match step.dir {
+                Direction::Forward => {
+                    out.push_str(&format!(" ->[{attr}] {dest}"));
+                }
+                Direction::Backward => {
+                    out.push_str(&format!(" <-[{attr}] {dest}"));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for JoinPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "path(r{}", self.start.0)?;
+        for s in &self.steps {
+            match s.dir {
+                Direction::Forward => write!(f, " f{}", s.fk.0)?,
+                Direction::Backward => write!(f, " b{}", s.fk.0)?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// Options controlling [`enumerate_paths`].
+#[derive(Debug, Clone)]
+pub struct PathEnumOptions {
+    /// Maximum number of steps per path.
+    pub max_len: usize,
+    /// If true, prune a step that immediately undoes the previous step
+    /// (same FK, opposite direction) *when the previous step was backward*.
+    ///
+    /// A backward-then-forward round trip over one FK (e.g.
+    /// `Publications <- Publish -> Publications`) returns to a superset of
+    /// where it started and carries no new linkage, whereas forward-then-
+    /// backward (`Publish -> Publications <- Publish`) reaches *sibling*
+    /// tuples — in DBLP, the coauthor references — and must be kept.
+    pub prune_backward_forward_roundtrip: bool,
+    /// Maximum number of paths to produce (safety valve for dense schemas).
+    pub max_paths: usize,
+}
+
+impl Default for PathEnumOptions {
+    fn default() -> Self {
+        PathEnumOptions {
+            max_len: 4,
+            prune_backward_forward_roundtrip: true,
+            max_paths: 10_000,
+        }
+    }
+}
+
+/// Enumerate all join paths starting at `start`, up to the option limits,
+/// in breadth-first (shortest-first) order. The zero-step path is not
+/// included.
+pub fn enumerate_paths(catalog: &Catalog, start: RelId, opts: &PathEnumOptions) -> Vec<JoinPath> {
+    let mut out = Vec::new();
+    let mut frontier = vec![JoinPath::empty(start)];
+    for _ in 0..opts.max_len {
+        let mut next = Vec::new();
+        for path in &frontier {
+            let at = path.end(catalog);
+            let mut candidates: Vec<JoinStep> = Vec::new();
+            for &fk in catalog.out_edges(at) {
+                candidates.push(JoinStep::forward(fk));
+            }
+            for &fk in catalog.in_edges(at) {
+                candidates.push(JoinStep::backward(fk));
+            }
+            for step in candidates {
+                if opts.prune_backward_forward_roundtrip {
+                    if let Some(prev) = path.steps.last() {
+                        if prev.fk == step.fk
+                            && prev.dir == Direction::Backward
+                            && step.dir == Direction::Forward
+                        {
+                            continue;
+                        }
+                    }
+                }
+                let ext = path.extended(step);
+                if out.len() + next.len() < opts.max_paths {
+                    next.push(ext);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        out.extend(next.iter().cloned());
+        frontier = next;
+        if out.len() >= opts.max_paths {
+            out.truncate(opts.max_paths);
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+    use crate::value::{AttrType, Value};
+
+    /// Publish(author->Authors, paper->Papers), Papers(paper KEY, venue->Venues),
+    /// Venues(venue KEY), Authors(author KEY).
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation(
+            SchemaBuilder::new("Authors")
+                .key("author", AttrType::Str)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        c.add_relation(
+            SchemaBuilder::new("Venues")
+                .key("venue", AttrType::Str)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        c.add_relation(
+            SchemaBuilder::new("Papers")
+                .key("paper", AttrType::Int)
+                .fk("venue", AttrType::Str, "Venues")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        c.add_relation(
+            SchemaBuilder::new("Publish")
+                .fk("author", AttrType::Str, "Authors")
+                .fk("paper", AttrType::Int, "Papers")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        c.insert("Authors", [Value::str("wei wang")].into())
+            .unwrap();
+        c.insert("Venues", [Value::str("VLDB")].into()).unwrap();
+        c.insert("Papers", [Value::Int(1), Value::str("VLDB")].into())
+            .unwrap();
+        c.insert("Publish", [Value::str("wei wang"), Value::Int(1)].into())
+            .unwrap();
+        c.finalize(true).unwrap();
+        c
+    }
+
+    fn fk_by_label(c: &Catalog, label: &str) -> FkId {
+        c.fk_edges().iter().find(|e| e.label == label).unwrap().id
+    }
+
+    #[test]
+    fn step_endpoints() {
+        let c = catalog();
+        let fk = fk_by_label(&c, "Publish.paper->Papers");
+        let publish = c.relation_id("Publish").unwrap();
+        let papers = c.relation_id("Papers").unwrap();
+        let f = JoinStep::forward(fk);
+        assert_eq!(f.source(&c), publish);
+        assert_eq!(f.dest(&c), papers);
+        let b = f.reversed();
+        assert_eq!(b.source(&c), papers);
+        assert_eq!(b.dest(&c), publish);
+        assert_eq!(b.reversed(), f);
+    }
+
+    #[test]
+    fn path_validation() {
+        let c = catalog();
+        let publish = c.relation_id("Publish").unwrap();
+        let fk_paper = fk_by_label(&c, "Publish.paper->Papers");
+        let fk_venue = fk_by_label(&c, "Papers.venue->Venues");
+        // Publish -> Papers -> Venues is valid.
+        let ok = JoinPath::new(
+            publish,
+            vec![JoinStep::forward(fk_paper), JoinStep::forward(fk_venue)],
+            &c,
+        );
+        assert!(ok.is_ok());
+        // Publish -> Venues directly is not.
+        let bad = JoinPath::new(publish, vec![JoinStep::forward(fk_venue)], &c);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn path_end_and_relations() {
+        let c = catalog();
+        let publish = c.relation_id("Publish").unwrap();
+        let papers = c.relation_id("Papers").unwrap();
+        let venues = c.relation_id("Venues").unwrap();
+        let fk_paper = fk_by_label(&c, "Publish.paper->Papers");
+        let fk_venue = fk_by_label(&c, "Papers.venue->Venues");
+        let p = JoinPath::new(
+            publish,
+            vec![JoinStep::forward(fk_paper), JoinStep::forward(fk_venue)],
+            &c,
+        )
+        .unwrap();
+        assert_eq!(p.end(&c), venues);
+        assert_eq!(p.relations(&c), vec![publish, papers, venues]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert!(JoinPath::empty(publish).is_empty());
+    }
+
+    #[test]
+    fn reversed_path_is_valid_and_mirrors() {
+        let c = catalog();
+        let publish = c.relation_id("Publish").unwrap();
+        let fk_paper = fk_by_label(&c, "Publish.paper->Papers");
+        let fk_venue = fk_by_label(&c, "Papers.venue->Venues");
+        let p = JoinPath::new(
+            publish,
+            vec![JoinStep::forward(fk_paper), JoinStep::forward(fk_venue)],
+            &c,
+        )
+        .unwrap();
+        let r = p.reversed(&c);
+        assert_eq!(r.start, c.relation_id("Venues").unwrap());
+        assert_eq!(r.end(&c), publish);
+        r.validate(&c).unwrap();
+        assert_eq!(r.reversed(&c), p);
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        let c = catalog();
+        let publish = c.relation_id("Publish").unwrap();
+        let fk_paper = fk_by_label(&c, "Publish.paper->Papers");
+        let coauthor = JoinPath::new(
+            publish,
+            vec![
+                JoinStep::forward(fk_paper),
+                JoinStep::backward(fk_paper),
+                JoinStep::forward(fk_by_label(&c, "Publish.author->Authors")),
+            ],
+            &c,
+        )
+        .unwrap();
+        let d = coauthor.describe(&c);
+        assert_eq!(
+            d,
+            "Publish ->[paper] Papers <-[paper] Publish ->[author] Authors"
+        );
+    }
+
+    #[test]
+    fn enumerate_includes_semantic_paths() {
+        let c = catalog();
+        let publish = c.relation_id("Publish").unwrap();
+        let paths = enumerate_paths(&c, publish, &PathEnumOptions::default());
+        let descs: Vec<String> = paths.iter().map(|p| p.describe(&c)).collect();
+        // The coauthor path (forward-backward-forward) must be present.
+        assert!(descs
+            .iter()
+            .any(|d| d == "Publish ->[paper] Papers <-[paper] Publish ->[author] Authors"));
+        // The venue path must be present.
+        assert!(descs
+            .iter()
+            .any(|d| d == "Publish ->[paper] Papers ->[venue] Venues"));
+        // All enumerated paths validate.
+        for p in &paths {
+            p.validate(&c).unwrap();
+        }
+        // Shortest-first ordering.
+        for w in paths.windows(2) {
+            assert!(w[0].len() <= w[1].len());
+        }
+    }
+
+    #[test]
+    fn backward_forward_roundtrip_pruned() {
+        let c = catalog();
+        let papers = c.relation_id("Papers").unwrap();
+        let opts = PathEnumOptions {
+            max_len: 2,
+            ..Default::default()
+        };
+        let paths = enumerate_paths(&c, papers, &opts);
+        // Papers <-[paper] Publish ->[paper] Papers must be pruned.
+        assert!(!paths
+            .iter()
+            .any(|p| p.describe(&c) == "Papers <-[paper] Publish ->[paper] Papers"));
+        // But Papers <-[paper] Publish ->[author] Authors survives.
+        assert!(paths
+            .iter()
+            .any(|p| p.describe(&c) == "Papers <-[paper] Publish ->[author] Authors"));
+    }
+
+    #[test]
+    fn roundtrip_kept_when_pruning_disabled() {
+        let c = catalog();
+        let papers = c.relation_id("Papers").unwrap();
+        let opts = PathEnumOptions {
+            max_len: 2,
+            prune_backward_forward_roundtrip: false,
+            ..Default::default()
+        };
+        let paths = enumerate_paths(&c, papers, &opts);
+        assert!(paths
+            .iter()
+            .any(|p| p.describe(&c) == "Papers <-[paper] Publish ->[paper] Papers"));
+    }
+
+    #[test]
+    fn max_paths_is_respected() {
+        let c = catalog();
+        let publish = c.relation_id("Publish").unwrap();
+        let opts = PathEnumOptions {
+            max_len: 6,
+            max_paths: 5,
+            ..Default::default()
+        };
+        let paths = enumerate_paths(&c, publish, &opts);
+        assert!(paths.len() <= 5);
+    }
+
+    #[test]
+    fn max_len_bounds_path_length() {
+        let c = catalog();
+        let publish = c.relation_id("Publish").unwrap();
+        let opts = PathEnumOptions {
+            max_len: 2,
+            ..Default::default()
+        };
+        for p in enumerate_paths(&c, publish, &opts) {
+            assert!(p.len() <= 2);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! # relstore — in-memory relational database substrate
+//!
+//! The relational foundation of the DISTINCT reproduction (Yin, Han, Yu,
+//! *Object Distinction*, ICDE 2007). DISTINCT assumes "the data is stored
+//! in a relational database"; this crate is that database:
+//!
+//! * typed [`Value`]s, [`Tuple`]s, and [`RelationSchema`]s with keys and
+//!   foreign keys ([`schema`], [`value`], [`mod@tuple`]);
+//! * [`Relation`] storage with unique key indexes and secondary hash
+//!   indexes ([`relation`]);
+//! * a [`Catalog`] linking relations through resolved foreign-key edges,
+//!   with forward (many-to-one) and backward (one-to-many) traversal
+//!   ([`catalog`]);
+//! * the [`JoinPath`] model and exhaustive path enumeration ([`join`]),
+//!   plus tuple-level path traversal ([`traverse`]);
+//! * attribute-value expansion turning each data value into a pseudo-tuple
+//!   ([`expand`], paper §2.1);
+//! * CSV import/export ([`csv`]) and whole-catalog persistence
+//!   ([`persist`]);
+//! * a small relational-algebra query layer ([`query`]): select, project,
+//!   equi-join, order, limit.
+//!
+//! ```
+//! use relstore::{Catalog, SchemaBuilder, AttrType, Value};
+//!
+//! let mut db = Catalog::new();
+//! db.add_relation(SchemaBuilder::new("Venues").key("venue", AttrType::Str).build()?)?;
+//! db.add_relation(
+//!     SchemaBuilder::new("Papers")
+//!         .key("paper", AttrType::Int)
+//!         .fk("venue", AttrType::Str, "Venues")
+//!         .build()?,
+//! )?;
+//! db.insert("Venues", [Value::str("VLDB")].into())?;
+//! db.insert("Papers", [Value::Int(1), Value::str("VLDB")].into())?;
+//! db.finalize(true)?;
+//! assert_eq!(db.fk_edges().len(), 1);
+//! # Ok::<(), relstore::StoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod csv;
+pub mod error;
+pub mod expand;
+pub mod fxhash;
+pub mod join;
+pub mod persist;
+pub mod query;
+pub mod relation;
+pub mod schema;
+pub mod traverse;
+pub mod tuple;
+pub mod value;
+
+pub use catalog::{Catalog, FkEdge, FkId};
+pub use error::{Result, StoreError};
+pub use expand::{expand_values, Expanded, ExpandedAttr};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use join::{enumerate_paths, Direction, JoinPath, JoinStep, PathEnumOptions};
+pub use persist::{load_catalog, save_catalog};
+pub use query::{Predicate, Query, Rows};
+pub use relation::Relation;
+pub use schema::{AttrRole, Attribute, RelationSchema, SchemaBuilder};
+pub use traverse::{path_tuple_set, path_tuples, step_fanout, step_tuples};
+pub use tuple::{RelId, Tuple, TupleId, TupleRef};
+pub use value::{AttrType, Value};

@@ -1,0 +1,193 @@
+//! Catalog persistence: save/load a whole database to a directory.
+//!
+//! Layout: `schema.json` holds the ordered relation schemas; each relation
+//! body lives in `<name>.csv` (RFC-4180 quoting via [`crate::csv`]).
+//! Relation names are sanitized for the filesystem (`#`, `/`, etc. map to
+//! `_`), with the original names preserved in the schema file. Loading
+//! re-finalizes the catalog with integrity checking.
+
+use crate::catalog::Catalog;
+use crate::csv::{load_csv, to_csv};
+use crate::error::{Result, StoreError};
+use crate::schema::RelationSchema;
+use std::fs;
+use std::path::Path;
+
+/// Map a relation name to a safe file stem.
+fn file_stem(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Collision-free file stems for an ordered list of relation names
+/// (sanitization can alias, e.g. `R#x` and `R_x`; later duplicates get a
+/// positional suffix). Deterministic, so save and load agree.
+fn unique_stems<'a>(names: impl Iterator<Item = &'a str>) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    names
+        .enumerate()
+        .map(|(i, name)| {
+            let base = file_stem(name);
+            if seen.insert(base.clone()) {
+                base
+            } else {
+                let stem = format!("{base}__{i}");
+                seen.insert(stem.clone());
+                stem
+            }
+        })
+        .collect()
+}
+
+fn io_err(context: &str, e: std::io::Error) -> StoreError {
+    StoreError::Csv {
+        line: 0,
+        reason: format!("{context}: {e}"),
+    }
+}
+
+/// Save a catalog into `dir` (created if absent).
+pub fn save_catalog(catalog: &Catalog, dir: &Path) -> Result<()> {
+    fs::create_dir_all(dir).map_err(|e| io_err("create dir", e))?;
+    let schemas: Vec<&RelationSchema> = catalog.relations().map(|(_, r)| r.schema()).collect();
+    let schema_json = serde_json::to_string_pretty(&schemas).expect("schemas serialize");
+    fs::write(dir.join("schema.json"), schema_json).map_err(|e| io_err("write schema", e))?;
+    let stems = unique_stems(catalog.relations().map(|(_, r)| r.name()));
+    for ((_, rel), stem) in catalog.relations().zip(&stems) {
+        let path = dir.join(format!("{stem}.csv"));
+        fs::write(&path, to_csv(rel)).map_err(|e| io_err("write relation", e))?;
+    }
+    Ok(())
+}
+
+/// Load a catalog saved by [`save_catalog`]. The result is finalized with
+/// integrity checking enabled.
+pub fn load_catalog(dir: &Path) -> Result<Catalog> {
+    let schema_json =
+        fs::read_to_string(dir.join("schema.json")).map_err(|e| io_err("read schema", e))?;
+    let schemas: Vec<RelationSchema> =
+        serde_json::from_str(&schema_json).map_err(|e| StoreError::Csv {
+            line: 0,
+            reason: format!("bad schema.json: {e}"),
+        })?;
+    let mut catalog = Catalog::new();
+    let stems = unique_stems(schemas.iter().map(|s| s.name.as_str()));
+    for (schema, stem) in schemas.into_iter().zip(stems) {
+        let rid = catalog.add_relation(schema)?;
+        let path = dir.join(format!("{stem}.csv"));
+        let text = fs::read_to_string(&path).map_err(|e| io_err("read relation", e))?;
+        load_csv(catalog.relation_mut(rid), &text)?;
+    }
+    catalog.finalize(true)?;
+    Ok(catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+    use crate::value::{AttrType, Value};
+
+    fn sample_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation(
+            SchemaBuilder::new("Venues")
+                .key("venue", AttrType::Str)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        c.add_relation(
+            SchemaBuilder::new("Papers")
+                .key("paper", AttrType::Int)
+                .fk("venue", AttrType::Str, "Venues")
+                .data("title", AttrType::Str)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        c.insert("Venues", [Value::str("VLDB")].into()).unwrap();
+        c.insert("Venues", [Value::str("Conf, with comma")].into())
+            .unwrap();
+        c.insert(
+            "Papers",
+            [
+                Value::Int(1),
+                Value::str("VLDB"),
+                Value::str("quoted \"title\""),
+            ]
+            .into(),
+        )
+        .unwrap();
+        c.insert(
+            "Papers",
+            [Value::Int(2), Value::str("VLDB"), Value::Null].into(),
+        )
+        .unwrap();
+        c.finalize(true).unwrap();
+        c
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("relstore_persist_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let dir = temp_dir("rt");
+        let original = sample_catalog();
+        save_catalog(&original, &dir).unwrap();
+        let loaded = load_catalog(&dir).unwrap();
+        assert_eq!(loaded.relation_count(), original.relation_count());
+        assert_eq!(loaded.tuple_count(), original.tuple_count());
+        assert!(loaded.is_finalized());
+        for (rid, rel) in original.relations() {
+            let other = loaded.relation(rid);
+            assert_eq!(rel.name(), other.name());
+            assert_eq!(rel.schema(), other.schema());
+            for (tid, t) in rel.iter() {
+                assert_eq!(t, other.tuple(tid));
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pseudo_relation_names_are_sanitized() {
+        // `Conferences#publisher`-style names must map to valid filenames.
+        let dir = temp_dir("pseudo");
+        let original = crate::expand::expand_values(&sample_catalog())
+            .unwrap()
+            .catalog;
+        save_catalog(&original, &dir).unwrap();
+        let loaded = load_catalog(&dir).unwrap();
+        assert!(loaded.relation_id("Papers#title").is_some());
+        assert_eq!(loaded.tuple_count(), original.tuple_count());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_errors() {
+        let dir = temp_dir("missing");
+        assert!(load_catalog(&dir).is_err());
+    }
+
+    #[test]
+    fn corrupt_schema_errors() {
+        let dir = temp_dir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("schema.json"), "{ not json").unwrap();
+        assert!(load_catalog(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

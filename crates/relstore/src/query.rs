@@ -1,0 +1,458 @@
+//! A small relational-algebra query layer over a catalog.
+//!
+//! Select (σ), project (π), natural-style equi-joins (⋈), order-by, and
+//! limit, evaluated eagerly into a [`Rows`] result. This is the query
+//! surface a downstream user of the substrate needs for inspecting
+//! databases and debugging resolutions — e.g. "all papers of the authors
+//! that DISTINCT put in group 3, by year". Joins use the catalog's hash
+//! indexes when the join column is a key or an indexed foreign key.
+
+use crate::catalog::Catalog;
+use crate::error::{Result, StoreError};
+use crate::relation::Relation;
+use crate::tuple::RelId;
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A predicate over a single column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Column equals the value.
+    Eq(Value),
+    /// Column differs from the value (nulls excluded).
+    Ne(Value),
+    /// Column is strictly less than the value (same type; nulls excluded).
+    Lt(Value),
+    /// Column is strictly greater than the value (same type; nulls excluded).
+    Gt(Value),
+    /// Column is null.
+    IsNull,
+    /// Column is not null.
+    NotNull,
+}
+
+impl Predicate {
+    fn matches(&self, v: &Value) -> bool {
+        match self {
+            Predicate::Eq(x) => v == x,
+            Predicate::Ne(x) => !v.is_null() && v != x,
+            Predicate::Lt(x) => !v.is_null() && v < x,
+            Predicate::Gt(x) => !v.is_null() && v > x,
+            Predicate::IsNull => v.is_null(),
+            Predicate::NotNull => !v.is_null(),
+        }
+    }
+}
+
+/// An eagerly materialized result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rows {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Row values, positionally matching `columns`.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Rows {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a column by name.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+}
+
+impl fmt::Display for Rows {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.columns.join(" | "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(Value::to_string).collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+/// A fluent query over one relation, with optional joins.
+///
+/// ```
+/// use relstore::{AttrType, Catalog, Predicate, Query, SchemaBuilder, Value};
+/// let mut db = Catalog::new();
+/// db.add_relation(SchemaBuilder::new("Papers")
+///     .key("paper", AttrType::Int)
+///     .data("year", AttrType::Int)
+///     .build()?)?;
+/// db.insert("Papers", [Value::Int(1), Value::Int(1997)].into())?;
+/// db.insert("Papers", [Value::Int(2), Value::Int(2003)].into())?;
+/// db.finalize(true)?;
+/// let rows = Query::new(&db, "Papers")?
+///     .filter("year", Predicate::Gt(Value::Int(2000)))
+///     .project(&["paper"])
+///     .run()?;
+/// assert_eq!(rows.len(), 1);
+/// # Ok::<(), relstore::StoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Query<'a> {
+    catalog: &'a Catalog,
+    base: RelId,
+    /// (column name in output namespace, predicate)
+    filters: Vec<(String, Predicate)>,
+    /// (left output column, target relation, prefix for its columns)
+    joins: Vec<(String, RelId, String)>,
+    projection: Option<Vec<String>>,
+    order_by: Option<(String, bool)>,
+    limit: Option<usize>,
+}
+
+impl<'a> Query<'a> {
+    /// Start a query over `relation`.
+    pub fn new(catalog: &'a Catalog, relation: &str) -> Result<Query<'a>> {
+        let base = catalog
+            .relation_id(relation)
+            .ok_or_else(|| StoreError::UnknownRelation(relation.to_string()))?;
+        Ok(Query {
+            catalog,
+            base,
+            filters: Vec::new(),
+            joins: Vec::new(),
+            projection: None,
+            order_by: None,
+            limit: None,
+        })
+    }
+
+    /// Add a filter on an output column (base columns use their plain
+    /// names; joined columns use `prefix.name`).
+    pub fn filter(mut self, column: impl Into<String>, predicate: Predicate) -> Self {
+        self.filters.push((column.into(), predicate));
+        self
+    }
+
+    /// Equi-join: for each row, look up the tuple of `target` whose key
+    /// equals the row's `on_column` value; the target's columns join the
+    /// output namespace as `prefix.name`. Rows with no match are dropped
+    /// (inner join).
+    pub fn join(
+        mut self,
+        on_column: impl Into<String>,
+        target: &str,
+        prefix: impl Into<String>,
+    ) -> Result<Self> {
+        let rid = self
+            .catalog
+            .relation_id(target)
+            .ok_or_else(|| StoreError::UnknownRelation(target.to_string()))?;
+        if self.catalog.relation(rid).schema().key_index().is_none() {
+            return Err(StoreError::InvalidJoinPath(format!(
+                "join target `{target}` has no key"
+            )));
+        }
+        self.joins.push((on_column.into(), rid, prefix.into()));
+        Ok(self)
+    }
+
+    /// Keep only the named output columns, in order.
+    pub fn project(mut self, columns: &[&str]) -> Self {
+        self.projection = Some(columns.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Sort by an output column (`ascending = false` for descending).
+    /// Nulls sort first.
+    pub fn order_by(mut self, column: impl Into<String>, ascending: bool) -> Self {
+        self.order_by = Some((column.into(), ascending));
+        self
+    }
+
+    /// Keep at most `n` rows (applied after ordering).
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Evaluate the query.
+    pub fn run(self) -> Result<Rows> {
+        // Build the output schema: base columns, then each join's columns.
+        let base_rel = self.catalog.relation(self.base);
+        let mut columns: Vec<String> = base_rel
+            .schema()
+            .attributes
+            .iter()
+            .map(|a| a.name.clone())
+            .collect();
+        for (_, rid, prefix) in &self.joins {
+            for a in &self.catalog.relation(*rid).schema().attributes {
+                columns.push(format!("{prefix}.{}", a.name));
+            }
+        }
+        let col_index = |name: &str| -> Result<usize> {
+            columns
+                .iter()
+                .position(|c| c == name)
+                .ok_or_else(|| StoreError::UnknownAttribute {
+                    relation: base_rel.name().to_string(),
+                    attribute: name.to_string(),
+                })
+        };
+
+        // Pre-resolve filter/join/order columns.
+        let filters: Vec<(usize, &Predicate)> = self
+            .filters
+            .iter()
+            .map(|(c, p)| Ok((col_index(c)?, p)))
+            .collect::<Result<_>>()?;
+        let joins: Vec<(usize, RelId)> = {
+            // Join columns resolve against the namespace available at the
+            // time of the join (base + earlier joins), which is a prefix of
+            // the full namespace, so resolving against the full one is fine.
+            self.joins
+                .iter()
+                .map(|(c, rid, _)| Ok((col_index(c)?, *rid)))
+                .collect::<Result<Vec<_>>>()?
+        };
+
+        // Materialize.
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        'tuples: for (_, t) in base_rel.iter() {
+            let mut row: Vec<Value> = t.values().to_vec();
+            for &(col, rid) in &joins {
+                let key = row[col].clone();
+                let target: &Relation = self.catalog.relation(rid);
+                match (!key.is_null()).then(|| target.by_key(&key)).flatten() {
+                    Some(tid) => row.extend(target.tuple(tid).values().iter().cloned()),
+                    None => continue 'tuples, // inner join: drop the row
+                }
+            }
+            if filters.iter().all(|(col, p)| p.matches(&row[*col])) {
+                rows.push(row);
+            }
+        }
+
+        // Order.
+        if let Some((col_name, ascending)) = &self.order_by {
+            let col = col_index(col_name)?;
+            rows.sort_by(|a, b| {
+                let ord = a[col].cmp(&b[col]);
+                if *ascending {
+                    ord
+                } else {
+                    ord.reverse()
+                }
+            });
+        } else {
+            // Deterministic output regardless of hash iteration anywhere.
+            rows.sort_by(|a, b| {
+                for (x, y) in a.iter().zip(b) {
+                    match x.cmp(y) {
+                        Ordering::Equal => continue,
+                        other => return other,
+                    }
+                }
+                Ordering::Equal
+            });
+        }
+        if let Some(n) = self.limit {
+            rows.truncate(n);
+        }
+
+        // Project.
+        if let Some(projection) = &self.projection {
+            let idxs: Vec<usize> = projection
+                .iter()
+                .map(|c| col_index(c))
+                .collect::<Result<_>>()?;
+            let projected: Vec<Vec<Value>> = rows
+                .into_iter()
+                .map(|row| idxs.iter().map(|&i| row[i].clone()).collect())
+                .collect();
+            return Ok(Rows {
+                columns: projection.clone(),
+                rows: projected,
+            });
+        }
+        Ok(Rows { columns, rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+    use crate::value::AttrType;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation(
+            SchemaBuilder::new("Venues")
+                .key("venue", AttrType::Str)
+                .data("tier", AttrType::Int)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        c.add_relation(
+            SchemaBuilder::new("Papers")
+                .key("paper", AttrType::Int)
+                .fk("venue", AttrType::Str, "Venues")
+                .data("year", AttrType::Int)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for (v, t) in [("VLDB", 1), ("KDD", 1), ("WS", 3)] {
+            c.insert("Venues", [Value::str(v), Value::Int(t)].into())
+                .unwrap();
+        }
+        for (p, v, y) in [
+            (1, "VLDB", 1997i64),
+            (2, "KDD", 2002),
+            (3, "VLDB", 2003),
+            (4, "WS", 2003),
+        ] {
+            c.insert(
+                "Papers",
+                [Value::Int(p), Value::str(v), Value::Int(y)].into(),
+            )
+            .unwrap();
+        }
+        c.finalize(true).unwrap();
+        c
+    }
+
+    #[test]
+    fn select_all() {
+        let c = catalog();
+        let rows = Query::new(&c, "Papers").unwrap().run().unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.columns, vec!["paper", "venue", "year"]);
+        assert!(!rows.is_empty());
+    }
+
+    #[test]
+    fn filters_combine_with_and() {
+        let c = catalog();
+        let rows = Query::new(&c, "Papers")
+            .unwrap()
+            .filter("venue", Predicate::Eq(Value::str("VLDB")))
+            .filter("year", Predicate::Gt(Value::Int(2000)))
+            .run()
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn predicate_variants() {
+        let c = catalog();
+        let count = |p: Predicate| {
+            Query::new(&c, "Papers")
+                .unwrap()
+                .filter("year", p)
+                .run()
+                .unwrap()
+                .len()
+        };
+        assert_eq!(count(Predicate::Eq(Value::Int(2003))), 2);
+        assert_eq!(count(Predicate::Ne(Value::Int(2003))), 2);
+        assert_eq!(count(Predicate::Lt(Value::Int(2002))), 1);
+        assert_eq!(count(Predicate::Gt(Value::Int(1997))), 3);
+        assert_eq!(count(Predicate::IsNull), 0);
+        assert_eq!(count(Predicate::NotNull), 4);
+    }
+
+    #[test]
+    fn join_brings_in_prefixed_columns() {
+        let c = catalog();
+        let rows = Query::new(&c, "Papers")
+            .unwrap()
+            .join("venue", "Venues", "v")
+            .unwrap()
+            .filter("v.tier", Predicate::Eq(Value::Int(1)))
+            .project(&["paper", "v.venue", "v.tier"])
+            .run()
+            .unwrap();
+        assert_eq!(rows.columns, vec!["paper", "v.venue", "v.tier"]);
+        assert_eq!(rows.len(), 3); // papers 1, 2, 3 (WS is tier 3)
+    }
+
+    #[test]
+    fn order_and_limit() {
+        let c = catalog();
+        let rows = Query::new(&c, "Papers")
+            .unwrap()
+            .order_by("year", false)
+            .limit(2)
+            .project(&["paper"])
+            .run()
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        // Years 2003, 2003 come first (papers 3 and 4 in some stable order).
+        let papers: Vec<i64> = rows.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert!(papers.contains(&3) || papers.contains(&4));
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let c = catalog();
+        assert!(Query::new(&c, "Nope").is_err());
+        assert!(Query::new(&c, "Papers")
+            .unwrap()
+            .filter("nope", Predicate::NotNull)
+            .run()
+            .is_err());
+        assert!(Query::new(&c, "Papers")
+            .unwrap()
+            .join("venue", "Nope", "x")
+            .is_err());
+        assert!(Query::new(&c, "Papers")
+            .unwrap()
+            .project(&["nope"])
+            .run()
+            .is_err());
+    }
+
+    #[test]
+    fn inner_join_drops_dangling_rows() {
+        let mut c = catalog();
+        c.insert(
+            "Papers",
+            [Value::Int(9), Value::Null, Value::Int(2004)].into(),
+        )
+        .unwrap();
+        c.finalize(false).unwrap();
+        let rows = Query::new(&c, "Papers")
+            .unwrap()
+            .join("venue", "Venues", "v")
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(rows.len(), 4, "null-venue paper must be dropped");
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let c = catalog();
+        let rows = Query::new(&c, "Venues").unwrap().run().unwrap();
+        let s = rows.to_string();
+        assert!(s.contains("venue | tier"));
+        assert!(s.contains("VLDB | 1"));
+    }
+
+    #[test]
+    fn column_lookup() {
+        let c = catalog();
+        let rows = Query::new(&c, "Papers").unwrap().run().unwrap();
+        assert_eq!(rows.column("year"), Some(2));
+        assert_eq!(rows.column("nope"), None);
+    }
+}

@@ -1,0 +1,283 @@
+//! Relation schemas: attributes, keys, and foreign keys.
+//!
+//! A schema declares, for one relation, an ordered list of typed attributes.
+//! At most one attribute is the *key* (a unique identifier), and any number
+//! of attributes may be *foreign keys* referencing the key of another
+//! relation. Attributes that are neither keys nor foreign keys are *data*
+//! attributes; the [`expand`](crate::expand) module can turn each of their
+//! distinct values into a pseudo-tuple so that attribute-value sharing
+//! becomes ordinary linkage (paper §2.1).
+
+use crate::error::{Result, StoreError};
+use crate::value::AttrType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Role of an attribute within its relation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttrRole {
+    /// The relation's unique key.
+    Key,
+    /// A foreign key referencing the key of the named relation.
+    ForeignKey {
+        /// Name of the referenced relation.
+        target: String,
+    },
+    /// An ordinary data attribute.
+    Data,
+}
+
+/// One attribute of a relation schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute name, unique within the relation.
+    pub name: String,
+    /// Declared type.
+    pub ty: AttrType,
+    /// Role (key / foreign key / data).
+    pub role: AttrRole,
+}
+
+impl Attribute {
+    /// A key attribute.
+    pub fn key(name: impl Into<String>, ty: AttrType) -> Self {
+        Attribute {
+            name: name.into(),
+            ty,
+            role: AttrRole::Key,
+        }
+    }
+
+    /// A foreign-key attribute referencing `target`'s key.
+    pub fn foreign_key(name: impl Into<String>, ty: AttrType, target: impl Into<String>) -> Self {
+        Attribute {
+            name: name.into(),
+            ty,
+            role: AttrRole::ForeignKey {
+                target: target.into(),
+            },
+        }
+    }
+
+    /// A plain data attribute.
+    pub fn data(name: impl Into<String>, ty: AttrType) -> Self {
+        Attribute {
+            name: name.into(),
+            ty,
+            role: AttrRole::Data,
+        }
+    }
+
+    /// True if this attribute is the relation key.
+    pub fn is_key(&self) -> bool {
+        self.role == AttrRole::Key
+    }
+
+    /// Target relation name if this is a foreign key.
+    pub fn fk_target(&self) -> Option<&str> {
+        match &self.role {
+            AttrRole::ForeignKey { target } => Some(target),
+            _ => None,
+        }
+    }
+}
+
+/// Schema of a single relation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelationSchema {
+    /// Relation name, unique within a catalog.
+    pub name: String,
+    /// Ordered attributes.
+    pub attributes: Vec<Attribute>,
+}
+
+impl RelationSchema {
+    /// Create a schema, validating attribute-name uniqueness and that at
+    /// most one attribute is marked as the key.
+    pub fn new(name: impl Into<String>, attributes: Vec<Attribute>) -> Result<Self> {
+        let name = name.into();
+        let mut seen = std::collections::HashSet::new();
+        let mut key_count = 0usize;
+        for attr in &attributes {
+            if !seen.insert(attr.name.clone()) {
+                return Err(StoreError::UnknownAttribute {
+                    relation: name.clone(),
+                    attribute: format!("duplicate attribute `{}`", attr.name),
+                });
+            }
+            if attr.is_key() {
+                key_count += 1;
+            }
+        }
+        if key_count > 1 {
+            return Err(StoreError::InvalidForeignKey {
+                relation: name.clone(),
+                attribute: "<key>".into(),
+                reason: "a relation may declare at most one key attribute".into(),
+            });
+        }
+        Ok(RelationSchema { name, attributes })
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Index of the named attribute.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    /// Index of the key attribute, if any.
+    pub fn key_index(&self) -> Option<usize> {
+        self.attributes.iter().position(Attribute::is_key)
+    }
+
+    /// Indexes of all foreign-key attributes, paired with their targets.
+    pub fn foreign_keys(&self) -> impl Iterator<Item = (usize, &str)> + '_ {
+        self.attributes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.fk_target().map(|t| (i, t)))
+    }
+
+    /// Indexes of data attributes (neither key nor foreign key).
+    pub fn data_attrs(&self) -> impl Iterator<Item = usize> + '_ {
+        self.attributes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| (a.role == AttrRole::Data).then_some(i))
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", a.name, a.ty)?;
+            match &a.role {
+                AttrRole::Key => write!(f, " KEY")?,
+                AttrRole::ForeignKey { target } => write!(f, " -> {target}")?,
+                AttrRole::Data => {}
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// Builder for [`RelationSchema`], for ergonomic schema literals.
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    name: String,
+    attributes: Vec<Attribute>,
+}
+
+impl SchemaBuilder {
+    /// Start a schema named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        SchemaBuilder {
+            name: name.into(),
+            attributes: Vec::new(),
+        }
+    }
+
+    /// Add a key attribute.
+    pub fn key(mut self, name: impl Into<String>, ty: AttrType) -> Self {
+        self.attributes.push(Attribute::key(name, ty));
+        self
+    }
+
+    /// Add a foreign-key attribute.
+    pub fn fk(mut self, name: impl Into<String>, ty: AttrType, target: impl Into<String>) -> Self {
+        self.attributes
+            .push(Attribute::foreign_key(name, ty, target));
+        self
+    }
+
+    /// Add a data attribute.
+    pub fn data(mut self, name: impl Into<String>, ty: AttrType) -> Self {
+        self.attributes.push(Attribute::data(name, ty));
+        self
+    }
+
+    /// Finish, validating the schema.
+    pub fn build(self) -> Result<RelationSchema> {
+        RelationSchema::new(self.name, self.attributes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn publish_schema() -> RelationSchema {
+        SchemaBuilder::new("Publish")
+            .fk("author", AttrType::Str, "Authors")
+            .fk("paper_key", AttrType::Int, "Publications")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_expected_schema() {
+        let s = publish_schema();
+        assert_eq!(s.name, "Publish");
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.attr_index("author"), Some(0));
+        assert_eq!(s.attr_index("paper_key"), Some(1));
+        assert_eq!(s.attr_index("missing"), None);
+        assert_eq!(s.key_index(), None);
+        let fks: Vec<_> = s.foreign_keys().collect();
+        assert_eq!(fks, vec![(0, "Authors"), (1, "Publications")]);
+    }
+
+    #[test]
+    fn key_and_data_roles() {
+        let s = SchemaBuilder::new("Conferences")
+            .key("conference", AttrType::Str)
+            .data("publisher", AttrType::Str)
+            .build()
+            .unwrap();
+        assert_eq!(s.key_index(), Some(0));
+        assert_eq!(s.data_attrs().collect::<Vec<_>>(), vec![1]);
+        assert!(s.attributes[0].is_key());
+        assert_eq!(s.attributes[1].fk_target(), None);
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let r = SchemaBuilder::new("R")
+            .data("x", AttrType::Int)
+            .data("x", AttrType::Int)
+            .build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn multiple_keys_rejected() {
+        let r = SchemaBuilder::new("R")
+            .key("a", AttrType::Int)
+            .key("b", AttrType::Int)
+            .build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = SchemaBuilder::new("Proceedings")
+            .key("proc_key", AttrType::Int)
+            .fk("conference", AttrType::Str, "Conferences")
+            .data("year", AttrType::Int)
+            .build()
+            .unwrap();
+        let d = s.to_string();
+        assert!(d.contains("Proceedings("));
+        assert!(d.contains("proc_key: int KEY"));
+        assert!(d.contains("conference: str -> Conferences"));
+        assert!(d.contains("year: int"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Tuple-level traversal of join steps and join paths.
+//!
+//! These are the raw navigation primitives used by the probabilistic layer
+//! (`relgraph`): given a tuple, which tuples does one step or a whole path
+//! reach, and with what fanout?
+
+use crate::catalog::Catalog;
+use crate::join::{Direction, JoinPath, JoinStep};
+use crate::tuple::TupleRef;
+
+/// The tuples reached from `t` by one join step.
+///
+/// Forward steps reach zero or one tuple (the referenced key owner);
+/// backward steps reach every referrer.
+pub fn step_tuples(catalog: &Catalog, step: JoinStep, t: TupleRef) -> Vec<TupleRef> {
+    match step.dir {
+        Direction::Forward => catalog.follow_forward(step.fk, t).into_iter().collect(),
+        Direction::Backward => catalog.follow_backward(step.fk, t),
+    }
+}
+
+/// Number of tuples [`step_tuples`] would return, without materializing.
+pub fn step_fanout(catalog: &Catalog, step: JoinStep, t: TupleRef) -> usize {
+    match step.dir {
+        Direction::Forward => usize::from(catalog.follow_forward(step.fk, t).is_some()),
+        Direction::Backward => catalog.backward_count(step.fk, t),
+    }
+}
+
+/// All tuples reached from `start` along the whole path, **with
+/// multiplicity**: a tuple reachable along `k` distinct traversals appears
+/// `k` times. Order is depth-first.
+pub fn path_tuples(catalog: &Catalog, path: &JoinPath, start: TupleRef) -> Vec<TupleRef> {
+    debug_assert_eq!(
+        start.rel, path.start,
+        "start tuple not in path start relation"
+    );
+    let mut frontier = vec![start];
+    for step in &path.steps {
+        let mut next = Vec::with_capacity(frontier.len());
+        for t in frontier {
+            next.extend(step_tuples(catalog, *step, t));
+        }
+        frontier = next;
+    }
+    frontier
+}
+
+/// Distinct tuples reached from `start` along the path.
+pub fn path_tuple_set(catalog: &Catalog, path: &JoinPath, start: TupleRef) -> Vec<TupleRef> {
+    let mut all = path_tuples(catalog, path, start);
+    all.sort_unstable();
+    all.dedup();
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::FkId;
+    use crate::schema::SchemaBuilder;
+    use crate::tuple::TupleId;
+    use crate::value::{AttrType, Value};
+
+    /// Two papers at one venue, three authorship records:
+    /// paper 1 by (a, b); paper 2 by (a).
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation(
+            SchemaBuilder::new("Authors")
+                .key("author", AttrType::Str)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        c.add_relation(
+            SchemaBuilder::new("Venues")
+                .key("venue", AttrType::Str)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        c.add_relation(
+            SchemaBuilder::new("Papers")
+                .key("paper", AttrType::Int)
+                .fk("venue", AttrType::Str, "Venues")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        c.add_relation(
+            SchemaBuilder::new("Publish")
+                .fk("author", AttrType::Str, "Authors")
+                .fk("paper", AttrType::Int, "Papers")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for a in ["a", "b"] {
+            c.insert("Authors", [Value::str(a)].into()).unwrap();
+        }
+        c.insert("Venues", [Value::str("VLDB")].into()).unwrap();
+        c.insert("Papers", [Value::Int(1), Value::str("VLDB")].into())
+            .unwrap();
+        c.insert("Papers", [Value::Int(2), Value::str("VLDB")].into())
+            .unwrap();
+        c.insert("Publish", [Value::str("a"), Value::Int(1)].into())
+            .unwrap();
+        c.insert("Publish", [Value::str("b"), Value::Int(1)].into())
+            .unwrap();
+        c.insert("Publish", [Value::str("a"), Value::Int(2)].into())
+            .unwrap();
+        c.finalize(true).unwrap();
+        c
+    }
+
+    fn fk(c: &Catalog, label: &str) -> FkId {
+        c.fk_edges().iter().find(|e| e.label == label).unwrap().id
+    }
+
+    #[test]
+    fn forward_step_reaches_one_tuple() {
+        let c = catalog();
+        let publish = c.relation_id("Publish").unwrap();
+        let papers = c.relation_id("Papers").unwrap();
+        let s = JoinStep::forward(fk(&c, "Publish.paper->Papers"));
+        let t = TupleRef::new(publish, TupleId(0));
+        let reached = step_tuples(&c, s, t);
+        assert_eq!(reached, vec![TupleRef::new(papers, TupleId(0))]);
+        assert_eq!(step_fanout(&c, s, t), 1);
+    }
+
+    #[test]
+    fn backward_step_reaches_all_referrers() {
+        let c = catalog();
+        let papers = c.relation_id("Papers").unwrap();
+        let s = JoinStep::backward(fk(&c, "Publish.paper->Papers"));
+        let p1 = TupleRef::new(papers, TupleId(0));
+        let reached = step_tuples(&c, s, p1);
+        assert_eq!(reached.len(), 2);
+        assert_eq!(step_fanout(&c, s, p1), 2);
+    }
+
+    #[test]
+    fn coauthor_path_multiplicity_and_set() {
+        let c = catalog();
+        let publish = c.relation_id("Publish").unwrap();
+        let authors = c.relation_id("Authors").unwrap();
+        let fk_paper = fk(&c, "Publish.paper->Papers");
+        let fk_author = fk(&c, "Publish.author->Authors");
+        // Publish -> Papers <- Publish -> Authors from the (a, paper1) record.
+        let path = JoinPath::new(
+            publish,
+            vec![
+                JoinStep::forward(fk_paper),
+                JoinStep::backward(fk_paper),
+                JoinStep::forward(fk_author),
+            ],
+            &c,
+        )
+        .unwrap();
+        let start = TupleRef::new(publish, TupleId(0));
+        let multi = path_tuples(&c, &path, start);
+        // paper1 has 2 authorship records -> 2 author tuples (a and b).
+        assert_eq!(multi.len(), 2);
+        let set = path_tuple_set(&c, &path, start);
+        assert_eq!(set.len(), 2);
+        assert!(set.iter().all(|t| t.rel == authors));
+    }
+
+    #[test]
+    fn venue_path_converges() {
+        let c = catalog();
+        let publish = c.relation_id("Publish").unwrap();
+        let venues = c.relation_id("Venues").unwrap();
+        let path = JoinPath::new(
+            publish,
+            vec![
+                JoinStep::forward(fk(&c, "Publish.paper->Papers")),
+                JoinStep::forward(fk(&c, "Papers.venue->Venues")),
+            ],
+            &c,
+        )
+        .unwrap();
+        // Both of a's records end at VLDB.
+        for tid in [0u32, 2u32] {
+            let reached = path_tuples(&c, &path, TupleRef::new(publish, TupleId(tid)));
+            assert_eq!(reached, vec![TupleRef::new(venues, TupleId(0))]);
+        }
+    }
+
+    #[test]
+    fn empty_path_returns_start() {
+        let c = catalog();
+        let publish = c.relation_id("Publish").unwrap();
+        let start = TupleRef::new(publish, TupleId(1));
+        let path = JoinPath::empty(publish);
+        assert_eq!(path_tuples(&c, &path, start), vec![start]);
+    }
+}

@@ -1,0 +1,347 @@
+//! Typed attribute values.
+//!
+//! The store supports four scalar types plus `Null`. Floats are wrapped so
+//! that values are totally ordered, hashable, and usable as index keys
+//! (bit-pattern equality after normalizing `-0.0` and NaN).
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// Declared type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttrType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float (total order via normalized bit pattern).
+    Float,
+    /// UTF-8 string (reference counted; cloning a value is cheap).
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrType::Int => write!(f, "int"),
+            AttrType::Float => write!(f, "float"),
+            AttrType::Str => write!(f, "str"),
+            AttrType::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+/// A single attribute value.
+///
+/// Strings are stored as `Arc<str>` so that tuples and indexes can share one
+/// allocation per distinct string; cloning a [`Value`] never allocates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent value.
+    Null,
+    /// Integer value.
+    Int(i64),
+    /// Float value (normalized for equality: NaN collapses, -0.0 == +0.0).
+    Float(f64),
+    /// String value.
+    Str(Arc<str>),
+    /// Boolean value.
+    Bool(bool),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The runtime type of this value, or `None` for `Null`.
+    pub fn attr_type(&self) -> Option<AttrType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(AttrType::Int),
+            Value::Float(_) => Some(AttrType::Float),
+            Value::Str(_) => Some(AttrType::Str),
+            Value::Bool(_) => Some(AttrType::Bool),
+        }
+    }
+
+    /// True if the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// True if the value matches the declared type (Null matches anything).
+    pub fn matches(&self, ty: AttrType) -> bool {
+        match self.attr_type() {
+            None => true,
+            Some(t) => t == ty,
+        }
+    }
+
+    /// The integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The float payload, if this is a `Float`.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Normalized bit pattern for float comparison: all NaNs collapse to one
+    /// pattern and `-0.0` equals `+0.0`.
+    fn float_bits(x: f64) -> u64 {
+        if x.is_nan() {
+            f64::NAN.to_bits() | 1 << 63 // one canonical NaN
+        } else if x == 0.0 {
+            0 // collapse -0.0 and +0.0
+        } else {
+            x.to_bits()
+        }
+    }
+
+    /// Order rank of the variant, used for cross-type total ordering.
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Str(_) => 4,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => Self::float_bits(*a) == Self::float_bits(*b),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u8(self.rank());
+        match self {
+            Value::Null => {}
+            Value::Int(i) => state.write_u64(*i as u64),
+            Value::Float(x) => state.write_u64(Self::float_bits(*x)),
+            Value::Str(s) => s.hash(state),
+            Value::Bool(b) => state.write_u8(*b as u8),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => {
+                // Total order consistent with Eq: compare normalized bits of
+                // sign-flipped representation.
+                fn key(x: f64) -> i64 {
+                    let bits = Value::float_bits(x) as i64;
+                    bits ^ (((bits >> 63) as u64) >> 1) as i64
+                }
+                key(*a).cmp(&key(*b))
+            }
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn type_checks() {
+        assert_eq!(Value::Int(3).attr_type(), Some(AttrType::Int));
+        assert_eq!(Value::str("a").attr_type(), Some(AttrType::Str));
+        assert_eq!(Value::Null.attr_type(), None);
+        assert!(Value::Null.matches(AttrType::Int));
+        assert!(Value::Int(1).matches(AttrType::Int));
+        assert!(!Value::Int(1).matches(AttrType::Str));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::Float(1.5).as_float(), Some(1.5));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(7).as_str(), None);
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn float_equality_is_normalized() {
+        assert_eq!(Value::Float(0.0), Value::Float(-0.0));
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+        assert_eq!(h(&Value::Float(0.0)), h(&Value::Float(-0.0)));
+        assert_eq!(h(&Value::Float(f64::NAN)), h(&Value::Float(f64::NAN)));
+        assert_ne!(Value::Float(1.0), Value::Float(2.0));
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::str("wei wang").to_string(), "wei wang");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn cross_type_ordering_is_total_and_stable() {
+        let mut vals = [
+            Value::str("b"),
+            Value::Int(2),
+            Value::Null,
+            Value::Bool(true),
+            Value::Float(0.5),
+            Value::Int(1),
+            Value::str("a"),
+        ];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        // Within-type orderings hold.
+        let ints: Vec<_> = vals.iter().filter_map(Value::as_int).collect();
+        assert_eq!(ints, vec![1, 2]);
+        let strs: Vec<_> = vals.iter().filter_map(Value::as_str).collect();
+        assert_eq!(strs, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from("s"), Value::str("s"));
+        assert_eq!(Value::from(String::from("s")), Value::str("s"));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(2.5f64), Value::Float(2.5));
+    }
+
+    proptest! {
+        #[test]
+        fn eq_implies_same_hash(a in any::<i64>(), b in any::<i64>()) {
+            let va = Value::Int(a);
+            let vb = Value::Int(b);
+            if va == vb {
+                prop_assert_eq!(h(&va), h(&vb));
+            }
+        }
+
+        #[test]
+        fn float_ord_is_antisymmetric(a in any::<f64>(), b in any::<f64>()) {
+            let va = Value::Float(a);
+            let vb = Value::Float(b);
+            let ab = va.cmp(&vb);
+            let ba = vb.cmp(&va);
+            prop_assert_eq!(ab, ba.reverse());
+        }
+
+        #[test]
+        fn float_eq_consistent_with_ord(a in any::<f64>(), b in any::<f64>()) {
+            let va = Value::Float(a);
+            let vb = Value::Float(b);
+            prop_assert_eq!(va == vb, va.cmp(&vb) == std::cmp::Ordering::Equal);
+        }
+
+        #[test]
+        fn string_values_round_trip(s in ".*") {
+            let v = Value::str(&s);
+            prop_assert_eq!(v.as_str(), Some(s.as_str()));
+        }
+    }
+}

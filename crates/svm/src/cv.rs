@@ -1,0 +1,127 @@
+//! K-fold cross-validation utilities.
+
+use crate::data::{Dataset, Result, SvmError};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Deterministic k-fold split: returns `k` disjoint index sets covering
+/// `0..n`, after a seeded shuffle. Fold sizes differ by at most one.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Result<Vec<Vec<usize>>> {
+    if k < 2 {
+        return Err(SvmError::BadParameter {
+            name: "k",
+            reason: "need k >= 2 folds".into(),
+        });
+    }
+    if n < k {
+        return Err(SvmError::Degenerate(format!(
+            "{n} samples cannot fill {k} folds"
+        )));
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut folds = vec![Vec::with_capacity(n / k + 1); k];
+    for (i, v) in idx.into_iter().enumerate() {
+        folds[i % k].push(v);
+    }
+    Ok(folds)
+}
+
+/// Cross-validate a training procedure: `train` gets a training subset and
+/// returns a scoring closure; the returned vector holds per-fold accuracy.
+pub fn cross_validate<F, M>(data: &Dataset, k: usize, seed: u64, train: F) -> Result<Vec<f64>>
+where
+    F: Fn(&Dataset) -> Result<M>,
+    M: Fn(&[f64]) -> f64, // predicted label for a feature vector
+{
+    let folds = kfold_indices(data.len(), k, seed)?;
+    let mut accs = Vec::with_capacity(k);
+    for test_fold in 0..k {
+        let train_idx: Vec<usize> = folds
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != test_fold)
+            .flat_map(|(_, f)| f.iter().copied())
+            .collect();
+        let model = train(&data.subset(&train_idx))?;
+        let test = &folds[test_fold];
+        let correct = test
+            .iter()
+            .filter(|&&i| model(data.x(i)) == data.y(i))
+            .count();
+        accs.push(correct as f64 / test.len() as f64);
+    }
+    Ok(accs)
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Kernel;
+    use crate::smo::{train_smo, SmoConfig};
+    use rand::Rng;
+
+    #[test]
+    fn folds_partition_the_index_space() {
+        let folds = kfold_indices(10, 3, 42).unwrap();
+        assert_eq!(folds.len(), 3);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        // Balanced: sizes 4, 3, 3.
+        let mut sizes: Vec<usize> = folds.iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![3, 3, 4]);
+    }
+
+    #[test]
+    fn folds_are_deterministic_per_seed() {
+        assert_eq!(
+            kfold_indices(20, 4, 1).unwrap(),
+            kfold_indices(20, 4, 1).unwrap()
+        );
+        assert_ne!(
+            kfold_indices(20, 4, 1).unwrap(),
+            kfold_indices(20, 4, 2).unwrap()
+        );
+    }
+
+    #[test]
+    fn degenerate_folds_rejected() {
+        assert!(kfold_indices(10, 1, 0).is_err());
+        assert!(kfold_indices(2, 3, 0).is_err());
+    }
+
+    #[test]
+    fn cross_validation_on_separable_data() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut d = Dataset::new();
+        for _ in 0..30 {
+            d.push(vec![1.0 + rng.gen_range(-0.3..0.3)], 1.0).unwrap();
+            d.push(vec![-1.0 + rng.gen_range(-0.3..0.3)], -1.0).unwrap();
+        }
+        let accs = cross_validate(&d, 5, 1, |train| {
+            let m = train_smo(train, Kernel::Linear, &SmoConfig::default())?;
+            Ok(move |x: &[f64]| m.predict(x))
+        })
+        .unwrap();
+        assert_eq!(accs.len(), 5);
+        assert!(mean(&accs) > 0.95, "accs {accs:?}");
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+}

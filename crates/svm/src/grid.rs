@@ -1,0 +1,119 @@
+//! Hyperparameter grid search with cross-validation.
+
+use crate::cv::{cross_validate, mean};
+use crate::data::{Dataset, Result, SvmError};
+use crate::kernel::Kernel;
+use crate::smo::{train_smo, SmoConfig};
+
+/// Result of a grid search.
+#[derive(Debug, Clone)]
+pub struct GridSearchResult {
+    /// Selected soft-margin penalty.
+    pub c: f64,
+    /// Mean cross-validated accuracy at the selected value.
+    pub accuracy: f64,
+    /// Full sweep: `(C, mean accuracy)` per candidate.
+    pub sweep: Vec<(f64, f64)>,
+}
+
+/// The default candidate grid for C (log-spaced).
+pub fn default_c_grid() -> Vec<f64> {
+    vec![0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0]
+}
+
+/// Select the soft-margin penalty `C` for a linear SVM by k-fold
+/// cross-validation; ties break toward the smaller (more regularized) C.
+pub fn select_c(
+    data: &Dataset,
+    kernel: Kernel,
+    candidates: &[f64],
+    folds: usize,
+    seed: u64,
+) -> Result<GridSearchResult> {
+    if candidates.is_empty() {
+        return Err(SvmError::BadParameter {
+            name: "candidates",
+            reason: "need at least one C value".into(),
+        });
+    }
+    let mut sweep = Vec::with_capacity(candidates.len());
+    for &c in candidates {
+        if c <= 0.0 {
+            return Err(SvmError::BadParameter {
+                name: "candidates",
+                reason: format!("C = {c} is not positive"),
+            });
+        }
+        let accs = cross_validate(data, folds, seed, |train| {
+            let cfg = SmoConfig {
+                c,
+                ..Default::default()
+            };
+            let model = train_smo(train, kernel, &cfg)?;
+            Ok(move |x: &[f64]| model.predict(x))
+        })?;
+        sweep.push((c, mean(&accs)));
+    }
+    let (c, accuracy) = sweep
+        .iter()
+        .copied()
+        .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.total_cmp(&a.0)))
+        .expect("non-empty sweep");
+    Ok(GridSearchResult { c, accuracy, sweep })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noisy_blobs(n_per: usize, noise: f64, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new();
+        for _ in 0..n_per {
+            d.push(vec![1.0 + rng.gen_range(-noise..noise)], 1.0)
+                .unwrap();
+            d.push(vec![-1.0 + rng.gen_range(-noise..noise)], -1.0)
+                .unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn selects_a_candidate_and_reports_sweep() {
+        let data = noisy_blobs(40, 0.8, 1);
+        let r = select_c(&data, Kernel::Linear, &[0.1, 1.0, 10.0], 4, 7).unwrap();
+        assert!([0.1, 1.0, 10.0].contains(&r.c));
+        assert_eq!(r.sweep.len(), 3);
+        assert!((0.0..=1.0).contains(&r.accuracy));
+        // The selected accuracy is the sweep maximum.
+        let best = r.sweep.iter().map(|&(_, a)| a).fold(0.0f64, f64::max);
+        assert!((r.accuracy - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_data_achieves_high_cv_accuracy() {
+        let data = noisy_blobs(40, 0.3, 2);
+        let r = select_c(&data, Kernel::Linear, &default_c_grid(), 5, 3).unwrap();
+        assert!(r.accuracy > 0.95, "cv accuracy {}", r.accuracy);
+    }
+
+    #[test]
+    fn ties_prefer_smaller_c() {
+        // Perfectly separable: most Cs achieve 1.0; the smallest must win.
+        let data = noisy_blobs(30, 0.1, 3);
+        let r = select_c(&data, Kernel::Linear, &[0.5, 5.0, 50.0], 3, 5).unwrap();
+        if r.accuracy == 1.0 {
+            assert_eq!(r.c, 0.5);
+        }
+    }
+
+    #[test]
+    fn invalid_grids_rejected() {
+        let data = noisy_blobs(10, 0.3, 4);
+        assert!(select_c(&data, Kernel::Linear, &[], 3, 0).is_err());
+        assert!(select_c(&data, Kernel::Linear, &[0.0], 3, 0).is_err());
+        assert!(select_c(&data, Kernel::Linear, &[-1.0], 3, 0).is_err());
+    }
+}

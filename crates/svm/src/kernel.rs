@@ -1,0 +1,114 @@
+//! Kernel functions for the dual (SMO) solver.
+//!
+//! The paper uses a linear kernel — the learned model must reduce to one
+//! interpretable weight per join path — but the solver is generic, and the
+//! polynomial and RBF kernels are exercised by tests to validate the SMO
+//! implementation on problems a linear separator cannot solve.
+
+use crate::data::dot;
+use serde::{Deserialize, Serialize};
+
+/// Kernel function.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Kernel {
+    /// `K(a, b) = a · b`
+    Linear,
+    /// `K(a, b) = (gamma · a·b + coef0)^degree`
+    Polynomial {
+        /// Polynomial degree (≥ 1).
+        degree: u32,
+        /// Scale of the inner product.
+        gamma: f64,
+        /// Additive constant.
+        coef0: f64,
+    },
+    /// `K(a, b) = exp(−gamma · ‖a − b‖²)`
+    Rbf {
+        /// Width parameter (> 0).
+        gamma: f64,
+    },
+}
+
+impl Kernel {
+    /// Evaluate the kernel on two vectors.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        match *self {
+            Kernel::Linear => dot(a, b),
+            Kernel::Polynomial {
+                degree,
+                gamma,
+                coef0,
+            } => (gamma * dot(a, b) + coef0).powi(degree as i32),
+            Kernel::Rbf { gamma } => {
+                let sq: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+                (-gamma * sq).exp()
+            }
+        }
+    }
+
+    /// True for the linear kernel (primal weights can be extracted).
+    pub fn is_linear(&self) -> bool {
+        matches!(self, Kernel::Linear)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn linear_is_dot() {
+        assert_eq!(Kernel::Linear.eval(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!(Kernel::Linear.is_linear());
+    }
+
+    #[test]
+    fn polynomial_hand_computed() {
+        let k = Kernel::Polynomial {
+            degree: 2,
+            gamma: 1.0,
+            coef0: 1.0,
+        };
+        // (1*2 + 1)^2 = 9
+        assert_eq!(k.eval(&[1.0], &[2.0]), 9.0);
+        assert!(!k.is_linear());
+    }
+
+    #[test]
+    fn rbf_properties() {
+        let k = Kernel::Rbf { gamma: 0.5 };
+        // K(x, x) = 1
+        assert!((k.eval(&[1.0, -2.0], &[1.0, -2.0]) - 1.0).abs() < 1e-12);
+        // Monotonically decreasing in distance.
+        let near = k.eval(&[0.0], &[0.1]);
+        let far = k.eval(&[0.0], &[2.0]);
+        assert!(near > far);
+        assert!(far > 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn kernels_are_symmetric(
+            a in proptest::collection::vec(-10.0f64..10.0, 3),
+            b in proptest::collection::vec(-10.0f64..10.0, 3),
+        ) {
+            for k in [
+                Kernel::Linear,
+                Kernel::Polynomial { degree: 3, gamma: 0.7, coef0: 0.2 },
+                Kernel::Rbf { gamma: 0.3 },
+            ] {
+                prop_assert!((k.eval(&a, &b) - k.eval(&b, &a)).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn rbf_bounded(
+            a in proptest::collection::vec(-10.0f64..10.0, 3),
+            b in proptest::collection::vec(-10.0f64..10.0, 3),
+        ) {
+            let v = Kernel::Rbf { gamma: 0.5 }.eval(&a, &b);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Platt scaling: calibrate raw SVM decision values into probabilities.
+//!
+//! Fits `P(y = +1 | f) = 1 / (1 + exp(A·f + B))` to (decision value,
+//! label) pairs by regularized maximum likelihood, using Platt's target
+//! smoothing and a damped Newton iteration (the standard Lin–Lin–Weng
+//! formulation). DISTINCT uses this to turn pair decision values into
+//! merge confidences that are comparable across models.
+
+use crate::data::{Dataset, Result, SvmError};
+use serde::{Deserialize, Serialize};
+
+/// A fitted sigmoid `P(+1 | f) = 1 / (1 + exp(A f + B))`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlattScaler {
+    /// Slope (negative for a well-oriented decision function).
+    pub a: f64,
+    /// Intercept.
+    pub b: f64,
+}
+
+impl PlattScaler {
+    /// Fit from decision values and their true labels (±1).
+    ///
+    /// Uses Platt's smoothed targets `t+ = (N+ + 1) / (N+ + 2)`,
+    /// `t− = 1 / (N− + 2)` to avoid overfitting separable data.
+    pub fn fit(decisions: &[f64], labels: &[f64]) -> Result<PlattScaler> {
+        if decisions.len() != labels.len() {
+            return Err(SvmError::Degenerate(format!(
+                "{} decisions vs {} labels",
+                decisions.len(),
+                labels.len()
+            )));
+        }
+        let n_pos = labels.iter().filter(|&&y| y > 0.0).count();
+        let n_neg = labels.len() - n_pos;
+        if n_pos == 0 || n_neg == 0 {
+            return Err(SvmError::Degenerate("Platt fit needs both classes".into()));
+        }
+        let t_pos = (n_pos as f64 + 1.0) / (n_pos as f64 + 2.0);
+        let t_neg = 1.0 / (n_neg as f64 + 2.0);
+        let targets: Vec<f64> = labels
+            .iter()
+            .map(|&y| if y > 0.0 { t_pos } else { t_neg })
+            .collect();
+
+        // Newton with backtracking on the negative log-likelihood.
+        let mut a = 0.0f64;
+        let mut b = ((n_neg as f64 + 1.0) / (n_pos as f64 + 1.0)).ln();
+        let nll = |a: f64, b: f64| -> f64 {
+            decisions
+                .iter()
+                .zip(&targets)
+                .map(|(&f, &t)| {
+                    let z = a * f + b;
+                    // log(1 + e^z) − (1 − t)·(−z)… written stably:
+                    if z >= 0.0 {
+                        t * z + (1.0 + (-z).exp()).ln()
+                    } else {
+                        (t - 1.0) * z + (1.0 + z.exp()).ln()
+                    }
+                })
+                .sum()
+        };
+        let mut current = nll(a, b);
+        for _ in 0..100 {
+            // Gradient and Hessian.
+            let (mut ga, mut gb, mut haa, mut hab, mut hbb) = (0.0, 0.0, 1e-12, 0.0, 1e-12);
+            for (&f, &t) in decisions.iter().zip(&targets) {
+                let z = a * f + b;
+                let p = if z >= 0.0 {
+                    let e = (-z).exp();
+                    e / (1.0 + e)
+                } else {
+                    1.0 / (1.0 + z.exp())
+                }; // p = P(+1) = 1/(1+e^z)
+                let d1 = t - p; // dNLL/dz with our sign convention
+                let d2 = p * (1.0 - p);
+                ga += f * d1;
+                gb += d1;
+                haa += f * f * d2;
+                hab += f * d2;
+                hbb += d2;
+            }
+            if ga.abs() < 1e-10 && gb.abs() < 1e-10 {
+                break;
+            }
+            // Newton step: solve H d = -g.
+            let det = haa * hbb - hab * hab;
+            if det.abs() < 1e-18 {
+                break;
+            }
+            let da = -(hbb * ga - hab * gb) / det;
+            let db = -(haa * gb - hab * ga) / det;
+            // Backtracking line search.
+            let mut step = 1.0;
+            let mut improved = false;
+            for _ in 0..20 {
+                let candidate = nll(a + step * da, b + step * db);
+                if candidate < current - 1e-12 {
+                    a += step * da;
+                    b += step * db;
+                    current = candidate;
+                    improved = true;
+                    break;
+                }
+                step *= 0.5;
+            }
+            if !improved {
+                break;
+            }
+        }
+        Ok(PlattScaler { a, b })
+    }
+
+    /// Fit directly from a decision function over a dataset.
+    pub fn fit_model(data: &Dataset, decision: impl Fn(&[f64]) -> f64) -> Result<PlattScaler> {
+        let decisions: Vec<f64> = data.iter().map(|(x, _)| decision(x)).collect();
+        PlattScaler::fit(&decisions, data.labels())
+    }
+
+    /// Probability that the label is `+1` given a decision value.
+    pub fn probability(&self, decision: f64) -> f64 {
+        let z = self.a * decision + self.b;
+        if z >= 0.0 {
+            let e = (-z).exp();
+            e / (1.0 + e)
+        } else {
+            1.0 / (1.0 + z.exp())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noisy_decisions(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ds = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            ds.push(1.0 + rng.gen_range(-1.5..1.5));
+            ys.push(1.0);
+            ds.push(-1.0 + rng.gen_range(-1.5..1.5));
+            ys.push(-1.0);
+        }
+        (ds, ys)
+    }
+
+    #[test]
+    fn probabilities_are_monotone_in_decision_value() {
+        let (d, y) = noisy_decisions(200, 1);
+        let s = PlattScaler::fit(&d, &y).unwrap();
+        let mut prev = s.probability(-5.0);
+        for i in -9..=10 {
+            let p = s.probability(i as f64 * 0.5);
+            assert!(p >= prev - 1e-12, "not monotone at {i}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn large_decisions_map_near_extremes() {
+        let (d, y) = noisy_decisions(300, 2);
+        let s = PlattScaler::fit(&d, &y).unwrap();
+        assert!(s.probability(10.0) > 0.95);
+        assert!(s.probability(-10.0) < 0.05);
+        assert!((0.0..=1.0).contains(&s.probability(0.0)));
+    }
+
+    #[test]
+    fn calibration_is_roughly_accurate() {
+        // For well-separated data with symmetric noise, P(+1 | f=0) ≈ 0.5.
+        let (d, y) = noisy_decisions(500, 3);
+        let s = PlattScaler::fit(&d, &y).unwrap();
+        let p0 = s.probability(0.0);
+        assert!((p0 - 0.5).abs() < 0.1, "P(+1|0) = {p0}");
+        // Empirical check: mean predicted probability of positives is high.
+        let mean_pos: f64 = d
+            .iter()
+            .zip(&y)
+            .filter(|(_, &yy)| yy > 0.0)
+            .map(|(&f, _)| s.probability(f))
+            .sum::<f64>()
+            / 500.0;
+        assert!(mean_pos > 0.7, "mean positive prob {mean_pos}");
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(PlattScaler::fit(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(PlattScaler::fit(&[1.0, 2.0], &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn fit_model_convenience() {
+        let data = Dataset::from_parts(
+            vec![vec![1.0], vec![2.0], vec![-1.0], vec![-2.0]],
+            vec![1.0, 1.0, -1.0, -1.0],
+        )
+        .unwrap();
+        let s = PlattScaler::fit_model(&data, |x| x[0]).unwrap();
+        assert!(s.probability(2.0) > s.probability(-2.0));
+    }
+
+    #[test]
+    fn separable_data_does_not_blow_up() {
+        // Perfectly separable decisions: smoothing must keep A finite.
+        let d: Vec<f64> = (0..20).map(|i| if i < 10 { 3.0 } else { -3.0 }).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { -1.0 }).collect();
+        let s = PlattScaler::fit(&d, &y).unwrap();
+        assert!(s.a.is_finite() && s.b.is_finite());
+        assert!(s.probability(3.0) > 0.8);
+        assert!(s.probability(-3.0) < 0.2);
+    }
+
+    #[test]
+    fn serializes() {
+        let s = PlattScaler { a: -1.5, b: 0.25 };
+        let j = serde_json::to_string(&s).unwrap();
+        let back: PlattScaler = serde_json::from_str(&j).unwrap();
+        assert_eq!(s, back);
+    }
+}

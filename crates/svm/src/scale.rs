@@ -1,0 +1,171 @@
+//! Feature standardization.
+//!
+//! Per-join-path similarities live on very different scales (a resemblance
+//! in [0, 1] vs a walk probability that may be 1e-4), and both SMO and
+//! Pegasos converge far better on standardized features. The scaler is fit
+//! on training data and applied to anything scored later; it serializes
+//! alongside the model.
+
+use crate::data::{Dataset, Result, SvmError};
+use serde::{Deserialize, Serialize};
+
+/// Per-feature standardization to zero mean and unit variance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    /// Per-feature means.
+    pub mean: Vec<f64>,
+    /// Per-feature standard deviations (constant features get 1.0 so they
+    /// map to exactly zero rather than NaN).
+    pub std: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit on a dataset.
+    pub fn fit(data: &Dataset) -> Result<Self> {
+        if data.is_empty() {
+            return Err(SvmError::Degenerate(
+                "cannot fit a scaler on no samples".into(),
+            ));
+        }
+        let n = data.len() as f64;
+        let dim = data.dim();
+        let mut mean = vec![0.0; dim];
+        for (x, _) in data.iter() {
+            for (m, &v) in mean.iter_mut().zip(x) {
+                *m += v;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= n;
+        }
+        let mut var = vec![0.0; dim];
+        for (x, _) in data.iter() {
+            for ((s, &v), m) in var.iter_mut().zip(x).zip(&mean) {
+                let d = v - m;
+                *s += d * d;
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|s| {
+                let sd = (s / n).sqrt();
+                if sd > 1e-12 {
+                    sd
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Ok(StandardScaler { mean, std })
+    }
+
+    /// Transform one feature vector in place.
+    pub fn transform_in_place(&self, x: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.mean.len());
+        for ((v, m), s) in x.iter_mut().zip(&self.mean).zip(&self.std) {
+            *v = (*v - m) / s;
+        }
+    }
+
+    /// Transform one feature vector, returning a new vector.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = x.to_vec();
+        self.transform_in_place(&mut out);
+        out
+    }
+
+    /// Transform a whole dataset, preserving labels.
+    pub fn transform_dataset(&self, data: &Dataset) -> Dataset {
+        let mut out = Dataset::new();
+        for (x, y) in data.iter() {
+            out.push(self.transform(x), y)
+                .expect("labels already validated");
+        }
+        out
+    }
+
+    /// Undo the transform on a weight vector learned in scaled space, so
+    /// weights can be interpreted against the original features:
+    /// `w_orig[j] = w_scaled[j] / std[j]` (plus a bias correction).
+    pub fn unscale_weights(&self, weights: &[f64], bias: f64) -> (Vec<f64>, f64) {
+        let w: Vec<f64> = weights
+            .iter()
+            .zip(&self.std)
+            .map(|(&w, &s)| w / s)
+            .collect();
+        let b = bias - w.iter().zip(&self.mean).map(|(&w, &m)| w * m).sum::<f64>();
+        (w, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        Dataset::from_parts(
+            vec![vec![1.0, 100.0], vec![3.0, 300.0], vec![5.0, 200.0]],
+            vec![1.0, -1.0, 1.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fit_computes_mean_and_std() {
+        let s = StandardScaler::fit(&data()).unwrap();
+        assert_eq!(s.mean, vec![3.0, 200.0]);
+        let expected_std0 = ((4.0 + 0.0 + 4.0) / 3.0f64).sqrt();
+        assert!((s.std[0] - expected_std0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transformed_data_is_standardized() {
+        let d = data();
+        let s = StandardScaler::fit(&d).unwrap();
+        let t = s.transform_dataset(&d);
+        for j in 0..2 {
+            let mean: f64 = (0..t.len()).map(|i| t.x(i)[j]).sum::<f64>() / t.len() as f64;
+            let var: f64 = (0..t.len()).map(|i| t.x(i)[j].powi(2)).sum::<f64>() / t.len() as f64;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+        // Labels preserved.
+        assert_eq!(t.labels(), d.labels());
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let d = Dataset::from_parts(vec![vec![5.0], vec![5.0]], vec![1.0, -1.0]).unwrap();
+        let s = StandardScaler::fit(&d).unwrap();
+        assert_eq!(s.transform(&[5.0]), vec![0.0]);
+        assert_eq!(s.std, vec![1.0]);
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        assert!(StandardScaler::fit(&Dataset::new()).is_err());
+    }
+
+    #[test]
+    fn unscale_weights_preserves_decision() {
+        let d = data();
+        let s = StandardScaler::fit(&d).unwrap();
+        let w_scaled = vec![0.8, -0.4];
+        let b_scaled = 0.3;
+        let (w, b) = s.unscale_weights(&w_scaled, b_scaled);
+        for (x, _) in d.iter() {
+            let scaled = s.transform(x);
+            let f_scaled: f64 = crate::data::dot(&w_scaled, &scaled) + b_scaled;
+            let f_orig: f64 = crate::data::dot(&w, x) + b;
+            assert!((f_scaled - f_orig).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = StandardScaler::fit(&data()).unwrap();
+        let j = serde_json::to_string(&s).unwrap();
+        let back: StandardScaler = serde_json::from_str(&j).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,188 @@
+//! Failure injection: corrupt inputs, degenerate databases, and hostile
+//! edge cases must produce errors (or sane no-op results), never panics.
+
+use datagen::{to_catalog, AmbiguousSpec, World, WorldConfig};
+use distinct::{Distinct, DistinctConfig, TrainingConfig};
+use relstore::{
+    persist, AttrType, Catalog, Predicate, Query, SchemaBuilder, Tuple, Value,
+};
+
+fn training() -> TrainingConfig {
+    TrainingConfig {
+        positives: 20,
+        negatives: 20,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn persist_load_with_missing_relation_file_errors() {
+    let dir = std::env::temp_dir().join(format!("distinct_fail_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut c = Catalog::new();
+    c.add_relation(
+        SchemaBuilder::new("A")
+            .key("a", AttrType::Int)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    c.insert("A", [Value::Int(1)].into()).unwrap();
+    c.finalize(true).unwrap();
+    persist::save_catalog(&c, &dir).unwrap();
+    std::fs::remove_file(dir.join("A.csv")).unwrap();
+    assert!(persist::load_catalog(&dir).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn persist_load_with_corrupt_relation_body_errors() {
+    let dir = std::env::temp_dir().join(format!("distinct_fail2_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut c = Catalog::new();
+    c.add_relation(
+        SchemaBuilder::new("A")
+            .key("a", AttrType::Int)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    c.insert("A", [Value::Int(1)].into()).unwrap();
+    c.finalize(true).unwrap();
+    persist::save_catalog(&c, &dir).unwrap();
+    std::fs::write(dir.join("A.csv"), "a\nnot_an_int\n").unwrap();
+    assert!(persist::load_catalog(&dir).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn pipeline_on_database_with_no_informative_structure() {
+    // A database where every reference links to one single shared paper:
+    // all neighborhoods identical, no training signal. The pipeline must
+    // fail gracefully at training (no unique names / degenerate features),
+    // and unsupervised resolution must still return a clustering.
+    let mut c = Catalog::new();
+    c.add_relation(
+        SchemaBuilder::new("Authors")
+            .key("author", AttrType::Str)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    c.add_relation(
+        SchemaBuilder::new("Papers")
+            .key("paper", AttrType::Int)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    c.add_relation(
+        SchemaBuilder::new("Publish")
+            .fk("author", AttrType::Str, "Authors")
+            .fk("paper", AttrType::Int, "Papers")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    c.insert("Papers", [Value::Int(1)].into()).unwrap();
+    for a in ["Shared Name", "Other Name"] {
+        c.insert("Authors", [Value::str(a)].into()).unwrap();
+    }
+    for _ in 0..3 {
+        c.insert("Publish", [Value::str("Shared Name"), Value::Int(1)].into())
+            .unwrap();
+    }
+    c.insert("Publish", [Value::str("Other Name"), Value::Int(1)].into())
+        .unwrap();
+
+    let config = DistinctConfig {
+        training: training(),
+        ..Default::default()
+    };
+    let mut engine = Distinct::prepare(&c, "Publish", "author", config).unwrap();
+    // Training has nothing to learn from (too few unique names).
+    assert!(engine.train().is_err());
+    // Resolution still works with uniform weights.
+    let (refs, clustering) = engine.resolve_name("Shared Name");
+    assert_eq!(refs.len(), 3);
+    assert_eq!(clustering.labels.len(), 3);
+}
+
+#[test]
+fn resolving_a_nonexistent_name_is_a_no_op() {
+    let mut config = WorldConfig::tiny(3);
+    config.ambiguous = vec![AmbiguousSpec::new("Wei Wang", vec![4, 3])];
+    let d = to_catalog(&World::generate(config)).unwrap();
+    let engine = Distinct::prepare(
+        &d.catalog,
+        "Publish",
+        "author",
+        DistinctConfig {
+            training: training(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let (refs, clustering) = engine.resolve_name("Nobody At All");
+    assert!(refs.is_empty());
+    assert!(clustering.labels.is_empty());
+    assert_eq!(clustering.cluster_count(), 0);
+}
+
+#[test]
+fn query_layer_rejects_type_confusion_gracefully() {
+    let mut c = Catalog::new();
+    c.add_relation(
+        SchemaBuilder::new("A")
+            .key("a", AttrType::Int)
+            .data("s", AttrType::Str)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    c.insert("A", [Value::Int(1), Value::str("x")].into()).unwrap();
+    c.finalize(true).unwrap();
+    // Comparing an int column against a string value simply matches
+    // nothing (cross-type order is total but never equal).
+    let rows = Query::new(&c, "A")
+        .unwrap()
+        .filter("a", Predicate::Eq(Value::str("1")))
+        .run()
+        .unwrap();
+    assert!(rows.is_empty());
+}
+
+#[test]
+fn catalog_rejects_inserting_wrong_arity_after_finalize() {
+    let mut c = Catalog::new();
+    c.add_relation(
+        SchemaBuilder::new("A")
+            .key("a", AttrType::Int)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    c.finalize(true).unwrap();
+    assert!(c.insert("A", Tuple::new(vec![Value::Int(1), Value::Int(2)])).is_err());
+    // The failed insert still invalidated finalization (mutable access).
+    assert!(!c.is_finalized());
+    c.finalize(true).unwrap();
+}
+
+#[test]
+fn training_with_absurd_thresholds_errors_not_panics() {
+    let mut config = WorldConfig::tiny(3);
+    config.ambiguous = vec![AmbiguousSpec::new("Wei Wang", vec![4, 3])];
+    let d = to_catalog(&World::generate(config)).unwrap();
+    // Zero rare-name thresholds: nothing qualifies as unique.
+    let cfg = DistinctConfig {
+        training: TrainingConfig {
+            max_first_name_freq: 0,
+            max_last_name_freq: 0,
+            ..training()
+        },
+        ..Default::default()
+    };
+    let mut engine = Distinct::prepare(&d.catalog, "Publish", "author", cfg).unwrap();
+    assert!(engine.train().is_err());
+}

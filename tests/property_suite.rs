@@ -1,0 +1,234 @@
+//! Cross-crate property tests: randomized relational catalogs, CSV
+//! round-trips, propagation invariants, and clustering laws.
+
+use cluster::{agglomerate, Linkage, MatrixMerger};
+use proptest::prelude::*;
+use relgraph::{propagate, LinkGraph};
+use relstore::{
+    csv, enumerate_paths, AttrType, Catalog, PathEnumOptions, Relation, SchemaBuilder, Tuple,
+    TupleRef, Value,
+};
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// A random two-level catalog: `Child(key, parent -> Parent, tag)` and
+/// `Parent(key, label)`, with `n_parents` parents and arbitrary child
+/// assignments (possibly null).
+fn random_catalog(n_parents: usize, assignments: &[Option<usize>]) -> Catalog {
+    let mut c = Catalog::new();
+    c.add_relation(
+        SchemaBuilder::new("Parent")
+            .key("key", AttrType::Int)
+            .data("label", AttrType::Str)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    c.add_relation(
+        SchemaBuilder::new("Child")
+            .key("key", AttrType::Int)
+            .fk("parent", AttrType::Int, "Parent")
+            .data("tag", AttrType::Str)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    for p in 0..n_parents {
+        c.insert(
+            "Parent",
+            Tuple::new(vec![
+                Value::Int(p as i64),
+                Value::str(format!("L{}", p % 3)),
+            ]),
+        )
+        .unwrap();
+    }
+    for (i, a) in assignments.iter().enumerate() {
+        let parent = match a {
+            Some(p) => Value::Int((*p % n_parents) as i64),
+            None => Value::Null,
+        };
+        c.insert(
+            "Child",
+            Tuple::new(vec![
+                Value::Int(i as i64),
+                parent,
+                Value::str(format!("t{}", i % 4)),
+            ]),
+        )
+        .unwrap();
+    }
+    c.finalize(true).unwrap();
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // -- relstore ----------------------------------------------------------
+
+    #[test]
+    fn csv_round_trip_arbitrary_strings(
+        rows in proptest::collection::vec(
+            (any::<i64>(), "[ -~]*", proptest::option::of(any::<i64>())), 0..25),
+    ) {
+        let schema = SchemaBuilder::new("R")
+            .data("text", AttrType::Str)
+            .data("num", AttrType::Int)
+            .data("id", AttrType::Int)
+            .build()
+            .unwrap();
+        let mut rel = Relation::new(schema.clone());
+        for (i, (id, text, num)) in rows.iter().enumerate() {
+            let _ = i;
+            rel.insert(Tuple::new(vec![
+                Value::str(text),
+                num.map(Value::Int).unwrap_or(Value::Null),
+                Value::Int(*id),
+            ]))
+            .unwrap();
+        }
+        let emitted = csv::to_csv(&rel);
+        let mut back = Relation::new(schema);
+        csv::load_csv(&mut back, &emitted).unwrap();
+        prop_assert_eq!(back.len(), rel.len());
+        for (tid, t) in rel.iter() {
+            prop_assert_eq!(t, back.tuple(tid));
+        }
+    }
+
+    #[test]
+    fn fk_traversal_round_trips(
+        n_parents in 1usize..6,
+        assignments in proptest::collection::vec(
+            proptest::option::of(0usize..16), 1..30),
+    ) {
+        let c = random_catalog(n_parents, &assignments);
+        let child = c.relation_id("Child").unwrap();
+        let fk = c.fk_edges()[0].id;
+        // For each child with a parent: the child appears in its parent's
+        // backward list exactly once.
+        for (tid, t) in c.relation(child).iter() {
+            let r = TupleRef::new(child, tid);
+            match c.follow_forward(fk, r) {
+                Some(parent) => {
+                    let back = c.follow_backward(fk, parent);
+                    prop_assert_eq!(back.iter().filter(|&&x| x == r).count(), 1);
+                    prop_assert_eq!(c.backward_count(fk, parent), back.len());
+                }
+                None => prop_assert!(t.get(1).is_null()),
+            }
+        }
+    }
+
+    // -- relgraph -----------------------------------------------------------
+
+    #[test]
+    fn propagation_mass_conservation_on_random_catalogs(
+        n_parents in 1usize..6,
+        assignments in proptest::collection::vec(
+            proptest::option::of(0usize..16), 1..25),
+        start_idx in 0usize..25,
+    ) {
+        let c = random_catalog(n_parents, &assignments);
+        let ex = relstore::expand_values(&c).unwrap();
+        let graph = LinkGraph::build(&ex.catalog);
+        let child = ex.catalog.relation_id("Child").unwrap();
+        let n_children = ex.catalog.relation(child).len();
+        let origin = TupleRef::new(child, relstore::TupleId((start_idx % n_children) as u32));
+        let opts = PathEnumOptions { max_len: 3, ..Default::default() };
+        for path in enumerate_paths(&ex.catalog, child, &opts) {
+            let prop = propagate(&graph, &ex.catalog, &path, origin);
+            // Forward mass never exceeds 1.
+            prop_assert!(prop.total_forward() <= 1.0 + 1e-9);
+            // Forward and backward supports coincide; all values in (0, 1].
+            for (n, &f) in &prop.forward {
+                prop_assert!(f > 0.0 && f <= 1.0 + 1e-9);
+                let b = prop.backward[n];
+                prop_assert!(b > 0.0 && b <= 1.0 + 1e-9);
+            }
+            prop_assert_eq!(prop.forward.len(), prop.backward.len());
+        }
+    }
+
+    // -- cluster -------------------------------------------------------------
+
+    #[test]
+    fn clustering_labels_are_a_valid_partition(
+        sims in proptest::collection::vec(0.0f64..1.0, 0..36),
+        min_sim in 0.0f64..1.0,
+    ) {
+        // Build a symmetric matrix from the flat triangle.
+        let n = (1..).find(|&k| k * (k + 1) / 2 >= sims.len()).unwrap_or(1).min(8);
+        let mut m = vec![vec![0.0; n]; n];
+        let mut it = sims.iter();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = *it.next().unwrap_or(&0.0);
+                m[i][j] = v;
+                m[j][i] = v;
+            }
+        }
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let mut merger = MatrixMerger::new(m.clone(), linkage);
+            let c = agglomerate(n, &mut merger, min_sim);
+            prop_assert_eq!(c.labels.len(), n);
+            // Labels dense from 0.
+            let k = c.cluster_count();
+            for &l in &c.labels {
+                prop_assert!(l < k);
+            }
+            for label in 0..k {
+                prop_assert!(c.labels.contains(&label));
+            }
+            // Merges recorded in non-increasing similarity order.
+            let merge_sims: Vec<f64> =
+                c.dendrogram.merges().iter().map(|mg| mg.similarity).collect();
+            for w in merge_sims.windows(2) {
+                prop_assert!(w[0] >= w[1] - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn higher_threshold_never_produces_fewer_clusters(
+        sims in proptest::collection::vec(0.0f64..1.0, 15),
+        t_lo in 0.0f64..0.5,
+        dt in 0.0f64..0.5,
+    ) {
+        let n = 6;
+        let mut m = vec![vec![0.0; n]; n];
+        let mut it = sims.iter();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = *it.next().unwrap();
+                m[i][j] = v;
+                m[j][i] = v;
+            }
+        }
+        let clusters_at = |t: f64| {
+            let mut merger = MatrixMerger::new(m.clone(), Linkage::Average);
+            agglomerate(n, &mut merger, t).cluster_count()
+        };
+        prop_assert!(clusters_at(t_lo + dt) >= clusters_at(t_lo));
+    }
+
+    // -- eval ----------------------------------------------------------------
+
+    #[test]
+    fn pairwise_and_bcubed_agree_on_perfection(
+        gold in proptest::collection::vec(0usize..4, 1..20),
+        pred in proptest::collection::vec(0usize..4, 1..20),
+    ) {
+        let n = gold.len().min(pred.len());
+        let (gold, pred) = (&gold[..n], &pred[..n]);
+        let pw = eval::pairwise_scores(gold, pred);
+        let b3 = eval::bcubed_scores(gold, pred);
+        // Same-partition check: pairwise f = 1 iff B3 f = 1.
+        prop_assert_eq!(pw.f_measure >= 1.0 - 1e-12, b3.f_measure >= 1.0 - 1e-12);
+        // B3 recall 1 iff pairwise recall 1 (no gold pair separated).
+        prop_assert_eq!(pw.recall >= 1.0 - 1e-12, b3.recall >= 1.0 - 1e-12);
+    }
+}
