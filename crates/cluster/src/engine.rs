@@ -82,17 +82,51 @@ impl Ord for Candidate {
     }
 }
 
+/// Outcome of a guarded clustering run: the best clustering reached before
+/// the guard stopped the engine (identical to the full result when
+/// `completed` is true).
+#[derive(Debug, Clone)]
+pub struct PartialClustering {
+    /// Labels and merge history as of the stopping point. Always a valid
+    /// partition of the items — interruption only means some merges that
+    /// would have happened did not.
+    pub clustering: Clustering,
+    /// False iff the guard stopped the run early.
+    pub completed: bool,
+}
+
 /// Run agglomerative clustering over `n` items.
 ///
 /// Merging stops when the best remaining pair's similarity is below
 /// `min_sim` (or nothing is left to merge). Similarities must be finite;
 /// non-finite values are treated as "do not merge".
 pub fn agglomerate<M: Merger>(n: usize, merger: &mut M, min_sim: f64) -> Clustering {
+    agglomerate_guarded(n, merger, min_sim, &mut |_| true).clustering
+}
+
+/// Like [`agglomerate`], but cooperatively interruptible.
+///
+/// `guard` is called with a count of similarity evaluations about to be
+/// charged; returning `false` stops the engine at the next safe point. The
+/// result is then the clustering built so far — every merge already
+/// recorded stands, pending ones are abandoned — with `completed = false`.
+/// Merges happen in decreasing similarity order, so an interrupted run has
+/// performed a prefix of the full run's merges: the strongest evidence is
+/// applied first and an early stop only leaves clusters *less* merged.
+pub fn agglomerate_guarded<M: Merger>(
+    n: usize,
+    merger: &mut M,
+    min_sim: f64,
+    guard: &mut dyn FnMut(u64) -> bool,
+) -> PartialClustering {
     let mut dendrogram = Dendrogram::new(n);
     if n == 0 {
-        return Clustering {
-            labels: Vec::new(),
-            dendrogram,
+        return PartialClustering {
+            clustering: Clustering {
+                labels: Vec::new(),
+                dendrogram,
+            },
+            completed: true,
         };
     }
 
@@ -100,6 +134,7 @@ pub fn agglomerate<M: Merger>(n: usize, merger: &mut M, min_sim: f64) -> Cluster
     let mut alive = vec![true; n];
     let mut sizes = vec![1usize; n];
     let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+    let mut completed = true;
 
     // NaN means "do not merge"; +inf (a must-link constraint) sorts first;
     // −inf (a cannot-link veto) fails the threshold like any low value.
@@ -109,28 +144,41 @@ pub fn agglomerate<M: Merger>(n: usize, merger: &mut M, min_sim: f64) -> Cluster
         }
     };
 
-    for a in 0..n {
+    // Seed the heap row by row, checking the guard between rows: with no
+    // candidates admitted yet an early stop yields all-singletons.
+    'seed: for a in 0..n {
+        if !guard((n - a - 1) as u64) {
+            completed = false;
+            break 'seed;
+        }
         for b in (a + 1)..n {
             push(&mut heap, merger.similarity(a, b), a, b);
         }
     }
 
-    while let Some(c) = heap.pop() {
-        if !alive[c.a] || !alive[c.b] {
-            continue; // stale entry
-        }
-        // Merge.
-        let (sa, sb) = (sizes[c.a], sizes[c.b]);
-        let into = dendrogram.record(c.a, c.b, c.sim, sa + sb);
-        alive[c.a] = false;
-        alive[c.b] = false;
-        alive.push(true);
-        sizes.push(sa + sb);
-        merger.merged(c.a, c.b, into, sa, sb);
-        // New candidate pairs against every live cluster.
-        for other in 0..into {
-            if alive[other] {
-                push(&mut heap, merger.similarity(into, other), into, other);
+    if completed {
+        while let Some(c) = heap.pop() {
+            if !alive[c.a] || !alive[c.b] {
+                continue; // stale entry
+            }
+            // One merge costs up to `into` fresh similarity evaluations.
+            if !guard(alive.iter().filter(|&&v| v).count() as u64) {
+                completed = false;
+                break;
+            }
+            // Merge.
+            let (sa, sb) = (sizes[c.a], sizes[c.b]);
+            let into = dendrogram.record(c.a, c.b, c.sim, sa + sb);
+            alive[c.a] = false;
+            alive[c.b] = false;
+            alive.push(true);
+            sizes.push(sa + sb);
+            merger.merged(c.a, c.b, into, sa, sb);
+            // New candidate pairs against every live cluster.
+            for other in 0..into {
+                if alive[other] {
+                    push(&mut heap, merger.similarity(into, other), into, other);
+                }
             }
         }
     }
@@ -138,7 +186,10 @@ pub fn agglomerate<M: Merger>(n: usize, merger: &mut M, min_sim: f64) -> Cluster
     // The dendrogram only contains merges with sim >= min_sim, so cutting
     // at -inf applies them all.
     let labels = dendrogram.cut(f64::NEG_INFINITY);
-    Clustering { labels, dendrogram }
+    PartialClustering {
+        clustering: Clustering { labels, dendrogram },
+        completed,
+    }
 }
 
 /// A [`Merger`] over a precomputed pairwise similarity matrix with a
@@ -357,6 +408,79 @@ mod tests {
         let mut merger = MatrixMerger::new(m, Linkage::Average);
         let c = agglomerate(2, &mut merger, 0.0);
         assert_eq!(c.cluster_count(), 2);
+    }
+
+    #[test]
+    fn guarded_run_with_permissive_guard_matches_unguarded() {
+        let mut merger = MatrixMerger::new(three_pairs(), Linkage::Average);
+        let full = agglomerate(6, &mut merger, 0.5);
+        let mut merger = MatrixMerger::new(three_pairs(), Linkage::Average);
+        let guarded = agglomerate_guarded(6, &mut merger, 0.5, &mut |_| true);
+        assert!(guarded.completed);
+        assert_eq!(guarded.clustering.labels, full.labels);
+    }
+
+    #[test]
+    fn guard_tripped_during_seeding_yields_singletons() {
+        let mut merger = MatrixMerger::new(three_pairs(), Linkage::Average);
+        let mut calls = 0u32;
+        let out = agglomerate_guarded(6, &mut merger, 0.5, &mut |_| {
+            calls += 1;
+            calls <= 1
+        });
+        assert!(!out.completed);
+        assert_eq!(out.clustering.cluster_count(), 6, "no merges applied");
+    }
+
+    #[test]
+    fn guard_tripped_mid_merge_keeps_strongest_merges() {
+        // Budget admits seeding (6 rows) plus exactly one merge: the
+        // strongest pair (0,1) at 0.9 merges, the rest stay singletons.
+        let mut merger = MatrixMerger::new(three_pairs(), Linkage::Average);
+        let mut checks = 0u32;
+        let out = agglomerate_guarded(6, &mut merger, 0.5, &mut |_| {
+            checks += 1;
+            checks <= 7
+        });
+        assert!(!out.completed);
+        let merges = out.clustering.dendrogram.merges();
+        assert_eq!(merges.len(), 1);
+        assert_eq!(merges[0].similarity, 0.9);
+        assert_eq!(out.clustering.cluster_count(), 5);
+        // Labels still partition every item.
+        assert_eq!(out.clustering.labels.len(), 6);
+    }
+
+    #[test]
+    fn guarded_merge_prefix_property() {
+        // However early the guard trips, the merges performed are a prefix
+        // of the full run's merge sequence.
+        let mut merger = MatrixMerger::new(three_pairs(), Linkage::Average);
+        let full: Vec<f64> = agglomerate(6, &mut merger, 0.5)
+            .dendrogram
+            .merges()
+            .iter()
+            .map(|m| m.similarity)
+            .collect();
+        for budget in 0..12u32 {
+            let mut merger = MatrixMerger::new(three_pairs(), Linkage::Average);
+            let mut checks = 0u32;
+            let out = agglomerate_guarded(6, &mut merger, 0.5, &mut |_| {
+                checks += 1;
+                checks <= budget
+            });
+            let got: Vec<f64> = out
+                .clustering
+                .dendrogram
+                .merges()
+                .iter()
+                .map(|m| m.similarity)
+                .collect();
+            assert!(
+                full.starts_with(&got),
+                "budget {budget}: {got:?} not a prefix of {full:?}"
+            );
+        }
     }
 
     #[test]

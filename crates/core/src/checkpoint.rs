@@ -1,0 +1,422 @@
+//! Engine checkpoints: persist a trained [`Distinct`] and resume later.
+//!
+//! A checkpoint captures everything training and profiling paid for —
+//! learned path weights, the full learned model (hyperplanes + Platt
+//! calibration), the tuned `min_sim`, and the profile cache — so a
+//! restarted process skips straight to resolution.
+//!
+//! File format (single file):
+//!
+//! ```text
+//! DISTINCTCKPT1\n
+//! <16 hex chars: FNV-1a-64 of the payload bytes>\n
+//! <JSON payload>
+//! ```
+//!
+//! Writes go to a `*.tmp` sibling first and are renamed into place, via
+//! the same [`Vfs`](relstore::Vfs) abstraction the store uses — so the
+//! fault-injection harness can kill a checkpoint save mid-write and prove
+//! the previous checkpoint survives. Loads verify the checksum before
+//! parsing a byte: a torn or bit-flipped checkpoint surfaces as
+//! [`DistinctError::CorruptCheckpoint`], never as a silently wrong model.
+//!
+//! A checkpoint is only valid against the catalog it was built from: the
+//! profile cache stores graph node ids. Loading validates the join-path
+//! descriptions and the catalog's tuple count and refuses on mismatch.
+
+use crate::features::Profile;
+use crate::learn::{LearnedModel, PathWeights};
+use crate::pipeline::{Distinct, DistinctError};
+use relgraph::{Propagation, WeightedSet};
+use relstore::{fnv1a64, FxHashMap, StdVfs, TupleRef, Vfs};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Magic header line of a checkpoint file.
+pub const CHECKPOINT_MAGIC: &str = "DISTINCTCKPT1";
+
+#[derive(Debug, Serialize, Deserialize)]
+struct PropEntry {
+    forward: Vec<(u32, f64)>,
+    backward: Vec<(u32, f64)>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ProfileEntry {
+    rel: u32,
+    tid: u32,
+    props: Vec<PropEntry>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct CheckpointPayload {
+    /// Join-path descriptions — the checkpoint's compatibility key.
+    paths: Vec<String>,
+    /// Tuple count of the catalog the profiles were computed against
+    /// (graph node ids are only meaningful for that exact catalog).
+    catalog_tuples: u64,
+    min_sim: f64,
+    weights: PathWeights,
+    learned: Option<LearnedModel>,
+    profiles: Vec<ProfileEntry>,
+}
+
+fn corrupt(path: &Path, reason: impl Into<String>) -> DistinctError {
+    DistinctError::CorruptCheckpoint {
+        path: path.display().to_string(),
+        reason: reason.into(),
+    }
+}
+
+fn sorted_pairs(map: &FxHashMap<relgraph::NodeId, f64>) -> Vec<(u32, f64)> {
+    let mut v: Vec<(u32, f64)> = map.iter().map(|(n, &w)| (n.0, w)).collect();
+    v.sort_unstable_by_key(|&(n, _)| n);
+    v
+}
+
+impl Distinct {
+    /// Serialize the engine's trained state to `path` through an explicit
+    /// [`Vfs`] — the fault-injectable entry point.
+    pub fn save_checkpoint_with(
+        &self,
+        path: &Path,
+        vfs: &mut dyn Vfs,
+    ) -> Result<(), DistinctError> {
+        let mut profiles: Vec<ProfileEntry> = self
+            .profile_cache_snapshot()
+            .into_iter()
+            .map(|(r, p)| ProfileEntry {
+                rel: r.rel.0,
+                tid: r.tid.0,
+                props: p
+                    .props
+                    .iter()
+                    .map(|prop| PropEntry {
+                        forward: sorted_pairs(&prop.forward),
+                        backward: sorted_pairs(&prop.backward),
+                    })
+                    .collect(),
+            })
+            .collect();
+        // Deterministic output: the cache iterates in hash order.
+        profiles.sort_unstable_by_key(|e| (e.rel, e.tid));
+        let payload = CheckpointPayload {
+            paths: self.paths().descriptions.clone(),
+            catalog_tuples: self.catalog().tuple_count() as u64,
+            min_sim: self.config().min_sim,
+            weights: self.weights().clone(),
+            learned: self.learned().cloned(),
+            profiles,
+        };
+        let json = serde_json::to_string(&payload).expect("checkpoint serializes");
+        let blob = format!(
+            "{CHECKPOINT_MAGIC}\n{:016x}\n{json}",
+            fnv1a64(json.as_bytes())
+        );
+        let tmp = path.with_extension("tmp");
+        vfs.write(&tmp, blob.as_bytes()).map_err(|e| {
+            DistinctError::Store(relstore::StoreError::Io {
+                context: "write checkpoint".into(),
+                reason: e.to_string(),
+            })
+        })?;
+        vfs.rename(&tmp, path).map_err(|e| {
+            DistinctError::Store(relstore::StoreError::Io {
+                context: "commit checkpoint".into(),
+                reason: e.to_string(),
+            })
+        })
+    }
+
+    /// Serialize the engine's trained state (weights, learned model,
+    /// `min_sim`, profile cache) to `path`, atomically.
+    pub fn save_checkpoint(&self, path: &Path) -> Result<(), DistinctError> {
+        self.save_checkpoint_with(path, &mut StdVfs)
+    }
+
+    /// Restore state saved by [`Distinct::save_checkpoint`] into this
+    /// engine (which must be [`Distinct::prepare`]d over the same catalog
+    /// with the same path-enumeration settings), through an explicit
+    /// [`Vfs`].
+    pub fn load_checkpoint_with(
+        &mut self,
+        path: &Path,
+        vfs: &mut dyn Vfs,
+    ) -> Result<(), DistinctError> {
+        let bytes = vfs.read(path).map_err(|e| {
+            DistinctError::Store(relstore::StoreError::Io {
+                context: "read checkpoint".into(),
+                reason: e.to_string(),
+            })
+        })?;
+        let text = std::str::from_utf8(&bytes)
+            .map_err(|_| corrupt(path, "checkpoint is not valid UTF-8"))?;
+        let mut lines = text.splitn(3, '\n');
+        let magic = lines.next().unwrap_or("");
+        if magic != CHECKPOINT_MAGIC {
+            return Err(corrupt(
+                path,
+                format!("bad magic `{magic}` (expected {CHECKPOINT_MAGIC})"),
+            ));
+        }
+        let declared = lines
+            .next()
+            .ok_or_else(|| corrupt(path, "missing checksum line"))?;
+        let json = lines
+            .next()
+            .ok_or_else(|| corrupt(path, "missing payload"))?;
+        let actual = format!("{:016x}", fnv1a64(json.as_bytes()));
+        if declared != actual {
+            return Err(corrupt(
+                path,
+                format!("checksum mismatch: header {declared}, payload {actual}"),
+            ));
+        }
+        let payload: CheckpointPayload = serde_json::from_str(json)
+            .map_err(|e| corrupt(path, format!("unparseable payload: {e}")))?;
+        if payload.paths != self.paths().descriptions {
+            return Err(corrupt(
+                path,
+                "checkpoint was built for a different join-path set",
+            ));
+        }
+        if payload.catalog_tuples != self.catalog().tuple_count() as u64 {
+            return Err(corrupt(
+                path,
+                format!(
+                    "checkpoint catalog had {} tuples, this one has {}",
+                    payload.catalog_tuples,
+                    self.catalog().tuple_count()
+                ),
+            ));
+        }
+        let n_paths = self.paths().len();
+        let mut restored: Vec<(TupleRef, Arc<Profile>)> =
+            Vec::with_capacity(payload.profiles.len());
+        for entry in &payload.profiles {
+            if entry.props.len() != n_paths {
+                return Err(corrupt(
+                    path,
+                    format!(
+                        "profile has {} per-path propagations, engine has {n_paths} paths",
+                        entry.props.len()
+                    ),
+                ));
+            }
+            let reference = TupleRef::new(relstore::RelId(entry.rel), relstore::TupleId(entry.tid));
+            let mut props = Vec::with_capacity(n_paths);
+            let mut sets = Vec::with_capacity(n_paths);
+            for p in &entry.props {
+                let to_map = |pairs: &[(u32, f64)]| {
+                    pairs
+                        .iter()
+                        .map(|&(n, w)| (relgraph::NodeId(n), w))
+                        .collect::<FxHashMap<relgraph::NodeId, f64>>()
+                };
+                let prop = Propagation {
+                    forward: to_map(&p.forward),
+                    backward: to_map(&p.backward),
+                };
+                sets.push(WeightedSet::from_map(prop.forward.clone()));
+                props.push(prop);
+            }
+            restored.push((
+                reference,
+                Arc::new(Profile {
+                    reference,
+                    props,
+                    sets,
+                }),
+            ));
+        }
+        // All validation passed: install atomically (state-wise) — a
+        // failed load leaves the engine exactly as it was.
+        self.set_min_sim(payload.min_sim);
+        self.set_weights(payload.weights)
+            .map_err(|_| corrupt(path, "weight dimensionality does not match path set"))?;
+        self.install_learned(payload.learned);
+        self.install_profiles(restored);
+        Ok(())
+    }
+
+    /// Restore state saved by [`Distinct::save_checkpoint`].
+    pub fn load_checkpoint(&mut self, path: &Path) -> Result<(), DistinctError> {
+        self.load_checkpoint_with(path, &mut StdVfs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DistinctConfig;
+    use datagen::{AmbiguousSpec, World, WorldConfig};
+    use relstore::{FaultPlan, FaultyVfs};
+
+    fn dataset() -> datagen::DblpDataset {
+        let mut config = WorldConfig::tiny(21);
+        config.ambiguous = vec![AmbiguousSpec::new("Wei Wang", vec![6, 5])];
+        datagen::to_catalog(&World::generate(config)).unwrap()
+    }
+
+    fn engine(d: &datagen::DblpDataset) -> Distinct {
+        let config = DistinctConfig {
+            training: crate::config::TrainingConfig {
+                positives: 60,
+                negatives: 60,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap()
+    }
+
+    fn temp_file(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("distinct_ckpt_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("engine.ckpt")
+    }
+
+    #[test]
+    fn checkpoint_round_trip_restores_weights_model_and_profiles() {
+        let d = dataset();
+        let mut trained = engine(&d);
+        trained.train().unwrap();
+        let refs = trained.references_of("Wei Wang");
+        let expected = trained.resolve(&refs);
+        let cached = trained.cached_profiles();
+        assert!(cached > 0);
+
+        let path = temp_file("rt");
+        trained.save_checkpoint(&path).unwrap();
+
+        let mut fresh = engine(&d);
+        assert_eq!(fresh.cached_profiles(), 0);
+        fresh.load_checkpoint(&path).unwrap();
+        assert_eq!(fresh.weights(), trained.weights());
+        assert!(fresh.learned().is_some());
+        assert_eq!(fresh.cached_profiles(), cached);
+        // Resolution from the restored cache is bit-identical — and spends
+        // no budget on profiling (everything is cached).
+        let ctl = crate::control::RunControl::new();
+        let outcome = fresh.resolve_ctl(&refs, &ctl);
+        assert_eq!(outcome.clustering.labels, expected.labels);
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_save_is_deterministic() {
+        let d = dataset();
+        let mut e = engine(&d);
+        e.train().unwrap();
+        let p1 = temp_file("det1");
+        let p2 = temp_file("det2");
+        e.save_checkpoint(&p1).unwrap();
+        e.save_checkpoint(&p2).unwrap();
+        assert_eq!(std::fs::read(&p1).unwrap(), std::fs::read(&p2).unwrap());
+        std::fs::remove_dir_all(p1.parent().unwrap()).unwrap();
+        std::fs::remove_dir_all(p2.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn corrupted_checkpoint_is_rejected_at_every_byte() {
+        let d = dataset();
+        let mut e = engine(&d);
+        e.train().unwrap();
+        let path = temp_file("flip");
+        e.save_checkpoint(&path).unwrap();
+        let blob = std::fs::read(&path).unwrap();
+        // Flip one bit at a spread of positions; every corruption must be
+        // caught (magic, checksum line, or payload checksum mismatch).
+        let step = (blob.len() / 40).max(1);
+        for pos in (0..blob.len()).step_by(step) {
+            let mut bad = blob.clone();
+            bad[pos] ^= 0x04;
+            std::fs::write(&path, &bad).unwrap();
+            let mut fresh = engine(&d);
+            let err = fresh.load_checkpoint(&path).unwrap_err();
+            assert!(
+                matches!(err, DistinctError::CorruptCheckpoint { .. }),
+                "byte {pos}: expected CorruptCheckpoint, got {err}"
+            );
+            // The failed load left the engine untrained and uncached.
+            assert!(fresh.learned().is_none());
+            assert_eq!(fresh.cached_profiles(), 0);
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_rejected() {
+        let d = dataset();
+        let mut e = engine(&d);
+        e.train().unwrap();
+        let path = temp_file("trunc");
+        e.save_checkpoint(&path).unwrap();
+        let blob = std::fs::read(&path).unwrap();
+        for keep in [0, 1, CHECKPOINT_MAGIC.len(), blob.len() / 2, blob.len() - 1] {
+            std::fs::write(&path, &blob[..keep]).unwrap();
+            let mut fresh = engine(&d);
+            assert!(
+                fresh.load_checkpoint(&path).is_err(),
+                "prefix of {keep} bytes loaded"
+            );
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn killed_checkpoint_save_preserves_the_previous_checkpoint() {
+        let d = dataset();
+        let mut e = engine(&d);
+        e.train().unwrap();
+        let path = temp_file("kill");
+        e.save_checkpoint(&path).unwrap();
+        let committed = std::fs::read(&path).unwrap();
+
+        // Warm more profiles so a second save differs, then kill its write.
+        let refs = e.references_of("Wei Wang");
+        let _ = e.resolve(&refs);
+        for plan in [
+            FaultPlan::fail_nth_write(1),
+            FaultPlan::torn_nth_write(1, 13),
+        ] {
+            let mut vfs = FaultyVfs::new(plan);
+            assert!(e.save_checkpoint_with(&path, &mut vfs).is_err());
+            // The committed checkpoint file is untouched and still loads.
+            assert_eq!(std::fs::read(&path).unwrap(), committed);
+            let mut fresh = engine(&d);
+            fresh.load_checkpoint(&path).unwrap();
+        }
+
+        // A bit flip succeeds at write time but is caught at load.
+        let mut vfs = FaultyVfs::new(FaultPlan::bit_flip_nth_write(1, 99));
+        e.save_checkpoint_with(&path, &mut vfs).unwrap();
+        let mut fresh = engine(&d);
+        assert!(matches!(
+            fresh.load_checkpoint(&path).unwrap_err(),
+            DistinctError::CorruptCheckpoint { .. }
+        ));
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_for_a_different_catalog_is_refused() {
+        let d = dataset();
+        let mut e = engine(&d);
+        e.train().unwrap();
+        let path = temp_file("xcat");
+        e.save_checkpoint(&path).unwrap();
+
+        let mut other_cfg = WorldConfig::tiny(22);
+        other_cfg.ambiguous = vec![AmbiguousSpec::new("Wei Wang", vec![4, 4])];
+        let other = datagen::to_catalog(&World::generate(other_cfg)).unwrap();
+        let mut fresh = engine(&other);
+        assert!(matches!(
+            fresh.load_checkpoint(&path).unwrap_err(),
+            DistinctError::CorruptCheckpoint { .. }
+        ));
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+}

@@ -1,0 +1,323 @@
+//! Cooperative execution control: cancellation, deadlines, work budgets.
+//!
+//! A [`RunControl`] travels with a pipeline invocation and is consulted at
+//! stage boundaries and inside the hot loops (probability propagation, SMO
+//! training, agglomerative merging). The lower crates stay independent of
+//! this type: they accept a plain `FnMut(u64) -> bool` *guard* closure, and
+//! [`RunControl::guard`] produces one that charges the shared budget.
+//!
+//! Work units are deliberately coarse — one unit per frontier entry
+//! propagated, per SMO outer-loop iteration, per candidate-pair similarity
+//! — so a budget bounds CPU time roughly linearly without the loops paying
+//! more than an atomic add per check. Deadline reads of the wall clock are
+//! amortized to once every [`DEADLINE_STRIDE`] charges.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many `charge` calls elapse between wall-clock deadline reads.
+const DEADLINE_STRIDE: u64 = 256;
+
+/// A cloneable handle that requests cancellation of a run.
+///
+/// Hand a clone to another thread (a ctrl-C handler, a supervisor); the
+/// running pipeline observes the flag at its next control check.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Pipeline stages, for interruption reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variant names are self-describing
+pub enum Stage {
+    TrainingSet,
+    Profiles,
+    SvmTraining,
+    Clustering,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Stage::TrainingSet => "training-set construction",
+            Stage::Profiles => "profile computation",
+            Stage::SvmTraining => "SVM training",
+            Stage::Clustering => "agglomerative clustering",
+        })
+    }
+}
+
+/// How far a stage had progressed when it was interrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Progress {
+    /// Items completed (profiles built, pairs featurized, ...).
+    pub done: usize,
+    /// Items the stage set out to process.
+    pub total: usize,
+}
+
+impl fmt::Display for Progress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.done, self.total)
+    }
+}
+
+/// Why a run was interrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterruptKind {
+    /// The [`CancelToken`] was triggered.
+    Cancelled,
+    /// The wall-clock deadline passed.
+    DeadlineExceeded,
+    /// The work budget ran out.
+    BudgetExhausted,
+}
+
+impl fmt::Display for InterruptKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            InterruptKind::Cancelled => "cancelled",
+            InterruptKind::DeadlineExceeded => "deadline exceeded",
+            InterruptKind::BudgetExhausted => "work budget exhausted",
+        })
+    }
+}
+
+/// Execution limits for one pipeline invocation.
+///
+/// ```
+/// use distinct::RunControl;
+/// use std::time::Duration;
+/// let ctl = RunControl::new()
+///     .with_deadline(Duration::from_secs(30))
+///     .with_budget(5_000_000);
+/// let token = ctl.token(); // hand to another thread to cancel
+/// assert!(ctl.status().is_none());
+/// # let _ = token;
+/// ```
+#[derive(Debug)]
+pub struct RunControl {
+    cancel: CancelToken,
+    deadline: Option<Instant>,
+    budget: Option<u64>,
+    spent: AtomicU64,
+    // Trips latch: once interrupted, every later check reports the same
+    // kind, so a run's error consistently names the first cause.
+    tripped: AtomicU64, // 0 = none, else InterruptKind discriminant + 1
+    charges: AtomicU64,
+}
+
+impl Default for RunControl {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunControl {
+    /// No limits: never interrupts (cancellation still possible via
+    /// [`RunControl::token`]).
+    pub fn new() -> Self {
+        RunControl {
+            cancel: CancelToken::new(),
+            deadline: None,
+            budget: None,
+            spent: AtomicU64::new(0),
+            tripped: AtomicU64::new(0),
+            charges: AtomicU64::new(0),
+        }
+    }
+
+    /// Limit wall-clock time, measured from this call.
+    pub fn with_deadline(mut self, limit: Duration) -> Self {
+        self.deadline = Some(Instant::now() + limit);
+        self
+    }
+
+    /// Limit total work units across all stages.
+    pub fn with_budget(mut self, units: u64) -> Self {
+        self.budget = Some(units);
+        self
+    }
+
+    /// Attach an external cancellation token.
+    pub fn with_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// A handle that cancels this run when triggered.
+    pub fn token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Work units consumed so far.
+    pub fn spent(&self) -> u64 {
+        self.spent.load(Ordering::Relaxed)
+    }
+
+    fn latch(&self, kind: InterruptKind) -> InterruptKind {
+        let code = match kind {
+            InterruptKind::Cancelled => 1,
+            InterruptKind::DeadlineExceeded => 2,
+            InterruptKind::BudgetExhausted => 3,
+        };
+        match self
+            .tripped
+            .compare_exchange(0, code, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => kind,
+            Err(prev) => Self::decode(prev).unwrap_or(kind),
+        }
+    }
+
+    fn decode(code: u64) -> Option<InterruptKind> {
+        match code {
+            1 => Some(InterruptKind::Cancelled),
+            2 => Some(InterruptKind::DeadlineExceeded),
+            3 => Some(InterruptKind::BudgetExhausted),
+            _ => None,
+        }
+    }
+
+    /// Full status check (reads the clock). Use at stage boundaries.
+    pub fn status(&self) -> Option<InterruptKind> {
+        if let Some(k) = Self::decode(self.tripped.load(Ordering::Relaxed)) {
+            return Some(k);
+        }
+        if self.cancel.is_cancelled() {
+            return Some(self.latch(InterruptKind::Cancelled));
+        }
+        if let Some(budget) = self.budget {
+            if self.spent() > budget {
+                return Some(self.latch(InterruptKind::BudgetExhausted));
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(self.latch(InterruptKind::DeadlineExceeded));
+            }
+        }
+        None
+    }
+
+    /// Record `units` of work and check limits. The deadline is only read
+    /// every [`DEADLINE_STRIDE`] calls; cancellation and budget are checked
+    /// every call (two relaxed atomics).
+    pub fn charge(&self, units: u64) -> Option<InterruptKind> {
+        self.spent.fetch_add(units, Ordering::Relaxed);
+        if let Some(k) = Self::decode(self.tripped.load(Ordering::Relaxed)) {
+            return Some(k);
+        }
+        if self.cancel.is_cancelled() {
+            return Some(self.latch(InterruptKind::Cancelled));
+        }
+        if let Some(budget) = self.budget {
+            if self.spent.load(Ordering::Relaxed) > budget {
+                return Some(self.latch(InterruptKind::BudgetExhausted));
+            }
+        }
+        if self.deadline.is_some()
+            && self
+                .charges
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(DEADLINE_STRIDE)
+        {
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    return Some(self.latch(InterruptKind::DeadlineExceeded));
+                }
+            }
+        }
+        None
+    }
+
+    /// A guard closure for the lower crates' `*_guarded` entry points:
+    /// charges the shared budget, `false` means "stop now".
+    pub fn guard(&self) -> impl FnMut(u64) -> bool + '_ {
+        move |units| self.charge(units).is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_control_never_trips() {
+        let ctl = RunControl::new();
+        assert!(ctl.status().is_none());
+        for _ in 0..10_000 {
+            assert!(ctl.charge(1_000).is_none());
+        }
+        assert_eq!(ctl.spent(), 10_000_000);
+    }
+
+    #[test]
+    fn budget_trips_and_latches() {
+        let ctl = RunControl::new().with_budget(100);
+        assert!(ctl.charge(100).is_none());
+        assert_eq!(ctl.charge(1), Some(InterruptKind::BudgetExhausted));
+        // Latched: later checks report the same kind even if cancellation
+        // arrives afterwards.
+        ctl.token().cancel();
+        assert_eq!(ctl.status(), Some(InterruptKind::BudgetExhausted));
+    }
+
+    #[test]
+    fn cancellation_is_observed_from_another_handle() {
+        let ctl = RunControl::new();
+        let token = ctl.token();
+        assert!(ctl.status().is_none());
+        std::thread::spawn(move || token.cancel()).join().unwrap();
+        assert_eq!(ctl.status(), Some(InterruptKind::Cancelled));
+        assert_eq!(ctl.charge(1), Some(InterruptKind::Cancelled));
+    }
+
+    #[test]
+    fn elapsed_deadline_trips_status_immediately() {
+        let ctl = RunControl::new().with_deadline(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(ctl.status(), Some(InterruptKind::DeadlineExceeded));
+    }
+
+    #[test]
+    fn elapsed_deadline_trips_charge_within_a_stride() {
+        let ctl = RunControl::new().with_deadline(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        let mut tripped = false;
+        for _ in 0..=DEADLINE_STRIDE {
+            if ctl.charge(1) == Some(InterruptKind::DeadlineExceeded) {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "deadline not observed within one stride");
+    }
+
+    #[test]
+    fn guard_closure_reports_trip() {
+        let ctl = RunControl::new().with_budget(5);
+        let mut guard = ctl.guard();
+        assert!(guard(5));
+        assert!(!guard(1));
+        assert!(!guard(1), "guard stays tripped");
+    }
+}

@@ -174,7 +174,7 @@ mod tests {
     use datagen::{to_catalog, AmbiguousSpec, World, WorldConfig};
 
     fn engine_and_truth() -> (Distinct, datagen::DblpDataset) {
-        let mut config = WorldConfig::tiny(31);
+        let mut config = WorldConfig::tiny(7);
         config.ambiguous = vec![AmbiguousSpec::new("Wei Wang", vec![8, 6])];
         let d = to_catalog(&World::generate(config)).unwrap();
         let cfg = DistinctConfig {

@@ -13,7 +13,7 @@
 //! contribute a large constant resemblance along the coauthor path.
 
 use crate::paths::PathSet;
-use relgraph::{directed_walk, propagate_blocked, LinkGraph, Propagation, WeightedSet};
+use relgraph::{directed_walk, LinkGraph, Propagation, WeightedSet};
 use relstore::{Catalog, TupleRef};
 
 /// Per-path propagation results for one reference.
@@ -46,6 +46,21 @@ pub fn build_profile(
     paths: &PathSet,
     reference: TupleRef,
 ) -> Profile {
+    build_profile_guarded(graph, catalog, paths, reference, &mut |_| true)
+        .expect("permissive guard never stops profiling")
+}
+
+/// Like [`build_profile`], but cooperatively interruptible: `guard` is
+/// charged per propagation level (see
+/// [`relgraph::propagate_blocked_guarded`]) and returning `false` abandons
+/// the profile — `None` comes back and no partial per-path maps escape.
+pub fn build_profile_guarded(
+    graph: &LinkGraph,
+    catalog: &Catalog,
+    paths: &PathSet,
+    reference: TupleRef,
+    guard: &mut dyn FnMut(u64) -> bool,
+) -> Option<Profile> {
     // Block the tuple identified by the reference's own name: linkage
     // routed through the shared name tuple (at any path level) is vacuous
     // for distinguishing resembling references.
@@ -57,14 +72,28 @@ pub fn build_profile(
     let mut props = Vec::with_capacity(paths.paths.len());
     let mut sets = Vec::with_capacity(paths.paths.len());
     for path in &paths.paths {
-        let prop = propagate_blocked(graph, catalog, path, reference, &blocked);
+        let prop =
+            relgraph::propagate_blocked_guarded(graph, catalog, path, reference, &blocked, guard)?;
         sets.push(WeightedSet::from_map(prop.forward.clone()));
         props.push(prop);
     }
-    Profile {
+    Some(Profile {
         reference,
         props,
         sets,
+    })
+}
+
+/// A placeholder profile with no propagated mass: every pairwise feature
+/// against it is zero, so under a positive `min_sim` its reference stays a
+/// singleton. Degraded resolution uses these for references whose real
+/// profiles could not be computed before the budget ran out.
+pub fn empty_profile(paths: &PathSet, reference: TupleRef) -> Profile {
+    let n = paths.len();
+    Profile {
+        reference,
+        props: vec![Propagation::default(); n],
+        sets: vec![WeightedSet::from_map(Default::default()); n],
     }
 }
 
@@ -119,7 +148,7 @@ mod tests {
     }
 
     fn fixture() -> Fixture {
-        let mut config = WorldConfig::tiny(5);
+        let mut config = WorldConfig::tiny(4);
         config.ambiguous = vec![AmbiguousSpec::new("Wei Wang", vec![8, 6])];
         let d: DblpDataset = datagen::to_catalog(&World::generate(config)).unwrap();
         let ex = relstore::expand_values(&d.catalog).unwrap();

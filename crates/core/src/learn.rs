@@ -9,7 +9,7 @@
 //! calibrated against.
 
 use serde::{Deserialize, Serialize};
-use svm::{train_smo, Dataset, Kernel, LinearModel, PlattScaler, SmoConfig, SvmError};
+use svm::{train_smo_guarded, Dataset, Kernel, LinearModel, PlattScaler, SmoConfig, SvmError};
 
 /// Per-path weights for both similarity measures.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -101,7 +101,12 @@ impl LearnedModel {
 /// factor preserves the paths' relative scales — exactly what the learned
 /// weights must rank — while keeping the optimizer well-conditioned for
 /// tiny-magnitude features like walk probabilities.
-fn train_one(data: &Dataset, svm_c: f64, seed: u64) -> Result<(LinearModel, f64), SvmError> {
+fn train_one(
+    data: &Dataset,
+    svm_c: f64,
+    seed: u64,
+    guard: &mut dyn FnMut(u64) -> bool,
+) -> Result<(LinearModel, f64), SvmError> {
     // Scale by the 95th percentile of nonzero magnitudes (not the max): a
     // single outlier pair — e.g. two references on the same paper, walk
     // probability near 1 — would otherwise squash every ordinary feature
@@ -132,7 +137,7 @@ fn train_one(data: &Dataset, svm_c: f64, seed: u64) -> Result<(LinearModel, f64)
         seed,
         ..Default::default()
     };
-    let kernel_model = train_smo(&scaled, Kernel::Linear, &cfg)?;
+    let kernel_model = train_smo_guarded(&scaled, Kernel::Linear, &cfg, guard)?;
     let accuracy = kernel_model.accuracy(&scaled);
     let linear = kernel_model.to_linear().expect("linear kernel collapses");
     // Undo the global scale (a uniform rescaling: relative weights are
@@ -155,8 +160,21 @@ pub fn learn_weights(
     svm_c: f64,
     seed: u64,
 ) -> Result<LearnedModel, SvmError> {
-    let (resem_model, resem_acc) = train_one(resem_data, svm_c, seed)?;
-    let (walk_model, walk_acc) = train_one(walk_data, svm_c, seed.wrapping_add(1))?;
+    learn_weights_guarded(resem_data, walk_data, svm_c, seed, &mut |_| true)
+}
+
+/// Like [`learn_weights`], but cooperatively interruptible: `guard` is
+/// charged per SMO optimization pass (see [`svm::train_smo_guarded`]);
+/// tripping it surfaces as [`SvmError::Interrupted`].
+pub fn learn_weights_guarded(
+    resem_data: &Dataset,
+    walk_data: &Dataset,
+    svm_c: f64,
+    seed: u64,
+    guard: &mut dyn FnMut(u64) -> bool,
+) -> Result<LearnedModel, SvmError> {
+    let (resem_model, resem_acc) = train_one(resem_data, svm_c, seed, guard)?;
+    let (walk_model, walk_acc) = train_one(walk_data, svm_c, seed.wrapping_add(1), guard)?;
     let resem_platt = PlattScaler::fit_model(resem_data, |x| resem_model.decision(x))?;
     let walk_platt = PlattScaler::fit_model(walk_data, |x| walk_model.decision(x))?;
     let weights = PathWeights {

@@ -34,7 +34,9 @@
 #![warn(missing_docs)]
 
 pub mod calibrate;
+pub mod checkpoint;
 pub mod config;
+pub mod control;
 pub mod dedupe;
 pub mod features;
 pub mod learn;
@@ -48,15 +50,17 @@ pub mod variants;
 pub use calibrate::{
     calibrate_min_sim, synthesize_groups, CalibrationConfig, CalibrationResult, PseudoGroup,
 };
+pub use checkpoint::CHECKPOINT_MAGIC;
 pub use config::{CompositeMode, DistinctConfig, MeasureMode, TrainingConfig, WeightingMode};
+pub use control::{CancelToken, InterruptKind, Progress, RunControl, Stage};
 pub use dedupe::{DedupeOptions, EntityAssignment, NameResolution};
 pub use features::{
-    build_profile, directed_walk_features, resemblance_features, walk_features, weighted_sum,
-    Profile,
+    build_profile, build_profile_guarded, directed_walk_features, empty_profile,
+    resemblance_features, walk_features, weighted_sum, Profile,
 };
-pub use learn::{learn_weights, LearnedModel, PathWeights};
+pub use learn::{learn_weights, learn_weights_guarded, LearnedModel, PathWeights};
 pub use paths::PathSet;
-pub use pipeline::{Distinct, DistinctError, TrainingReport};
+pub use pipeline::{Degraded, Distinct, DistinctError, ResolveOutcome, TrainingReport};
 pub use refcluster::DistinctMerger;
 pub use report::{render_name_dot, render_name_report};
 pub use training::{build_training_set, TrainingError, TrainingPair, TrainingSet};

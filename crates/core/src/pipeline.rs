@@ -8,12 +8,16 @@
 //! ```
 
 use crate::config::{DistinctConfig, WeightingMode};
-use crate::features::{build_profile, resemblance_features, walk_features, Profile};
-use crate::learn::{learn_weights, LearnedModel, PathWeights};
+use crate::control::{InterruptKind, Progress, RunControl, Stage};
+use crate::features::{
+    build_profile, build_profile_guarded, empty_profile, resemblance_features, walk_features,
+    Profile,
+};
+use crate::learn::{learn_weights_guarded, LearnedModel, PathWeights};
 use crate::paths::PathSet;
 use crate::refcluster::DistinctMerger;
 use crate::training::{build_training_set, TrainingError, TrainingSet};
-use cluster::{agglomerate, Clustering};
+use cluster::{agglomerate, agglomerate_guarded, Clustering};
 use parking_lot::Mutex;
 use relgraph::LinkGraph;
 use relstore::{Catalog, FxHashMap, StoreError, TupleId, TupleRef, Value};
@@ -35,6 +39,24 @@ pub enum DistinctError {
     Training(TrainingError),
     /// SVM training failure.
     Svm(SvmError),
+    /// A [`RunControl`] limit stopped an operation that cannot degrade
+    /// gracefully (training must either finish or not install weights).
+    Interrupted {
+        /// The stage that was running when the limit tripped.
+        stage: Stage,
+        /// Which limit tripped.
+        kind: InterruptKind,
+        /// How far the stage had progressed.
+        progress: Progress,
+    },
+    /// A checkpoint file failed integrity or compatibility verification;
+    /// nothing was installed (see [`crate::checkpoint`]).
+    CorruptCheckpoint {
+        /// The offending file.
+        path: String,
+        /// What failed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DistinctError {
@@ -45,6 +67,16 @@ impl fmt::Display for DistinctError {
             DistinctError::Store(e) => write!(f, "store error: {e}"),
             DistinctError::Training(e) => write!(f, "training error: {e}"),
             DistinctError::Svm(e) => write!(f, "svm error: {e}"),
+            DistinctError::Interrupted {
+                stage,
+                kind,
+                progress,
+            } => {
+                write!(f, "interrupted ({kind}) during {stage} at {progress}")
+            }
+            DistinctError::CorruptCheckpoint { path, reason } => {
+                write!(f, "corrupt checkpoint `{path}`: {reason}")
+            }
         }
     }
 }
@@ -64,6 +96,61 @@ impl From<TrainingError> for DistinctError {
 impl From<SvmError> for DistinctError {
     fn from(e: SvmError) -> Self {
         DistinctError::Svm(e)
+    }
+}
+
+/// How a [`Distinct::resolve_ctl`] run was degraded by its limits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degraded {
+    /// The stage running when the first limit tripped.
+    pub stage: Stage,
+    /// Which limit tripped first.
+    pub kind: InterruptKind,
+    /// Profiles fully computed before profiling was cut off. References
+    /// beyond this count were resolved with zero-mass placeholder profiles
+    /// and therefore stay singletons.
+    pub profiles_computed: usize,
+    /// Total references in the resolve call.
+    pub refs_total: usize,
+    /// Whether the agglomerative merge loop ran to completion. When
+    /// `false` the clustering holds only a prefix of the merge sequence —
+    /// the highest-similarity merges, since merging is strongest-first.
+    pub clustering_completed: bool,
+}
+
+impl fmt::Display for Degraded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "degraded ({}) at {}: {}/{} profiles, clustering {}",
+            self.kind,
+            self.stage,
+            self.profiles_computed,
+            self.refs_total,
+            if self.clustering_completed {
+                "completed"
+            } else {
+                "partial"
+            }
+        )
+    }
+}
+
+/// Result of a limit-aware resolution: always a valid clustering over all
+/// input references, plus a [`Degraded`] report when a limit tripped.
+#[derive(Debug, Clone)]
+pub struct ResolveOutcome {
+    /// The (possibly partial) clustering; `labels.len()` always equals the
+    /// number of input references.
+    pub clustering: Clustering,
+    /// `None` when the run finished within its limits.
+    pub degraded: Option<Degraded>,
+}
+
+impl ResolveOutcome {
+    /// Whether the run finished within its limits.
+    pub fn is_complete(&self) -> bool {
+        self.degraded.is_none()
     }
 }
 
@@ -214,9 +301,53 @@ impl Distinct {
         p
     }
 
+    /// The profile of a reference (cached), charged against `ctl`. Returns
+    /// `None` when a control limit trips mid-computation; nothing partial
+    /// is cached.
+    pub fn profile_ctl(&self, r: TupleRef, ctl: &RunControl) -> Option<Arc<Profile>> {
+        if let Some(p) = self.profile_cache.lock().get(&r) {
+            return Some(Arc::clone(p));
+        }
+        let p = Arc::new(build_profile_guarded(
+            &self.graph,
+            &self.catalog,
+            &self.paths,
+            r,
+            &mut ctl.guard(),
+        )?);
+        self.profile_cache.lock().insert(r, Arc::clone(&p));
+        Some(p)
+    }
+
     /// Number of profiles currently cached.
     pub fn cached_profiles(&self) -> usize {
         self.profile_cache.lock().len()
+    }
+
+    /// Snapshot of the profile cache (for checkpointing).
+    pub(crate) fn profile_cache_snapshot(&self) -> Vec<(TupleRef, Arc<Profile>)> {
+        self.profile_cache
+            .lock()
+            .iter()
+            .map(|(&r, p)| (r, Arc::clone(p)))
+            .collect()
+    }
+
+    /// Replace the profile cache wholesale (checkpoint restore).
+    pub(crate) fn install_profiles(&mut self, entries: Vec<(TupleRef, Arc<Profile>)>) {
+        let mut cache = self.profile_cache.lock();
+        cache.clear();
+        cache.extend(entries);
+    }
+
+    /// Install a learned model without retraining (checkpoint restore).
+    pub(crate) fn install_learned(&mut self, model: Option<LearnedModel>) {
+        self.learned = model;
+    }
+
+    /// Override the clustering threshold (checkpoint restore).
+    pub(crate) fn set_min_sim(&mut self, min_sim: f64) {
+        self.config.min_sim = min_sim;
     }
 
     /// Compute and cache the profiles of `refs` using `threads` worker
@@ -288,12 +419,44 @@ impl Distinct {
     /// If the engine is configured with [`WeightingMode::Uniform`] this
     /// still trains (for reporting) but leaves uniform weights installed.
     pub fn train(&mut self) -> Result<TrainingReport, DistinctError> {
+        self.train_ctl(&RunControl::new())
+    }
+
+    /// [`Distinct::train`] under execution limits. Training cannot degrade
+    /// gracefully — a half-trained model would silently misweight every
+    /// later resolution — so tripping a limit aborts with
+    /// [`DistinctError::Interrupted`] and leaves the previously installed
+    /// weights untouched.
+    pub fn train_ctl(&mut self, ctl: &RunControl) -> Result<TrainingReport, DistinctError> {
+        let interrupted = |stage, kind, done: usize, total: usize| DistinctError::Interrupted {
+            stage,
+            kind,
+            progress: Progress { done, total },
+        };
+        if let Some(kind) = ctl.status() {
+            return Err(interrupted(Stage::TrainingSet, kind, 0, 0));
+        }
         let ts = self.build_training_pairs()?;
+        if let Some(kind) = ctl.status() {
+            return Err(interrupted(
+                Stage::TrainingSet,
+                kind,
+                ts.pairs.len(),
+                ts.pairs.len(),
+            ));
+        }
         let mut resem_data = Dataset::new();
         let mut walk_data = Dataset::new();
-        for pair in &ts.pairs {
-            let pa = self.profile(pair.a);
-            let pb = self.profile(pair.b);
+        for (i, pair) in ts.pairs.iter().enumerate() {
+            let trip = |ctl: &RunControl| {
+                ctl.status().unwrap_or(InterruptKind::Cancelled) // latch guarantees Some
+            };
+            let Some(pa) = self.profile_ctl(pair.a, ctl) else {
+                return Err(interrupted(Stage::Profiles, trip(ctl), i, ts.pairs.len()));
+            };
+            let Some(pb) = self.profile_ctl(pair.b, ctl) else {
+                return Err(interrupted(Stage::Profiles, trip(ctl), i, ts.pairs.len()));
+            };
             resem_data
                 .push(resemblance_features(&pa, &pb), pair.label)
                 .map_err(DistinctError::Svm)?;
@@ -301,12 +464,22 @@ impl Distinct {
                 .push(walk_features(&pa, &pb), pair.label)
                 .map_err(DistinctError::Svm)?;
         }
-        let model = learn_weights(
+        let model = learn_weights_guarded(
             &resem_data,
             &walk_data,
             self.config.training.svm_c,
             self.config.training.seed,
-        )?;
+            &mut ctl.guard(),
+        )
+        .map_err(|e| match e {
+            SvmError::Interrupted { passes_done } => interrupted(
+                Stage::SvmTraining,
+                ctl.status().unwrap_or(InterruptKind::Cancelled),
+                passes_done,
+                0,
+            ),
+            other => DistinctError::Svm(other),
+        })?;
         let report = TrainingReport {
             unique_names: ts.unique_names,
             positives: ts.positives,
@@ -366,6 +539,70 @@ impl Distinct {
             self.config.composite,
         );
         agglomerate(refs.len(), &mut merger, min_sim)
+    }
+
+    /// [`Distinct::resolve`] under execution limits, degrading gracefully.
+    ///
+    /// Unlike training, resolution always has a meaningful partial answer:
+    /// references whose profiles could not be computed in time stay
+    /// singletons (their pairwise similarities are zero, below any positive
+    /// `min_sim`), and an interrupted merge loop keeps the merges already
+    /// made — the strongest-evidence ones, since merging proceeds in
+    /// decreasing similarity order. The result is therefore never an error:
+    /// it is a valid clustering over all of `refs`, tagged with a
+    /// [`Degraded`] report when any limit tripped.
+    pub fn resolve_ctl(&self, refs: &[TupleRef], ctl: &RunControl) -> ResolveOutcome {
+        self.resolve_with_min_sim_ctl(refs, self.config.min_sim, ctl)
+    }
+
+    /// [`Distinct::resolve_ctl`] with an explicit `min_sim`.
+    pub fn resolve_with_min_sim_ctl(
+        &self,
+        refs: &[TupleRef],
+        min_sim: f64,
+        ctl: &RunControl,
+    ) -> ResolveOutcome {
+        let mut profiles: Vec<Profile> = Vec::with_capacity(refs.len());
+        let mut profiles_computed = 0usize;
+        let mut trip: Option<(Stage, InterruptKind)> = None;
+        for &r in refs {
+            if trip.is_none() {
+                match self.profile_ctl(r, ctl) {
+                    Some(p) => {
+                        profiles.push((*p).clone());
+                        profiles_computed += 1;
+                        continue;
+                    }
+                    None => {
+                        let kind = ctl.status().unwrap_or(InterruptKind::Cancelled);
+                        trip = Some((Stage::Profiles, kind));
+                    }
+                }
+            }
+            profiles.push(empty_profile(&self.paths, r));
+        }
+        let mut merger = DistinctMerger::from_profiles(
+            &profiles,
+            &self.weights,
+            self.config.measure,
+            self.config.composite,
+        );
+        let partial = agglomerate_guarded(refs.len(), &mut merger, min_sim, &mut ctl.guard());
+        if !partial.completed && trip.is_none() {
+            let kind = ctl.status().unwrap_or(InterruptKind::Cancelled);
+            trip = Some((Stage::Clustering, kind));
+        }
+        let degraded = trip.map(|(stage, kind)| Degraded {
+            stage,
+            kind,
+            profiles_computed,
+            refs_total: refs.len(),
+            clustering_completed: partial.completed,
+        });
+        ResolveOutcome {
+            clustering: partial.clustering,
+            degraded,
+        }
     }
 
     /// Calibrated probability that two references denote the same entity,
@@ -814,6 +1051,164 @@ mod tests {
         assert_eq!(c.labels.len(), truth.refs.len());
         let s = pairwise_scores(&truth.labels, &c.labels);
         assert!(s.f_measure > 0.3, "f {}", s.f_measure);
+    }
+
+    #[test]
+    fn unlimited_control_resolve_matches_plain_resolve() {
+        let d = dataset();
+        let config = DistinctConfig {
+            training: small_training(),
+            ..Default::default()
+        };
+        let mut engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
+        engine.train().unwrap();
+        let truth = &d.truths[0];
+        let plain = engine.resolve(&truth.refs);
+        let outcome = engine.resolve_ctl(&truth.refs, &RunControl::new());
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.clustering.labels, plain.labels);
+    }
+
+    #[test]
+    fn tight_budget_resolve_degrades_without_panicking() {
+        let d = dataset();
+        let config = DistinctConfig {
+            training: small_training(),
+            ..Default::default()
+        };
+        let engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
+        let refs = engine.references_of("Wei Wang");
+        // Budgets from starvation up to generous: every run must return a
+        // full-length, valid partition and report degradation iff it was
+        // actually cut short.
+        for budget in [0, 1, 10, 100, 1_000, 100_000_000] {
+            let ctl = RunControl::new().with_budget(budget);
+            let outcome = engine.resolve_ctl(&refs, &ctl);
+            assert_eq!(outcome.clustering.labels.len(), refs.len());
+            let k = outcome.clustering.cluster_count();
+            assert!(k >= 1 && k <= refs.len());
+            if let Some(d) = &outcome.degraded {
+                assert_eq!(d.kind, InterruptKind::BudgetExhausted);
+                assert_eq!(d.refs_total, refs.len());
+                assert!(d.profiles_computed <= refs.len());
+                if d.stage == Stage::Clustering {
+                    // Profiling finished; only the merge loop was cut.
+                    assert_eq!(d.profiles_computed, refs.len());
+                    assert!(!d.clustering_completed);
+                }
+                let shown = d.to_string();
+                assert!(shown.contains("work budget exhausted"), "{shown}");
+            }
+        }
+        // Starvation budget on a *fresh* engine (the loop above filled the
+        // shared profile cache, and cached profiles are free): nothing
+        // profiles, everything stays singleton.
+        let config = DistinctConfig {
+            training: small_training(),
+            ..Default::default()
+        };
+        let fresh = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
+        let ctl = RunControl::new().with_budget(0);
+        let outcome = fresh.resolve_ctl(&refs, &ctl);
+        let deg = outcome.degraded.expect("zero budget must degrade");
+        assert_eq!(deg.stage, Stage::Profiles);
+        assert_eq!(deg.profiles_computed, 0);
+        assert_eq!(outcome.clustering.cluster_count(), refs.len());
+    }
+
+    #[test]
+    fn cancelled_resolve_still_returns_full_partition() {
+        let d = dataset();
+        let config = DistinctConfig {
+            training: small_training(),
+            ..Default::default()
+        };
+        let engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
+        let refs = engine.references_of("Hui Fang");
+        let ctl = RunControl::new();
+        ctl.token().cancel();
+        let outcome = engine.resolve_ctl(&refs, &ctl);
+        assert_eq!(outcome.clustering.labels.len(), refs.len());
+        let deg = outcome.degraded.expect("cancelled run must degrade");
+        assert_eq!(deg.kind, InterruptKind::Cancelled);
+    }
+
+    #[test]
+    fn interrupted_training_is_an_error_and_leaves_weights_untouched() {
+        let d = dataset();
+        let config = DistinctConfig {
+            training: small_training(),
+            ..Default::default()
+        };
+        let mut engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
+        let before = engine.weights().clone();
+        let ctl = RunControl::new().with_budget(0);
+        let err = engine.train_ctl(&ctl).unwrap_err();
+        match err {
+            DistinctError::Interrupted { kind, .. } => {
+                assert_eq!(kind, InterruptKind::BudgetExhausted);
+            }
+            other => panic!("expected Interrupted, got {other}"),
+        }
+        assert_eq!(engine.weights(), &before);
+        assert!(engine.learned().is_none());
+    }
+
+    #[test]
+    fn zero_deadline_training_is_interrupted() {
+        let d = dataset();
+        let config = DistinctConfig {
+            training: small_training(),
+            ..Default::default()
+        };
+        let mut engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
+        let ctl = RunControl::new().with_deadline(std::time::Duration::ZERO);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let err = engine.train_ctl(&ctl).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DistinctError::Interrupted {
+                    kind: InterruptKind::DeadlineExceeded,
+                    ..
+                }
+            ),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn degraded_budget_sweep_is_monotone_enough() {
+        // More budget can only profile more references; the count of real
+        // (non-placeholder) profiles must be non-decreasing in the budget.
+        let d = dataset();
+        let config = DistinctConfig {
+            training: small_training(),
+            ..Default::default()
+        };
+        let refs = {
+            let engine =
+                Distinct::prepare(&d.catalog, "Publish", "author", config.clone()).unwrap();
+            engine.references_of("Wei Wang")
+        };
+        let mut last = 0usize;
+        for budget in [50, 500, 5_000, 50_000, 500_000] {
+            // Fresh engine per run: the profile cache would otherwise let
+            // later runs reuse earlier runs' work.
+            let engine =
+                Distinct::prepare(&d.catalog, "Publish", "author", config.clone()).unwrap();
+            let outcome = engine.resolve_ctl(&refs, &RunControl::new().with_budget(budget));
+            let computed = outcome
+                .degraded
+                .as_ref()
+                .map(|deg| deg.profiles_computed)
+                .unwrap_or(refs.len());
+            assert!(
+                computed >= last,
+                "budget {budget}: {computed} < previous {last}"
+            );
+            last = computed;
+        }
     }
 
     #[test]

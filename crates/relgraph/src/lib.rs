@@ -21,5 +21,5 @@ pub mod walk;
 
 pub use graph::{LinkGraph, NodeId};
 pub use neighbors::WeightedSet;
-pub use propagate::{propagate, propagate_blocked, Propagation};
+pub use propagate::{propagate, propagate_blocked, propagate_blocked_guarded, Propagation};
 pub use walk::{directed_walk, walk_probability};

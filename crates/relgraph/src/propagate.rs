@@ -77,6 +77,26 @@ pub fn propagate_blocked(
     origin: TupleRef,
     blocked: &[NodeId],
 ) -> Propagation {
+    propagate_blocked_guarded(graph, catalog, path, origin, blocked, &mut |_| true)
+        .expect("permissive guard never stops propagation")
+}
+
+/// Like [`propagate_blocked`], but cooperatively interruptible.
+///
+/// `guard` is called once per propagation level (forward and backward) with
+/// the number of frontier entries about to be expanded — the unit of work
+/// that dominates propagation cost. Returning `false` abandons the
+/// traversal: the function returns `None` and the partial frontier is
+/// discarded (a half-propagated profile would silently distort similarity
+/// values, which is worse than having no profile).
+pub fn propagate_blocked_guarded(
+    graph: &LinkGraph,
+    catalog: &Catalog,
+    path: &JoinPath,
+    origin: TupleRef,
+    blocked: &[NodeId],
+    guard: &mut dyn FnMut(u64) -> bool,
+) -> Option<Propagation> {
     debug_assert_eq!(
         origin.rel, path.start,
         "origin tuple not in path start relation"
@@ -89,6 +109,9 @@ pub fn propagate_blocked(
     frontier.insert(graph.node(origin), 1.0);
     levels.push(frontier.clone());
     for (i, step) in path.steps.iter().enumerate() {
+        if !guard(frontier.len() as u64) {
+            return None;
+        }
         let src_rel = rels[i];
         let mut next: FxHashMap<NodeId, f64> = FxHashMap::default();
         for (&u, &p) in &frontier {
@@ -115,6 +138,9 @@ pub fn propagate_blocked(
     let mut g: FxHashMap<NodeId, f64> = FxHashMap::default();
     g.insert(graph.node(origin), 1.0);
     for (i, step) in path.steps.iter().enumerate() {
+        if !guard(levels[i + 1].len() as u64) {
+            return None;
+        }
         let rev = step.reversed();
         let rev_src_rel = rels[i + 1];
         let mut g_next: FxHashMap<NodeId, f64> = FxHashMap::default();
@@ -134,10 +160,10 @@ pub fn propagate_blocked(
         g = g_next;
     }
 
-    Propagation {
+    Some(Propagation {
         forward: frontier,
         backward: g,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -386,6 +412,37 @@ mod tests {
         assert!(prop.forward.contains_key(&author_node(&c, &g, "z")));
         assert!(!prop.forward.contains_key(&author_node(&c, &g, "x")));
         assert!(!prop.forward.contains_key(&author_node(&c, &g, "y")));
+    }
+
+    #[test]
+    fn guarded_propagation_stops_cleanly_or_matches_unguarded() {
+        let c = catalog();
+        let g = LinkGraph::build(&c);
+        let path = coauthor_path(&c);
+        let origin = publish_tuple(&c, 0);
+        let full = propagate(&g, &c, &path, origin);
+        // A permissive guard reproduces the unguarded result and is called
+        // once per level in each direction.
+        let mut calls = 0u32;
+        let got = propagate_blocked_guarded(&g, &c, &path, origin, &[], &mut |u| {
+            calls += 1;
+            assert!(u > 0);
+            true
+        })
+        .unwrap();
+        assert_eq!(got.forward, full.forward);
+        assert_eq!(got.backward, full.backward);
+        assert_eq!(calls as usize, 2 * path.len());
+        // Tripping the guard at every possible level returns None, never a
+        // partial map.
+        for stop_at in 1..=(2 * path.len() as u32) {
+            let mut n = 0u32;
+            let out = propagate_blocked_guarded(&g, &c, &path, origin, &[], &mut |_| {
+                n += 1;
+                n < stop_at
+            });
+            assert!(out.is_none(), "stop_at {stop_at} returned a partial result");
+        }
     }
 
     #[test]

@@ -43,6 +43,14 @@ pub enum StoreError {
     Csv { line: usize, reason: String },
     /// A join path was structurally invalid for this catalog.
     InvalidJoinPath(String),
+    /// An underlying filesystem operation failed.
+    Io { context: String, reason: String },
+    /// A persisted file failed integrity verification (checksum mismatch,
+    /// truncation, unparseable framing). The store must not be trusted.
+    Corrupt { file: String, reason: String },
+    /// A store directory has no manifest: either it predates manifests,
+    /// was never fully committed, or isn't a store at all.
+    MissingManifest { dir: String },
 }
 
 impl fmt::Display for StoreError {
@@ -95,6 +103,13 @@ impl fmt::Display for StoreError {
                 write!(f, "CSV parse error at line {line}: {reason}")
             }
             StoreError::InvalidJoinPath(reason) => write!(f, "invalid join path: {reason}"),
+            StoreError::Io { context, reason } => write!(f, "I/O failure ({context}): {reason}"),
+            StoreError::Corrupt { file, reason } => {
+                write!(f, "corrupt store file `{file}`: {reason}")
+            }
+            StoreError::MissingManifest { dir } => {
+                write!(f, "no manifest.json in `{dir}`: not a committed store")
+            }
         }
     }
 }

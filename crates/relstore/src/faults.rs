@@ -1,0 +1,291 @@
+//! Deterministic I/O fault injection for persistence testing.
+//!
+//! All persistence writes go through a [`Vfs`]; production code uses
+//! [`StdVfs`] (plain `std::fs`), while tests wrap it in a [`FaultyVfs`]
+//! driven by a [`FaultPlan`] of seeded failures:
+//!
+//! * **fail** — the Nth write returns an I/O error with nothing written
+//!   (full disk, pulled drive);
+//! * **torn** — the Nth write persists only a prefix of the bytes and then
+//!   errors (crash mid-write); the prefix length is derived from the plan
+//!   seed, so runs are reproducible;
+//! * **bit flip** — the Nth write silently persists the payload with one
+//!   bit inverted (disk rot); the write *succeeds*, and the corruption
+//!   must be caught later at load time by checksums.
+//!
+//! Writes are counted across the whole plan lifetime, so a multi-file save
+//! can be killed at any chosen point (schema, a relation body, the
+//! manifest commit record).
+
+use std::io;
+use std::path::Path;
+
+/// Minimal filesystem surface used by persistence.
+///
+/// `&mut self` throughout: fault-injecting implementations count
+/// operations.
+pub trait Vfs {
+    /// Write `bytes` to `path`, replacing any existing file.
+    fn write(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Read the full contents of `path`.
+    fn read(&mut self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Atomically rename `from` to `to` (same directory).
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Create `path` and all missing parents.
+    fn create_dir_all(&mut self, path: &Path) -> io::Result<()>;
+}
+
+/// The real filesystem.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdVfs;
+
+impl Vfs for StdVfs {
+    fn write(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+    fn read(&mut self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+    fn create_dir_all(&mut self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+}
+
+/// What to do to a chosen write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Error out before writing anything.
+    Fail,
+    /// Persist only a seeded-length prefix, then error (crash mid-write).
+    Torn,
+    /// Flip one seeded bit and report success (silent corruption).
+    BitFlip,
+}
+
+/// One injected fault: applied to the `nth` write (1-based) issued through
+/// the [`FaultyVfs`].
+#[derive(Debug, Clone, Copy)]
+pub struct Fault {
+    /// 1-based index of the targeted write.
+    pub nth_write: u64,
+    /// What happens to it.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of injected faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            faults: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Add a fault on the `nth` write (1-based).
+    pub fn with_fault(mut self, nth_write: u64, kind: FaultKind) -> Self {
+        self.faults.push(Fault { nth_write, kind });
+        self
+    }
+
+    /// Shorthand: fail the `nth` write outright.
+    pub fn fail_nth_write(n: u64) -> Self {
+        FaultPlan::new(0).with_fault(n, FaultKind::Fail)
+    }
+
+    /// Shorthand: tear the `nth` write (seed controls the prefix length).
+    pub fn torn_nth_write(n: u64, seed: u64) -> Self {
+        FaultPlan::new(seed).with_fault(n, FaultKind::Torn)
+    }
+
+    /// Shorthand: flip one bit in the `nth` write (seed picks the bit).
+    pub fn bit_flip_nth_write(n: u64, seed: u64) -> Self {
+        FaultPlan::new(seed).with_fault(n, FaultKind::BitFlip)
+    }
+
+    fn fault_for(&self, write_index: u64) -> Option<FaultKind> {
+        self.faults
+            .iter()
+            .find(|f| f.nth_write == write_index)
+            .map(|f| f.kind)
+    }
+}
+
+/// A [`Vfs`] that injects the faults of a [`FaultPlan`] into an inner Vfs.
+#[derive(Debug)]
+pub struct FaultyVfs<V: Vfs = StdVfs> {
+    inner: V,
+    plan: FaultPlan,
+    writes: u64,
+}
+
+impl FaultyVfs<StdVfs> {
+    /// Inject `plan` over the real filesystem.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultyVfs {
+            inner: StdVfs,
+            plan,
+            writes: 0,
+        }
+    }
+}
+
+impl<V: Vfs> FaultyVfs<V> {
+    /// Inject `plan` over an arbitrary inner Vfs.
+    pub fn over(inner: V, plan: FaultPlan) -> Self {
+        FaultyVfs {
+            inner,
+            plan,
+            writes: 0,
+        }
+    }
+
+    /// Writes attempted so far (used to size exhaustive kill sweeps).
+    pub fn writes_attempted(&self) -> u64 {
+        self.writes
+    }
+
+    /// Deterministic value in `[0, bound)` derived from the plan seed and
+    /// the write index (splitmix64 finalizer — good avalanche, no state).
+    fn mix(&self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let mut z = self
+            .plan
+            .seed
+            .wrapping_add(self.writes.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) % bound
+    }
+}
+
+impl<V: Vfs> Vfs for FaultyVfs<V> {
+    fn write(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.writes += 1;
+        match self.plan.fault_for(self.writes) {
+            None => self.inner.write(path, bytes),
+            Some(FaultKind::Fail) => Err(io::Error::other(format!(
+                "injected failure on write #{}",
+                self.writes
+            ))),
+            Some(FaultKind::Torn) => {
+                let keep = if bytes.is_empty() {
+                    0
+                } else {
+                    self.mix(bytes.len() as u64) as usize
+                };
+                self.inner.write(path, &bytes[..keep])?;
+                Err(io::Error::other(format!(
+                    "injected torn write #{} ({} of {} bytes persisted)",
+                    self.writes,
+                    keep,
+                    bytes.len()
+                )))
+            }
+            Some(FaultKind::BitFlip) => {
+                let mut corrupted = bytes.to_vec();
+                if !corrupted.is_empty() {
+                    let bit = self.mix(corrupted.len() as u64 * 8);
+                    corrupted[(bit / 8) as usize] ^= 1 << (bit % 8);
+                }
+                self.inner.write(path, &corrupted)
+            }
+        }
+    }
+
+    fn read(&mut self, path: &Path) -> io::Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        self.inner.rename(from, to)
+    }
+
+    fn create_dir_all(&mut self, path: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("relstore_faults_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn nth_write_fails_and_leaves_no_file() {
+        let dir = tmp("fail");
+        let mut vfs = FaultyVfs::new(FaultPlan::fail_nth_write(2));
+        vfs.write(&dir.join("a"), b"first").unwrap();
+        assert!(vfs.write(&dir.join("b"), b"second").is_err());
+        assert!(dir.join("a").exists());
+        assert!(!dir.join("b").exists());
+        vfs.write(&dir.join("c"), b"third").unwrap();
+        assert_eq!(vfs.writes_attempted(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_persists_a_strict_prefix() {
+        let dir = tmp("torn");
+        let payload = b"0123456789abcdef";
+        for seed in 0..16 {
+            let mut vfs = FaultyVfs::new(FaultPlan::torn_nth_write(1, seed));
+            let path = dir.join(format!("t{seed}"));
+            assert!(vfs.write(&path, payload).is_err());
+            let on_disk = std::fs::read(&path).unwrap();
+            assert!(on_disk.len() < payload.len());
+            assert_eq!(&payload[..on_disk.len()], &on_disk[..]);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_succeeds_with_exactly_one_bit_changed() {
+        let dir = tmp("flip");
+        let payload = b"the quick brown fox";
+        for seed in 0..16 {
+            let mut vfs = FaultyVfs::new(FaultPlan::bit_flip_nth_write(1, seed));
+            let path = dir.join(format!("f{seed}"));
+            vfs.write(&path, payload).unwrap();
+            let on_disk = std::fs::read(&path).unwrap();
+            assert_eq!(on_disk.len(), payload.len());
+            let flipped: u32 = payload
+                .iter()
+                .zip(&on_disk)
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum();
+            assert_eq!(flipped, 1, "seed {seed}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn faults_are_deterministic_per_seed() {
+        let dir = tmp("det");
+        let payload = b"determinism matters";
+        let read_after = |seed: u64, tag: &str| {
+            let mut vfs = FaultyVfs::new(FaultPlan::bit_flip_nth_write(1, seed));
+            let path = dir.join(format!("d{seed}_{tag}"));
+            vfs.write(&path, payload).unwrap();
+            std::fs::read(&path).unwrap()
+        };
+        assert_eq!(read_after(7, "a"), read_after(7, "b"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

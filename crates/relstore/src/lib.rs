@@ -44,6 +44,7 @@ pub mod catalog;
 pub mod csv;
 pub mod error;
 pub mod expand;
+pub mod faults;
 pub mod fxhash;
 pub mod join;
 pub mod persist;
@@ -57,9 +58,13 @@ pub mod value;
 pub use catalog::{Catalog, FkEdge, FkId};
 pub use error::{Result, StoreError};
 pub use expand::{expand_values, Expanded, ExpandedAttr};
+pub use faults::{Fault, FaultKind, FaultPlan, FaultyVfs, StdVfs, Vfs};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use join::{enumerate_paths, Direction, JoinPath, JoinStep, PathEnumOptions};
-pub use persist::{load_catalog, save_catalog};
+pub use persist::{
+    fnv1a64, load_catalog, load_catalog_with, save_catalog, save_catalog_with, Manifest,
+    ManifestEntry,
+};
 pub use query::{Predicate, Query, Rows};
 pub use relation::Relation;
 pub use schema::{AttrRole, Attribute, RelationSchema, SchemaBuilder};

@@ -1,17 +1,70 @@
 //! Catalog persistence: save/load a whole database to a directory.
 //!
 //! Layout: `schema.json` holds the ordered relation schemas; each relation
-//! body lives in `<name>.csv` (RFC-4180 quoting via [`crate::csv`]).
-//! Relation names are sanitized for the filesystem (`#`, `/`, etc. map to
-//! `_`), with the original names preserved in the schema file. Loading
-//! re-finalizes the catalog with integrity checking.
+//! body lives in `<name>.csv` (RFC-4180 quoting via [`crate::csv`]);
+//! `manifest.json` records a FNV-1a-64 checksum and byte length for every
+//! file plus a schema fingerprint, and is written **last** — it is the
+//! commit point. Relation names are sanitized for the filesystem (`#`,
+//! `/`, etc. map to `_`), with the original names preserved in the schema
+//! file.
+//!
+//! Crash safety: every file is written to a `*.tmp` sibling and atomically
+//! renamed into place, and nothing references the new data until the
+//! manifest rename lands. A save killed at any point leaves either the
+//! previous committed state (old manifest, old checksums) or a detectable
+//! mismatch — [`load_catalog`] verifies every checksum before parsing a
+//! byte, so a torn or bit-flipped file surfaces as
+//! [`StoreError::Corrupt`], never as silently wrong data.
+//!
+//! All writes go through a [`Vfs`](crate::faults::Vfs), so the fault
+//! injection harness in [`crate::faults`] can kill a save at any write.
 
 use crate::catalog::Catalog;
 use crate::csv::{load_csv, to_csv};
 use crate::error::{Result, StoreError};
+use crate::faults::{StdVfs, Vfs};
 use crate::schema::RelationSchema;
-use std::fs;
+use serde::{Deserialize, Serialize};
 use std::path::Path;
+
+/// Manifest schema version understood by this build.
+const MANIFEST_VERSION: u32 = 1;
+/// File name of the commit record.
+const MANIFEST_FILE: &str = "manifest.json";
+
+/// FNV-1a 64-bit checksum — small, dependency-free, and plenty for
+/// detecting torn writes and bit rot (not an adversarial MAC).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Integrity record for one store file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// File name relative to the store directory.
+    pub file: String,
+    /// Exact byte length.
+    pub bytes: u64,
+    /// FNV-1a-64 checksum, lower-case hex.
+    pub fnv1a64: String,
+}
+
+/// The store's commit record: written last, verified first.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Manifest schema version.
+    pub version: u32,
+    /// Checksum of `schema.json` — a cheap fingerprint of the relational
+    /// schema, letting tools detect schema drift without parsing.
+    pub schema_fingerprint: String,
+    /// One entry per persisted file (`schema.json` and every `*.csv`).
+    pub files: Vec<ManifestEntry>,
+}
 
 /// Map a relation name to a safe file stem.
 fn file_stem(name: &str) -> String {
@@ -47,53 +100,174 @@ fn unique_stems<'a>(names: impl Iterator<Item = &'a str>) -> Vec<String> {
 }
 
 fn io_err(context: &str, e: std::io::Error) -> StoreError {
-    StoreError::Csv {
-        line: 0,
-        reason: format!("{context}: {e}"),
+    StoreError::Io {
+        context: context.to_string(),
+        reason: e.to_string(),
     }
+}
+
+/// Write `bytes` to `dir/name` atomically: write `dir/name.tmp`, then
+/// rename over the target. A crash mid-write leaves only the `.tmp`
+/// orphan; the target keeps its previous content.
+fn write_atomic(vfs: &mut dyn Vfs, dir: &Path, name: &str, bytes: &[u8]) -> Result<()> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    let dst = dir.join(name);
+    vfs.write(&tmp, bytes)
+        .map_err(|e| io_err(&format!("write {name}.tmp"), e))?;
+    vfs.rename(&tmp, &dst)
+        .map_err(|e| io_err(&format!("commit {name}"), e))
+}
+
+/// Save a catalog into `dir` (created if absent) through an explicit
+/// [`Vfs`] — the fault-injectable entry point.
+pub fn save_catalog_with(catalog: &Catalog, dir: &Path, vfs: &mut dyn Vfs) -> Result<()> {
+    vfs.create_dir_all(dir)
+        .map_err(|e| io_err("create dir", e))?;
+    let schemas: Vec<&RelationSchema> = catalog.relations().map(|(_, r)| r.schema()).collect();
+    let schema_json = serde_json::to_string_pretty(&schemas).expect("schemas serialize");
+    let mut files = vec![ManifestEntry {
+        file: "schema.json".into(),
+        bytes: schema_json.len() as u64,
+        fnv1a64: format!("{:016x}", fnv1a64(schema_json.as_bytes())),
+    }];
+    write_atomic(vfs, dir, "schema.json", schema_json.as_bytes())?;
+    let stems = unique_stems(catalog.relations().map(|(_, r)| r.name()));
+    for ((_, rel), stem) in catalog.relations().zip(&stems) {
+        let name = format!("{stem}.csv");
+        let body = to_csv(rel);
+        files.push(ManifestEntry {
+            file: name.clone(),
+            bytes: body.len() as u64,
+            fnv1a64: format!("{:016x}", fnv1a64(body.as_bytes())),
+        });
+        write_atomic(vfs, dir, &name, body.as_bytes())?;
+    }
+    let manifest = Manifest {
+        version: MANIFEST_VERSION,
+        schema_fingerprint: format!("{:016x}", fnv1a64(schema_json.as_bytes())),
+        files,
+    };
+    // Compact encoding on purpose: the manifest cannot checksum itself, so
+    // it must not contain semantically inert bytes (pretty-print
+    // whitespace) that single-byte corruption could hide in.
+    let manifest_json = serde_json::to_string(&manifest).expect("manifest serializes");
+    // Commit point: until this rename lands, a loader sees the previous
+    // manifest (or none) and never trusts the new files.
+    write_atomic(vfs, dir, MANIFEST_FILE, manifest_json.as_bytes())
 }
 
 /// Save a catalog into `dir` (created if absent).
 pub fn save_catalog(catalog: &Catalog, dir: &Path) -> Result<()> {
-    fs::create_dir_all(dir).map_err(|e| io_err("create dir", e))?;
-    let schemas: Vec<&RelationSchema> = catalog.relations().map(|(_, r)| r.schema()).collect();
-    let schema_json = serde_json::to_string_pretty(&schemas).expect("schemas serialize");
-    fs::write(dir.join("schema.json"), schema_json).map_err(|e| io_err("write schema", e))?;
-    let stems = unique_stems(catalog.relations().map(|(_, r)| r.name()));
-    for ((_, rel), stem) in catalog.relations().zip(&stems) {
-        let path = dir.join(format!("{stem}.csv"));
-        fs::write(&path, to_csv(rel)).map_err(|e| io_err("write relation", e))?;
-    }
-    Ok(())
+    save_catalog_with(catalog, dir, &mut StdVfs)
 }
 
-/// Load a catalog saved by [`save_catalog`]. The result is finalized with
-/// integrity checking enabled.
-pub fn load_catalog(dir: &Path) -> Result<Catalog> {
-    let schema_json =
-        fs::read_to_string(dir.join("schema.json")).map_err(|e| io_err("read schema", e))?;
+/// Read and checksum-verify one manifest-listed file.
+fn read_verified(vfs: &mut dyn Vfs, dir: &Path, entry: &ManifestEntry) -> Result<Vec<u8>> {
+    let bytes = vfs
+        .read(&dir.join(&entry.file))
+        .map_err(|e| io_err(&format!("read {}", entry.file), e))?;
+    if bytes.len() as u64 != entry.bytes {
+        return Err(StoreError::Corrupt {
+            file: entry.file.clone(),
+            reason: format!(
+                "length {} does not match manifest ({} bytes)",
+                bytes.len(),
+                entry.bytes
+            ),
+        });
+    }
+    let sum = format!("{:016x}", fnv1a64(&bytes));
+    if sum != entry.fnv1a64 {
+        return Err(StoreError::Corrupt {
+            file: entry.file.clone(),
+            reason: format!("checksum {sum} does not match manifest {}", entry.fnv1a64),
+        });
+    }
+    Ok(bytes)
+}
+
+/// Load a catalog saved by [`save_catalog`] through an explicit [`Vfs`].
+///
+/// Verification order: manifest first (its absence means the store was
+/// never committed), then every file's length and checksum, then parsing.
+/// The result is finalized with integrity checking enabled.
+pub fn load_catalog_with(dir: &Path, vfs: &mut dyn Vfs) -> Result<Catalog> {
+    let manifest_bytes =
+        vfs.read(&dir.join(MANIFEST_FILE))
+            .map_err(|_| StoreError::MissingManifest {
+                dir: dir.display().to_string(),
+            })?;
+    let manifest: Manifest =
+        serde_json::from_slice(&manifest_bytes).map_err(|e| StoreError::Corrupt {
+            file: MANIFEST_FILE.into(),
+            reason: format!("unparseable manifest: {e}"),
+        })?;
+    if manifest.version != MANIFEST_VERSION {
+        return Err(StoreError::Corrupt {
+            file: MANIFEST_FILE.into(),
+            reason: format!(
+                "manifest version {} (this build understands {MANIFEST_VERSION})",
+                manifest.version
+            ),
+        });
+    }
+    let schema_entry = manifest
+        .files
+        .iter()
+        .find(|f| f.file == "schema.json")
+        .ok_or_else(|| StoreError::Corrupt {
+            file: MANIFEST_FILE.into(),
+            reason: "manifest lists no schema.json".into(),
+        })?;
+    let schema_bytes = read_verified(vfs, dir, schema_entry)?;
+    if format!("{:016x}", fnv1a64(&schema_bytes)) != manifest.schema_fingerprint {
+        return Err(StoreError::Corrupt {
+            file: "schema.json".into(),
+            reason: "schema fingerprint does not match manifest".into(),
+        });
+    }
     let schemas: Vec<RelationSchema> =
-        serde_json::from_str(&schema_json).map_err(|e| StoreError::Csv {
-            line: 0,
+        serde_json::from_slice(&schema_bytes).map_err(|e| StoreError::Corrupt {
+            file: "schema.json".into(),
             reason: format!("bad schema.json: {e}"),
         })?;
     let mut catalog = Catalog::new();
     let stems = unique_stems(schemas.iter().map(|s| s.name.as_str()));
     for (schema, stem) in schemas.into_iter().zip(stems) {
+        let name = format!("{stem}.csv");
+        let entry = manifest
+            .files
+            .iter()
+            .find(|f| f.file == name)
+            .ok_or_else(|| StoreError::Corrupt {
+                file: MANIFEST_FILE.into(),
+                reason: format!("manifest lists no entry for {name}"),
+            })?;
+        let body = read_verified(vfs, dir, entry)?;
+        let text = String::from_utf8(body).map_err(|_| StoreError::Corrupt {
+            file: name.clone(),
+            reason: "relation body is not valid UTF-8".into(),
+        })?;
         let rid = catalog.add_relation(schema)?;
-        let path = dir.join(format!("{stem}.csv"));
-        let text = fs::read_to_string(&path).map_err(|e| io_err("read relation", e))?;
         load_csv(catalog.relation_mut(rid), &text)?;
     }
     catalog.finalize(true)?;
     Ok(catalog)
 }
 
+/// Load a catalog saved by [`save_catalog`]. The result is finalized with
+/// integrity checking enabled.
+pub fn load_catalog(dir: &Path) -> Result<Catalog> {
+    load_catalog_with(dir, &mut StdVfs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultPlan, FaultyVfs};
     use crate::schema::SchemaBuilder;
     use crate::value::{AttrType, Value};
+    use std::fs;
 
     fn sample_catalog() -> Catalog {
         let mut c = Catalog::new();
@@ -179,15 +353,104 @@ mod tests {
     #[test]
     fn missing_directory_errors() {
         let dir = temp_dir("missing");
-        assert!(load_catalog(&dir).is_err());
+        assert!(matches!(
+            load_catalog(&dir),
+            Err(StoreError::MissingManifest { .. })
+        ));
     }
 
     #[test]
     fn corrupt_schema_errors() {
         let dir = temp_dir("corrupt");
-        fs::create_dir_all(&dir).unwrap();
+        save_catalog(&sample_catalog(), &dir).unwrap();
         fs::write(dir.join("schema.json"), "{ not json").unwrap();
-        assert!(load_catalog(&dir).is_err());
+        assert!(matches!(
+            load_catalog(&dir),
+            Err(StoreError::Corrupt { .. })
+        ));
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_checksums_cover_every_file() {
+        let dir = temp_dir("cover");
+        save_catalog(&sample_catalog(), &dir).unwrap();
+        let manifest: Manifest =
+            serde_json::from_slice(&fs::read(dir.join(MANIFEST_FILE)).unwrap()).unwrap();
+        assert_eq!(manifest.version, MANIFEST_VERSION);
+        // schema.json + one csv per relation.
+        assert_eq!(manifest.files.len(), 1 + sample_catalog().relation_count());
+        for entry in &manifest.files {
+            let bytes = fs::read(dir.join(&entry.file)).unwrap();
+            assert_eq!(bytes.len() as u64, entry.bytes);
+            assert_eq!(format!("{:016x}", fnv1a64(&bytes)), entry.fnv1a64);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tampered_relation_body_is_detected_before_parsing() {
+        let dir = temp_dir("tamper");
+        save_catalog(&sample_catalog(), &dir).unwrap();
+        // Valid CSV, wrong content: only the checksum can catch this.
+        let original = fs::read_to_string(dir.join("Venues.csv")).unwrap();
+        fs::write(dir.join("Venues.csv"), original.replace("VLDB", "ICDE")).unwrap();
+        match load_catalog(&dir) {
+            Err(StoreError::Corrupt { file, .. }) => assert_eq!(file, "Venues.csv"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_killed_at_any_write_is_never_silently_loaded() {
+        // Exhaustive kill sweep: fail each write of the save in turn. The
+        // directory must afterwards either load the *previous* committed
+        // state or refuse to load — never a mix.
+        let dir = temp_dir("kill");
+        let v1 = sample_catalog();
+        save_catalog(&v1, &dir).unwrap();
+        let v1_tuples = v1.tuple_count();
+
+        // A second version with one more tuple.
+        let mut v2 = sample_catalog();
+        v2.insert("Venues", [Value::str("SIGMOD")].into()).unwrap();
+        v2.finalize(true).unwrap();
+
+        // Count the writes of a full save.
+        let mut counting = FaultyVfs::new(FaultPlan::new(0));
+        save_catalog_with(&v2, &dir, &mut counting).unwrap();
+        let total_writes = counting.writes_attempted();
+        assert!(total_writes >= 4);
+
+        for nth in 1..=total_writes {
+            // Reset to committed v1.
+            fs::remove_dir_all(&dir).unwrap();
+            save_catalog(&v1, &dir).unwrap();
+            let mut vfs = FaultyVfs::new(FaultPlan::fail_nth_write(nth));
+            assert!(save_catalog_with(&v2, &dir, &mut vfs).is_err());
+            match load_catalog(&dir) {
+                Ok(loaded) => assert_eq!(
+                    loaded.tuple_count(),
+                    v1_tuples,
+                    "write #{nth}: loaded a half-saved store"
+                ),
+                Err(
+                    StoreError::Corrupt { .. }
+                    | StoreError::MissingManifest { .. }
+                    | StoreError::Io { .. },
+                ) => {}
+                Err(other) => panic!("write #{nth}: unexpected error {other:?}"),
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
     }
 }

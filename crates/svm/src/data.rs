@@ -14,6 +14,11 @@ pub enum SvmError {
     Degenerate(String),
     /// A hyperparameter was out of range.
     BadParameter { name: &'static str, reason: String },
+    /// A guard closure stopped the optimizer before convergence.
+    Interrupted {
+        /// Full optimization passes completed before the stop.
+        passes_done: usize,
+    },
 }
 
 impl fmt::Display for SvmError {
@@ -29,6 +34,9 @@ impl fmt::Display for SvmError {
             SvmError::Degenerate(msg) => write!(f, "degenerate dataset: {msg}"),
             SvmError::BadParameter { name, reason } => {
                 write!(f, "bad parameter `{name}`: {reason}")
+            }
+            SvmError::Interrupted { passes_done } => {
+                write!(f, "training interrupted after {passes_done} passes")
             }
         }
     }

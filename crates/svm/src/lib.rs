@@ -37,4 +37,4 @@ pub use model::{KernelModel, LinearModel};
 pub use pegasos::{train_pegasos, PegasosConfig};
 pub use platt::PlattScaler;
 pub use scale::StandardScaler;
-pub use smo::{train_smo, SmoConfig};
+pub use smo::{train_smo, train_smo_guarded, SmoConfig};

@@ -53,6 +53,23 @@ impl Default for SmoConfig {
 /// assert_eq!(model.accuracy(&data), 1.0);
 /// ```
 pub fn train_smo(data: &Dataset, kernel: Kernel, cfg: &SmoConfig) -> Result<KernelModel> {
+    train_smo_guarded(data, kernel, cfg, &mut |_| true)
+}
+
+/// Like [`train_smo`], but cooperatively interruptible.
+///
+/// `guard` is called once per full pass over the multipliers with the
+/// number of examples about to be scanned (each scan is `O(n)` kernel-row
+/// work). Returning `false` aborts the optimization with
+/// [`SvmError::Interrupted`] — a half-converged hyperplane is not returned,
+/// because its weights can be arbitrarily far from the optimum and the
+/// caller could not tell.
+pub fn train_smo_guarded(
+    data: &Dataset,
+    kernel: Kernel,
+    cfg: &SmoConfig,
+    guard: &mut dyn FnMut(u64) -> bool,
+) -> Result<KernelModel> {
     if cfg.c <= 0.0 {
         return Err(SvmError::BadParameter {
             name: "c",
@@ -92,6 +109,9 @@ pub fn train_smo(data: &Dataset, kernel: Kernel, cfg: &SmoConfig) -> Result<Kern
     let mut passes = 0usize;
     let mut iters = 0usize;
     while passes < cfg.max_passes && iters < cfg.max_iters {
+        if !guard(n as u64) {
+            return Err(SvmError::Interrupted { passes_done: iters });
+        }
         let mut changed = 0usize;
         for i in 0..n {
             let ei = err(&alpha, b, i);
@@ -329,6 +349,31 @@ mod tests {
     fn single_class_rejected() {
         let d = Dataset::from_parts(vec![vec![1.0], vec![2.0]], vec![1.0, 1.0]).unwrap();
         assert!(train_smo(&d, Kernel::Linear, &SmoConfig::default()).is_err());
+    }
+
+    #[test]
+    fn guarded_training_matches_unguarded_and_interrupts_cleanly() {
+        let d = blobs(20, 6);
+        let full = train_smo(&d, Kernel::Linear, &SmoConfig::default()).unwrap();
+        let mut charged = 0u64;
+        let guarded = train_smo_guarded(&d, Kernel::Linear, &SmoConfig::default(), &mut |u| {
+            charged += u;
+            true
+        })
+        .unwrap();
+        assert_eq!(
+            full.to_linear().unwrap().weights,
+            guarded.to_linear().unwrap().weights
+        );
+        assert!(charged >= d.len() as u64, "at least one pass charged");
+        // Guard tripping on the second pass: typed error, pass count = 1.
+        let mut passes = 0u32;
+        let err = train_smo_guarded(&d, Kernel::Linear, &SmoConfig::default(), &mut |_| {
+            passes += 1;
+            passes <= 1
+        })
+        .unwrap_err();
+        assert!(matches!(err, SvmError::Interrupted { passes_done: 1 }));
     }
 
     #[test]

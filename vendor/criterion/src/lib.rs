@@ -1,0 +1,191 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! The build environment has no crates.io access, so this stub keeps the
+//! bench suites compiling and gives them smoke-test semantics: each bench
+//! closure runs a handful of iterations and reports wall-clock time per
+//! iteration. It is NOT a statistics engine — no warm-up, outlier
+//! rejection, or regression analysis. Treat the numbers as order-of-
+//! magnitude only.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export for bench code that uses `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Iterations per bench in smoke mode (kept tiny: benches run as tests).
+const SMOKE_ITERS: u32 = 3;
+
+/// Identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a name and a displayable parameter.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+
+    /// Build an id from just a parameter.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            param: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.name.is_empty() {
+            write!(f, "{}", self.param)
+        } else {
+            write!(f, "{}/{}", self.name, self.param)
+        }
+    }
+}
+
+/// Passed to bench closures; `iter` runs the measured body.
+pub struct Bencher {
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Run `f` a few times, recording mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..SMOKE_ITERS {
+            black_box(f());
+        }
+        self.last = Some(start.elapsed() / SMOKE_ITERS);
+    }
+}
+
+fn report(label: &str, timing: Option<Duration>) {
+    match timing {
+        Some(d) => println!("bench {label}: ~{d:?}/iter (smoke mode)"),
+        None => println!("bench {label}: no measurement"),
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut b = Bencher { last: None };
+    f(&mut b);
+    report(label, b.last);
+}
+
+/// A named group of benches.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; smoke mode ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; smoke mode ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run a bench in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Run a bench with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The bench driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run a top-level bench.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(id, f);
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// Collect bench functions into a group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("t", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, SMOKE_ITERS);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10)
+            .bench_function(BenchmarkId::new("a", 1), |b| b.iter(|| 2 + 2))
+            .bench_with_input(BenchmarkId::new("b", 2), &3, |b, x| b.iter(|| x + 1));
+        g.finish();
+        assert_eq!(BenchmarkId::new("a", 1).to_string(), "a/1");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,588 @@
+//! Offline drop-in subset of `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of serde it uses: `#[derive(Serialize, Deserialize)]` on plain
+//! structs and enums, consumed by the vendored `serde_json`. Instead of
+//! serde's visitor architecture, values round-trip through a JSON-shaped
+//! [`Content`] tree — drastically simpler, and exactly as expressive as the
+//! JSON the repo persists.
+//!
+//! Conventions match serde's external tagging so the emitted JSON looks
+//! like upstream's: structs are maps, newtype structs are transparent,
+//! unit enum variants are strings, and payload variants are
+//! `{"Variant": ...}` maps.
+
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A serialized value: the JSON data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object, insertion-ordered.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The map entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from a message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize into the [`Content`] data model.
+pub trait Serialize {
+    /// This value as content.
+    fn to_content(&self) -> Content;
+}
+
+/// Deserialize from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild a value from content.
+    fn from_content(c: &Content) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------- scalars
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let err = || Error::custom(format!(
+                    "expected {} integer, got {}", stringify!($t), c.kind()));
+                match *c {
+                    Content::I64(v) => <$t>::try_from(v).map_err(|_| err()),
+                    Content::U64(v) => <$t>::try_from(v).map_err(|_| err()),
+                    Content::F64(v) if v.fract() == 0.0
+                        && v >= <$t>::MIN as f64 && v <= <$t>::MAX as f64 =>
+                        Ok(v as $t),
+                    _ => Err(err()),
+                }
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+macro_rules! impl_uint_wide {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                match i64::try_from(*self) {
+                    Ok(v) => Content::I64(v),
+                    Err(_) => Content::U64(*self as u64),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let err = || Error::custom(format!(
+                    "expected {} integer, got {}", stringify!($t), c.kind()));
+                match *c {
+                    Content::I64(v) => <$t>::try_from(v).map_err(|_| err()),
+                    Content::U64(v) => <$t>::try_from(v).map_err(|_| err()),
+                    Content::F64(v) if v.fract() == 0.0 && v >= 0.0
+                        && v <= <$t>::MAX as f64 => Ok(v as $t),
+                    _ => Err(err()),
+                }
+            }
+        }
+    )*};
+}
+impl_uint_wide!(u64, usize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match *c {
+            Content::F64(v) => Ok(v),
+            Content::I64(v) => Ok(v as f64),
+            Content::U64(v) => Ok(v as f64),
+            // serde_json serializes non-finite floats as null.
+            Content::Null => Ok(f64::NAN),
+            _ => Err(Error::custom(format!("expected number, got {}", c.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match *c {
+            Content::Bool(b) => Ok(b),
+            _ => Err(Error::custom(format!("expected bool, got {}", c.kind()))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let s = c
+            .as_str()
+            .ok_or_else(|| Error::custom(format!("expected char, got {}", c.kind())))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(Error::custom("expected single-char string")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- strings
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, got {}", c.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+// `Arc<str>`/`Rc<str>` serialization is covered by the generic `Arc<T>`/
+// `Rc<T>` impls below; only deserialization needs the unsized special case.
+impl Deserialize for Arc<str> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_str()
+            .map(Arc::from)
+            .ok_or_else(|| Error::custom(format!("expected string, got {}", c.kind())))
+    }
+}
+
+impl Deserialize for Rc<str> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_str()
+            .map(Rc::from)
+            .ok_or_else(|| Error::custom(format!("expected string, got {}", c.kind())))
+    }
+}
+
+// ------------------------------------------------------------ containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        T::from_content(c).map(Arc::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+impl<T: Deserialize> Deserialize for Rc<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        T::from_content(c).map(Rc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_seq()
+            .ok_or_else(|| Error::custom(format!("expected sequence, got {}", c.kind())))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let seq = c.as_seq().ok_or_else(|| {
+                    Error::custom(format!("expected tuple sequence, got {}", c.kind()))
+                })?;
+                let expect = [$($n, )+].len();
+                if seq.len() != expect {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {expect}, got {} elements", seq.len())));
+                }
+                Ok(($($t::from_content(&seq[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        map_to_content(self.iter())
+    }
+}
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        map_from_content(c)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        map_to_content(self.iter())
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        map_from_content(c)
+    }
+}
+
+/// Maps serialize as JSON objects when the key serializes to a string,
+/// and as sequences of `[key, value]` pairs otherwise.
+fn map_to_content<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Content {
+    let pairs: Vec<(Content, Content)> = entries
+        .map(|(k, v)| (k.to_content(), v.to_content()))
+        .collect();
+    if pairs.iter().all(|(k, _)| matches!(k, Content::Str(_))) {
+        Content::Map(
+            pairs
+                .into_iter()
+                .map(|(k, v)| match k {
+                    Content::Str(s) => (s, v),
+                    _ => unreachable!(),
+                })
+                .collect(),
+        )
+    } else {
+        Content::Seq(
+            pairs
+                .into_iter()
+                .map(|(k, v)| Content::Seq(vec![k, v]))
+                .collect(),
+        )
+    }
+}
+
+fn map_from_content<M, K, V>(c: &Content) -> Result<M, Error>
+where
+    M: FromIterator<(K, V)>,
+    K: Deserialize,
+    V: Deserialize,
+{
+    match c {
+        Content::Map(entries) => entries
+            .iter()
+            .map(|(k, v)| {
+                Ok((
+                    K::from_content(&Content::Str(k.clone()))?,
+                    V::from_content(v)?,
+                ))
+            })
+            .collect(),
+        Content::Seq(items) => items
+            .iter()
+            .map(|item| {
+                let pair = item
+                    .as_seq()
+                    .filter(|s| s.len() == 2)
+                    .ok_or_else(|| Error::custom("expected [key, value] pair"))?;
+                Ok((K::from_content(&pair[0])?, V::from_content(&pair[1])?))
+            })
+            .collect(),
+        _ => Err(Error::custom(format!("expected map, got {}", c.kind()))),
+    }
+}
+
+// ------------------------------------------------------- derive plumbing
+
+/// Support code used by the generated derive impls. Not public API.
+pub mod __private {
+    use super::{Content, Deserialize, Error};
+
+    /// Look up and deserialize a struct field.
+    pub fn field<T: Deserialize>(
+        map: &[(String, Content)],
+        struct_name: &str,
+        name: &str,
+    ) -> Result<T, Error> {
+        match map.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_content(v)
+                .map_err(|e| Error::custom(format!("in field `{struct_name}.{name}`: {e}"))),
+            None => Err(Error::custom(format!(
+                "missing field `{name}` of `{struct_name}`"
+            ))),
+        }
+    }
+
+    /// Deserialize one element of a tuple payload.
+    pub fn elem<T: Deserialize>(seq: &[Content], owner: &str, idx: usize) -> Result<T, Error> {
+        let c = seq
+            .get(idx)
+            .ok_or_else(|| Error::custom(format!("missing element {idx} of `{owner}`")))?;
+        T::from_content(c).map_err(|e| Error::custom(format!("in `{owner}`[{idx}]: {e}")))
+    }
+
+    /// Interpret content as an externally tagged enum: either a bare
+    /// variant-name string or a single-entry `{"Variant": payload}` map.
+    pub fn variant<'c>(
+        c: &'c Content,
+        enum_name: &str,
+    ) -> Result<(&'c str, Option<&'c Content>), Error> {
+        match c {
+            Content::Str(s) => Ok((s, None)),
+            Content::Map(m) if m.len() == 1 => Ok((m[0].0.as_str(), Some(&m[0].1))),
+            _ => Err(Error::custom(format!(
+                "expected `{enum_name}` variant (string or single-key map), got {}",
+                c.kind()
+            ))),
+        }
+    }
+
+    /// Payload sequence of a tuple variant.
+    pub fn tuple_payload<'c>(
+        payload: Option<&'c Content>,
+        owner: &str,
+    ) -> Result<&'c [Content], Error> {
+        payload
+            .and_then(Content::as_seq)
+            .ok_or_else(|| Error::custom(format!("expected sequence payload for `{owner}`")))
+    }
+
+    /// Payload map of a struct(-like) variant or struct.
+    pub fn map_payload<'c>(
+        payload: Option<&'c Content>,
+        owner: &str,
+    ) -> Result<&'c [(String, Content)], Error> {
+        payload
+            .and_then(Content::as_map)
+            .ok_or_else(|| Error::custom(format!("expected map payload for `{owner}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN] {
+            assert_eq!(i64::from_content(&v.to_content()).unwrap(), v);
+        }
+        assert_eq!(u64::from_content(&u64::MAX.to_content()).unwrap(), u64::MAX);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        let f = -1.25e-9f64;
+        assert_eq!(f64::from_content(&f.to_content()).unwrap(), f);
+    }
+
+    #[test]
+    fn integer_narrowing_is_checked() {
+        assert!(u8::from_content(&Content::I64(300)).is_err());
+        assert!(u32::from_content(&Content::I64(-1)).is_err());
+        assert!(i64::from_content(&Content::Str("7".into())).is_err());
+    }
+
+    #[test]
+    fn option_and_vec_round_trip() {
+        let v: Vec<Option<u32>> = vec![Some(1), None, Some(3)];
+        let c = v.to_content();
+        assert_eq!(Vec::<Option<u32>>::from_content(&c).unwrap(), v);
+    }
+
+    #[test]
+    fn tuple_len_mismatch_errors() {
+        let c = Content::Seq(vec![Content::I64(1)]);
+        assert!(<(i64, i64)>::from_content(&c).is_err());
+    }
+
+    #[test]
+    fn string_map_uses_object_form() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u32);
+        assert!(matches!(m.to_content(), Content::Map(_)));
+        let mut n = BTreeMap::new();
+        n.insert(3u32, 1u32);
+        assert!(matches!(n.to_content(), Content::Seq(_)));
+        assert_eq!(BTreeMap::from_content(&n.to_content()).unwrap(), n);
+    }
+
+    #[test]
+    fn arc_str_round_trips() {
+        let s: Arc<str> = Arc::from("shared");
+        let c = s.to_content();
+        assert_eq!(&*Arc::<str>::from_content(&c).unwrap(), "shared");
+    }
+}

@@ -1,0 +1,405 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde subset.
+//!
+//! No `syn`/`quote` (the build is offline): the item is parsed directly
+//! from its `proc_macro::TokenStream`. Supported shapes — exactly the ones
+//! the workspace uses — are non-generic structs (named, tuple, unit) and
+//! enums whose variants are unit, tuple, or struct-like. Serde field/type
+//! attributes are not supported and `#[serde(...)]` is rejected loudly
+//! rather than silently ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match which {
+                Which::Serialize => gen_serialize(&item),
+                Which::Deserialize => gen_deserialize(&item),
+            };
+            code.parse().expect("serde_derive generated invalid Rust")
+        }
+        Err(msg) => format!("::core::compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error tokens parse"),
+    }
+}
+
+// ------------------------------------------------------------------ model
+
+enum Fields {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields (arity).
+    Tuple(usize),
+    /// No fields.
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+
+    skip_attrs_and_vis(&toks, &mut pos)?;
+
+    let kw = match toks.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive: expected `struct` or `enum`".into()),
+    };
+    pos += 1;
+    let name = match toks.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive: expected item name".into()),
+    };
+    pos += 1;
+
+    if matches!(toks.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive: generic type `{name}` is not supported by the vendored serde"
+        ));
+    }
+
+    let shape = match (kw.as_str(), toks.get(pos)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Struct(Fields::Named(parse_named_fields(g.stream())?))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Struct(Fields::Tuple(count_top_level_items(g.stream())))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Shape::Struct(Fields::Unit),
+        ("struct", None) => Shape::Struct(Fields::Unit),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Enum(parse_variants(g.stream())?)
+        }
+        _ => {
+            return Err(format!(
+                "serde_derive: unsupported item shape for `{name}` (expected plain struct or enum)"
+            ))
+        }
+    };
+    Ok(Item { name, shape })
+}
+
+/// Skip leading attributes (`#[...]`, including doc comments) and a
+/// `pub` / `pub(...)` visibility. Rejects `#[serde(...)]`, which the
+/// vendored serde cannot honor.
+fn skip_attrs_and_vis(toks: &[TokenTree], pos: &mut usize) -> Result<(), String> {
+    loop {
+        match toks.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(*pos + 1) {
+                    let body = g.stream().to_string();
+                    if body.starts_with("serde") {
+                        return Err(format!(
+                            "serde_derive: `#[{body}]` attributes are not supported by the vendored serde"
+                        ));
+                    }
+                    *pos += 2;
+                } else {
+                    return Err("serde_derive: stray `#`".into());
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(toks.get(*pos), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1;
+                }
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+/// Split a token stream at top-level commas, treating `<...>` nesting as
+/// opaque (bracketed groups already are). Returns non-empty chunks.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && angle_depth > 0 => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !current.is_empty() {
+                    chunks.push(std::mem::take(&mut current));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        current.push(t);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+fn count_top_level_items(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut pos = 0usize;
+        skip_attrs_and_vis(&chunk, &mut pos)?;
+        match (chunk.get(pos), chunk.get(pos + 1)) {
+            (Some(TokenTree::Ident(id)), Some(TokenTree::Punct(p))) if p.as_char() == ':' => {
+                names.push(id.to_string());
+            }
+            _ => return Err("serde_derive: could not parse a struct field".into()),
+        }
+    }
+    Ok(names)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut pos = 0usize;
+        skip_attrs_and_vis(&chunk, &mut pos)?;
+        let name = match chunk.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("serde_derive: could not parse an enum variant".into()),
+        };
+        pos += 1;
+        let fields = match chunk.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_top_level_items(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            None => Fields::Unit,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "serde_derive: explicit discriminant on variant `{name}` is not supported"
+                ));
+            }
+            _ => return Err(format!("serde_derive: unsupported variant `{name}`")),
+        };
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_content(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{entries}])")
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            // Newtype structs are transparent, like upstream serde.
+            "::serde::Serialize::to_content(&self.0)".to_string()
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let elems: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i}),"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{elems}])")
+        }
+        Shape::Struct(Fields::Unit) => "::serde::Content::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants.iter().map(|v| serialize_arm(name, v)).collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        Fields::Unit => format!(
+            "{name}::{vname} => \
+             ::serde::Content::Str(::std::string::String::from({vname:?})),"
+        ),
+        Fields::Tuple(1) => format!(
+            "{name}::{vname}(__f0) => ::serde::Content::Map(::std::vec![(\
+             ::std::string::String::from({vname:?}), \
+             ::serde::Serialize::to_content(__f0))]),"
+        ),
+        Fields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let elems: String = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_content({b}),"))
+                .collect();
+            format!(
+                "{name}::{vname}({}) => ::serde::Content::Map(::std::vec![(\
+                 ::std::string::String::from({vname:?}), \
+                 ::serde::Content::Seq(::std::vec![{elems}]))]),",
+                binds.join(", ")
+            )
+        }
+        Fields::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_content({f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vname} {{ {binds} }} => ::serde::Content::Map(::std::vec![(\
+                 ::std::string::String::from({vname:?}), \
+                 ::serde::Content::Map(::std::vec![{entries}]))]),"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(__m, {name:?}, {f:?})?,"))
+                .collect();
+            format!(
+                "let __m = ::serde::__private::map_payload(\
+                 ::std::option::Option::Some(c), {name:?})?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(c)?))")
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let inits: String = (0..*n)
+                .map(|i| format!("::serde::__private::elem(__s, {name:?}, {i})?,"))
+                .collect();
+            format!(
+                "let __s = ::serde::__private::tuple_payload(\
+                 ::std::option::Option::Some(c), {name:?})?;\n\
+                 ::std::result::Result::Ok({name}({inits}))"
+            )
+        }
+        Shape::Struct(Fields::Unit) => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants.iter().map(|v| deserialize_arm(name, v)).collect();
+            format!(
+                "let (__tag, __payload) = ::serde::__private::variant(c, {name:?})?;\n\
+                 match __tag {{\n\
+                     {arms}\n\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(c: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn deserialize_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    let owner = format!("{name}::{vname}");
+    match &v.fields {
+        Fields::Unit => format!(
+            "{vname:?} => if __payload.is_none() {{\
+                 ::std::result::Result::Ok({name}::{vname})\
+             }} else {{\
+                 ::std::result::Result::Err(::serde::Error::custom(\
+                     \"unexpected payload for unit variant `{owner}`\"))\
+             }},"
+        ),
+        Fields::Tuple(1) => format!(
+            "{vname:?} => {{\
+                 let __p = __payload.ok_or_else(|| ::serde::Error::custom(\
+                     \"missing payload for `{owner}`\"))?;\
+                 ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_content(__p)?))\
+             }},"
+        ),
+        Fields::Tuple(n) => {
+            let inits: String = (0..*n)
+                .map(|i| format!("::serde::__private::elem(__s, {owner:?}, {i})?,"))
+                .collect();
+            format!(
+                "{vname:?} => {{\
+                     let __s = ::serde::__private::tuple_payload(__payload, {owner:?})?;\
+                     ::std::result::Result::Ok({name}::{vname}({inits}))\
+                 }},"
+            )
+        }
+        Fields::Named(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(__m, {owner:?}, {f:?})?,"))
+                .collect();
+            format!(
+                "{vname:?} => {{\
+                     let __m = ::serde::__private::map_payload(__payload, {owner:?})?;\
+                     ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\
+                 }},"
+            )
+        }
+    }
+}
