@@ -1,0 +1,81 @@
+//! Criterion bench: parallel speedup of the resolution pipeline.
+//!
+//! Compares identical `resolve` calls at 1 worker thread versus one worker
+//! per core. Output is bit-identical between the two (asserted below);
+//! only wall-clock time differs.
+//!
+//! * `resolve_warm_*` — profiles cached, measuring the pairwise similarity
+//!   matrix and clustering stages (recomputed every call);
+//! * `cold_fanout_*` — fresh engine per iteration, measuring profile
+//!   construction fan-out on top of a constant prepare cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::{to_catalog, AmbiguousSpec, World, WorldConfig};
+use distinct::{Distinct, DistinctConfig, ResolveRequest, TrainingConfig};
+use std::hint::black_box;
+
+fn world() -> datagen::DblpDataset {
+    let mut config = WorldConfig::tiny(5);
+    config.ambiguous = vec![AmbiguousSpec::new("Wei Wang", vec![30, 25, 25])];
+    to_catalog(&World::generate(config)).unwrap()
+}
+
+fn engine_config() -> DistinctConfig {
+    DistinctConfig {
+        training: TrainingConfig {
+            positives: 60,
+            negatives: 60,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let d = world();
+    let engine = Distinct::prepare(&d.catalog, "Publish", "author", engine_config()).unwrap();
+    let refs = d.truths[0].refs.clone();
+
+    // Warm the profile cache, and pin down that thread count cannot change
+    // the answer before timing anything.
+    let sequential = engine.resolve(&ResolveRequest::new(&refs).threads(1));
+    let parallel = engine.resolve(&ResolveRequest::new(&refs).threads(0));
+    assert_eq!(
+        sequential.clustering.labels, parallel.clustering.labels,
+        "parallel resolve must be bit-identical"
+    );
+
+    c.bench_function("resolve_warm_1_thread", |b| {
+        b.iter(|| {
+            let o = engine.resolve(&ResolveRequest::new(black_box(&refs)).threads(1));
+            black_box(o.clustering.cluster_count())
+        })
+    });
+    c.bench_function("resolve_warm_auto_threads", |b| {
+        b.iter(|| {
+            let o = engine.resolve(&ResolveRequest::new(black_box(&refs)).threads(0));
+            black_box(o.clustering.cluster_count())
+        })
+    });
+
+    let mut group = c.benchmark_group("cold_fanout");
+    group.sample_size(10);
+    group.bench_function("cold_fanout_1_thread", |b| {
+        b.iter(|| {
+            let e = Distinct::prepare(&d.catalog, "Publish", "author", engine_config()).unwrap();
+            let o = e.resolve(&ResolveRequest::new(black_box(&refs)).threads(1));
+            black_box(o.clustering.cluster_count())
+        })
+    });
+    group.bench_function("cold_fanout_auto_threads", |b| {
+        b.iter(|| {
+            let e = Distinct::prepare(&d.catalog, "Publish", "author", engine_config()).unwrap();
+            let o = e.resolve(&ResolveRequest::new(black_box(&refs)).threads(0));
+            black_box(o.clustering.cluster_count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

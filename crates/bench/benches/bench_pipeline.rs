@@ -39,8 +39,8 @@ fn bench_pipeline(c: &mut Criterion) {
     }
     c.bench_function("resolve_40_references_cached", |b| {
         b.iter(|| {
-            let clustering = engine.resolve(black_box(&refs));
-            black_box(clustering.cluster_count())
+            let outcome = engine.resolve(&distinct::ResolveRequest::new(black_box(&refs)));
+            black_box(outcome.clustering.cluster_count())
         })
     });
 

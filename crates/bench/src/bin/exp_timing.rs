@@ -71,7 +71,7 @@ fn main() {
 
         let t2 = Instant::now();
         for truth in &dataset.truths {
-            let _ = engine.resolve(&truth.refs);
+            let _ = engine.resolve(&distinct::ResolveRequest::new(&truth.refs));
         }
         let resolve = t2.elapsed();
 

@@ -49,7 +49,9 @@ pub fn evaluate_name(
     truth: &datagen::NameGroundTruth,
     min_sim: f64,
 ) -> NameResult {
-    let clustering = engine.resolve_with_min_sim(&truth.refs, min_sim);
+    let clustering = engine
+        .resolve(&distinct::ResolveRequest::new(&truth.refs).min_sim(min_sim))
+        .clustering;
     let counts = PairCounts::from_labels(&truth.labels, &clustering.labels);
     NameResult {
         name: truth.name.clone(),

@@ -17,6 +17,8 @@ use crate::dendrogram::Dendrogram;
 use crate::linkage::Linkage;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::ops::Range;
+use std::sync::atomic::{self, AtomicBool};
 
 /// Provides cluster-pair similarities and receives merge notifications.
 ///
@@ -130,57 +132,28 @@ pub fn agglomerate_guarded<M: Merger>(
         };
     }
 
-    // alive[id] for ids 0..n+merges; sizes likewise.
-    let mut alive = vec![true; n];
-    let mut sizes = vec![1usize; n];
     let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
     let mut completed = true;
 
-    // NaN means "do not merge"; +inf (a must-link constraint) sorts first;
-    // −inf (a cannot-link veto) fails the threshold like any low value.
-    let push = |heap: &mut BinaryHeap<Candidate>, sim: f64, a: usize, b: usize| {
-        if !sim.is_nan() && sim >= min_sim {
-            heap.push(Candidate { sim, a, b });
-        }
-    };
-
     // Seed the heap row by row, checking the guard between rows: with no
     // candidates admitted yet an early stop yields all-singletons.
+    // NaN means "do not merge"; +inf (a must-link constraint) sorts first;
+    // −inf (a cannot-link veto) fails the threshold like any low value.
     'seed: for a in 0..n {
         if !guard((n - a - 1) as u64) {
             completed = false;
             break 'seed;
         }
         for b in (a + 1)..n {
-            push(&mut heap, merger.similarity(a, b), a, b);
+            let sim = merger.similarity(a, b);
+            if !sim.is_nan() && sim >= min_sim {
+                heap.push(Candidate { sim, a, b });
+            }
         }
     }
 
     if completed {
-        while let Some(c) = heap.pop() {
-            if !alive[c.a] || !alive[c.b] {
-                continue; // stale entry
-            }
-            // One merge costs up to `into` fresh similarity evaluations.
-            if !guard(alive.iter().filter(|&&v| v).count() as u64) {
-                completed = false;
-                break;
-            }
-            // Merge.
-            let (sa, sb) = (sizes[c.a], sizes[c.b]);
-            let into = dendrogram.record(c.a, c.b, c.sim, sa + sb);
-            alive[c.a] = false;
-            alive[c.b] = false;
-            alive.push(true);
-            sizes.push(sa + sb);
-            merger.merged(c.a, c.b, into, sa, sb);
-            // New candidate pairs against every live cluster.
-            for other in 0..into {
-                if alive[other] {
-                    push(&mut heap, merger.similarity(into, other), into, other);
-                }
-            }
-        }
+        completed = merge_down(n, merger, min_sim, &mut heap, &mut dendrogram, guard);
     }
 
     // The dendrogram only contains merges with sim >= min_sim, so cutting
@@ -190,6 +163,149 @@ pub fn agglomerate_guarded<M: Merger>(
         clustering: Clustering { labels, dendrogram },
         completed,
     }
+}
+
+/// The sequential merge loop shared by every entry point: pop the best
+/// candidate, skip stale entries, merge, push the new cluster's pairs.
+/// Returns `false` iff the guard stopped the loop before the heap drained.
+fn merge_down<M: Merger>(
+    n: usize,
+    merger: &mut M,
+    min_sim: f64,
+    heap: &mut BinaryHeap<Candidate>,
+    dendrogram: &mut Dendrogram,
+    guard: &mut dyn FnMut(u64) -> bool,
+) -> bool {
+    // alive[id] for ids 0..n+merges; sizes likewise.
+    let mut alive = vec![true; n];
+    let mut sizes = vec![1usize; n];
+    while let Some(c) = heap.pop() {
+        if !alive[c.a] || !alive[c.b] {
+            continue; // stale entry
+        }
+        // One merge costs up to `into` fresh similarity evaluations.
+        if !guard(alive.iter().filter(|&&v| v).count() as u64) {
+            return false;
+        }
+        // Merge.
+        let (sa, sb) = (sizes[c.a], sizes[c.b]);
+        let into = dendrogram.record(c.a, c.b, c.sim, sa + sb);
+        alive[c.a] = false;
+        alive[c.b] = false;
+        alive.push(true);
+        sizes.push(sa + sb);
+        merger.merged(c.a, c.b, into, sa, sb);
+        // New candidate pairs against every live cluster.
+        for other in 0..into {
+            if alive[other] {
+                let sim = merger.similarity(into, other);
+                if !sim.is_nan() && sim >= min_sim {
+                    heap.push(Candidate {
+                        sim,
+                        a: into,
+                        b: other,
+                    });
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Like [`agglomerate_guarded`], but seeds the candidate heap **in
+/// parallel** over the flat upper-triangle pair index space
+/// `0..n·(n−1)/2` — the O(n²) initial similarity matrix that dominates
+/// clustering cost for large reference groups.
+///
+/// Determinism: chunk boundaries are a pure function of the pair count and
+/// thread count; each pair's similarity is computed independently from the
+/// immutable merger state; and [`Candidate`]'s total order (similarity,
+/// then ids) makes the heap's pop sequence independent of insertion order.
+/// A complete run therefore produces **bit-identical** output to
+/// [`agglomerate_guarded`] at any thread count. The merge loop itself is
+/// inherently sequential and runs on the calling thread.
+///
+/// Interruption: `guard` is charged once per chunk (with the chunk's pair
+/// count) during seeding and per merge afterwards. If it trips during
+/// seeding, pending chunks are abandoned and **no merges are applied** —
+/// mirroring [`agglomerate_guarded`]'s all-singletons degradation — because
+/// an incomplete candidate set no longer guarantees best-first merge order.
+/// The returned [`exec::ParStats`] describes the seeding stage (the merge
+/// loop's time is the caller's to measure).
+pub fn agglomerate_exec<M: Merger + Sync>(
+    n: usize,
+    merger: &mut M,
+    min_sim: f64,
+    executor: &exec::Executor,
+    guard: &(dyn Fn(u64) -> bool + Sync),
+) -> (PartialClustering, exec::ParStats) {
+    let mut dendrogram = Dendrogram::new(n);
+    if n == 0 {
+        return (
+            PartialClustering {
+                clustering: Clustering {
+                    labels: Vec::new(),
+                    dendrogram,
+                },
+                completed: true,
+            },
+            exec::ParStats {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+    }
+
+    let total = exec::triangle_count(n);
+    let tripped = AtomicBool::new(false);
+    let m: &M = &*merger;
+    let (chunks, mut stats) = executor.par_chunks(
+        total,
+        |range: Range<usize>| -> Option<Vec<Candidate>> {
+            if !guard(range.len() as u64) {
+                tripped.store(true, atomic::Ordering::Relaxed);
+                return None;
+            }
+            let mut local = Vec::new();
+            for k in range {
+                let (a, b) = exec::triangle_pair(n, k);
+                let sim = m.similarity(a, b);
+                if !sim.is_nan() && sim >= min_sim {
+                    local.push(Candidate { sim, a, b });
+                }
+            }
+            Some(local)
+        },
+        || tripped.load(atomic::Ordering::Relaxed),
+    );
+
+    // A chunk whose guard charge was refused produced nothing: report it as
+    // not covered and treat the whole seeding stage as stopped.
+    stats.stopped = stats.stopped || tripped.load(atomic::Ordering::Relaxed);
+    stats.completed = chunks
+        .iter()
+        .filter(|(_, v)| v.is_some())
+        .map(|(r, _)| r.len())
+        .sum();
+
+    let mut completed = !stats.stopped;
+    if completed {
+        let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+        for (_, local) in chunks {
+            heap.extend(local.expect("complete seeding has no refused chunks"));
+        }
+        let mut g = |units: u64| guard(units);
+        completed = merge_down(n, merger, min_sim, &mut heap, &mut dendrogram, &mut g);
+    }
+
+    let labels = dendrogram.cut(f64::NEG_INFINITY);
+    (
+        PartialClustering {
+            clustering: Clustering { labels, dendrogram },
+            completed,
+        },
+        stats,
+    )
 }
 
 /// A [`Merger`] over a precomputed pairwise similarity matrix with a
@@ -481,6 +597,85 @@ mod tests {
                 "budget {budget}: {got:?} not a prefix of {full:?}"
             );
         }
+    }
+
+    #[test]
+    fn exec_seeding_matches_sequential_at_any_thread_count() {
+        // Larger pseudo-random matrix so multiple chunks actually form.
+        let n = 40;
+        let mut m = vec![vec![0.0; n]; n];
+        let mut v = 0.37f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                v = (v * 9.9).fract();
+                m[i][j] = v;
+                m[j][i] = v;
+            }
+        }
+        let mut reference = MatrixMerger::new(m.clone(), Linkage::Average);
+        let expected = agglomerate(n, &mut reference, 0.5);
+        for threads in [1usize, 2, 3, 8] {
+            let mut merger = MatrixMerger::new(m.clone(), Linkage::Average);
+            let (out, stats) = agglomerate_exec(
+                n,
+                &mut merger,
+                0.5,
+                &exec::Executor::with_threads(threads),
+                &|_| true,
+            );
+            assert!(out.completed, "threads={threads}");
+            assert!(!stats.stopped);
+            assert_eq!(stats.tasks, n * (n - 1) / 2);
+            assert_eq!(stats.completed, stats.tasks);
+            assert_eq!(out.clustering.labels, expected.labels, "threads={threads}");
+            let sims: Vec<f64> = out
+                .clustering
+                .dendrogram
+                .merges()
+                .iter()
+                .map(|mg| mg.similarity)
+                .collect();
+            let want: Vec<f64> = expected
+                .dendrogram
+                .merges()
+                .iter()
+                .map(|mg| mg.similarity)
+                .collect();
+            assert_eq!(sims, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn exec_guard_trip_during_seeding_yields_singletons() {
+        for threads in [1usize, 4] {
+            let mut merger = MatrixMerger::new(three_pairs(), Linkage::Average);
+            let (out, stats) = agglomerate_exec(
+                6,
+                &mut merger,
+                0.5,
+                &exec::Executor::with_threads(threads),
+                &|_| false, // budget already exhausted
+            );
+            assert!(!out.completed, "threads={threads}");
+            assert!(stats.stopped);
+            assert_eq!(out.clustering.cluster_count(), 6, "no merges applied");
+            assert_eq!(out.clustering.labels.len(), 6);
+        }
+    }
+
+    #[test]
+    fn exec_empty_and_tiny_inputs() {
+        let ex = exec::Executor::with_threads(4);
+        let mut merger = MatrixMerger::new(vec![], Linkage::Average);
+        let (out, stats) = agglomerate_exec(0, &mut merger, 0.5, &ex, &|_| true);
+        assert!(out.completed);
+        assert!(out.clustering.labels.is_empty());
+        assert_eq!(stats.tasks, 0);
+
+        let mut merger = MatrixMerger::new(vec![vec![1.0]], Linkage::Average);
+        let (out, _) = agglomerate_exec(1, &mut merger, 0.5, &ex, &|_| true);
+        assert!(out.completed);
+        assert_eq!(out.clustering.labels, vec![0]);
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod linkage;
 pub use constraints::ConstrainedMerger;
 pub use dendrogram::{groups, Dendrogram, Merge};
 pub use engine::{
-    agglomerate, agglomerate_guarded, Clustering, MatrixMerger, Merger, PartialClustering,
+    agglomerate, agglomerate_exec, agglomerate_guarded, Clustering, MatrixMerger, Merger,
+    PartialClustering,
 };
 pub use linkage::Linkage;

@@ -131,7 +131,9 @@ pub fn calibrate_min_sim(
         let mut f_sum = 0.0;
         let mut acc_sum = 0.0;
         for g in &groups {
-            let clustering = engine.resolve_with_min_sim(&g.refs, min_sim);
+            let clustering = engine
+                .resolve(&crate::request::ResolveRequest::new(&g.refs).min_sim(min_sim))
+                .clustering;
             let counts = PairCounts::from_labels(&g.labels, &clustering.labels);
             f_sum += counts.scores().f_measure;
             acc_sum += counts.accuracy();

@@ -227,6 +227,7 @@ impl Distinct {
                     reference,
                     props,
                     sets,
+                    placeholder: false,
                 }),
             ));
         }
@@ -284,7 +285,9 @@ mod tests {
         let mut trained = engine(&d);
         trained.train().unwrap();
         let refs = trained.references_of("Wei Wang");
-        let expected = trained.resolve(&refs);
+        let expected = trained
+            .resolve(&crate::request::ResolveRequest::new(&refs))
+            .clustering;
         let cached = trained.cached_profiles();
         assert!(cached > 0);
 
@@ -300,7 +303,7 @@ mod tests {
         // Resolution from the restored cache is bit-identical — and spends
         // no budget on profiling (everything is cached).
         let ctl = crate::control::RunControl::new();
-        let outcome = fresh.resolve_ctl(&refs, &ctl);
+        let outcome = fresh.resolve(&crate::request::ResolveRequest::new(&refs).control(&ctl));
         assert_eq!(outcome.clustering.labels, expected.labels);
         std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
     }
@@ -377,7 +380,7 @@ mod tests {
 
         // Warm more profiles so a second save differs, then kill its write.
         let refs = e.references_of("Wei Wang");
-        let _ = e.resolve(&refs);
+        let _ = e.resolve(&crate::request::ResolveRequest::new(&refs));
         for plan in [
             FaultPlan::fail_nth_write(1),
             FaultPlan::torn_nth_write(1, 13),

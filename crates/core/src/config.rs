@@ -85,6 +85,13 @@ pub struct DistinctConfig {
     pub composite: CompositeMode,
     /// Treat attribute values as pseudo-tuples before analysis (§2.1).
     pub expand_attributes: bool,
+    /// Worker threads for the parallel stages (profile fan-out, pairwise
+    /// similarity matrix, training-pair featurization). `0` means "auto":
+    /// the `DISTINCT_THREADS` environment variable if set, else one worker
+    /// per available core. `1` forces sequential execution. Output is
+    /// identical for every value; only wall-clock time changes. A
+    /// per-request override (`ResolveRequest::threads`) takes precedence.
+    pub threads: usize,
     /// Training-set construction parameters.
     pub training: TrainingConfig,
 }
@@ -98,6 +105,7 @@ impl Default for DistinctConfig {
             weighting: WeightingMode::Supervised,
             composite: CompositeMode::Geometric,
             expand_attributes: true,
+            threads: 0,
             training: TrainingConfig::default(),
         }
     }
@@ -136,6 +144,7 @@ mod tests {
         assert_eq!(c.weighting, WeightingMode::Supervised);
         assert_eq!(c.composite, CompositeMode::Geometric);
         assert!(c.expand_attributes);
+        assert_eq!(c.threads, 0, "auto-sized parallelism by default");
         c.validate().unwrap();
     }
 

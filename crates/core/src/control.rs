@@ -50,6 +50,7 @@ impl CancelToken {
 pub enum Stage {
     TrainingSet,
     Profiles,
+    SimilarityMatrix,
     SvmTraining,
     Clustering,
 }
@@ -59,6 +60,7 @@ impl fmt::Display for Stage {
         f.write_str(match self {
             Stage::TrainingSet => "training-set construction",
             Stage::Profiles => "profile computation",
+            Stage::SimilarityMatrix => "pairwise similarity matrix",
             Stage::SvmTraining => "SVM training",
             Stage::Clustering => "agglomerative clustering",
         })
@@ -254,6 +256,14 @@ impl RunControl {
     pub fn guard(&self) -> impl FnMut(u64) -> bool + '_ {
         move |units| self.charge(units).is_none()
     }
+
+    /// Like [`RunControl::guard`], but shareable across worker threads:
+    /// every charge lands on the same budget and the trip latch is
+    /// observed by all workers, so a limit tripping on one thread stops
+    /// the whole fan-out at the next chunk boundary.
+    pub fn shared_guard(&self) -> impl Fn(u64) -> bool + Sync + '_ {
+        move |units| self.charge(units).is_none()
+    }
 }
 
 #[cfg(test)]
@@ -319,5 +329,25 @@ mod tests {
         assert!(guard(5));
         assert!(!guard(1));
         assert!(!guard(1), "guard stays tripped");
+    }
+
+    #[test]
+    fn shared_guard_trips_across_threads() {
+        let ctl = RunControl::new().with_budget(1000);
+        let guard = ctl.shared_guard();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    // 2000 units per thread: each thread exceeds the budget
+                    // even if it runs alone, so its last charge must refuse.
+                    let mut mine = true;
+                    for _ in 0..2000 {
+                        mine = guard(1);
+                    }
+                    assert!(!mine, "2000 charged units must trip a 1000 budget");
+                });
+            }
+        });
+        assert_eq!(ctl.status(), Some(InterruptKind::BudgetExhausted));
     }
 }

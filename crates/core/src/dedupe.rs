@@ -150,7 +150,9 @@ impl Distinct {
                 });
                 continue;
             }
-            let clustering = self.resolve(refs);
+            let clustering = self
+                .resolve(&crate::request::ResolveRequest::new(refs).threads(opts.threads))
+                .clustering;
             let k = clustering.cluster_count();
             let base = assignment.next_entity;
             assignment.next_entity += k;

@@ -25,6 +25,11 @@ pub struct Profile {
     pub props: Vec<Propagation>,
     /// Forward maps as weighted sets, for resemblance computation.
     pub sets: Vec<WeightedSet>,
+    /// True for zero-mass placeholders fabricated when a control limit cut
+    /// profiling short (see [`empty_profile`]). Placeholders must never
+    /// enter the profile cache: a later, unrestricted run has to recompute
+    /// the real profile instead of reusing the empty one.
+    pub placeholder: bool,
 }
 
 impl Profile {
@@ -81,6 +86,7 @@ pub fn build_profile_guarded(
         reference,
         props,
         sets,
+        placeholder: false,
     })
 }
 
@@ -94,6 +100,7 @@ pub fn empty_profile(paths: &PathSet, reference: TupleRef) -> Profile {
         reference,
         props: vec![Propagation::default(); n],
         sets: vec![WeightedSet::from_map(Default::default()); n],
+        placeholder: true,
     }
 }
 

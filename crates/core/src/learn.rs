@@ -90,6 +90,22 @@ impl LearnedModel {
     }
 }
 
+/// Assemble the two aligned SVM datasets (resemblance rows, walk rows)
+/// from featurized training pairs. Rows are pushed **in pair order**, so
+/// the datasets — and everything the SMO optimizer derives from them — are
+/// independent of how many threads featurized the pairs.
+pub fn assemble_datasets(
+    features: &[crate::training::PairFeatures],
+) -> Result<(Dataset, Dataset), SvmError> {
+    let mut resem_data = Dataset::new();
+    let mut walk_data = Dataset::new();
+    for f in features {
+        resem_data.push(f.resem.clone(), f.label)?;
+        walk_data.push(f.walk.clone(), f.label)?;
+    }
+    Ok((resem_data, walk_data))
+}
+
 /// Train one linear SVM on a (pair-features, label) dataset and return the
 /// hyperplane in original feature space plus its training accuracy.
 ///

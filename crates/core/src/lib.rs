@@ -16,22 +16,26 @@
 //!   walk), maintained incrementally across merges — [`refcluster`],
 //!   backed by the [`cluster`] crate.
 //!
-//! Entry point: [`Distinct`] in [`pipeline`]. The six comparison variants
-//! of the paper's Fig. 4 live in [`variants`]; Fig. 5-style reports in
-//! [`report`].
+//! Entry point: [`Distinct`] in [`pipeline`], driven by a
+//! [`ResolveRequest`] / [`TrainRequest`] (see [`request`]). The six
+//! comparison variants of the paper's Fig. 4 live in [`variants`];
+//! Fig. 5-style reports in [`report`].
 //!
 //! ```no_run
-//! use distinct::{Distinct, DistinctConfig};
+//! use distinct::{Distinct, DistinctConfig, ResolveRequest};
 //! # fn main() -> Result<(), distinct::DistinctError> {
 //! # let catalog = relstore::Catalog::new();
 //! let mut engine = Distinct::prepare(&catalog, "Publish", "author", DistinctConfig::default())?;
 //! engine.train()?;
-//! let (refs, clustering) = engine.resolve_name("Wei Wang");
-//! println!("{} references -> {} authors", refs.len(), clustering.cluster_count());
+//! let refs = engine.references_of("Wei Wang");
+//! let outcome = engine.resolve(&ResolveRequest::new(&refs));
+//! println!("{} references -> {} authors", refs.len(), outcome.clustering.cluster_count());
 //! # Ok(()) }
 //! ```
 
 #![warn(missing_docs)]
+
+mod cache;
 
 pub mod calibrate;
 pub mod checkpoint;
@@ -44,6 +48,7 @@ pub mod paths;
 pub mod pipeline;
 pub mod refcluster;
 pub mod report;
+pub mod request;
 pub mod training;
 pub mod variants;
 
@@ -58,10 +63,15 @@ pub use features::{
     build_profile, build_profile_guarded, directed_walk_features, empty_profile,
     resemblance_features, walk_features, weighted_sum, Profile,
 };
-pub use learn::{learn_weights, learn_weights_guarded, LearnedModel, PathWeights};
+pub use learn::{
+    assemble_datasets, learn_weights, learn_weights_guarded, LearnedModel, PathWeights,
+};
 pub use paths::PathSet;
 pub use pipeline::{Degraded, Distinct, DistinctError, ResolveOutcome, TrainingReport};
 pub use refcluster::DistinctMerger;
 pub use report::{render_name_dot, render_name_report};
-pub use training::{build_training_set, TrainingError, TrainingPair, TrainingSet};
+pub use request::{ExecReport, ResolveRequest, StageStats, TrainRequest};
+pub use training::{
+    build_training_set, featurize_pairs, PairFeatures, TrainingError, TrainingPair, TrainingSet,
+};
 pub use variants::{min_sim_grid, Variant};

@@ -4,26 +4,35 @@
 //! let mut engine = Distinct::prepare(&catalog, "Publish", "author", config)?;
 //! engine.train()?;                                  // §3 (or skip: uniform weights)
 //! let refs = engine.references_of("Wei Wang");
-//! let clustering = engine.resolve(&refs);           // §4
+//! let outcome = engine.resolve(&ResolveRequest::new(&refs));   // §4
 //! ```
+//!
+//! Resolution and training fan their hot stages — profile construction,
+//! the pairwise similarity matrix, training-pair featurization — out over
+//! an [`exec::Executor`]; output is bit-identical for any thread count
+//! (see the `exec` crate docs for the determinism recipe).
 
+use crate::cache::ProfileCache;
 use crate::config::{DistinctConfig, WeightingMode};
 use crate::control::{InterruptKind, Progress, RunControl, Stage};
 use crate::features::{
     build_profile, build_profile_guarded, empty_profile, resemblance_features, walk_features,
     Profile,
 };
-use crate::learn::{learn_weights_guarded, LearnedModel, PathWeights};
+use crate::learn::{assemble_datasets, learn_weights_guarded, LearnedModel, PathWeights};
 use crate::paths::PathSet;
 use crate::refcluster::DistinctMerger;
-use crate::training::{build_training_set, TrainingError, TrainingSet};
-use cluster::{agglomerate, agglomerate_guarded, Clustering};
-use parking_lot::Mutex;
+use crate::request::{ExecReport, ResolveRequest, TrainRequest};
+use crate::training::{
+    build_training_set, featurize_pairs, PairFeatures, TrainingError, TrainingSet,
+};
+use cluster::{agglomerate_exec, Clustering, ConstrainedMerger, Dendrogram, PartialClustering};
 use relgraph::LinkGraph;
 use relstore::{Catalog, FxHashMap, StoreError, TupleId, TupleRef, Value};
 use std::fmt;
 use std::sync::Arc;
-use svm::{Dataset, SvmError};
+use std::time::Instant;
+use svm::SvmError;
 
 /// Errors surfaced by the pipeline.
 #[derive(Debug)]
@@ -99,7 +108,7 @@ impl From<SvmError> for DistinctError {
     }
 }
 
-/// How a [`Distinct::resolve_ctl`] run was degraded by its limits.
+/// How a limited [`Distinct::resolve`] run was degraded by its limits.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Degraded {
     /// The stage running when the first limit tripped.
@@ -145,6 +154,8 @@ pub struct ResolveOutcome {
     pub clustering: Clustering,
     /// `None` when the run finished within its limits.
     pub degraded: Option<Degraded>,
+    /// Per-stage execution statistics (task counts, threads, wall time).
+    pub exec: ExecReport,
 }
 
 impl ResolveOutcome {
@@ -169,6 +180,10 @@ pub struct TrainingReport {
     pub walk_accuracy: f64,
     /// Per-path `(description, resemblance weight, walk weight)`.
     pub path_weights: Vec<(String, f64, f64)>,
+    /// Per-stage execution statistics: `profiles` covers the fan-out over
+    /// training references, `similarity` the pair featurization;
+    /// `clustering` stays zeroed (training does not cluster).
+    pub exec: ExecReport,
 }
 
 /// The prepared DISTINCT engine.
@@ -180,7 +195,7 @@ pub struct Distinct {
     ref_attr_idx: usize,
     weights: PathWeights,
     learned: Option<LearnedModel>,
-    profile_cache: Mutex<FxHashMap<TupleRef, Arc<Profile>>>,
+    profile_cache: ProfileCache,
 }
 
 impl Distinct {
@@ -232,7 +247,7 @@ impl Distinct {
             ref_attr_idx,
             weights: PathWeights::uniform(n_paths),
             learned: None,
-            profile_cache: Mutex::new(FxHashMap::default()),
+            profile_cache: ProfileCache::new(),
         })
     }
 
@@ -293,11 +308,11 @@ impl Distinct {
 
     /// The profile of a reference (cached).
     pub fn profile(&self, r: TupleRef) -> Arc<Profile> {
-        if let Some(p) = self.profile_cache.lock().get(&r) {
-            return Arc::clone(p);
+        if let Some(p) = self.profile_cache.get(&r) {
+            return p;
         }
         let p = Arc::new(build_profile(&self.graph, &self.catalog, &self.paths, r));
-        self.profile_cache.lock().insert(r, Arc::clone(&p));
+        self.profile_cache.insert(r, Arc::clone(&p));
         p
     }
 
@@ -305,8 +320,8 @@ impl Distinct {
     /// `None` when a control limit trips mid-computation; nothing partial
     /// is cached.
     pub fn profile_ctl(&self, r: TupleRef, ctl: &RunControl) -> Option<Arc<Profile>> {
-        if let Some(p) = self.profile_cache.lock().get(&r) {
-            return Some(Arc::clone(p));
+        if let Some(p) = self.profile_cache.get(&r) {
+            return Some(p);
         }
         let p = Arc::new(build_profile_guarded(
             &self.graph,
@@ -315,29 +330,23 @@ impl Distinct {
             r,
             &mut ctl.guard(),
         )?);
-        self.profile_cache.lock().insert(r, Arc::clone(&p));
+        self.profile_cache.insert(r, Arc::clone(&p));
         Some(p)
     }
 
     /// Number of profiles currently cached.
     pub fn cached_profiles(&self) -> usize {
-        self.profile_cache.lock().len()
+        self.profile_cache.len()
     }
 
     /// Snapshot of the profile cache (for checkpointing).
     pub(crate) fn profile_cache_snapshot(&self) -> Vec<(TupleRef, Arc<Profile>)> {
-        self.profile_cache
-            .lock()
-            .iter()
-            .map(|(&r, p)| (r, Arc::clone(p)))
-            .collect()
+        self.profile_cache.snapshot()
     }
 
     /// Replace the profile cache wholesale (checkpoint restore).
     pub(crate) fn install_profiles(&mut self, entries: Vec<(TupleRef, Arc<Profile>)>) {
-        let mut cache = self.profile_cache.lock();
-        cache.clear();
-        cache.extend(entries);
+        self.profile_cache.replace(entries);
     }
 
     /// Install a learned model without retraining (checkpoint restore).
@@ -353,48 +362,70 @@ impl Distinct {
     /// Compute and cache the profiles of `refs` using `threads` worker
     /// threads (profile construction is the pipeline's dominant cost and
     /// is embarrassingly parallel — the engine state it reads is
-    /// immutable). A `threads` of 0 or 1 computes serially. Results are
-    /// bit-identical to serial computation.
+    /// immutable). A `threads` of 1 computes serially, 0 means auto.
+    /// Results are bit-identical to serial computation.
     pub fn precompute_profiles(&self, refs: &[TupleRef], threads: usize) {
-        // Skip already-cached references.
-        let todo: Vec<TupleRef> = {
-            let cache = self.profile_cache.lock();
-            let mut todo: Vec<TupleRef> = refs
-                .iter()
-                .copied()
-                .filter(|r| !cache.contains_key(r))
-                .collect();
-            todo.sort_unstable();
-            todo.dedup();
-            todo
+        let executor = if threads == 1 {
+            exec::Executor::sequential()
+        } else {
+            exec::Executor::with_threads(threads)
         };
-        if todo.is_empty() {
-            return;
-        }
-        if threads <= 1 || todo.len() < 2 {
-            for r in todo {
-                let _ = self.profile(r);
+        let _ = self.profile_fanout(refs, &executor, &RunControl::new());
+    }
+
+    /// The executor for one run: an explicit per-request override beats the
+    /// engine configuration (where 0 = auto).
+    fn executor_for(&self, threads: Option<usize>) -> exec::Executor {
+        exec::Executor::with_threads(threads.unwrap_or(self.config.threads))
+    }
+
+    /// Fan profile construction for `refs` out over `executor`, honoring
+    /// `ctl` at item/chunk boundaries, and return one profile per input
+    /// reference in input order. Cached profiles are reused for free;
+    /// freshly computed ones enter the shared cache. References whose
+    /// profile could not be computed before a limit tripped get a
+    /// zero-mass [`empty_profile`] placeholder, which is never cached — a
+    /// later, unconstrained run recomputes the real profile.
+    fn profile_fanout(
+        &self,
+        refs: &[TupleRef],
+        executor: &exec::Executor,
+        ctl: &RunControl,
+    ) -> (Vec<Arc<Profile>>, exec::ParStats) {
+        // Deduplicated, sorted work list of cache misses: each missing
+        // profile is computed exactly once, in an order independent of the
+        // caller's reference order.
+        let mut todo: Vec<TupleRef> = refs
+            .iter()
+            .copied()
+            .filter(|r| !self.profile_cache.contains(r))
+            .collect();
+        todo.sort_unstable();
+        todo.dedup();
+        let guard = ctl.shared_guard();
+        let (computed, stats) = executor.par_map_guarded(
+            &todo,
+            |_, &r| {
+                let mut g = |units: u64| guard(units);
+                build_profile_guarded(&self.graph, &self.catalog, &self.paths, r, &mut g)
+                    .map(Arc::new)
+            },
+            || ctl.status().is_some(),
+        );
+        for (&r, p) in todo.iter().zip(computed) {
+            if let Some(p) = p {
+                self.profile_cache.insert(r, p);
             }
-            return;
         }
-        let chunk = todo.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            for part in todo.chunks(chunk) {
-                scope.spawn(move || {
-                    let mut local = Vec::with_capacity(part.len());
-                    for &r in part {
-                        local.push((
-                            r,
-                            Arc::new(build_profile(&self.graph, &self.catalog, &self.paths, r)),
-                        ));
-                    }
-                    let mut cache = self.profile_cache.lock();
-                    for (r, p) in local {
-                        cache.entry(r).or_insert(p);
-                    }
-                });
-            }
-        });
+        let profiles = refs
+            .iter()
+            .map(|&r| {
+                self.profile_cache
+                    .get(&r)
+                    .unwrap_or_else(|| Arc::new(empty_profile(&self.paths, r)))
+            })
+            .collect();
+        (profiles, stats)
     }
 
     /// Build the automatically constructed training set (§3) without
@@ -419,15 +450,27 @@ impl Distinct {
     /// If the engine is configured with [`WeightingMode::Uniform`] this
     /// still trains (for reporting) but leaves uniform weights installed.
     pub fn train(&mut self) -> Result<TrainingReport, DistinctError> {
-        self.train_ctl(&RunControl::new())
+        self.train_with(&TrainRequest::new())
     }
 
-    /// [`Distinct::train`] under execution limits. Training cannot degrade
+    /// [`Distinct::train`] under execution limits.
+    #[deprecated(note = "build a `TrainRequest` and call `train_with`")]
+    pub fn train_ctl(&mut self, ctl: &RunControl) -> Result<TrainingReport, DistinctError> {
+        self.train_with(&TrainRequest::new().control(ctl))
+    }
+
+    /// Train according to a [`TrainRequest`]. Training cannot degrade
     /// gracefully — a half-trained model would silently misweight every
     /// later resolution — so tripping a limit aborts with
     /// [`DistinctError::Interrupted`] and leaves the previously installed
     /// weights untouched.
-    pub fn train_ctl(&mut self, ctl: &RunControl) -> Result<TrainingReport, DistinctError> {
+    ///
+    /// Profile construction and pair featurization fan out over the
+    /// requested thread count; the learned model is identical for any.
+    pub fn train_with(&mut self, req: &TrainRequest<'_>) -> Result<TrainingReport, DistinctError> {
+        let unlimited = RunControl::new();
+        let ctl = req.control.unwrap_or(&unlimited);
+        let executor = self.executor_for(req.threads);
         let interrupted = |stage, kind, done: usize, total: usize| DistinctError::Interrupted {
             stage,
             kind,
@@ -445,25 +488,29 @@ impl Distinct {
                 ts.pairs.len(),
             ));
         }
-        let mut resem_data = Dataset::new();
-        let mut walk_data = Dataset::new();
-        for (i, pair) in ts.pairs.iter().enumerate() {
-            let trip = |ctl: &RunControl| {
-                ctl.status().unwrap_or(InterruptKind::Cancelled) // latch guarantees Some
-            };
-            let Some(pa) = self.profile_ctl(pair.a, ctl) else {
-                return Err(interrupted(Stage::Profiles, trip(ctl), i, ts.pairs.len()));
-            };
-            let Some(pb) = self.profile_ctl(pair.b, ctl) else {
-                return Err(interrupted(Stage::Profiles, trip(ctl), i, ts.pairs.len()));
-            };
-            resem_data
-                .push(resemblance_features(&pa, &pb), pair.label)
-                .map_err(DistinctError::Svm)?;
-            walk_data
-                .push(walk_features(&pa, &pb), pair.label)
-                .map_err(DistinctError::Svm)?;
+        // Every distinct reference in the training pairs, profiled once.
+        let mut train_refs: Vec<TupleRef> = ts.pairs.iter().flat_map(|p| [p.a, p.b]).collect();
+        train_refs.sort_unstable();
+        train_refs.dedup();
+        let (profiles, profile_stats) = self.profile_fanout(&train_refs, &executor, ctl);
+        let real = profiles.iter().filter(|p| !p.placeholder).count();
+        if real < train_refs.len() {
+            let kind = ctl.status().unwrap_or(InterruptKind::Cancelled);
+            return Err(interrupted(Stage::Profiles, kind, real, train_refs.len()));
         }
+        let by_ref: FxHashMap<TupleRef, Arc<Profile>> =
+            train_refs.iter().copied().zip(profiles).collect();
+        let (featurized, feature_stats) =
+            featurize_pairs(&ts.pairs, &by_ref, &executor, &|| ctl.status().is_some());
+        let features: Vec<PairFeatures> = {
+            let done = featurized.iter().filter(|f| f.is_some()).count();
+            if done < ts.pairs.len() {
+                let kind = ctl.status().unwrap_or(InterruptKind::Cancelled);
+                return Err(interrupted(Stage::TrainingSet, kind, done, ts.pairs.len()));
+            }
+            featurized.into_iter().flatten().collect()
+        };
+        let (resem_data, walk_data) = assemble_datasets(&features).map_err(DistinctError::Svm)?;
         let model = learn_weights_guarded(
             &resem_data,
             &walk_data,
@@ -495,6 +542,11 @@ impl Distinct {
                 .zip(model.weights.walk.iter().copied())
                 .map(|((d, r), w)| (d, r, w))
                 .collect(),
+            exec: ExecReport {
+                profiles: profile_stats.into(),
+                similarity: feature_stats.into(),
+                clustering: Default::default(),
+            },
         };
         if self.config.weighting == WeightingMode::Supervised {
             self.weights = model.weights.clone();
@@ -522,72 +574,82 @@ impl Distinct {
         Ok(result)
     }
 
-    /// Cluster a set of references (§4) with the configured measure,
-    /// weighting, composite, and `min_sim`.
-    pub fn resolve(&self, refs: &[TupleRef]) -> Clustering {
-        self.resolve_with_min_sim(refs, self.config.min_sim)
-    }
+    /// Cluster a set of references (§4) according to a [`ResolveRequest`]:
+    /// the configured measure, weighting, and composite, with the request's
+    /// threshold / constraints / limits / threads applied on top.
+    ///
+    /// Resolution always has a meaningful partial answer, so a limited run
+    /// never errors: references whose profiles could not be computed in
+    /// time stay singletons (their pairwise similarities are zero, below
+    /// any positive `min_sim`); a similarity matrix cut short degrades the
+    /// whole result to singletons (a partially populated matrix would bias
+    /// the clustering); an interrupted merge loop keeps the merges already
+    /// made — the strongest-evidence ones, since merging proceeds in
+    /// decreasing similarity order. The outcome is always a valid
+    /// clustering over all requested references, tagged with a
+    /// [`Degraded`] report when any limit tripped, plus an [`ExecReport`]
+    /// with per-stage task counts and wall times.
+    pub fn resolve(&self, req: &ResolveRequest<'_>) -> ResolveOutcome {
+        let refs = req.refs;
+        let min_sim = req.min_sim.unwrap_or(self.config.min_sim);
+        let unlimited = RunControl::new();
+        let ctl = req.control.unwrap_or(&unlimited);
+        let executor = self.executor_for(req.threads);
 
-    /// Cluster with an explicit `min_sim` (used by the baselines' per-
-    /// method threshold sweep in Fig. 4).
-    pub fn resolve_with_min_sim(&self, refs: &[TupleRef], min_sim: f64) -> Clustering {
-        let profiles: Vec<Profile> = refs.iter().map(|&r| (*self.profile(r)).clone()).collect();
-        let mut merger = DistinctMerger::from_profiles(
+        // Stage 1: profiles (placeholders for anything a limit cut off).
+        let (profiles, profile_stats) = self.profile_fanout(refs, &executor, ctl);
+        let profiles_computed = profiles.iter().filter(|p| !p.placeholder).count();
+        let mut trip: Option<(Stage, InterruptKind)> = None;
+        if profiles_computed < refs.len() {
+            let kind = ctl.status().unwrap_or(InterruptKind::Cancelled);
+            trip = Some((Stage::Profiles, kind));
+        }
+
+        // Stage 2: pairwise similarity matrix.
+        let guard = ctl.shared_guard();
+        let (merger, matrix_stats) = DistinctMerger::from_profiles_exec(
             &profiles,
             &self.weights,
             self.config.measure,
             self.config.composite,
+            &executor,
+            &guard,
         );
-        agglomerate(refs.len(), &mut merger, min_sim)
-    }
 
-    /// [`Distinct::resolve`] under execution limits, degrading gracefully.
-    ///
-    /// Unlike training, resolution always has a meaningful partial answer:
-    /// references whose profiles could not be computed in time stay
-    /// singletons (their pairwise similarities are zero, below any positive
-    /// `min_sim`), and an interrupted merge loop keeps the merges already
-    /// made — the strongest-evidence ones, since merging proceeds in
-    /// decreasing similarity order. The result is therefore never an error:
-    /// it is a valid clustering over all of `refs`, tagged with a
-    /// [`Degraded`] report when any limit tripped.
-    pub fn resolve_ctl(&self, refs: &[TupleRef], ctl: &RunControl) -> ResolveOutcome {
-        self.resolve_with_min_sim_ctl(refs, self.config.min_sim, ctl)
-    }
-
-    /// [`Distinct::resolve_ctl`] with an explicit `min_sim`.
-    pub fn resolve_with_min_sim_ctl(
-        &self,
-        refs: &[TupleRef],
-        min_sim: f64,
-        ctl: &RunControl,
-    ) -> ResolveOutcome {
-        let mut profiles: Vec<Profile> = Vec::with_capacity(refs.len());
-        let mut profiles_computed = 0usize;
-        let mut trip: Option<(Stage, InterruptKind)> = None;
-        for &r in refs {
-            if trip.is_none() {
-                match self.profile_ctl(r, ctl) {
-                    Some(p) => {
-                        profiles.push((*p).clone());
-                        profiles_computed += 1;
-                        continue;
-                    }
-                    None => {
-                        let kind = ctl.status().unwrap_or(InterruptKind::Cancelled);
-                        trip = Some((Stage::Profiles, kind));
-                    }
+        // Stage 3: agglomerative clustering.
+        let clock = Instant::now();
+        let (partial, mut cluster_stats) = match merger {
+            Some(mut inner) => {
+                if req.is_constrained() {
+                    let mut constrained =
+                        ConstrainedMerger::new(inner, refs.len(), &req.must_link, &req.cannot_link);
+                    agglomerate_exec(refs.len(), &mut constrained, min_sim, &executor, &guard)
+                } else {
+                    agglomerate_exec(refs.len(), &mut inner, min_sim, &executor, &guard)
                 }
             }
-            profiles.push(empty_profile(&self.paths, r));
-        }
-        let mut merger = DistinctMerger::from_profiles(
-            &profiles,
-            &self.weights,
-            self.config.measure,
-            self.config.composite,
-        );
-        let partial = agglomerate_guarded(refs.len(), &mut merger, min_sim, &mut ctl.guard());
+            None => {
+                // The matrix build was cut short: every reference stays a
+                // singleton (an empty dendrogram cut below any threshold).
+                if trip.is_none() {
+                    let kind = ctl.status().unwrap_or(InterruptKind::Cancelled);
+                    trip = Some((Stage::SimilarityMatrix, kind));
+                }
+                let dendrogram = Dendrogram::new(refs.len());
+                let labels = dendrogram.cut(f64::NEG_INFINITY);
+                (
+                    PartialClustering {
+                        clustering: Clustering { labels, dendrogram },
+                        completed: false,
+                    },
+                    exec::ParStats {
+                        threads: 1,
+                        ..Default::default()
+                    },
+                )
+            }
+        };
+        cluster_stats.wall = clock.elapsed();
         if !partial.completed && trip.is_none() {
             let kind = ctl.status().unwrap_or(InterruptKind::Cancelled);
             trip = Some((Stage::Clustering, kind));
@@ -602,7 +664,37 @@ impl Distinct {
         ResolveOutcome {
             clustering: partial.clustering,
             degraded,
+            exec: ExecReport {
+                profiles: profile_stats.into(),
+                similarity: matrix_stats.into(),
+                clustering: cluster_stats.into(),
+            },
         }
+    }
+
+    /// Cluster with an explicit `min_sim` (used by the baselines' per-
+    /// method threshold sweep in Fig. 4).
+    #[deprecated(note = "build a `ResolveRequest` with `.min_sim(..)` and call `resolve`")]
+    pub fn resolve_with_min_sim(&self, refs: &[TupleRef], min_sim: f64) -> Clustering {
+        self.resolve(&ResolveRequest::new(refs).min_sim(min_sim))
+            .clustering
+    }
+
+    /// Resolution under execution limits, degrading gracefully.
+    #[deprecated(note = "build a `ResolveRequest` with `.control(..)` and call `resolve`")]
+    pub fn resolve_ctl(&self, refs: &[TupleRef], ctl: &RunControl) -> ResolveOutcome {
+        self.resolve(&ResolveRequest::new(refs).control(ctl))
+    }
+
+    /// Limited resolution with an explicit `min_sim`.
+    #[deprecated(note = "build a `ResolveRequest` and call `resolve`")]
+    pub fn resolve_with_min_sim_ctl(
+        &self,
+        refs: &[TupleRef],
+        min_sim: f64,
+        ctl: &RunControl,
+    ) -> ResolveOutcome {
+        self.resolve(&ResolveRequest::new(refs).min_sim(min_sim).control(ctl))
     }
 
     /// Calibrated probability that two references denote the same entity,
@@ -616,35 +708,32 @@ impl Distinct {
     }
 
     /// Convenience: references of `name`, clustered.
+    #[deprecated(note = "call `references_of` then `resolve` with a `ResolveRequest`")]
     pub fn resolve_name(&self, name: &str) -> (Vec<TupleRef>, Clustering) {
         let refs = self.references_of(name);
-        let clustering = self.resolve(&refs);
+        let clustering = self.resolve(&ResolveRequest::new(&refs)).clustering;
         (refs, clustering)
     }
 
     /// Cluster under user-supplied constraints: `must_link` /
-    /// `cannot_link` pairs are indexes into `refs`. Constraint semantics
-    /// follow [`cluster::ConstrainedMerger`]: vetoes propagate across
-    /// merges, forced pairs merge before anything else.
+    /// `cannot_link` pairs are indexes into `refs`.
     ///
     /// # Panics
     /// Panics on out-of-range, self-referential, or contradictory
     /// constraint pairs (programmer error, matching the wrapped merger).
+    #[deprecated(note = "build a `ResolveRequest` with `.must_link(..)` / `.cannot_link(..)`")]
     pub fn resolve_constrained(
         &self,
         refs: &[TupleRef],
         must_link: &[(usize, usize)],
         cannot_link: &[(usize, usize)],
     ) -> Clustering {
-        let profiles: Vec<Profile> = refs.iter().map(|&r| (*self.profile(r)).clone()).collect();
-        let inner = DistinctMerger::from_profiles(
-            &profiles,
-            &self.weights,
-            self.config.measure,
-            self.config.composite,
-        );
-        let mut merger = cluster::ConstrainedMerger::new(inner, refs.len(), must_link, cannot_link);
-        agglomerate(refs.len(), &mut merger, self.config.min_sim)
+        self.resolve(
+            &ResolveRequest::new(refs)
+                .must_link(must_link)
+                .cannot_link(cannot_link),
+        )
+        .clustering
     }
 
     /// Export the trained state (configuration + weights + path
@@ -841,8 +930,14 @@ mod tests {
         let mut engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
         engine.train().unwrap();
         let truth = &d.truths[0];
-        let clustering = engine.resolve(&truth.refs);
-        let scores = pairwise_scores(&truth.labels, &clustering.labels);
+        let outcome = engine.resolve(&ResolveRequest::new(&truth.refs));
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.exec.profiles.tasks, truth.refs.len());
+        assert_eq!(
+            outcome.exec.similarity.tasks,
+            truth.refs.len() * (truth.refs.len() - 1) / 2
+        );
+        let scores = pairwise_scores(&truth.labels, &outcome.clustering.labels);
         assert!(
             scores.f_measure > 0.75,
             "f-measure {} (p {}, r {})",
@@ -853,7 +948,8 @@ mod tests {
     }
 
     #[test]
-    fn resolve_name_matches_manual_resolution() {
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_request_form() {
         let d = dataset();
         let config = DistinctConfig {
             training: small_training(),
@@ -863,6 +959,38 @@ mod tests {
         let (refs, clustering) = engine.resolve_name("Hui Fang");
         assert_eq!(refs.len(), 9);
         assert_eq!(clustering.labels.len(), 9);
+        assert_eq!(
+            clustering.labels,
+            engine
+                .resolve(&ResolveRequest::new(&refs))
+                .clustering
+                .labels
+        );
+        assert_eq!(
+            engine.resolve_with_min_sim(&refs, 0.02).labels,
+            engine
+                .resolve(&ResolveRequest::new(&refs).min_sim(0.02))
+                .clustering
+                .labels
+        );
+        let ctl = RunControl::new();
+        assert_eq!(
+            engine.resolve_ctl(&refs, &ctl).clustering.labels,
+            engine
+                .resolve(&ResolveRequest::new(&refs).control(&ctl))
+                .clustering
+                .labels
+        );
+        assert_eq!(
+            engine
+                .resolve_with_min_sim_ctl(&refs, 0.02, &ctl)
+                .clustering
+                .labels,
+            engine
+                .resolve(&ResolveRequest::new(&refs).min_sim(0.02).control(&ctl))
+                .clustering
+                .labels
+        );
     }
 
     #[test]
@@ -888,11 +1016,15 @@ mod tests {
         let engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
         let refs = engine.references_of("Wei Wang");
         // Impossibly high threshold: all singletons.
-        let c = engine.resolve_with_min_sim(&refs, 10.0);
+        let c = engine
+            .resolve(&ResolveRequest::new(&refs).min_sim(10.0))
+            .clustering;
         assert_eq!(c.cluster_count(), refs.len());
         // Zero-ish threshold merges anything with positive similarity:
         // far fewer clusters.
-        let c = engine.resolve_with_min_sim(&refs, 1e-12);
+        let c = engine
+            .resolve(&ResolveRequest::new(&refs).min_sim(1e-12))
+            .clustering;
         assert!(c.cluster_count() < refs.len());
     }
 
@@ -906,13 +1038,15 @@ mod tests {
         let mut engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
         engine.train().unwrap();
         let truth = &d.truths[0];
-        let unconstrained = engine.resolve(&truth.refs);
+        let unconstrained = engine.resolve(&ResolveRequest::new(&truth.refs)).clustering;
 
         // Cannot-link two references that the unconstrained run merged.
         let groups = unconstrained.groups();
         let merged_group = groups.iter().find(|g| g.len() >= 2).expect("some merge");
         let (a, b) = (merged_group[0], merged_group[1]);
-        let c = engine.resolve_constrained(&truth.refs, &[], &[(a, b)]);
+        let c = engine
+            .resolve(&ResolveRequest::new(&truth.refs).cannot_link(&[(a, b)]))
+            .clustering;
         assert_ne!(c.labels[a], c.labels[b]);
 
         // Must-link two references the unconstrained run separated.
@@ -928,7 +1062,9 @@ mod tests {
             }
             found.expect("some separated pair")
         };
-        let c = engine.resolve_constrained(&truth.refs, &[(x, y)], &[]);
+        let c = engine
+            .resolve(&ResolveRequest::new(&truth.refs).must_link(&[(x, y)]))
+            .clustering;
         assert_eq!(c.labels[x], c.labels[y]);
     }
 
@@ -950,8 +1086,14 @@ mod tests {
         assert_eq!(fresh.weights(), trained.weights());
         let truth = &d.truths[0];
         assert_eq!(
-            fresh.resolve(&truth.refs).labels,
-            trained.resolve(&truth.refs).labels
+            fresh
+                .resolve(&ResolveRequest::new(&truth.refs))
+                .clustering
+                .labels,
+            trained
+                .resolve(&ResolveRequest::new(&truth.refs))
+                .clustering
+                .labels
         );
 
         // A model for a different path set is rejected.
@@ -1020,10 +1162,12 @@ mod tests {
             ..Default::default()
         };
         let engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
-        let empty = engine.resolve(&[]);
+        let empty = engine.resolve(&ResolveRequest::new(&[])).clustering;
         assert!(empty.labels.is_empty());
         assert_eq!(empty.cluster_count(), 0);
-        let one = engine.resolve(&d.truths[0].refs[..1]);
+        let one = engine
+            .resolve(&ResolveRequest::new(&d.truths[0].refs[..1]))
+            .clustering;
         assert_eq!(one.labels, vec![0]);
         assert_eq!(one.cluster_count(), 1);
     }
@@ -1047,7 +1191,7 @@ mod tests {
         );
         engine.train().unwrap();
         let truth = &d.truths[0];
-        let c = engine.resolve(&truth.refs);
+        let c = engine.resolve(&ResolveRequest::new(&truth.refs)).clustering;
         assert_eq!(c.labels.len(), truth.refs.len());
         let s = pairwise_scores(&truth.labels, &c.labels);
         assert!(s.f_measure > 0.3, "f {}", s.f_measure);
@@ -1063,8 +1207,9 @@ mod tests {
         let mut engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
         engine.train().unwrap();
         let truth = &d.truths[0];
-        let plain = engine.resolve(&truth.refs);
-        let outcome = engine.resolve_ctl(&truth.refs, &RunControl::new());
+        let plain = engine.resolve(&ResolveRequest::new(&truth.refs)).clustering;
+        let ctl = RunControl::new();
+        let outcome = engine.resolve(&ResolveRequest::new(&truth.refs).control(&ctl));
         assert!(outcome.is_complete());
         assert_eq!(outcome.clustering.labels, plain.labels);
     }
@@ -1083,7 +1228,7 @@ mod tests {
         // actually cut short.
         for budget in [0, 1, 10, 100, 1_000, 100_000_000] {
             let ctl = RunControl::new().with_budget(budget);
-            let outcome = engine.resolve_ctl(&refs, &ctl);
+            let outcome = engine.resolve(&ResolveRequest::new(&refs).control(&ctl));
             assert_eq!(outcome.clustering.labels.len(), refs.len());
             let k = outcome.clustering.cluster_count();
             assert!(k >= 1 && k <= refs.len());
@@ -1109,7 +1254,7 @@ mod tests {
         };
         let fresh = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
         let ctl = RunControl::new().with_budget(0);
-        let outcome = fresh.resolve_ctl(&refs, &ctl);
+        let outcome = fresh.resolve(&ResolveRequest::new(&refs).control(&ctl));
         let deg = outcome.degraded.expect("zero budget must degrade");
         assert_eq!(deg.stage, Stage::Profiles);
         assert_eq!(deg.profiles_computed, 0);
@@ -1127,7 +1272,7 @@ mod tests {
         let refs = engine.references_of("Hui Fang");
         let ctl = RunControl::new();
         ctl.token().cancel();
-        let outcome = engine.resolve_ctl(&refs, &ctl);
+        let outcome = engine.resolve(&ResolveRequest::new(&refs).control(&ctl));
         assert_eq!(outcome.clustering.labels.len(), refs.len());
         let deg = outcome.degraded.expect("cancelled run must degrade");
         assert_eq!(deg.kind, InterruptKind::Cancelled);
@@ -1143,7 +1288,9 @@ mod tests {
         let mut engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
         let before = engine.weights().clone();
         let ctl = RunControl::new().with_budget(0);
-        let err = engine.train_ctl(&ctl).unwrap_err();
+        let err = engine
+            .train_with(&TrainRequest::new().control(&ctl))
+            .unwrap_err();
         match err {
             DistinctError::Interrupted { kind, .. } => {
                 assert_eq!(kind, InterruptKind::BudgetExhausted);
@@ -1164,7 +1311,9 @@ mod tests {
         let mut engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
         let ctl = RunControl::new().with_deadline(std::time::Duration::ZERO);
         std::thread::sleep(std::time::Duration::from_millis(1));
-        let err = engine.train_ctl(&ctl).unwrap_err();
+        let err = engine
+            .train_with(&TrainRequest::new().control(&ctl))
+            .unwrap_err();
         assert!(
             matches!(
                 err,
@@ -1197,7 +1346,10 @@ mod tests {
             // later runs reuse earlier runs' work.
             let engine =
                 Distinct::prepare(&d.catalog, "Publish", "author", config.clone()).unwrap();
-            let outcome = engine.resolve_ctl(&refs, &RunControl::new().with_budget(budget));
+            // Single-threaded: parallel workers would race the budget and
+            // break strict monotonicity across runs.
+            let ctl = RunControl::new().with_budget(budget);
+            let outcome = engine.resolve(&ResolveRequest::new(&refs).control(&ctl).threads(1));
             let computed = outcome
                 .degraded
                 .as_ref()
@@ -1226,7 +1378,7 @@ mod tests {
             };
             let engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
             let truth = &d.truths[1];
-            let c = engine.resolve(&truth.refs);
+            let c = engine.resolve(&ResolveRequest::new(&truth.refs)).clustering;
             assert_eq!(c.labels.len(), truth.refs.len());
         }
     }

@@ -17,6 +17,9 @@ use crate::config::{CompositeMode, MeasureMode};
 use crate::features::{directed_walk_features, resemblance_features, weighted_sum, Profile};
 use crate::learn::PathWeights;
 use cluster::Merger;
+use std::borrow::Borrow;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A [`Merger`] implementing DISTINCT's composite cluster similarity.
 #[derive(Debug, Clone)]
@@ -42,35 +45,98 @@ impl DistinctMerger {
         measure: MeasureMode,
         composite: CompositeMode,
     ) -> Self {
-        let n = profiles.len();
-        let mut resem = vec![vec![0.0; n]; n];
-        let mut dwalk = vec![vec![0.0; n]; n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let r = weighted_sum(
-                    &resemblance_features(&profiles[i], &profiles[j]),
-                    &weights.resem,
-                );
-                resem[i][j] = r;
-                resem[j][i] = r;
-                dwalk[i][j] = weighted_sum(
-                    &directed_walk_features(&profiles[i], &profiles[j]),
-                    &weights.walk,
-                );
-                dwalk[j][i] = weighted_sum(
-                    &directed_walk_features(&profiles[j], &profiles[i]),
-                    &weights.walk,
-                );
-            }
-        }
-        DistinctMerger {
-            resem,
-            dwalk,
-            sizes: vec![1; n],
+        Self::from_profiles_exec(
+            profiles,
+            weights,
             measure,
             composite,
-            n,
+            &exec::Executor::sequential(),
+            &|_| true,
+        )
+        .0
+        .expect("permissive guard never stops the matrix build")
+    }
+
+    /// Like [`DistinctMerger::from_profiles`], but computes the O(n²)
+    /// pairwise feature tables **in parallel** over the flat upper-triangle
+    /// pair index space — this is the similarity-matrix hot path of
+    /// resolution. Each pair's features depend only on its two (immutable)
+    /// profiles and every value lands in a fixed matrix cell, so the
+    /// resulting tables are bit-identical for any thread count.
+    ///
+    /// `guard` is charged once per chunk with the chunk's pair count; if it
+    /// trips, pending chunks are abandoned and `None` is returned — a
+    /// partially filled matrix would silently bias the clustering toward
+    /// whichever pairs happened to be computed. The [`exec::ParStats`]
+    /// records how far the stage got either way.
+    pub fn from_profiles_exec<P>(
+        profiles: &[P],
+        weights: &PathWeights,
+        measure: MeasureMode,
+        composite: CompositeMode,
+        executor: &exec::Executor,
+        guard: &(dyn Fn(u64) -> bool + Sync),
+    ) -> (Option<Self>, exec::ParStats)
+    where
+        P: Borrow<Profile> + Sync,
+    {
+        let n = profiles.len();
+        let total = exec::triangle_count(n);
+        let tripped = AtomicBool::new(false);
+        let (chunks, mut stats) = executor.par_chunks(
+            total,
+            |range: Range<usize>| -> Option<Vec<(f64, f64, f64)>> {
+                if !guard(range.len() as u64) {
+                    tripped.store(true, Ordering::Relaxed);
+                    return None;
+                }
+                Some(
+                    range
+                        .map(|k| {
+                            let (i, j) = exec::triangle_pair(n, k);
+                            let (pi, pj) = (profiles[i].borrow(), profiles[j].borrow());
+                            let r = weighted_sum(&resemblance_features(pi, pj), &weights.resem);
+                            let dij = weighted_sum(&directed_walk_features(pi, pj), &weights.walk);
+                            let dji = weighted_sum(&directed_walk_features(pj, pi), &weights.walk);
+                            (r, dij, dji)
+                        })
+                        .collect(),
+                )
+            },
+            || tripped.load(Ordering::Relaxed),
+        );
+        stats.stopped = stats.stopped || tripped.load(Ordering::Relaxed);
+        stats.completed = chunks
+            .iter()
+            .filter(|(_, v)| v.is_some())
+            .map(|(r, _)| r.len())
+            .sum();
+        if stats.stopped {
+            return (None, stats);
         }
+        let mut resem = vec![vec![0.0; n]; n];
+        let mut dwalk = vec![vec![0.0; n]; n];
+        for (range, vals) in chunks {
+            let vals = vals.expect("complete run has no refused chunks");
+            for (k, (r, dij, dji)) in range.zip(vals) {
+                let (i, j) = exec::triangle_pair(n, k);
+                resem[i][j] = r;
+                resem[j][i] = r;
+                dwalk[i][j] = dij;
+                dwalk[j][i] = dji;
+            }
+        }
+        (
+            Some(DistinctMerger {
+                resem,
+                dwalk,
+                sizes: vec![1; n],
+                measure,
+                composite,
+                n,
+            }),
+            stats,
+        )
     }
 
     /// Number of leaf references.
@@ -170,6 +236,7 @@ mod tests {
             reference: TupleRef::new(RelId(0), TupleId(idx)),
             sets: vec![WeightedSet::from_map(prop.forward.clone())],
             props: vec![prop],
+            placeholder: false,
         }
     }
 
@@ -294,6 +361,52 @@ mod tests {
         let cw = m.collective_walk(3, 2);
         let expected = 0.5 * ((d02 + d12) / 2.0 + (d20 + d21) / 1.0);
         assert!((cw - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_matrix_build_matches_sequential() {
+        // A spread of profiles with varying overlap so the matrices are
+        // non-trivial; compare every table entry across thread counts.
+        let profiles: Vec<Profile> = (0..12)
+            .map(|i| profile(i, &[(i % 4, 0.5 + 0.04 * i as f64), ((i + 1) % 4, 0.3)]))
+            .collect();
+        let reference = DistinctMerger::from_profiles(
+            &profiles,
+            &weights(),
+            MeasureMode::Combined,
+            CompositeMode::Geometric,
+        );
+        for threads in [2usize, 5, 8] {
+            let (m, stats) = DistinctMerger::from_profiles_exec(
+                &profiles,
+                &weights(),
+                MeasureMode::Combined,
+                CompositeMode::Geometric,
+                &exec::Executor::with_threads(threads),
+                &|_| true,
+            );
+            let m = m.expect("permissive guard");
+            assert!(!stats.stopped);
+            assert_eq!(stats.completed, 12 * 11 / 2);
+            assert_eq!(m.resem, reference.resem, "threads={threads}");
+            assert_eq!(m.dwalk, reference.dwalk, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn tripped_matrix_build_returns_none() {
+        let profiles = two_groups();
+        let (m, stats) = DistinctMerger::from_profiles_exec(
+            &profiles,
+            &weights(),
+            MeasureMode::Combined,
+            CompositeMode::Geometric,
+            &exec::Executor::sequential(),
+            &|_| false,
+        );
+        assert!(m.is_none());
+        assert!(stats.stopped);
+        assert_eq!(stats.completed, 0);
     }
 
     #[test]

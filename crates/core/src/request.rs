@@ -1,0 +1,232 @@
+//! Unified request builders for the pipeline entry points.
+//!
+//! One resolution used to mean picking among six `resolve*` methods whose
+//! names encoded which options were set. A [`ResolveRequest`] carries the
+//! options instead — threshold override, user constraints, execution
+//! limits, worker threads — and a single [`crate::Distinct::resolve`]
+//! consumes it. [`TrainRequest`] does the same for training. Both builders
+//! borrow their inputs, so building a request allocates nothing beyond the
+//! constraint lists.
+//!
+//! ```text
+//! let outcome = engine.resolve(&ResolveRequest::new(&refs)
+//!     .min_sim(0.01)
+//!     .control(&ctl)
+//!     .threads(4));
+//! ```
+
+use crate::control::RunControl;
+use relstore::TupleRef;
+use std::time::Duration;
+
+/// Statistics of one pipeline stage, for speedup reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageStats {
+    /// Work items the stage set out to process (references, pairs, ...).
+    pub tasks: usize,
+    /// Items actually processed (equals `tasks` for complete runs).
+    pub completed: usize,
+    /// Worker threads used (1 = inline on the calling thread).
+    pub threads: usize,
+    /// Wall-clock time of the stage.
+    pub wall: Duration,
+}
+
+impl From<exec::ParStats> for StageStats {
+    fn from(s: exec::ParStats) -> Self {
+        StageStats {
+            tasks: s.tasks,
+            completed: s.completed,
+            threads: s.threads,
+            wall: s.wall,
+        }
+    }
+}
+
+/// Per-stage execution statistics of one pipeline run.
+///
+/// Stages that did not run (e.g. `clustering` in a training report) are
+/// left at their zeroed default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecReport {
+    /// Profile construction (tasks = references profiled, cached ones
+    /// excluded).
+    pub profiles: StageStats,
+    /// Pairwise similarity features (tasks = reference or training pairs).
+    pub similarity: StageStats,
+    /// Clustering (tasks = candidate pairs seeded; wall covers the whole
+    /// agglomeration including the sequential merge loop).
+    pub clustering: StageStats,
+}
+
+impl ExecReport {
+    /// Total wall-clock time across the tracked stages.
+    pub fn total_wall(&self) -> Duration {
+        self.profiles.wall + self.similarity.wall + self.clustering.wall
+    }
+
+    /// The widest thread count any stage used.
+    pub fn max_threads(&self) -> usize {
+        self.profiles
+            .threads
+            .max(self.similarity.threads)
+            .max(self.clustering.threads)
+    }
+}
+
+/// A resolution request: which references to cluster, under which options.
+///
+/// Defaults reproduce the plain `resolve` of earlier versions: the
+/// engine's configured `min_sim`, no constraints, no execution limits, and
+/// the engine's configured thread count.
+#[derive(Debug, Clone, Default)]
+pub struct ResolveRequest<'a> {
+    pub(crate) refs: &'a [TupleRef],
+    pub(crate) min_sim: Option<f64>,
+    pub(crate) must_link: Vec<(usize, usize)>,
+    pub(crate) cannot_link: Vec<(usize, usize)>,
+    pub(crate) control: Option<&'a RunControl>,
+    pub(crate) threads: Option<usize>,
+}
+
+impl<'a> ResolveRequest<'a> {
+    /// A request to cluster `refs` with all options at their defaults.
+    pub fn new(refs: &'a [TupleRef]) -> Self {
+        ResolveRequest {
+            refs,
+            ..Default::default()
+        }
+    }
+
+    /// Override the clustering threshold for this run only (the baselines'
+    /// per-method threshold sweep in Fig. 4).
+    pub fn min_sim(mut self, min_sim: f64) -> Self {
+        self.min_sim = Some(min_sim);
+        self
+    }
+
+    /// Require the referenced pairs (indexes into `refs`) to end up in the
+    /// same cluster. Semantics follow [`cluster::ConstrainedMerger`].
+    pub fn must_link(mut self, pairs: &[(usize, usize)]) -> Self {
+        self.must_link.extend_from_slice(pairs);
+        self
+    }
+
+    /// Forbid the referenced pairs (indexes into `refs`) from sharing a
+    /// cluster; vetoes propagate across merges.
+    pub fn cannot_link(mut self, pairs: &[(usize, usize)]) -> Self {
+        self.cannot_link.extend_from_slice(pairs);
+        self
+    }
+
+    /// Run under execution limits: cancellation, deadline, and work budget
+    /// are honored at chunk boundaries, degrading gracefully (see
+    /// [`crate::Degraded`]).
+    pub fn control(mut self, ctl: &'a RunControl) -> Self {
+        self.control = Some(ctl);
+        self
+    }
+
+    /// Worker threads for this run, overriding
+    /// [`crate::DistinctConfig::threads`]. `0` means "auto" (the
+    /// `DISTINCT_THREADS` environment variable if set, else one worker per
+    /// core); `1` forces sequential execution. Output is identical for
+    /// every value.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// The references this request clusters.
+    pub fn refs(&self) -> &[TupleRef] {
+        self.refs
+    }
+
+    /// Whether any must-link / cannot-link constraint is set.
+    pub fn is_constrained(&self) -> bool {
+        !self.must_link.is_empty() || !self.cannot_link.is_empty()
+    }
+}
+
+/// A training request: how to run automatic training-set construction and
+/// weight learning. Defaults reproduce the plain `train()`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrainRequest<'a> {
+    pub(crate) control: Option<&'a RunControl>,
+    pub(crate) threads: Option<usize>,
+}
+
+impl<'a> TrainRequest<'a> {
+    /// A request with all options at their defaults.
+    pub fn new() -> Self {
+        TrainRequest::default()
+    }
+
+    /// Run under execution limits. Training cannot degrade gracefully, so
+    /// a tripped limit aborts with [`crate::DistinctError::Interrupted`]
+    /// and leaves previously installed weights untouched.
+    pub fn control(mut self, ctl: &'a RunControl) -> Self {
+        self.control = Some(ctl);
+        self
+    }
+
+    /// Worker threads for the parallel training stages (profile fan-out,
+    /// pair featurization); same semantics as
+    /// [`ResolveRequest::threads`].
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::{RelId, TupleId};
+
+    #[test]
+    fn builder_accumulates_options() {
+        let refs = vec![
+            TupleRef::new(RelId(0), TupleId(0)),
+            TupleRef::new(RelId(0), TupleId(1)),
+        ];
+        let ctl = RunControl::new();
+        let req = ResolveRequest::new(&refs)
+            .min_sim(0.25)
+            .must_link(&[(0, 1)])
+            .cannot_link(&[])
+            .control(&ctl)
+            .threads(3);
+        assert_eq!(req.refs().len(), 2);
+        assert_eq!(req.min_sim, Some(0.25));
+        assert!(req.is_constrained());
+        assert!(req.control.is_some());
+        assert_eq!(req.threads, Some(3));
+
+        let bare = ResolveRequest::new(&refs);
+        assert!(!bare.is_constrained());
+        assert!(bare.min_sim.is_none());
+        assert!(bare.threads.is_none());
+    }
+
+    #[test]
+    fn exec_report_aggregates() {
+        let r = ExecReport {
+            profiles: StageStats {
+                tasks: 10,
+                completed: 10,
+                threads: 4,
+                wall: Duration::from_millis(7),
+            },
+            similarity: StageStats {
+                tasks: 45,
+                completed: 45,
+                threads: 2,
+                wall: Duration::from_millis(3),
+            },
+            clustering: StageStats::default(),
+        };
+        assert_eq!(r.total_wall(), Duration::from_millis(10));
+        assert_eq!(r.max_threads(), 4);
+    }
+}

@@ -7,10 +7,12 @@
 //! give negative pairs (distinct references). No manual labels required.
 
 use crate::config::TrainingConfig;
+use crate::features::{resemblance_features, walk_features, Profile};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use relstore::{Catalog, FxHashMap, RelId, TupleId, TupleRef, Value};
+use std::sync::Arc;
 
 /// One training pair with its label (+1 equivalent, −1 distinct).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,6 +40,45 @@ pub struct TrainingSet {
     /// threshold calibration ([`crate::calibrate`]), which pools several
     /// unique names into pseudo-ambiguous groups.
     pub names: Vec<(String, Vec<TupleRef>)>,
+}
+
+/// Per-pair feature vectors for SVM training, labelled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairFeatures {
+    /// Per-path set resemblances of the pair.
+    pub resem: Vec<f64>,
+    /// Per-path symmetrized walk probabilities of the pair.
+    pub walk: Vec<f64>,
+    /// +1.0 for equivalent, −1.0 for distinct (copied from the pair).
+    pub label: f64,
+}
+
+/// Compute both feature vectors for every training pair, in parallel.
+///
+/// Every pair's features depend only on its two (immutable) profiles, so
+/// the output — committed in pair order by the executor — is identical
+/// for any thread count. A pair whose profiles are missing from the map
+/// comes back `None`, as does every pair left unprocessed after `stop`
+/// fires; callers decide whether that aborts the run.
+pub fn featurize_pairs(
+    pairs: &[TrainingPair],
+    profiles: &FxHashMap<TupleRef, Arc<Profile>>,
+    executor: &exec::Executor,
+    stop: &(dyn Fn() -> bool + Sync),
+) -> (Vec<Option<PairFeatures>>, exec::ParStats) {
+    executor.par_map_guarded(
+        pairs,
+        |_, pair| {
+            let pa = profiles.get(&pair.a)?;
+            let pb = profiles.get(&pair.b)?;
+            Some(PairFeatures {
+                resem: resemblance_features(pa, pb),
+                walk: walk_features(pa, pb),
+                label: pair.label,
+            })
+        },
+        stop,
+    )
 }
 
 /// Errors from training-set construction.

@@ -50,7 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     for truth in &dataset.truths {
-        let clustering = engine.resolve(&truth.refs);
+        let clustering = engine
+            .resolve(&distinct::ResolveRequest::new(&truth.refs))
+            .clustering;
         let counts = PairCounts::from_labels(&truth.labels, &clustering.labels);
         let s = counts.scores();
         println!(
@@ -67,7 +69,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Detailed report for the hardest name.
     let wei = &dataset.truths[0];
-    let clustering = engine.resolve(&wei.refs);
+    let clustering = engine
+        .resolve(&distinct::ResolveRequest::new(&wei.refs))
+        .clustering;
     println!(
         "\n{}",
         render_name_report(&wei.name, &wei.labels, &clustering.labels, None)

@@ -35,7 +35,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for min_sim in thresholds {
             let mut f_sum = 0.0;
             for truth in &dataset.truths {
-                let clustering = engine.resolve_with_min_sim(&truth.refs, min_sim);
+                let clustering = engine
+                    .resolve(&distinct::ResolveRequest::new(&truth.refs).min_sim(min_sim))
+                    .clustering;
                 f_sum += PairCounts::from_labels(&truth.labels, &clustering.labels)
                     .scores()
                     .f_measure;

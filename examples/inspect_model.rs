@@ -102,7 +102,9 @@ fn main() {
     for grid in distinct::min_sim_grid() {
         let mut line = format!("min_sim {grid:>8.0e}:");
         for truth in &d.truths {
-            let c = engine.resolve_with_min_sim(&truth.refs, grid);
+            let c = engine
+                .resolve(&distinct::ResolveRequest::new(&truth.refs).min_sim(grid))
+                .clustering;
             let s = eval::pairwise_scores(&truth.labels, &c.labels);
             line.push_str(&format!(
                 "  {} f={:.3} p={:.3} r={:.3} k={}",

@@ -204,7 +204,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let refs: Vec<_> = world.truth.iter().map(|&(r, _)| r).collect();
     let gold: Vec<usize> = world.truth.iter().map(|&(_, s)| s).collect();
-    let clustering = engine.resolve(&refs);
+    let clustering = engine
+        .resolve(&distinct::ResolveRequest::new(&refs))
+        .clustering;
     let counts = PairCounts::from_labels(&gold, &clustering.labels);
     let s = counts.scores();
     println!(

@@ -94,7 +94,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // --- 3. Resolve the ambiguous name. ------------------------------------
-    let (refs, clustering) = engine.resolve_name("J. Lee");
+    let refs = engine.references_of("J. Lee");
+    let clustering = engine
+        .resolve(&distinct::ResolveRequest::new(&refs))
+        .clustering;
     println!(
         "\n\"J. Lee\" has {} references -> {} distinct people:",
         refs.len(),

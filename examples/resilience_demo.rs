@@ -48,7 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut engine = Distinct::prepare(&reloaded, "Publish", "author", distinct_config.clone())?;
     engine.train()?;
     let refs = engine.references_of("Wei Wang");
-    let before = engine.resolve(&refs);
+    let before = engine
+        .resolve(&distinct::ResolveRequest::new(&refs))
+        .clustering;
     println!(
         "trained engine: \"Wei Wang\" {} references -> {} people",
         refs.len(),
@@ -66,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let catalog = persist::load_catalog(&store)?;
     let mut resumed = Distinct::prepare(&catalog, "Publish", "author", distinct_config)?;
     resumed.load_checkpoint(&ckpt)?; // weights + model + profile cache
-    let after = resumed.resolve(&resumed.references_of("Wei Wang"));
+    let wei = resumed.references_of("Wei Wang");
+    let after = resumed
+        .resolve(&distinct::ResolveRequest::new(&wei))
+        .clustering;
     assert_eq!(
         before.groups(),
         after.groups(),
@@ -81,7 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ctl = RunControl::new()
         .with_deadline(Duration::from_secs(30))
         .with_budget(5);
-    let outcome = resumed.resolve_ctl(&refs, &ctl);
+    let outcome = resumed.resolve(&distinct::ResolveRequest::new(&refs).control(&ctl));
     assert_eq!(outcome.clustering.labels.len(), refs.len());
     match &outcome.degraded {
         Some(d) => println!("tight budget: partial result ({d})"),
@@ -90,7 +95,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let token = CancelToken::new();
     token.cancel();
-    let outcome = resumed.resolve_ctl(&refs, &RunControl::new().with_token(token));
+    let ctl = RunControl::new().with_token(token);
+    let outcome = resumed.resolve(&distinct::ResolveRequest::new(&refs).control(&ctl));
     assert!(!outcome.is_complete());
     println!(
         "pre-cancelled run: still a full partition over {} refs ({})",

@@ -26,7 +26,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cannot: Vec<(usize, usize)> = Vec::new();
 
     for round in 0..4 {
-        let clustering = engine.resolve_constrained(&truth.refs, &must, &cannot);
+        let clustering = engine
+            .resolve(
+                &distinct::ResolveRequest::new(&truth.refs)
+                    .must_link(&must)
+                    .cannot_link(&cannot),
+            )
+            .clustering;
         let s = PairCounts::from_labels(&truth.labels, &clustering.labels).scores();
         println!(
             "round {round}: {} constraints -> {} groups, p {:.3} r {:.3} f {:.3}",

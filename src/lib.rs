@@ -6,6 +6,8 @@
 //! users can depend on one name; the repository's examples and
 //! integration tests do exactly that.
 //!
+//! * [`exec`] — the deterministic scoped thread pool behind the parallel
+//!   pipeline stages (thread-count selection, `DISTINCT_THREADS`);
 //! * [`relstore`] — the in-memory relational database substrate;
 //! * [`relgraph`] — probability propagation and random-walk machinery;
 //! * [`svm`] — the from-scratch SVM library (SMO, Pegasos, Platt, CV);
@@ -17,13 +19,14 @@
 //!   whole-database resolution.
 //!
 //! ```no_run
-//! use distinct::{Distinct, DistinctConfig};
+//! use distinct::{Distinct, DistinctConfig, ResolveRequest};
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! # let catalog = relstore::Catalog::new();
 //! let mut engine = Distinct::prepare(&catalog, "Publish", "author", DistinctConfig::default())?;
 //! engine.train()?;
-//! let (refs, clustering) = engine.resolve_name("Wei Wang");
-//! println!("{} references -> {} people", refs.len(), clustering.cluster_count());
+//! let refs = engine.references_of("Wei Wang");
+//! let outcome = engine.resolve(&ResolveRequest::new(&refs));
+//! println!("{} references -> {} people", refs.len(), outcome.clustering.cluster_count());
 //! # Ok(()) }
 //! ```
 
@@ -33,6 +36,7 @@ pub use cluster;
 pub use datagen;
 pub use distinct;
 pub use eval;
+pub use exec;
 pub use relgraph;
 pub use relstore;
 pub use svm;

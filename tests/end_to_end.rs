@@ -3,7 +3,9 @@
 //! model persistence — exercised across crate boundaries.
 
 use datagen::{to_catalog, AmbiguousSpec, World, WorldConfig};
-use distinct::{CalibrationConfig, Distinct, DistinctConfig, PathWeights, TrainingConfig};
+use distinct::{
+    CalibrationConfig, Distinct, DistinctConfig, PathWeights, ResolveRequest, TrainingConfig,
+};
 use eval::{bcubed_scores, pairwise_scores, Confusion};
 
 fn dataset() -> datagen::DblpDataset {
@@ -43,7 +45,7 @@ fn trained_pipeline_beats_chance_on_every_planted_name() {
     let engine = trained_engine(&d);
 
     for truth in &d.truths {
-        let clustering = engine.resolve(&truth.refs);
+        let clustering = engine.resolve(&ResolveRequest::new(&truth.refs)).clustering;
         let s = pairwise_scores(&truth.labels, &clustering.labels);
         // Baseline comparison: all-singletons has f=0; all-merged has
         // f = f(one cluster). The pipeline must beat the better of the two.
@@ -68,7 +70,7 @@ fn hardest_name_resolves_with_high_purity() {
     let d = dataset();
     let engine = trained_engine(&d);
     let truth = &d.truths[0];
-    let clustering = engine.resolve(&truth.refs);
+    let clustering = engine.resolve(&ResolveRequest::new(&truth.refs)).clustering;
     let confusion = Confusion::from_labels(&truth.labels, &clustering.labels);
     assert!(confusion.purity() > 0.8, "purity {}", confusion.purity());
 }
@@ -87,8 +89,10 @@ fn learned_weights_transfer_between_engines() {
     fresh.set_weights(weights).unwrap();
 
     for truth in &d.truths {
-        let a = trained.resolve(&truth.refs);
-        let b = fresh.resolve(&truth.refs);
+        let a = trained
+            .resolve(&ResolveRequest::new(&truth.refs))
+            .clustering;
+        let b = fresh.resolve(&ResolveRequest::new(&truth.refs)).clustering;
         assert_eq!(a.labels, b.labels, "{}", truth.name);
     }
 }
@@ -103,7 +107,7 @@ fn supervised_weights_beat_uniform_on_average() {
         d.truths
             .iter()
             .map(|t| {
-                let c = engine.resolve(&t.refs);
+                let c = engine.resolve(&ResolveRequest::new(&t.refs)).clustering;
                 pairwise_scores(&t.labels, &c.labels).f_measure
             })
             .sum::<f64>()
@@ -120,7 +124,10 @@ fn resolution_is_deterministic() {
     let run = || {
         let engine = trained_engine(&d);
         let truth = &d.truths[0];
-        engine.resolve(&truth.refs).labels
+        engine
+            .resolve(&ResolveRequest::new(&truth.refs))
+            .clustering
+            .labels
     };
     assert_eq!(run(), run());
 }
@@ -139,7 +146,8 @@ fn references_outside_planted_names_also_resolve() {
         .max_by_key(|(_, &c)| c)
         .map(|(v, &c)| (v.as_str().unwrap().to_string(), c))
         .unwrap();
-    let (refs, clustering) = engine.resolve_name(&name);
+    let refs = engine.references_of(&name);
+    let clustering = engine.resolve(&ResolveRequest::new(&refs)).clustering;
     assert_eq!(refs.len(), n);
     assert_eq!(clustering.labels.len(), n);
     assert!(clustering.cluster_count() >= 1);

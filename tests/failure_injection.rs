@@ -13,7 +13,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use datagen::{to_catalog, AmbiguousSpec, DblpDataset, World, WorldConfig};
 use distinct::{
-    Distinct, DistinctConfig, DistinctError, InterruptKind, RunControl, TrainingConfig,
+    Distinct, DistinctConfig, DistinctError, InterruptKind, ResolveRequest, RunControl,
+    TrainRequest, TrainingConfig,
 };
 use proptest::prelude::*;
 use relstore::{
@@ -228,7 +229,7 @@ fn checkpoint_kill_mid_write_restores_pre_save_state_or_reports_corruption() {
     let d = wei_wang_dataset();
     let engine = prepared_engine(&d);
     let refs = engine.references_of("Wei Wang");
-    let _ = engine.resolve(&refs); // warm the profile cache
+    let _ = engine.resolve(&ResolveRequest::new(&refs)); // warm the profile cache
     let dir = TempDir::new("ckpt");
     let path = dir.join("engine.ckpt");
     engine.save_checkpoint(&path).unwrap();
@@ -275,7 +276,7 @@ fn tight_budget_resolution_returns_degraded_partial_clustering() {
     let refs = engine.references_of("Wei Wang");
     assert!(!refs.is_empty());
     let ctl = RunControl::new().with_budget(5);
-    let outcome = engine.resolve_ctl(&refs, &ctl);
+    let outcome = engine.resolve(&ResolveRequest::new(&refs).control(&ctl));
     assert_eq!(outcome.clustering.labels.len(), refs.len());
     let degraded = outcome.degraded.expect("a 5-unit budget must degrade");
     assert_eq!(degraded.kind, InterruptKind::BudgetExhausted);
@@ -290,7 +291,7 @@ fn zero_deadline_resolution_degrades_and_training_errors() {
 
     let ctl = RunControl::new().with_deadline(std::time::Duration::ZERO);
     std::thread::sleep(std::time::Duration::from_millis(1));
-    let outcome = engine.resolve_ctl(&refs, &ctl);
+    let outcome = engine.resolve(&ResolveRequest::new(&refs).control(&ctl));
     assert_eq!(outcome.clustering.labels.len(), refs.len());
     assert_eq!(
         outcome
@@ -303,7 +304,7 @@ fn zero_deadline_resolution_degrades_and_training_errors() {
     let ctl = RunControl::new().with_deadline(std::time::Duration::ZERO);
     std::thread::sleep(std::time::Duration::from_millis(1));
     assert!(matches!(
-        engine.train_ctl(&ctl),
+        engine.train_with(&TrainRequest::new().control(&ctl)),
         Err(DistinctError::Interrupted { .. })
     ));
 }
@@ -314,7 +315,7 @@ fn cancellation_mid_run_is_typed_not_a_panic() {
     let mut engine = prepared_engine(&d);
     let ctl = RunControl::new();
     ctl.token().cancel();
-    match engine.train_ctl(&ctl) {
+    match engine.train_with(&TrainRequest::new().control(&ctl)) {
         Err(DistinctError::Interrupted { kind, .. }) => {
             assert_eq!(kind, InterruptKind::Cancelled)
         }
@@ -409,7 +410,8 @@ fn pipeline_on_database_with_no_informative_structure() {
     // Training has nothing to learn from (too few unique names).
     assert!(engine.train().is_err());
     // Resolution still works with uniform weights.
-    let (refs, clustering) = engine.resolve_name("Shared Name");
+    let refs = engine.references_of("Shared Name");
+    let clustering = engine.resolve(&ResolveRequest::new(&refs)).clustering;
     assert_eq!(refs.len(), 3);
     assert_eq!(clustering.labels.len(), 3);
 }
@@ -418,7 +420,8 @@ fn pipeline_on_database_with_no_informative_structure() {
 fn resolving_a_nonexistent_name_is_a_no_op() {
     let d = wei_wang_dataset();
     let engine = prepared_engine(&d);
-    let (refs, clustering) = engine.resolve_name("Nobody At All");
+    let refs = engine.references_of("Nobody At All");
+    let clustering = engine.resolve(&ResolveRequest::new(&refs)).clustering;
     assert!(refs.is_empty());
     assert!(clustering.labels.is_empty());
     assert_eq!(clustering.cluster_count(), 0);
