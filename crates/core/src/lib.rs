@@ -46,6 +46,7 @@ pub mod features;
 pub mod learn;
 pub mod paths;
 pub mod pipeline;
+pub mod probe;
 pub mod refcluster;
 pub mod report;
 pub mod request;
@@ -68,6 +69,7 @@ pub use learn::{
 };
 pub use paths::PathSet;
 pub use pipeline::{Degraded, Distinct, DistinctError, ResolveOutcome, TrainingReport};
+pub use probe::StageProbe;
 pub use refcluster::DistinctMerger;
 pub use report::{render_name_dot, render_name_report};
 pub use request::{ExecReport, ResolveRequest, StageStats, TrainRequest};

@@ -339,6 +339,55 @@ impl Distinct {
         self.profile_cache.len()
     }
 
+    /// The link graph the engine propagates over.
+    pub fn graph(&self) -> &LinkGraph {
+        &self.graph
+    }
+
+    /// Compute the per-stage intermediates for `refs` exactly as
+    /// [`Distinct::resolve`] would: cached profiles, then the leaf
+    /// pairwise tables under the current weights, measure, and composite.
+    ///
+    /// This is the differential-testing observation surface — it lets an
+    /// external oracle pin each stage's numbers instead of only the final
+    /// clustering. Runs sequentially and unguarded (stage values are
+    /// bit-identical for any thread count, so one canonical order
+    /// suffices); profiles computed here land in the shared cache, making
+    /// this also a deterministic cache-warming primitive for
+    /// warm-vs-cold differential runs.
+    pub fn stage_probe(&self, refs: &[TupleRef]) -> crate::probe::StageProbe {
+        let profiles: Vec<Arc<Profile>> = refs.iter().map(|&r| self.profile(r)).collect();
+        let (merger, _) = DistinctMerger::from_profiles_exec(
+            &profiles,
+            &self.weights,
+            self.config.measure,
+            self.config.composite,
+            &exec::Executor::sequential(),
+            &|_| true,
+        );
+        let merger = merger.expect("permissive guard never stops the matrix build");
+        let n = refs.len();
+        let mut resemblance = vec![vec![0.0; n]; n];
+        let mut walk = vec![vec![0.0; n]; n];
+        let mut similarity = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                resemblance[i][j] = merger.leaf_resemblance(i, j);
+                walk[i][j] = merger.leaf_walk(i, j);
+                similarity[i][j] = cluster::Merger::similarity(&merger, i, j);
+            }
+        }
+        crate::probe::StageProbe {
+            profiles,
+            resemblance,
+            walk,
+            similarity,
+        }
+    }
+
     /// Snapshot of the profile cache (for checkpointing).
     pub(crate) fn profile_cache_snapshot(&self) -> Vec<(TupleRef, Arc<Profile>)> {
         self.profile_cache.snapshot()
@@ -860,6 +909,41 @@ mod tests {
         let p2 = engine.profile(r);
         assert!(Arc::ptr_eq(&p1, &p2));
         assert_eq!(engine.cached_profiles(), 1);
+    }
+
+    #[test]
+    fn stage_probe_matches_resolution_and_warms_the_cache() {
+        let d = dataset();
+        let config = DistinctConfig {
+            training: small_training(),
+            ..Default::default()
+        };
+        let engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
+        let refs = engine.references_of("Hui Fang");
+        assert_eq!(engine.cached_profiles(), 0);
+        let probe = engine.stage_probe(&refs);
+        assert_eq!(engine.cached_profiles(), refs.len());
+        assert_eq!(probe.len(), refs.len());
+        let n = refs.len();
+        for i in 0..n {
+            assert_eq!(probe.similarity[i][i], 0.0);
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                assert_eq!(probe.resemblance[i][j], probe.resemblance[j][i]);
+                assert_eq!(probe.walk[i][j], probe.walk[j][i]);
+                assert_eq!(probe.similarity[i][j], probe.similarity[j][i]);
+            }
+        }
+        // The probe's similarities are exactly what resolve merges on:
+        // every recorded merge of two leaves must use a probed value.
+        let outcome = engine.resolve(&ResolveRequest::new(&refs));
+        for m in outcome.clustering.dendrogram.merges() {
+            if m.a < n && m.b < n {
+                assert_eq!(m.similarity, probe.similarity[m.a][m.b]);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! Per-stage observation surface for differential testing.
+//!
+//! [`StageProbe`](crate::probe::StageProbe) exposes the pipeline's
+//! intermediate products — reference profiles and the leaf pairwise
+//! tables — exactly as the resolution path computes them, so an external
+//! oracle can compare stage by stage instead of only end to end. See
+//! [`Distinct::stage_probe`](crate::Distinct::stage_probe).
+
+use crate::features::Profile;
+use std::sync::Arc;
+
+/// The pipeline's per-stage intermediates for one slice of references.
+///
+/// All matrices are `n × n` with zero diagonals; `resemblance`, `walk`,
+/// and `similarity` are symmetric. Values are precisely those the
+/// production resolution path feeds the clustering engine: weighted
+/// per-path sums under the engine's current weights, measure, and
+/// composite.
+#[derive(Debug, Clone)]
+pub struct StageProbe {
+    /// Stage-1 output: one profile per reference (shared with the cache).
+    pub profiles: Vec<Arc<Profile>>,
+    /// Weighted set resemblance per pair.
+    pub resemblance: Vec<Vec<f64>>,
+    /// Symmetrized weighted walk probability per pair.
+    pub walk: Vec<Vec<f64>>,
+    /// Leaf composite similarity per pair (what seeds the merge heap).
+    pub similarity: Vec<Vec<f64>>,
+}
+
+impl StageProbe {
+    /// Number of probed references.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True when no references were probed.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+}

@@ -19,9 +19,11 @@
 pub mod config;
 pub mod dblp;
 pub mod names;
+pub mod shrink;
 pub mod world;
 
 pub use config::{AmbiguousSpec, WorldConfig};
 pub use dblp::{to_catalog, DblpDataset, NameGroundTruth};
 pub use names::{NamePool, Zipf};
+pub use shrink::shrink_world;
 pub use world::{AmbiguousGroup, Entity, EntityId, Paper, Venue, World};

@@ -1,0 +1,167 @@
+//! Deterministic world shrinking for minimal differential counterexamples.
+//!
+//! When a differential test finds a generated world on which the
+//! production pipeline disagrees with the reference oracle, the raw
+//! config is a poor bug report: hundreds of authors, most irrelevant.
+//! [`shrink_world`] greedily applies a fixed sequence of structural
+//! reductions — fewer authors, venues, communities, papers, ambiguous
+//! entities, references, names — keeping each reduction only if the
+//! failure predicate still holds on the reduced world, until no
+//! reduction survives. The result is a locally minimal failing
+//! [`WorldConfig`] whose JSON serialization is the counterexample to
+//! paste into a regression test.
+//!
+//! Everything is deterministic: the reduction order is fixed, each
+//! candidate is validated before the predicate runs, and the predicate
+//! sees fully-formed configs only — so the same failing seed always
+//! shrinks to the same minimal config.
+
+use crate::config::WorldConfig;
+
+/// Floors for the structural reductions: small enough to be readable,
+/// large enough that datagen still produces a well-formed world.
+const MIN_AUTHORS: usize = 20;
+const MIN_VENUES: usize = 4;
+const MIN_COMMUNITIES: usize = 2;
+const MIN_MEAN_PAPERS: f64 = 3.0;
+const MIN_NAME_POOL: usize = 10;
+
+/// One pass of candidate reductions, coarsest first. Returns every
+/// distinct config one reduction step away from `c`.
+fn reductions(c: &WorldConfig) -> Vec<WorldConfig> {
+    let mut out = Vec::new();
+    let mut push = |candidate: WorldConfig| {
+        if candidate != *c && candidate.validate().is_ok() {
+            out.push(candidate);
+        }
+    };
+
+    // Halve the population (toward the floor).
+    let mut r = c.clone();
+    r.n_authors = (c.n_authors / 2).max(MIN_AUTHORS);
+    push(r);
+    let mut r = c.clone();
+    r.n_venues = (c.n_venues / 2).max(MIN_VENUES.max(c.venues_per_community));
+    push(r);
+    let mut r = c.clone();
+    r.n_communities = (c.n_communities / 2).max(MIN_COMMUNITIES);
+    push(r);
+    let mut r = c.clone();
+    r.mean_papers_per_author = (c.mean_papers_per_author / 2.0).max(MIN_MEAN_PAPERS);
+    push(r);
+
+    // Drop whole ambiguous specs from the back (the predicate usually
+    // cares about one group).
+    if c.ambiguous.len() > 1 {
+        let mut r = c.clone();
+        r.ambiguous.pop();
+        push(r);
+    }
+    // Drop trailing entities within each spec, one spec at a time.
+    for (i, spec) in c.ambiguous.iter().enumerate() {
+        if spec.refs_per_entity.len() > 1 {
+            let mut r = c.clone();
+            r.ambiguous[i].refs_per_entity.pop();
+            push(r);
+        }
+    }
+    // Halve reference counts within each spec, one spec at a time.
+    for (i, spec) in c.ambiguous.iter().enumerate() {
+        if spec.refs_per_entity.iter().any(|&k| k > 1) {
+            let mut r = c.clone();
+            for k in &mut r.ambiguous[i].refs_per_entity {
+                *k = (*k / 2).max(1);
+            }
+            push(r);
+        }
+    }
+
+    // Shrink the name pools (more collisions, but fewer moving parts).
+    let mut r = c.clone();
+    r.first_name_pool = (c.first_name_pool / 2).max(MIN_NAME_POOL);
+    push(r);
+    let mut r = c.clone();
+    r.last_name_pool = (c.last_name_pool / 2).max(MIN_NAME_POOL);
+    push(r);
+
+    out
+}
+
+/// Greedily shrink `initial` while `still_fails` keeps returning `true`.
+///
+/// `still_fails` must return `true` for a config reproducing the failure
+/// under investigation; it is never called on an invalid config, and is
+/// called on `initial` candidates' *reductions* only — the caller is
+/// expected to have already observed `initial` failing. Returns the
+/// fixed point: a config none of whose one-step reductions still fails.
+pub fn shrink_world<F>(initial: WorldConfig, mut still_fails: F) -> WorldConfig
+where
+    F: FnMut(&WorldConfig) -> bool,
+{
+    let mut current = initial;
+    // Each accepted reduction strictly decreases some bounded quantity,
+    // so this terminates; the cap is a defensive backstop.
+    for _ in 0..10_000 {
+        let next = reductions(&current)
+            .into_iter()
+            .find(|candidate| still_fails(candidate));
+        match next {
+            Some(c) => current = c,
+            None => break,
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AmbiguousSpec;
+
+    fn seed_config() -> WorldConfig {
+        let mut c = WorldConfig::tiny(5);
+        c.ambiguous = vec![
+            AmbiguousSpec::new("Wei Wang", vec![8, 6, 4]),
+            AmbiguousSpec::new("Hui Fang", vec![5, 4]),
+        ];
+        c
+    }
+
+    #[test]
+    fn shrinks_to_floors_when_everything_fails() {
+        let minimal = shrink_world(seed_config(), |_| true);
+        assert_eq!(minimal.n_authors, MIN_AUTHORS);
+        assert_eq!(minimal.n_communities, MIN_COMMUNITIES);
+        assert!(minimal.n_venues >= minimal.venues_per_community);
+        assert_eq!(minimal.ambiguous.len(), 1);
+        assert_eq!(minimal.ambiguous[0].refs_per_entity, vec![1]);
+        minimal.validate().unwrap();
+    }
+
+    #[test]
+    fn fixed_point_when_nothing_else_fails() {
+        let initial = seed_config();
+        let out = shrink_world(initial.clone(), |_| false);
+        assert_eq!(out, initial);
+    }
+
+    #[test]
+    fn predicate_constraints_are_respected() {
+        // Keep failing only while the first group retains ≥ 2 entities:
+        // the shrinker must stop with exactly 2, never below.
+        let minimal = shrink_world(seed_config(), |c| {
+            c.ambiguous
+                .first()
+                .is_some_and(|s| s.refs_per_entity.len() >= 2)
+        });
+        assert_eq!(minimal.ambiguous[0].refs_per_entity.len(), 2);
+        minimal.validate().unwrap();
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let a = shrink_world(seed_config(), |c| c.n_authors >= 40);
+        let b = shrink_world(seed_config(), |c| c.n_authors >= 40);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,125 @@
+//! Hand-computed fixtures for every clustering metric.
+//!
+//! Three tiny partitions whose metric values were worked out on paper,
+//! including the two degenerate predictions (all-singletons, single
+//! cluster) where metric conventions — not formulas — decide the answer.
+//! If any implementation, convention, or edge-case choice changes, these
+//! numbers move and the test says exactly which metric drifted.
+
+use eval::{adjusted_rand_index, bcubed_scores, pairwise_scores, rand_index};
+
+fn close(actual: f64, expected: f64, what: &str) {
+    assert!(
+        (actual - expected).abs() < 1e-12,
+        "{what}: got {actual}, hand-computed {expected}"
+    );
+}
+
+/// Fixture A: gold {0,1} {2,3}, predicted all-singletons.
+///
+/// Pairwise: no predicted positive pairs, so precision falls back to 1.0
+/// (the "no claims, no errors" convention) and recall is 0 over the two
+/// gold pairs. B³: each item's singleton is pure (P = 1) and captures
+/// half its 2-item gold cluster (R = 1/2). Rand: the 4 cross pairs are
+/// correctly separated, the 2 gold pairs are not: 4/6. ARI: singleton
+/// prediction is chance level, exactly 0.
+#[test]
+fn all_singletons_prediction() {
+    let gold = [0, 0, 1, 1];
+    let pred = [0, 1, 2, 3];
+    let pw = pairwise_scores(&gold, &pred);
+    close(pw.precision, 1.0, "pairwise precision");
+    close(pw.recall, 0.0, "pairwise recall");
+    close(pw.f_measure, 0.0, "pairwise F");
+    let b3 = bcubed_scores(&gold, &pred);
+    close(b3.precision, 1.0, "B³ precision");
+    close(b3.recall, 0.5, "B³ recall");
+    close(b3.f_measure, 2.0 / 3.0, "B³ F");
+    close(rand_index(&gold, &pred), 2.0 / 3.0, "Rand index");
+    close(
+        adjusted_rand_index(&gold, &pred),
+        0.0,
+        "adjusted Rand index",
+    );
+}
+
+/// Fixture B: gold {0,1} {2,3}, predicted one 4-item cluster.
+///
+/// Pairwise: all 6 pairs claimed, 2 correct: P = 1/3, R = 1, F = 1/2.
+/// B³: every item's predicted cluster is half-impure (P = 1/2) but
+/// captures its whole gold cluster (R = 1). Rand: only the 2 gold pairs
+/// score: 2/6. ARI: merging everything is also chance level, exactly 0.
+#[test]
+fn single_cluster_prediction() {
+    let gold = [0, 0, 1, 1];
+    let pred = [0, 0, 0, 0];
+    let pw = pairwise_scores(&gold, &pred);
+    close(pw.precision, 1.0 / 3.0, "pairwise precision");
+    close(pw.recall, 1.0, "pairwise recall");
+    close(pw.f_measure, 0.5, "pairwise F");
+    let b3 = bcubed_scores(&gold, &pred);
+    close(b3.precision, 0.5, "B³ precision");
+    close(b3.recall, 1.0, "B³ recall");
+    close(b3.f_measure, 2.0 / 3.0, "B³ F");
+    close(rand_index(&gold, &pred), 1.0 / 3.0, "Rand index");
+    close(
+        adjusted_rand_index(&gold, &pred),
+        0.0,
+        "adjusted Rand index",
+    );
+}
+
+/// Fixture C: gold {0,1,2} {3,4}, predicted {0,1} {2,3} {4} — one split,
+/// one wrong merge, one stray singleton.
+///
+/// Pairwise over the 10 pairs: predicted {01, 23}, gold {01, 02, 12,
+/// 34}; only 01 is right: P = 1/2, R = 1/4, F = 1/3. B³ per item
+/// (P, R): (1, 2/3), (1, 2/3), (1/2, 1/3), (1/2, 1/2), (1, 1/2) →
+/// P = 4/5, R = 8/15, F = 2·(4/5)(8/15)/(4/5 + 8/15) = 16/25. Rand:
+/// 1 true positive + 5 true negatives = 6/10. ARI: expected index
+/// 4·2/10 = 4/5, max (4+2)/2 = 3 → (1 − 4/5)/(3 − 4/5) = 1/11.
+#[test]
+fn partial_overlap_prediction() {
+    let gold = [0, 0, 0, 1, 1];
+    let pred = [0, 0, 1, 1, 2];
+    let pw = pairwise_scores(&gold, &pred);
+    close(pw.precision, 0.5, "pairwise precision");
+    close(pw.recall, 0.25, "pairwise recall");
+    close(pw.f_measure, 1.0 / 3.0, "pairwise F");
+    let b3 = bcubed_scores(&gold, &pred);
+    close(b3.precision, 0.8, "B³ precision");
+    close(b3.recall, 8.0 / 15.0, "B³ recall");
+    close(b3.f_measure, 0.64, "B³ F");
+    close(rand_index(&gold, &pred), 0.6, "Rand index");
+    close(
+        adjusted_rand_index(&gold, &pred),
+        1.0 / 11.0,
+        "adjusted Rand index",
+    );
+}
+
+/// Metric conventions must not depend on label numbering: relabeling
+/// clusters arbitrarily leaves every score unchanged.
+#[test]
+fn scores_are_invariant_to_label_renaming() {
+    let gold = [0, 0, 0, 1, 1];
+    let pred = [0, 0, 1, 1, 2];
+    let gold_renamed = [7, 7, 7, 3, 3];
+    let pred_renamed = [9, 9, 4, 4, 0];
+    assert_eq!(
+        pairwise_scores(&gold, &pred),
+        pairwise_scores(&gold_renamed, &pred_renamed)
+    );
+    assert_eq!(
+        bcubed_scores(&gold, &pred),
+        bcubed_scores(&gold_renamed, &pred_renamed)
+    );
+    assert_eq!(
+        rand_index(&gold, &pred),
+        rand_index(&gold_renamed, &pred_renamed)
+    );
+    assert_eq!(
+        adjusted_rand_index(&gold, &pred),
+        adjusted_rand_index(&gold_renamed, &pred_renamed)
+    );
+}

@@ -1,0 +1,28 @@
+//! Regenerate the golden conformance corpus under `tests/golden/`.
+//!
+//! Usage: `cargo run -p oracle --bin regen-golden`
+//!
+//! Rewrites one JSON file per golden case. CI runs this binary and fails
+//! if `git diff -- tests/golden` is non-empty afterwards, so the corpus
+//! can never silently drift from the oracle.
+
+use std::fs;
+use std::path::PathBuf;
+
+fn main() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden");
+    fs::create_dir_all(&dir).expect("create tests/golden");
+    for template in oracle::golden_cases() {
+        let case = oracle::compute_case(&template);
+        let path = dir.join(format!("{}.json", case.name));
+        let mut text = serde_json::to_string_pretty(&case).expect("serialize golden case");
+        text.push('\n');
+        fs::write(&path, text).expect("write golden case");
+        println!(
+            "wrote {} ({} groups, fingerprint {:016x})",
+            path.display(),
+            case.groups.len(),
+            case.catalog_fingerprint
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Exact weighted Jaccard resemblance (paper Definition 2), written as
+//! the paper states it:
+//!
+//! ```text
+//!                Σ_{t ∈ A ∪ B} min(w_A(t), w_B(t))
+//! Resem(A, B) = -----------------------------------
+//!                Σ_{t ∈ A ∪ B} max(w_A(t), w_B(t))
+//! ```
+//!
+//! (min over the union equals min over the intersection, since an absent
+//! tuple has weight 0.) Unlike the production implementation — which
+//! iterates the smaller hash map and rearranges the denominator to
+//! `totalA + totalB − Σmin` — this walks the explicit union of both
+//! supports in tuple order and accumulates both sums literally.
+
+use crate::propagate::Mass;
+use relstore::TupleRef;
+use std::collections::BTreeSet;
+
+/// Weighted Jaccard resemblance between two weighted tuple sets.
+///
+/// Returns 0 when the denominator is empty or non-positive (the paper's
+/// convention for references with no shared context along a path).
+pub fn weighted_jaccard(a: &Mass, b: &Mass) -> f64 {
+    let union: BTreeSet<TupleRef> = a.keys().chain(b.keys()).copied().collect();
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for t in union {
+        let wa = a.get(&t).copied().unwrap_or(0.0);
+        let wb = b.get(&t).copied().unwrap_or(0.0);
+        num += wa.min(wb);
+        den += wa.max(wb);
+    }
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::{RelId, TupleId};
+
+    fn mass(pairs: &[(u32, f64)]) -> Mass {
+        pairs
+            .iter()
+            .map(|&(t, w)| (TupleRef::new(RelId(0), TupleId(t)), w))
+            .collect()
+    }
+
+    #[test]
+    fn hand_computed_example() {
+        // A = {1: .5, 2: .5}, B = {2: .25, 3: .75}
+        // Σ min = .25; Σ max = .5 + .5 + .75 = 1.75.
+        let a = mass(&[(1, 0.5), (2, 0.5)]);
+        let b = mass(&[(2, 0.25), (3, 0.75)]);
+        let r = weighted_jaccard(&a, &b);
+        assert!((r - 0.25 / 1.75).abs() < 1e-15, "{r}");
+        assert!((weighted_jaccard(&b, &a) - r).abs() < 1e-15);
+    }
+
+    #[test]
+    fn identical_sets_resemble_fully() {
+        let a = mass(&[(1, 0.3), (2, 0.7)]);
+        assert!((weighted_jaccard(&a, &a) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn disjoint_and_empty_sets() {
+        let a = mass(&[(1, 0.5)]);
+        let b = mass(&[(2, 0.5)]);
+        assert_eq!(weighted_jaccard(&a, &b), 0.0);
+        let empty = Mass::new();
+        assert_eq!(weighted_jaccard(&empty, &a), 0.0);
+        assert_eq!(weighted_jaccard(&empty, &empty), 0.0);
+    }
+}

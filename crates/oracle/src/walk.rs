@@ -1,0 +1,52 @@
+//! Brute-force random-walk probability (paper §2.4).
+//!
+//! The probability of walking from reference `a` out along path `P` and
+//! back to reference `b` along the reverse path, marginalized over the
+//! intermediate end tuple `t`:
+//!
+//! ```text
+//! Walk_P(a → b) = Σ_t  Prob_P(a → t) · Prob_P(t → b)
+//! ```
+//!
+//! Computed term by term over `a`'s forward support in tuple order; `b`'s
+//! backward map supplies `Prob_P(t → b)` (0 when absent).
+
+use crate::propagate::Mass;
+
+/// Directed walk probability `Walk_P(a → b)` from `a`'s forward masses
+/// and `b`'s backward (return) probabilities.
+pub fn directed_walk(forward_a: &Mass, backward_b: &Mass) -> f64 {
+    let mut sum = 0.0;
+    for (t, &f) in forward_a {
+        sum += f * backward_b.get(t).copied().unwrap_or(0.0);
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::{RelId, TupleId, TupleRef};
+
+    fn mass(pairs: &[(u32, f64)]) -> Mass {
+        pairs
+            .iter()
+            .map(|&(t, w)| (TupleRef::new(RelId(0), TupleId(t)), w))
+            .collect()
+    }
+
+    #[test]
+    fn hand_computed_walk() {
+        let fwd_a = mass(&[(1, 0.5), (2, 0.5)]);
+        let bwd_b = mass(&[(2, 0.4)]);
+        // Only tuple 2 is shared: 0.5 · 0.4 = 0.2.
+        assert!((directed_walk(&fwd_a, &bwd_b) - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn disjoint_supports_walk_zero() {
+        let a = mass(&[(1, 1.0)]);
+        let b = mass(&[(2, 1.0)]);
+        assert_eq!(directed_walk(&a, &b), 0.0);
+    }
+}

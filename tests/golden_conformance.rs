@@ -1,0 +1,159 @@
+//! Golden conformance: the checked-in corpus under `tests/golden/` pins
+//! both the oracle and the production pipeline.
+//!
+//! Three gates, per case:
+//!
+//! 1. **Freshness** — recomputing the case from its pinned world config
+//!    reproduces the checked-in file byte for byte (same gate CI applies
+//!    via `regen-golden` + `git diff`). The embedded catalog fingerprint
+//!    separately pins datagen: if world generation drifts, the failure
+//!    names the real culprit instead of blaming the algorithms.
+//! 2. **Production conformance** — the production engine's stage probe
+//!    agrees with the stored matrices within `1e-9`, and its resolution
+//!    reproduces the stored labels exactly and the stored dendrogram
+//!    merge by merge.
+//! 3. **Identity** — the stored reference lists equal the generated
+//!    ground truth, so the corpus can never silently drift onto
+//!    different references.
+
+use datagen::World;
+use distinct::{Distinct, DistinctConfig, ResolveRequest, WeightingMode};
+use oracle::GoldenCase;
+use std::fs;
+use std::path::PathBuf;
+
+const TOLERANCE: f64 = 1e-9;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn load_cases() -> Vec<(String, GoldenCase)> {
+    let mut cases: Vec<(String, GoldenCase)> = fs::read_dir(golden_dir())
+        .expect("tests/golden exists — run `cargo run -p oracle --bin regen-golden`")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .map(|p| {
+            let text = fs::read_to_string(&p).unwrap();
+            let case = serde_json::from_str(&text).unwrap();
+            (text, case)
+        })
+        .collect();
+    cases.sort_by(|a, b| a.1.name.cmp(&b.1.name));
+    cases
+}
+
+#[test]
+fn corpus_is_present_and_complete() {
+    let cases = load_cases();
+    let mut names: Vec<String> = cases.iter().map(|(_, c)| c.name.clone()).collect();
+    let mut expected: Vec<String> = oracle::golden_cases()
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
+    names.sort();
+    expected.sort();
+    assert_eq!(
+        names, expected,
+        "tests/golden must hold exactly the template cases"
+    );
+}
+
+#[test]
+fn corpus_is_fresh_and_datagen_has_not_drifted() {
+    for (text, case) in load_cases() {
+        // Datagen drift check first, so a generator change is named as such.
+        let d = datagen::to_catalog(&World::generate(case.config.clone())).unwrap();
+        let ex = relstore::expand_values(&d.catalog).unwrap();
+        assert_eq!(
+            oracle::golden::catalog_fingerprint(&ex.catalog),
+            case.catalog_fingerprint,
+            "datagen drifted: `{}` no longer generates the pinned world",
+            case.name
+        );
+        // Stored refs must be the generated ground truth, group by group.
+        assert_eq!(case.groups.len(), d.truths.len(), "{}", case.name);
+        for (group, truth) in case.groups.iter().zip(&d.truths) {
+            assert_eq!(group.name, truth.name, "{}", case.name);
+            assert_eq!(group.refs, truth.refs, "{}", case.name);
+        }
+        // Byte-identical regeneration (the CI staleness gate, inline).
+        let template = GoldenCase {
+            groups: Vec::new(),
+            catalog_fingerprint: 0,
+            ..case.clone()
+        };
+        let recomputed = oracle::compute_case(&template);
+        let mut expected_text = serde_json::to_string_pretty(&recomputed).unwrap();
+        expected_text.push('\n');
+        assert_eq!(
+            text, expected_text,
+            "`{}` is stale — run `cargo run -p oracle --bin regen-golden`",
+            case.name
+        );
+    }
+}
+
+#[test]
+fn production_pipeline_conforms_to_the_corpus() {
+    for (_, case) in load_cases() {
+        let d = datagen::to_catalog(&World::generate(case.config.clone())).unwrap();
+        let config = DistinctConfig {
+            max_path_len: case.max_path_len,
+            min_sim: case.min_sim,
+            weighting: WeightingMode::Uniform,
+            ..Default::default()
+        };
+        let engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
+        for group in &case.groups {
+            let probe = engine.stage_probe(&group.refs);
+            for (stage, prod, golden) in [
+                ("resemblance", &probe.resemblance, &group.resemblance),
+                ("walk", &probe.walk, &group.walk),
+                ("similarity", &probe.similarity, &group.similarity),
+            ] {
+                for (i, (rp, rg)) in prod.iter().zip(golden).enumerate() {
+                    for (j, (&p, &g)) in rp.iter().zip(rg).enumerate() {
+                        assert!(
+                            (p - g).abs() <= TOLERANCE,
+                            "{}/{}: {stage}[{i}][{j}] = {p}, golden {g}",
+                            case.name,
+                            group.name
+                        );
+                    }
+                }
+            }
+            let outcome = engine.resolve(&ResolveRequest::new(&group.refs));
+            assert_eq!(
+                outcome.clustering.labels, group.labels,
+                "{}/{}: labels diverge from the corpus",
+                case.name, group.name
+            );
+            let merges = outcome.clustering.dendrogram.merges();
+            assert_eq!(
+                merges.len(),
+                group.merges.len(),
+                "{}/{}",
+                case.name,
+                group.name
+            );
+            for (p, g) in merges.iter().zip(&group.merges) {
+                assert_eq!(
+                    (p.a, p.b, p.into, p.size),
+                    (g.a, g.b, g.into, g.size),
+                    "{}/{}: merge structure diverges",
+                    case.name,
+                    group.name
+                );
+                assert!(
+                    (p.similarity - g.similarity).abs() <= TOLERANCE,
+                    "{}/{}: merge similarity {} vs golden {}",
+                    case.name,
+                    group.name,
+                    p.similarity,
+                    g.similarity
+                );
+            }
+        }
+    }
+}

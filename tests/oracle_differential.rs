@@ -1,0 +1,247 @@
+//! Differential testing: the production pipeline against the reference
+//! oracle.
+//!
+//! For each generated world the production engine (`Distinct` +
+//! `ResolveRequest`) runs under every combination of thread count
+//! {1, 4} and cache state {cold, warm}, and must agree with the
+//! `oracle` crate's transparently-literal implementations:
+//!
+//! * per-pair resemblance / walk / similarity within `1e-9` (the two
+//!   sides sum identical term sets in different orders, so they can
+//!   differ by float non-associativity but nothing else — see
+//!   DESIGN.md §11 for the tolerance budget);
+//! * byte-identical final labels and merge-by-merge identical
+//!   dendrograms (ids and sizes exact, similarities within `1e-9`).
+//!
+//! On disagreement the failing world is shrunk to a locally minimal
+//! configuration with `datagen::shrink_world` and the test panics with
+//! its JSON — a ready-to-paste regression case.
+
+use datagen::{AmbiguousSpec, World, WorldConfig};
+use distinct::{Distinct, DistinctConfig, ResolveRequest, TrainingConfig, WeightingMode};
+use oracle::{Composite, Measure, OracleEngine};
+
+const TOLERANCE: f64 = 1e-9;
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+fn world_config(seed: u64, ambiguous: Vec<AmbiguousSpec>) -> WorldConfig {
+    let mut config = WorldConfig::tiny(seed);
+    config.n_authors = 120;
+    config.n_venues = 12;
+    config.n_communities = 5;
+    config.ambiguous = ambiguous;
+    config
+}
+
+fn engine_config(supervised: bool) -> DistinctConfig {
+    DistinctConfig {
+        max_path_len: 3,
+        min_sim: 1e-4,
+        weighting: if supervised {
+            WeightingMode::Supervised
+        } else {
+            WeightingMode::Uniform
+        },
+        training: TrainingConfig {
+            positives: 60,
+            negatives: 60,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Largest absolute difference between two matrices.
+fn max_delta(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
+    let mut worst: f64 = 0.0;
+    for (ra, rb) in a.iter().zip(b) {
+        for (&x, &y) in ra.iter().zip(rb) {
+            worst = worst.max((x - y).abs());
+        }
+    }
+    worst
+}
+
+/// Run the full differential check on one world. `Err` carries a
+/// human-readable description of the first disagreement.
+fn check_world(config: &WorldConfig, supervised: bool) -> Result<(), String> {
+    let d = datagen::to_catalog(&World::generate(config.clone()))
+        .map_err(|e| format!("world does not convert: {e:?}"))?;
+    // One reference engine, trained once, defines the weights both sides
+    // use; per-(threads) engines below re-run cold with those weights.
+    let mut reference_engine =
+        Distinct::prepare(&d.catalog, "Publish", "author", engine_config(supervised))
+            .map_err(|e| format!("prepare failed: {e:?}"))?;
+    if supervised {
+        reference_engine
+            .train()
+            .map_err(|e| format!("training failed: {e:?}"))?;
+    }
+    let weights = reference_engine.weights().clone();
+    let min_sim = reference_engine.config().min_sim;
+
+    // The oracle's independent path selection must agree with the
+    // production PathSet before any numbers are compared.
+    let (oracle_paths, oracle_fk) = oracle::select_paths(
+        reference_engine.catalog(),
+        "Publish",
+        "author",
+        reference_engine.config().max_path_len,
+    )
+    .ok_or("oracle path selection failed")?;
+    let prod_paths = &reference_engine.paths().paths;
+    if oracle_paths != *prod_paths || oracle_fk != reference_engine.paths().ref_fk {
+        return Err(format!(
+            "path selection disagrees: oracle {} paths, production {}",
+            oracle_paths.len(),
+            prod_paths.len()
+        ));
+    }
+
+    let oracle_engine = OracleEngine::new(
+        reference_engine.catalog(),
+        oracle_paths,
+        oracle_fk,
+        weights.resem.clone(),
+        weights.walk.clone(),
+        Measure::Combined,
+        Composite::Geometric,
+    );
+
+    for truth in &d.truths {
+        let refs = &truth.refs;
+        let tables = oracle_engine.pairwise(refs);
+        let expected = oracle_engine.resolve(refs, min_sim);
+        for threads in THREAD_COUNTS {
+            // Cold: a fresh engine with an empty profile cache.
+            let mut engine =
+                Distinct::prepare(&d.catalog, "Publish", "author", engine_config(supervised))
+                    .map_err(|e| format!("prepare failed: {e:?}"))?;
+            engine
+                .set_weights(weights.clone())
+                .map_err(|e| format!("set_weights failed: {e:?}"))?;
+            let cold = engine.resolve(&ResolveRequest::new(refs).threads(threads));
+            if cold.degraded.is_some() {
+                return Err(format!("unlimited run degraded for `{}`", truth.name));
+            }
+
+            // Stage probe (also warms the cache): per-stage 1e-9 agreement.
+            let probe = engine.stage_probe(refs);
+            for (stage, prod, oracle) in [
+                ("resemblance", &probe.resemblance, &tables.resemblance),
+                ("walk", &probe.walk, &tables.walk),
+                ("similarity", &probe.similarity, &tables.similarity),
+            ] {
+                let delta = max_delta(prod, oracle);
+                if delta > TOLERANCE {
+                    return Err(format!(
+                        "`{}` {stage} disagrees by {delta:e} (threads={threads})",
+                        truth.name
+                    ));
+                }
+            }
+
+            // Warm: resolve again off the populated cache — byte-identical.
+            let warm = engine.resolve(&ResolveRequest::new(refs).threads(threads));
+            if warm.clustering.labels != cold.clustering.labels
+                || warm.clustering.dendrogram.merges() != cold.clustering.dendrogram.merges()
+            {
+                return Err(format!(
+                    "`{}` warm run differs from cold (threads={threads})",
+                    truth.name
+                ));
+            }
+
+            // Final clustering: labels exact, dendrogram merge by merge.
+            if cold.clustering.labels != expected.labels {
+                return Err(format!(
+                    "`{}` labels disagree (threads={threads}): production {:?}, oracle {:?}",
+                    truth.name, cold.clustering.labels, expected.labels
+                ));
+            }
+            let prod_merges = cold.clustering.dendrogram.merges();
+            if prod_merges.len() != expected.merges.len() {
+                return Err(format!(
+                    "`{}` merge counts disagree (threads={threads}): {} vs {}",
+                    truth.name,
+                    prod_merges.len(),
+                    expected.merges.len()
+                ));
+            }
+            for (p, o) in prod_merges.iter().zip(&expected.merges) {
+                if (p.a, p.b, p.into, p.size) != (o.a, o.b, o.into, o.size)
+                    || (p.similarity - o.similarity).abs() > TOLERANCE
+                {
+                    return Err(format!(
+                        "`{}` dendrograms disagree (threads={threads}): \
+                         production ({}, {}) -> {} @ {:.12}, oracle ({}, {}) -> {} @ {:.12}",
+                        truth.name, p.a, p.b, p.into, p.similarity, o.a, o.b, o.into, o.similarity
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check a world; on failure, shrink to a minimal counterexample first.
+fn assert_world_agrees(config: WorldConfig, supervised: bool) {
+    if let Err(original) = check_world(&config, supervised) {
+        let minimal = datagen::shrink_world(config, |c| check_world(c, supervised).is_err());
+        let failure = check_world(&minimal, supervised)
+            .expect_err("shrinking preserves the failure predicate");
+        panic!(
+            "production pipeline disagrees with the oracle.\n\
+             original failure: {original}\n\
+             minimal failure:  {failure}\n\
+             minimal config:\n{}",
+            serde_json::to_string_pretty(&minimal).unwrap()
+        );
+    }
+}
+
+#[test]
+fn world_1_two_entity_split() {
+    assert_world_agrees(
+        world_config(3, vec![AmbiguousSpec::new("Wei Wang", vec![6, 4])]),
+        false,
+    );
+}
+
+#[test]
+fn world_2_three_entity_split() {
+    assert_world_agrees(
+        world_config(11, vec![AmbiguousSpec::new("Lei Li", vec![5, 4, 2])]),
+        false,
+    );
+}
+
+#[test]
+fn world_3_uneven_split() {
+    assert_world_agrees(
+        world_config(19, vec![AmbiguousSpec::new("Bin Yu", vec![7, 2])]),
+        false,
+    );
+}
+
+#[test]
+fn world_4_two_ambiguous_names() {
+    assert_world_agrees(
+        world_config(
+            27,
+            vec![
+                AmbiguousSpec::new("Wei Wang", vec![4, 4]),
+                AmbiguousSpec::new("Hui Fang", vec![3, 3]),
+            ],
+        ),
+        false,
+    );
+}
+
+#[test]
+fn world_5_supervised_weights() {
+    assert_world_agrees(
+        world_config(35, vec![AmbiguousSpec::new("Rakesh Kumar", vec![5, 4])]),
+        true,
+    );
+}

@@ -1,0 +1,318 @@
+//! Metamorphic invariants of the resolution pipeline.
+//!
+//! Each property transforms an input in a way that must not change the
+//! answer (or must change it in a predictable direction) and asserts the
+//! pipeline honors the relation:
+//!
+//! 1. **Reference-order permutation invariance** — permuting the `refs`
+//!    slice permutes labels and pairwise tables, nothing else.
+//! 2. **Tuple-order permutation invariance** — physically reordering a
+//!    relation's rows leaves every propagation probability unchanged
+//!    (modulo the key-preserving tuple-id relabeling) within `1e-9`.
+//! 3. **Duplicate-constraint idempotence** — repeating `must_link` /
+//!    `cannot_link` pairs changes nothing: constraints are a set.
+//! 4. **Similarity symmetry** — `sim(a, b) = sim(b, a)` at every stage,
+//!    on both the production probe and the oracle.
+//! 5. **Min-sim monotonicity** — raising the threshold only splits
+//!    clusters: the higher-threshold clustering refines the lower one.
+//!
+//! Property tests run on the vendored `proptest` (deterministic per-test
+//! seeding, no shrinking); the worlds are small so each case is cheap.
+
+use datagen::{AmbiguousSpec, DblpDataset, World, WorldConfig};
+use distinct::{Distinct, DistinctConfig, ResolveRequest, TrainingConfig, WeightingMode};
+use oracle::{Composite, Measure, OracleEngine};
+use proptest::prelude::*;
+use relgraph::LinkGraph;
+use relstore::{AttrType, Catalog, JoinPath, JoinStep, SchemaBuilder, Tuple, TupleRef, Value};
+use std::sync::OnceLock;
+
+// ---------------------------------------------------------------------------
+// Shared fixture
+// ---------------------------------------------------------------------------
+
+fn fixture() -> &'static DblpDataset {
+    static DATA: OnceLock<DblpDataset> = OnceLock::new();
+    DATA.get_or_init(|| {
+        let mut config = WorldConfig::tiny(47);
+        config.n_authors = 120;
+        config.n_venues = 12;
+        config.n_communities = 5;
+        config.ambiguous = vec![AmbiguousSpec::new("Wei Wang", vec![5, 4])];
+        datagen::to_catalog(&World::generate(config)).unwrap()
+    })
+}
+
+fn engine() -> Distinct {
+    let config = DistinctConfig {
+        max_path_len: 3,
+        min_sim: 1e-4,
+        weighting: WeightingMode::Uniform,
+        training: TrainingConfig {
+            positives: 60,
+            negatives: 60,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    Distinct::prepare(&fixture().catalog, "Publish", "author", config).unwrap()
+}
+
+/// Deterministic Fisher–Yates permutation of `0..n` from a seed.
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// `true` iff `fine` refines `coarse`: items sharing a `fine` cluster
+/// always share a `coarse` cluster.
+fn refines(fine: &[usize], coarse: &[usize]) -> bool {
+    for i in 0..fine.len() {
+        for j in i + 1..fine.len() {
+            if fine[i] == fine[j] && coarse[i] != coarse[j] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 2's two-relation catalog (row order is the variable)
+// ---------------------------------------------------------------------------
+
+/// `Child(key, parent -> Parent)` with children inserted in `order`;
+/// returns the catalog and each logical child's [`TupleRef`] indexed by
+/// its key.
+fn ordered_catalog(
+    parents: usize,
+    assignment: &[usize],
+    order: &[usize],
+) -> (Catalog, Vec<TupleRef>) {
+    let mut c = Catalog::new();
+    c.add_relation(
+        SchemaBuilder::new("Parent")
+            .key("key", AttrType::Int)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    c.add_relation(
+        SchemaBuilder::new("Child")
+            .key("key", AttrType::Int)
+            .fk("parent", AttrType::Int, "Parent")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    for p in 0..parents {
+        c.insert("Parent", Tuple::new(vec![Value::Int(p as i64)]))
+            .unwrap();
+    }
+    let child_rel = c.relation_id("Child").unwrap();
+    let mut by_key = vec![TupleRef::new(child_rel, relstore::TupleId(0)); assignment.len()];
+    for &k in order {
+        by_key[k] = c
+            .insert(
+                "Child",
+                Tuple::new(vec![
+                    Value::Int(k as i64),
+                    Value::Int((assignment[k] % parents) as i64),
+                ]),
+            )
+            .unwrap();
+    }
+    c.finalize(false).unwrap();
+    (c, by_key)
+}
+
+/// The `Child → Parent → Child` round-trip path.
+fn round_trip_path(c: &Catalog) -> JoinPath {
+    let fk = c.fk_edges()[0].clone();
+    JoinPath::new(
+        fk.from,
+        vec![JoinStep::forward(fk.id), JoinStep::backward(fk.id)],
+        c,
+    )
+    .unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // 1. Permuting the reference slice permutes the output, nothing else.
+    #[test]
+    fn reference_order_permutation_invariance(seed in 1u64..1_000_000) {
+        let engine = engine();
+        let refs = &fixture().truths[0].refs;
+        let n = refs.len();
+        let perm = permutation(n, seed);
+        let permuted: Vec<TupleRef> = perm.iter().map(|&i| refs[i]).collect();
+
+        let base = engine.resolve(&ResolveRequest::new(refs));
+        let shuffled = engine.resolve(&ResolveRequest::new(&permuted));
+        let lb = &base.clustering.labels;
+        let ls = &shuffled.clustering.labels;
+        for a in 0..n {
+            for b in 0..n {
+                // permuted[a] is refs[perm[a]]: co-membership must carry over.
+                prop_assert_eq!(ls[a] == ls[b], lb[perm[a]] == lb[perm[b]]);
+            }
+        }
+
+        let probe = engine.stage_probe(refs);
+        let probe_shuffled = engine.stage_probe(&permuted);
+        for a in 0..n {
+            for b in 0..n {
+                let d = (probe_shuffled.similarity[a][b]
+                    - probe.similarity[perm[a]][perm[b]])
+                    .abs();
+                prop_assert!(d <= 1e-9, "similarity moved by {} under permutation", d);
+            }
+        }
+    }
+
+    // 2. Physical row order of a relation never changes propagation.
+    #[test]
+    fn tuple_order_permutation_invariance(
+        seed in 1u64..1_000_000,
+        parents in 2usize..6,
+        children in 4usize..12,
+    ) {
+        let assignment: Vec<usize> = (0..children)
+            .map(|i| (i.wrapping_mul(7).wrapping_add(seed as usize)) % parents)
+            .collect();
+        let identity: Vec<usize> = (0..children).collect();
+        let shuffled = permutation(children, seed);
+
+        let (cat_a, refs_a) = ordered_catalog(parents, &assignment, &identity);
+        let (cat_b, refs_b) = ordered_catalog(parents, &assignment, &shuffled);
+        let graph_a = LinkGraph::build(&cat_a);
+        let graph_b = LinkGraph::build(&cat_b);
+        let path_a = round_trip_path(&cat_a);
+        let path_b = round_trip_path(&cat_b);
+
+        for k in 0..children {
+            let prop_a = relgraph::propagate(&graph_a, &cat_a, &path_a, refs_a[k]);
+            let prop_b = relgraph::propagate(&graph_b, &cat_b, &path_b, refs_b[k]);
+            prop_assert_eq!(prop_a.forward.len(), prop_b.forward.len());
+            for (&node, &mass) in &prop_a.forward {
+                // Identify end tuples by their logical key, not tuple id.
+                let t = graph_a.tuple(node);
+                let key = cat_a.relation(t.rel).tuple(t.tid).values()[0].clone();
+                let matched = prop_b.forward.iter().find(|(&nb, _)| {
+                    let tb = graph_b.tuple(nb);
+                    cat_b.relation(tb.rel).tuple(tb.tid).values()[0] == key
+                });
+                let (_, &mass_b) = matched.expect("same support under row permutation");
+                prop_assert!((mass - mass_b).abs() <= 1e-9);
+            }
+        }
+    }
+
+    // 3. Constraints are a set: duplicating them changes nothing.
+    #[test]
+    fn duplicate_constraint_idempotence(
+        a in 0usize..9,
+        b in 0usize..9,
+        c in 0usize..9,
+        d in 0usize..9,
+    ) {
+        prop_assume!(a != b && c != d && (a, b) != (c, d) && (a, b) != (d, c));
+        let engine = engine();
+        let refs = &fixture().truths[0].refs;
+        let must = [(a, b)];
+        let cannot = [(c, d)];
+        let once = engine.resolve(
+            &ResolveRequest::new(refs).must_link(&must).cannot_link(&cannot),
+        );
+        let twice = engine.resolve(
+            &ResolveRequest::new(refs)
+                .must_link(&must)
+                .must_link(&must)
+                .cannot_link(&cannot)
+                .cannot_link(&cannot),
+        );
+        prop_assert_eq!(&once.clustering.labels, &twice.clustering.labels);
+        prop_assert_eq!(
+            once.clustering.dendrogram.merges(),
+            twice.clustering.dendrogram.merges()
+        );
+    }
+
+    // 4. Similarity is symmetric at every stage, on both implementations.
+    #[test]
+    fn similarity_symmetry(seed in 1u64..1_000_000) {
+        let engine = engine();
+        let refs = &fixture().truths[0].refs;
+        let n = refs.len();
+        // Probe a permuted slice so symmetry is not an artifact of one
+        // fixed pair orientation.
+        let perm = permutation(n, seed);
+        let permuted: Vec<TupleRef> = perm.iter().map(|&i| refs[i]).collect();
+        let probe = engine.stage_probe(&permuted);
+
+        let (paths, ref_fk) =
+            oracle::select_paths(engine.catalog(), "Publish", "author", 3).unwrap();
+        let uniform = vec![1.0 / paths.len() as f64; paths.len()];
+        let orc = OracleEngine::new(
+            engine.catalog(),
+            paths,
+            ref_fk,
+            uniform.clone(),
+            uniform,
+            Measure::Combined,
+            Composite::Geometric,
+        );
+        let tables = orc.pairwise(&permuted);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(probe.resemblance[i][j], probe.resemblance[j][i]);
+                prop_assert_eq!(probe.walk[i][j], probe.walk[j][i]);
+                prop_assert_eq!(probe.similarity[i][j], probe.similarity[j][i]);
+                prop_assert_eq!(tables.resemblance[i][j], tables.resemblance[j][i]);
+                prop_assert_eq!(tables.walk[i][j], tables.walk[j][i]);
+                prop_assert_eq!(tables.similarity[i][j], tables.similarity[j][i]);
+            }
+        }
+    }
+
+    // 5. Raising min-sim only splits clusters, never re-mixes them.
+    #[test]
+    fn min_sim_monotonicity(lo_bits in 1u32..500, hi_bits in 1u32..500) {
+        let lo = f64::from(lo_bits.min(hi_bits)) * 1e-5;
+        let hi = f64::from(lo_bits.max(hi_bits)) * 1e-5;
+        let engine = engine();
+        let refs = &fixture().truths[0].refs;
+        let coarse = engine.resolve(&ResolveRequest::new(refs).min_sim(lo));
+        let fine = engine.resolve(&ResolveRequest::new(refs).min_sim(hi));
+        prop_assert!(
+            refines(&fine.clustering.labels, &coarse.clustering.labels),
+            "threshold {} does not refine {}: {:?} vs {:?}",
+            hi,
+            lo,
+            fine.clustering.labels,
+            coarse.clustering.labels
+        );
+        // And the merge sequence at `hi` is a prefix of the one at `lo`.
+        let fm = fine.clustering.dendrogram.merges();
+        let cm = coarse.clustering.dendrogram.merges();
+        prop_assert!(fm.len() <= cm.len());
+        prop_assert_eq!(fm, &cm[..fm.len()]);
+    }
+}

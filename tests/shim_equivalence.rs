@@ -1,0 +1,140 @@
+//! The deprecated `resolve_*` / `train_ctl` shims must stay byte-for-byte
+//! equivalent to the `ResolveRequest` / `TrainRequest` forms they wrap.
+//!
+//! Each shim forwards to the request form internally; these tests pin the
+//! *observable* equivalence — identical labels, identical dendrograms
+//! (`Merge` compares exactly, similarities included), identical
+//! degradation status, identical learned weights — so the shims cannot
+//! drift while they remain deprecated, and deleting them later is a
+//! provable no-op for callers that migrated.
+
+#![allow(deprecated)]
+
+use datagen::{AmbiguousSpec, World, WorldConfig};
+use distinct::{
+    Distinct, DistinctConfig, ResolveRequest, RunControl, TrainRequest, TrainingConfig,
+};
+use std::sync::OnceLock;
+
+fn dataset() -> &'static datagen::DblpDataset {
+    static DATA: OnceLock<datagen::DblpDataset> = OnceLock::new();
+    DATA.get_or_init(|| {
+        let mut config = WorldConfig::tiny(21);
+        config.ambiguous = vec![
+            AmbiguousSpec::new("Wei Wang", vec![10, 8, 5]),
+            AmbiguousSpec::new("Hui Fang", vec![5, 4]),
+        ];
+        datagen::to_catalog(&World::generate(config)).unwrap()
+    })
+}
+
+fn engine() -> Distinct {
+    let config = DistinctConfig {
+        training: TrainingConfig {
+            positives: 80,
+            negatives: 80,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    Distinct::prepare(&dataset().catalog, "Publish", "author", config).unwrap()
+}
+
+/// Labels and full dendrogram must match exactly (bitwise similarities).
+fn assert_same_clustering(a: &cluster::Clustering, b: &cluster::Clustering) {
+    assert_eq!(a.labels, b.labels);
+    assert_eq!(a.dendrogram.merges(), b.dendrogram.merges());
+}
+
+#[test]
+fn resolve_name_matches_references_of_plus_resolve() {
+    let engine = engine();
+    let (refs, shim) = engine.resolve_name("Wei Wang");
+    assert_eq!(refs, engine.references_of("Wei Wang"));
+    let request = engine.resolve(&ResolveRequest::new(&refs));
+    assert!(request.degraded.is_none());
+    assert_same_clustering(&shim, &request.clustering);
+}
+
+#[test]
+fn resolve_with_min_sim_matches_min_sim_request() {
+    let engine = engine();
+    let refs = engine.references_of("Wei Wang");
+    for min_sim in [1e-5, 2e-3, 0.02, 0.3] {
+        let shim = engine.resolve_with_min_sim(&refs, min_sim);
+        let request = engine.resolve(&ResolveRequest::new(&refs).min_sim(min_sim));
+        assert_same_clustering(&shim, &request.clustering);
+    }
+}
+
+#[test]
+fn resolve_ctl_matches_control_request() {
+    let engine = engine();
+    let refs = engine.references_of("Hui Fang");
+    let ctl_a = RunControl::new();
+    let ctl_b = RunControl::new();
+    let shim = engine.resolve_ctl(&refs, &ctl_a);
+    let request = engine.resolve(&ResolveRequest::new(&refs).control(&ctl_b));
+    assert!(shim.degraded.is_none());
+    assert!(request.degraded.is_none());
+    assert_same_clustering(&shim.clustering, &request.clustering);
+}
+
+#[test]
+fn resolve_with_min_sim_ctl_matches_full_request() {
+    let engine = engine();
+    let refs = engine.references_of("Hui Fang");
+    let ctl_a = RunControl::new();
+    let ctl_b = RunControl::new();
+    let shim = engine.resolve_with_min_sim_ctl(&refs, 0.01, &ctl_a);
+    let request = engine.resolve(&ResolveRequest::new(&refs).min_sim(0.01).control(&ctl_b));
+    assert!(shim.degraded.is_none());
+    assert!(request.degraded.is_none());
+    assert_same_clustering(&shim.clustering, &request.clustering);
+}
+
+#[test]
+fn resolve_constrained_matches_constraint_request() {
+    let engine = engine();
+    let refs = engine.references_of("Wei Wang");
+    let must = [(0, 1), (2, 3)];
+    let cannot = [(0, 4)];
+    let shim = engine.resolve_constrained(&refs, &must, &cannot);
+    let request = engine.resolve(
+        &ResolveRequest::new(&refs)
+            .must_link(&must)
+            .cannot_link(&cannot),
+    );
+    assert_same_clustering(&shim, &request.clustering);
+    // Constraints must actually bind: 0-1 together, 0-4 apart.
+    assert_eq!(shim.labels[0], shim.labels[1]);
+    assert_ne!(shim.labels[0], shim.labels[4]);
+}
+
+#[test]
+fn train_ctl_matches_train_with() {
+    // Two fresh engines over the same catalog: the shim and the request
+    // form must learn identical weights and report identical statistics.
+    let mut shim_engine = engine();
+    let mut request_engine = engine();
+    let ctl_a = RunControl::new();
+    let ctl_b = RunControl::new();
+    let shim = shim_engine.train_ctl(&ctl_a).unwrap();
+    let request = request_engine
+        .train_with(&TrainRequest::new().control(&ctl_b))
+        .unwrap();
+    assert_eq!(shim_engine.weights(), request_engine.weights());
+    assert_eq!(shim.unique_names, request.unique_names);
+    assert_eq!(shim.positives, request.positives);
+    assert_eq!(shim.negatives, request.negatives);
+    assert_eq!(shim.resem_accuracy, request.resem_accuracy);
+    assert_eq!(shim.walk_accuracy, request.walk_accuracy);
+    assert_eq!(shim.path_weights, request.path_weights);
+    // And resolution under the learned weights stays equivalent too.
+    let refs = shim_engine.references_of("Wei Wang");
+    let shim_clusters = shim_engine.resolve_with_min_sim(&refs, 0.005);
+    let request_clusters = request_engine
+        .resolve(&ResolveRequest::new(&refs).min_sim(0.005))
+        .clustering;
+    assert_same_clustering(&shim_clusters, &request_clusters);
+}
