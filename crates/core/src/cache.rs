@@ -30,6 +30,7 @@ pub(crate) struct ProfileCache {
 }
 
 impl ProfileCache {
+    /// An empty cache with all shards unlocked.
     pub fn new() -> Self {
         ProfileCache {
             shards: (0..SHARDS)
@@ -46,10 +47,12 @@ impl ProfileCache {
         &self.shards[(h as usize) % SHARDS]
     }
 
+    /// The cached profile for `r`, if one has been inserted.
     pub fn get(&self, r: &TupleRef) -> Option<Arc<Profile>> {
         self.shard(r).lock().get(r).map(Arc::clone)
     }
 
+    /// Whether a profile for `r` is already cached.
     pub fn contains(&self, r: &TupleRef) -> bool {
         self.shard(r).lock().contains_key(r)
     }
@@ -64,6 +67,7 @@ impl ProfileCache {
         self.shard(&r).lock().entry(r).or_insert(p);
     }
 
+    /// Total number of cached profiles across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().len()).sum()
     }

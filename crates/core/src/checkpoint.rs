@@ -109,7 +109,12 @@ impl Distinct {
             learned: self.learned().cloned(),
             profiles,
         };
-        let json = serde_json::to_string(&payload).expect("checkpoint serializes");
+        let json = serde_json::to_string(&payload).map_err(|e| {
+            DistinctError::Store(relstore::StoreError::Io {
+                context: "serialize checkpoint".into(),
+                reason: e.to_string(),
+            })
+        })?;
         let blob = format!(
             "{CHECKPOINT_MAGIC}\n{:016x}\n{json}",
             fnv1a64(json.as_bytes())

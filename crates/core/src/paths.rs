@@ -51,8 +51,9 @@ impl PathSet {
         let paths: Vec<JoinPath> = enumerate_paths(catalog, start, &opts)
             .into_iter()
             .filter(|p| {
-                let first = &p.steps[0];
-                !(first.fk == ref_fk && first.dir == Direction::Forward)
+                p.steps
+                    .first()
+                    .is_none_or(|first| !(first.fk == ref_fk && first.dir == Direction::Forward))
             })
             .collect();
         let descriptions = paths.iter().map(|p| p.describe(catalog)).collect();

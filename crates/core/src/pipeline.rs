@@ -236,7 +236,11 @@ impl Distinct {
             .relation(paths.start)
             .schema()
             .attr_index(ref_attr)
-            .expect("attr resolved by PathSet");
+            .ok_or_else(|| {
+                DistinctError::BadReferenceSpec(format!(
+                    "reference attribute `{ref_attr}` not found in relation schema"
+                ))
+            })?;
         let graph = LinkGraph::build(&catalog);
         let n_paths = paths.len();
         Ok(Distinct {
@@ -355,6 +359,7 @@ impl Distinct {
     /// suffices); profiles computed here land in the shared cache, making
     /// this also a deterministic cache-warming primitive for
     /// warm-vs-cold differential runs.
+    // distinct-lint: allow(D005, reason="documented sequential diagnostic surface outside resolve()'s budget scope")
     pub fn stage_probe(&self, refs: &[TupleRef]) -> crate::probe::StageProbe {
         let profiles: Vec<Arc<Profile>> = refs.iter().map(|&r| self.profile(r)).collect();
         let (merger, _) = DistinctMerger::from_profiles_exec(
@@ -365,6 +370,7 @@ impl Distinct {
             &exec::Executor::sequential(),
             &|_| true,
         );
+        // distinct-lint: allow(D002, reason="guard is the constant true closure above, so the build can never be refused")
         let merger = merger.expect("permissive guard never stops the matrix build");
         let n = refs.len();
         let mut resemblance = vec![vec![0.0; n]; n];
@@ -666,6 +672,7 @@ impl Distinct {
         );
 
         // Stage 3: agglomerative clustering.
+        // distinct-lint: allow(D004, reason="wall time feeds ExecReport stage timings only; control flow stays with RunControl")
         let clock = Instant::now();
         let (partial, mut cluster_stats) = match merger {
             Some(mut inner) => {
@@ -796,7 +803,7 @@ impl Distinct {
             resem_train_accuracy: learned.resem_train_accuracy,
             walk_train_accuracy: learned.walk_train_accuracy,
         };
-        Some(serde_json::to_string_pretty(&saved).expect("model serializes"))
+        serde_json::to_string_pretty(&saved).ok()
     }
 
     /// Import a model exported by [`Distinct::export_model`] into this

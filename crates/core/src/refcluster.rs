@@ -54,6 +54,7 @@ impl DistinctMerger {
             &|_| true,
         )
         .0
+        // distinct-lint: allow(D002, reason="guard is the constant true closure above, so the build can never be refused")
         .expect("permissive guard never stops the matrix build")
     }
 
@@ -117,6 +118,7 @@ impl DistinctMerger {
         let mut resem = vec![vec![0.0; n]; n];
         let mut dwalk = vec![vec![0.0; n]; n];
         for (range, vals) in chunks {
+            // distinct-lint: allow(D002, reason="stats.stopped was checked above; a complete run leaves every chunk Some by the exec pool contract")
             let vals = vals.expect("complete run has no refused chunks");
             for (k, (r, dij, dji)) in range.zip(vals) {
                 let (i, j) = exec::triangle_pair(n, k);
@@ -185,6 +187,7 @@ impl Merger for DistinctMerger {
         }
     }
 
+    // distinct-lint: allow(D005, reason="Merger callback doing O(live clusters) row sums; the clustering driver charges the budget once per merge")
     fn merged(&mut self, a: usize, b: usize, into: usize, size_a: usize, size_b: usize) {
         debug_assert_eq!(into, self.resem.len());
         let total = into + 1;

@@ -124,10 +124,10 @@ pub fn render_name_dot(name: &str, gold: &[usize], pred: &[usize]) -> String {
     // Edges between cells of the same predicted group across entities
     // (merge mistakes).
     for (p, parts) in confusion.merges() {
-        for w in parts.windows(2) {
+        for (a, b) in parts.iter().zip(parts.iter().skip(1)) {
             out.push_str(&format!(
                 "  e{}_g{p} -> e{}_g{p} [color=red, dir=both, label=\"merged\"];\n",
-                w[0].0, w[1].0
+                a.0, b.0
             ));
         }
     }

@@ -18,6 +18,7 @@ impl PhaseTimer {
 
     /// Time a closure as a named phase, returning its output.
     pub fn time<T>(&mut self, name: impl Into<String>, f: impl FnOnce() -> T) -> T {
+        // distinct-lint: allow(D004, reason="PhaseTimer exists to report wall time; it never drives control flow")
         let start = Instant::now();
         let out = f();
         self.phases.push((name.into(), start.elapsed()));

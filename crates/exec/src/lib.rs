@@ -172,6 +172,7 @@ impl Executor {
         I: Sync,
         T: Send,
     {
+        // distinct-lint: allow(D004, reason="wall time feeds ParStats.elapsed reporting only; interruption goes through the stop callback")
         let start = Instant::now();
         let n = items.len();
         let mut out: Vec<Option<T>> = Vec::with_capacity(n);
@@ -249,6 +250,7 @@ impl Executor {
     {
         let (out, _) = self.par_map_guarded(items, |i, item| Some(f(i, item)), || false);
         out.into_iter()
+            // distinct-lint: allow(D002, reason="stop callback is the constant false closure above, so no item can be skipped")
             .map(|v| v.expect("infallible map never skips an item"))
             .collect()
     }
@@ -269,6 +271,7 @@ impl Executor {
     where
         T: Send,
     {
+        // distinct-lint: allow(D004, reason="wall time feeds ParStats.elapsed reporting only; interruption goes through the stop callback")
         let start = Instant::now();
         let chunk = self.chunk_len(total);
         let n_chunks = total.div_ceil(chunk);

@@ -1,0 +1,224 @@
+//! The lint registry: every ID, its severity, and the invariant it guards.
+
+use std::fmt;
+
+/// Lint identifiers. `D000` is the meta-lint about the suppression
+/// machinery itself; `D001`–`D007` guard the project invariants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)] // the catalog below documents each variant
+pub enum LintId {
+    D000,
+    D001,
+    D002,
+    D003,
+    D004,
+    D005,
+    D006,
+    D007,
+}
+
+/// How bad a violation is. `Deny` findings fail the build outright (after
+/// baseline resolution); `Warn` findings fail only when new.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Violates a correctness invariant.
+    Deny,
+    /// Violates a hygiene contract.
+    Warn,
+}
+
+impl LintId {
+    /// All registered lints, in ID order.
+    pub const ALL: [LintId; 8] = [
+        LintId::D000,
+        LintId::D001,
+        LintId::D002,
+        LintId::D003,
+        LintId::D004,
+        LintId::D005,
+        LintId::D006,
+        LintId::D007,
+    ];
+
+    /// Parse `"D001"` (case-insensitive) into an ID.
+    pub fn parse(s: &str) -> Option<LintId> {
+        let s = s.trim().to_ascii_uppercase();
+        LintId::ALL.iter().copied().find(|id| id.name() == s)
+    }
+
+    /// The canonical `D00x` name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintId::D000 => "D000",
+            LintId::D001 => "D001",
+            LintId::D002 => "D002",
+            LintId::D003 => "D003",
+            LintId::D004 => "D004",
+            LintId::D005 => "D005",
+            LintId::D006 => "D006",
+            LintId::D007 => "D007",
+        }
+    }
+
+    /// Severity class.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintId::D000 => Severity::Deny,
+            LintId::D001 => Severity::Deny,
+            LintId::D002 => Severity::Warn,
+            LintId::D003 => Severity::Deny,
+            LintId::D004 => Severity::Deny,
+            LintId::D005 => Severity::Warn,
+            LintId::D006 => Severity::Warn,
+            LintId::D007 => Severity::Warn,
+        }
+    }
+
+    /// One-line description (shown with each finding).
+    pub fn title(self) -> &'static str {
+        match self {
+            LintId::D000 => "malformed, reason-less, or unused lint suppression",
+            LintId::D001 => "hash-order iteration feeding float accumulation or ordered output",
+            LintId::D002 => "panic path (unwrap/expect/panic!/literal index) in library code",
+            LintId::D003 => "raw thread or channel construction outside crates/exec",
+            LintId::D004 => "direct wall-clock read outside RunControl internals",
+            LintId::D005 => "loop in a budget-scoped hot path without a guard",
+            LintId::D006 => "lossy float cast or f32 reduction in numeric code",
+            LintId::D007 => "public API item without a doc comment in crates/core",
+        }
+    }
+
+    /// Full rationale for `--explain`: which invariant, why it matters for
+    /// DISTINCT, and what the sanctioned fix is.
+    pub fn rationale(self) -> &'static str {
+        match self {
+            LintId::D000 => {
+                "Suppressions are part of the audit trail: `// distinct-lint: \
+                 allow(D00x, reason=\"...\")` must name at least one known lint \
+                 and carry a non-empty reason, and must actually match a finding \
+                 on its line (or the next line, for a comment standing alone). \
+                 Anything else is noise that hides real debt, so the analyzer \
+                 rejects it."
+            }
+            LintId::D001 => {
+                "DISTINCT promises bit-identical output at any thread count. \
+                 Iterating a HashMap/HashSet/FxHashMap while summing floats or \
+                 appending to ordered output makes the result depend on hash \
+                 iteration order — float addition is not associative, so the \
+                 weighted-Jaccard and walk-probability pillars silently drift \
+                 when the map's insertion history changes. Fix: iterate in \
+                 sorted key order (collect + sort, or a BTreeMap), as \
+                 crates/oracle does, or show the accumulation is order-free \
+                 (integer counters, max/min) in an allow reason."
+            }
+            LintId::D002 => {
+                "PR 1's graceful-degradation contract: library code reachable \
+                 from resolve()/train_with() must surface failures as typed \
+                 errors or Degraded reports, never panics. unwrap(), expect(), \
+                 panic!(), unreachable!() and indexing by integer literal are \
+                 all panic paths. Fix: propagate a DistinctError / StoreError, \
+                 return Option, or document the proven invariant in an allow \
+                 reason. Test code is exempt."
+            }
+            LintId::D003 => {
+                "All parallelism goes through crates/exec's ordered-commit \
+                 pool: it is the only code that knows how to keep output \
+                 deterministic under any thread count and to honor RunControl \
+                 at chunk boundaries. A raw std::thread::spawn or mpsc channel \
+                 anywhere else bypasses both guarantees. Fix: use \
+                 exec::Executor (par_map_guarded / par_chunks), or move the \
+                 primitive into crates/exec."
+            }
+            LintId::D004 => {
+                "Deadlines are RunControl's job: it amortizes clock reads and \
+                 latches the first trip so every worker observes one coherent \
+                 interruption cause. Scattered Instant::now()/SystemTime reads \
+                 make timing-dependent control flow that no test can pin down. \
+                 Reading the clock for *reporting* (ExecReport wall times, the \
+                 eval timing harness) is fine — say so in an allow reason."
+            }
+            LintId::D005 => {
+                "Every hot loop must charge the shared work budget, or a \
+                 budget/deadline/cancellation can only trip between stages and \
+                 the resilience contract (PR 1) silently weakens as code moves. \
+                 In the designated hot-path files, a function that loops must \
+                 either accept a guard parameter or call a guard/charge/status \
+                 control hook. Bounded per-pair helpers charged by their \
+                 caller at pair granularity should say so in an allow reason."
+            }
+            LintId::D006 => {
+                "The numeric pillars accumulate in f64 end to end; an `as f32` \
+                 narrowing (or an f32 sum) anywhere in core/cluster/svm/ \
+                 relgraph/eval library code silently halves the mantissa and \
+                 breaks the 1e-9 oracle-differential tolerance. Fix: stay in \
+                 f64; cast only at presentation boundaries (and allow with a \
+                 reason there)."
+            }
+            LintId::D007 => {
+                "crates/core is the public API surface of the system; every \
+                 public item there must carry a doc comment so the request/ \
+                 outcome vocabulary (ResolveRequest, Degraded, ExecReport...) \
+                 stays discoverable. rustc's missing_docs warning already \
+                 guards rustdoc-visible items; this pass keeps the invariant \
+                 in the same report as the rest and covers macro-generated \
+                 gaps rustc misses."
+            }
+        }
+    }
+}
+
+impl fmt::Display for LintId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which lint fired.
+    pub id: LintId,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What was seen (short, single line).
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}:{}: {} — {}",
+            self.id,
+            self.file,
+            self.line,
+            self.id.title(),
+            self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for id in LintId::ALL {
+            assert_eq!(LintId::parse(id.name()), Some(id));
+            assert_eq!(LintId::parse(&id.name().to_lowercase()), Some(id));
+        }
+        assert_eq!(LintId::parse("D999"), None);
+        assert_eq!(LintId::parse(""), None);
+    }
+
+    #[test]
+    fn every_lint_has_title_and_rationale() {
+        for id in LintId::ALL {
+            assert!(!id.title().is_empty());
+            assert!(id.rationale().len() > 80, "{id} rationale too thin");
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Crate/module graph of the workspace, built by parsing each member's
+//! `Cargo.toml` with the same minimal hand-rolled TOML reading used for
+//! the baseline. Drives the `graph` subcommand and the layering
+//! assertions in the self-check suite.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// One workspace member crate.
+#[derive(Debug, Clone)]
+pub struct CrateNode {
+    /// Directory name under `crates/` (the lint's crate key, e.g. `core`).
+    pub dir: String,
+    /// `[package] name` from the manifest (e.g. `distinct`).
+    pub package: String,
+    /// Workspace-internal dependencies, as directory names, sorted.
+    pub deps: Vec<String>,
+    /// `.rs` modules under `src/`, workspace-relative, sorted.
+    pub modules: Vec<String>,
+}
+
+/// The whole workspace graph, keyed by directory name.
+#[derive(Debug, Clone, Default)]
+pub struct CrateGraph {
+    /// Members, sorted by directory name.
+    pub nodes: BTreeMap<String, CrateNode>,
+}
+
+impl CrateGraph {
+    /// Build the graph by scanning `crates/*/Cargo.toml` under `root`.
+    pub fn load(root: &Path) -> Result<CrateGraph, String> {
+        // Dependency keys in member manifests are workspace aliases
+        // (`cluster.workspace = true`), which match the directory names,
+        // so the alias set is just the directory listing.
+        let crates_dir = root.join("crates");
+        let mut dirs: Vec<String> = fs::read_dir(&crates_dir)
+            .map_err(|e| format!("read_dir crates/: {e}"))?
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().join("Cargo.toml").exists())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        dirs.sort();
+
+        let mut graph = CrateGraph::default();
+        for dir in &dirs {
+            let manifest_path = crates_dir.join(dir).join("Cargo.toml");
+            let text = fs::read_to_string(&manifest_path)
+                .map_err(|e| format!("read {}: {e}", manifest_path.display()))?;
+            let mut package = String::new();
+            let mut deps = Vec::new();
+            let mut section = String::new();
+            for raw in text.lines() {
+                let line = raw.trim();
+                if line.starts_with('[') && line.ends_with(']') {
+                    section = line.trim_matches(['[', ']']).to_string();
+                    continue;
+                }
+                let Some((key, val)) = line.split_once('=') else {
+                    continue;
+                };
+                let (key, val) = (key.trim(), val.trim());
+                if section == "package" && key == "name" {
+                    package = val.trim_matches('"').to_string();
+                }
+                if section == "dependencies" || section == "dev-dependencies" {
+                    // `cluster.workspace = true` or `cluster = { workspace = true }`
+                    let dep = key.split('.').next().unwrap_or(key).to_string();
+                    if dirs.contains(&dep) && !deps.contains(&dep) {
+                        deps.push(dep);
+                    }
+                }
+            }
+            deps.sort();
+            let mut modules = Vec::new();
+            collect_modules(root, &crates_dir.join(dir).join("src"), &mut modules);
+            modules.sort();
+            graph.nodes.insert(
+                dir.clone(),
+                CrateNode {
+                    dir: dir.clone(),
+                    package,
+                    deps,
+                    modules,
+                },
+            );
+        }
+        Ok(graph)
+    }
+
+    /// Return the members in dependency order, or the cycle that prevents
+    /// one. Cargo would reject a cycle anyway; the self-check uses this to
+    /// assert the layering stays intentional.
+    pub fn topo_order(&self) -> Result<Vec<String>, String> {
+        let mut order = Vec::new();
+        // 0 = unvisited, 1 = on stack, 2 = done.
+        let mut state: BTreeMap<&str, u8> = BTreeMap::new();
+        fn visit<'a>(
+            g: &'a CrateGraph,
+            name: &'a str,
+            state: &mut BTreeMap<&'a str, u8>,
+            order: &mut Vec<String>,
+        ) -> Result<(), String> {
+            match state.get(name).copied().unwrap_or(0) {
+                1 => return Err(format!("dependency cycle through `{name}`")),
+                2 => return Ok(()),
+                _ => {}
+            }
+            state.insert(name, 1);
+            if let Some(node) = g.nodes.get(name) {
+                for dep in &node.deps {
+                    visit(g, dep, state, order)?;
+                }
+            }
+            state.insert(name, 2);
+            order.push(name.to_string());
+            Ok(())
+        }
+        for name in self.nodes.keys() {
+            visit(self, name, &mut state, &mut order)?;
+        }
+        Ok(order)
+    }
+
+    /// Crates with no workspace-internal dependencies (the foundation layer).
+    pub fn foundations(&self) -> Vec<&str> {
+        self.nodes
+            .values()
+            .filter(|n| n.deps.is_empty())
+            .map(|n| n.dir.as_str())
+            .collect()
+    }
+
+    /// Human-readable report for the `graph` subcommand.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let order = self.topo_order().unwrap_or_else(|e| vec![format!("<{e}>")]);
+        let _ = writeln!(s, "workspace crates in dependency order:");
+        for name in &order {
+            let Some(n) = self.nodes.get(name) else {
+                continue;
+            };
+            let deps = if n.deps.is_empty() {
+                "-".to_string()
+            } else {
+                n.deps.join(", ")
+            };
+            let _ = writeln!(
+                s,
+                "  {:<10} ({:<17} {:>2} modules)  deps: {}",
+                n.dir,
+                format!("{},", n.package),
+                n.modules.len(),
+                deps
+            );
+        }
+        s
+    }
+}
+
+fn collect_modules(root: &Path, dir: &Path, out: &mut Vec<String>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_modules(root, &path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::find_root;
+
+    #[test]
+    fn loads_and_orders_this_workspace() {
+        let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("root");
+        let g = CrateGraph::load(&root).expect("graph");
+        assert!(g.nodes.contains_key("core"));
+        assert_eq!(g.nodes["core"].package, "distinct");
+        // exec is a foundation crate and core depends on it.
+        assert!(g.nodes["exec"].deps.is_empty());
+        assert!(g.nodes["core"].deps.contains(&"exec".to_string()));
+        // lint depends on nothing in the workspace.
+        assert!(g.nodes["lint"].deps.is_empty());
+        let order = g.topo_order().expect("acyclic");
+        let pos = |n: &str| order.iter().position(|x| x == n).unwrap_or(usize::MAX);
+        assert!(pos("exec") < pos("core"));
+        assert!(pos("relgraph") < pos("core"));
+    }
+}

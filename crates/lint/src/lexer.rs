@@ -1,0 +1,428 @@
+//! A hand-rolled Rust lexer, just deep enough for line-accurate lints.
+//!
+//! The analyzer does not need a full grammar: every pass works on a token
+//! stream where comments and literal *contents* have been stripped, so an
+//! `unwrap` inside a string or a doc example can never trip a lint. What
+//! must be exact is the hard part of scanning Rust by hand: nested block
+//! comments, raw strings with arbitrary `#` fences, char literals versus
+//! lifetimes, and line numbers that survive multi-line tokens.
+
+/// What a token is, as far as the lints care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `HashMap`, ...).
+    Ident,
+    /// A lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// Integer literal (`0`, `42u64`, `0xff`).
+    Int,
+    /// Float literal (`0.5`, `1e-9`).
+    Float,
+    /// String, raw-string, byte-string, or char literal (contents dropped).
+    Literal,
+    /// One punctuation character (`.`, `:`, `(`, `!`, ...).
+    Punct,
+    /// A `//` or `/* */` comment, text preserved (suppressions live here).
+    Comment,
+    /// A `///`, `//!`, `/** */`, or `/*! */` doc comment.
+    DocComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Token text. Comments keep their full text; string/char literals are
+    /// reduced to `""` so their contents can never match a pass.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lex `src` into tokens. Never fails: unterminated constructs consume to
+/// end of input (the analyzer lints real, compiling code; fixtures are
+/// well-formed too, so graceful EOF handling is all that is needed).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = chars.len();
+
+    // Count newlines in chars[from..to] (multi-line tokens advance `line`).
+    let newlines = |from: usize, to: usize| -> u32 {
+        chars[from..to].iter().filter(|&&c| c == '\n').count() as u32
+    };
+
+    while i < n {
+        let c = chars[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && (chars[i + 1] == '/' || chars[i + 1] == '*') {
+            let start = i;
+            let start_line = line;
+            let kind;
+            if chars[i + 1] == '/' {
+                // Line comment; `///` and `//!` are doc comments, but a
+                // bare `////...` divider is a plain comment again.
+                let is_doc = (i + 2 < n && chars[i + 2] == '!')
+                    || (i + 2 < n && chars[i + 2] == '/' && !(i + 3 < n && chars[i + 3] == '/'));
+                kind = if is_doc {
+                    TokKind::DocComment
+                } else {
+                    TokKind::Comment
+                };
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+            } else {
+                // Block comment, possibly nested.
+                let is_doc = i + 2 < n && (chars[i + 2] == '*' || chars[i + 2] == '!');
+                kind = if is_doc {
+                    TokKind::DocComment
+                } else {
+                    TokKind::Comment
+                };
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            line += newlines(start, i);
+            toks.push(Tok {
+                kind,
+                text: chars[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Raw strings: r"...", r#"..."#, br#"..."#, with any fence depth.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let (prefix_len, rest) = if c == 'b' && chars[i + 1] == 'r' {
+                (2, i + 2)
+            } else if c == 'r' {
+                (1, i + 1)
+            } else {
+                (0, i)
+            };
+            if prefix_len > 0 && rest < n && (chars[rest] == '#' || chars[rest] == '"') {
+                let start = i;
+                let start_line = line;
+                let mut j = rest;
+                let mut fences = 0usize;
+                while j < n && chars[j] == '#' {
+                    fences += 1;
+                    j += 1;
+                }
+                if j < n && chars[j] == '"' {
+                    j += 1;
+                    // Scan to `"` followed by `fences` hashes.
+                    'raw: while j < n {
+                        if chars[j] == '"' {
+                            let mut k = j + 1;
+                            let mut seen = 0usize;
+                            while k < n && chars[k] == '#' && seen < fences {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == fences {
+                                j = k;
+                                break 'raw;
+                            }
+                        }
+                        j += 1;
+                    }
+                    line += newlines(start, j);
+                    toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line: start_line,
+                    });
+                    i = j;
+                    continue;
+                }
+            }
+        }
+        // Plain and byte strings.
+        if c == '"' || (c == 'b' && i + 1 < n && chars[i + 1] == '"') {
+            let start = i;
+            let start_line = line;
+            i += if c == 'b' { 2 } else { 1 };
+            while i < n {
+                if chars[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if chars[i] == '"' {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            line += newlines(start, i.min(n));
+            i = i.min(n);
+            toks.push(Tok {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Lifetimes vs char literals. A `'` followed by an identifier and
+        // NOT a closing `'` is a lifetime (or loop label).
+        if c == '\'' {
+            if i + 1 < n && is_ident_start(chars[i + 1]) {
+                // Find the end of the identifier run.
+                let mut j = i + 1;
+                while j < n && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                if j < n && chars[j] == '\'' && j == i + 2 {
+                    // 'x' — a one-char char literal.
+                    toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                    i = j + 1;
+                    continue;
+                }
+                // Lifetime / loop label.
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: chars[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            // Escaped or punctuation char literal: '\n', '\'', '(' ...
+            let mut j = i + 1;
+            if j < n && chars[j] == '\\' {
+                j += 2;
+            } else {
+                j += 1;
+            }
+            while j < n && chars[j] != '\'' {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line,
+            });
+            i = (j + 1).min(n);
+            continue;
+        }
+        // Identifiers and keywords (including r#ident raw identifiers).
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Numeric literals. Good enough: digits, an optional fraction,
+        // exponents with signs; suffixes fold into the token.
+        if c.is_ascii_digit() {
+            let start = i;
+            let is_radix =
+                c == '0' && i + 1 < n && matches!(chars[i + 1], 'x' | 'X' | 'b' | 'B' | 'o' | 'O');
+            let consume_digits = |i: &mut usize| {
+                while *i < n && (chars[*i].is_ascii_alphanumeric() || chars[*i] == '_') {
+                    // Exponent sign: `1e-9`, `2.5E+3` (not in hex literals).
+                    if !is_radix
+                        && (chars[*i] == 'e' || chars[*i] == 'E')
+                        && *i + 1 < n
+                        && (chars[*i + 1] == '+' || chars[*i + 1] == '-')
+                    {
+                        *i += 1;
+                    }
+                    *i += 1;
+                }
+            };
+            consume_digits(&mut i);
+            // Fraction: `1.5` but not `1.method()` or `1..2`.
+            if i < n && chars[i] == '.' && i + 1 < n && chars[i + 1].is_ascii_digit() {
+                i += 1;
+                consume_digits(&mut i);
+            }
+            let text: String = chars[start..i].iter().collect();
+            // An `e`/`E` only marks a float when it is a genuine exponent
+            // (digits before it, a digit or sign after) — otherwise it is
+            // part of a suffix like `usize`.
+            let has_exponent = {
+                let b = text.as_bytes();
+                b.iter().enumerate().find_map(|(k, &ch)| {
+                    if ch == b'e' || ch == b'E' {
+                        Some(
+                            k + 1 < b.len() && {
+                                let nx = b[k + 1];
+                                nx.is_ascii_digit() || nx == b'+' || nx == b'-'
+                            },
+                        )
+                    } else if ch.is_ascii_digit() || ch == b'_' || ch == b'.' {
+                        None
+                    } else {
+                        Some(false)
+                    }
+                })
+            } == Some(true);
+            let is_float = text.contains('.') || (!is_radix && has_exponent);
+            toks.push(Tok {
+                kind: if is_float {
+                    TokKind::Float
+                } else {
+                    TokKind::Int
+                },
+                text,
+                line,
+            });
+            continue;
+        }
+        // Everything else: one punctuation character.
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("foo.unwrap()");
+        assert_eq!(
+            t,
+            vec![
+                (TokKind::Ident, "foo".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Ident, "unwrap".into()),
+                (TokKind::Punct, "(".into()),
+                (TokKind::Punct, ")".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        // An `unwrap` inside a string must not surface as an identifier.
+        let t = lex(r#"let s = "x.unwrap()"; y.unwrap()"#);
+        let unwraps = t.iter().filter(|t| t.is_ident("unwrap")).count();
+        assert_eq!(unwraps, 1);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let t = lex(r##"let s = r#"contains "quotes" and unwrap()"#; done"##);
+        assert!(t.iter().any(|t| t.is_ident("done")));
+        assert!(!t.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let t = lex("/* a /* nested */ still comment */ code");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].kind, TokKind::Comment);
+        assert!(t[1].is_ident("code"));
+    }
+
+    #[test]
+    fn doc_vs_plain_comments() {
+        let t = lex("/// doc\n//! inner\n// plain\n//// divider\nfn f() {}");
+        let doc = t.iter().filter(|t| t.kind == TokKind::DocComment).count();
+        let plain = t.iter().filter(|t| t.kind == TokKind::Comment).count();
+        assert_eq!(doc, 2);
+        assert_eq!(plain, 2);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes = t.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = t.iter().filter(|t| t.kind == TokKind::Literal).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "a\n\"two\nline\"\nb /* c\nd */ e";
+        let t = lex(src);
+        let a = t.iter().find(|t| t.is_ident("a")).unwrap();
+        let b = t.iter().find(|t| t.is_ident("b")).unwrap();
+        let e = t.iter().find(|t| t.is_ident("e")).unwrap();
+        assert_eq!(a.line, 1);
+        assert_eq!(b.line, 4);
+        assert_eq!(e.line, 5);
+    }
+
+    #[test]
+    fn numeric_kinds() {
+        let t = kinds("1 2.5 0xff 1e-9 3usize");
+        assert_eq!(t[0].0, TokKind::Int);
+        assert_eq!(t[1].0, TokKind::Float);
+        assert_eq!(t[2].0, TokKind::Int);
+        assert_eq!(t[3].0, TokKind::Float);
+        assert_eq!(t[4].0, TokKind::Int);
+    }
+
+    #[test]
+    fn float_method_call_is_not_a_fraction() {
+        let t = kinds("1.max(2)");
+        assert_eq!(t[0], (TokKind::Int, "1".into()));
+        assert_eq!(t[2], (TokKind::Ident, "max".into()));
+    }
+}

@@ -1,0 +1,120 @@
+//! distinct-lint: dependency-free static analysis for this workspace's
+//! project invariants (determinism, graceful degradation, budget
+//! coverage, exec-pool ownership of parallelism, f64 numerics, core API
+//! docs).
+//!
+//! The pipeline is: discover files ([`workspace`]), lex them ([`lexer`]),
+//! build per-file context ([`model`]), run the passes ([`passes`]), apply
+//! inline suppressions ([`suppress`]), then resolve what is left against
+//! the checked-in debt baseline ([`baseline`]). The [`graph`] module maps
+//! the crate topology for the `graph` subcommand and the layering
+//! self-checks.
+
+pub mod baseline;
+pub mod catalog;
+pub mod graph;
+pub mod lexer;
+pub mod model;
+pub mod passes;
+pub mod suppress;
+pub mod workspace;
+
+use baseline::{Baseline, Diff};
+use catalog::{Finding, LintId};
+use std::path::Path;
+
+/// Result of analyzing the whole workspace (before baseline resolution).
+#[derive(Debug)]
+pub struct Analysis {
+    /// Findings that survived inline suppressions, plus D000s for
+    /// malformed or unused suppressions. Sorted by (file, line, id).
+    pub findings: Vec<Finding>,
+    /// Number of files analyzed.
+    pub files: usize,
+    /// Number of suppressions that matched a finding.
+    pub suppressions_used: usize,
+}
+
+/// Lex, model, lint, and suppress every analyzable file under `root`.
+pub fn analyze(root: &Path) -> Result<Analysis, String> {
+    let ctxs = workspace::collect_files(root)?;
+    let mut findings = Vec::new();
+    let mut suppressions_used = 0usize;
+    let files = ctxs.len();
+    for ctx in &ctxs {
+        let (mut sups, malformed) = suppress::collect(ctx);
+        findings.extend(malformed);
+        let raw = passes::run_all(ctx);
+        let kept = suppress::apply(raw, &mut sups);
+        findings.extend(kept);
+        for s in &sups {
+            if s.used {
+                suppressions_used += 1;
+            } else {
+                findings.push(Finding {
+                    id: LintId::D000,
+                    file: ctx.path.clone(),
+                    line: s.comment_line,
+                    message: format!(
+                        "suppression for {} matches no finding on line {}",
+                        s.ids.iter().map(|i| i.name()).collect::<Vec<_>>().join("/"),
+                        s.target_line
+                    ),
+                });
+            }
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.id).cmp(&(&b.file, b.line, b.id)));
+    Ok(Analysis {
+        findings,
+        files,
+        suppressions_used,
+    })
+}
+
+/// Outcome of a `check` run, ready for reporting and exit-code mapping.
+#[derive(Debug)]
+pub struct CheckOutcome {
+    /// The underlying analysis.
+    pub analysis: Analysis,
+    /// The baseline that was applied (empty if `lint.toml` is absent).
+    pub baseline: Baseline,
+    /// Exact-count comparison result; clean means exit 0.
+    pub diff: Diff,
+}
+
+/// Run the full check: analyze, load `lint.toml` (missing file means an
+/// empty baseline), and diff.
+pub fn check(root: &Path) -> Result<CheckOutcome, String> {
+    let analysis = analyze(root)?;
+    let baseline_path = root.join("lint.toml");
+    let baseline = if baseline_path.exists() {
+        let text =
+            std::fs::read_to_string(&baseline_path).map_err(|e| format!("read lint.toml: {e}"))?;
+        Baseline::parse(&text)?
+    } else {
+        Baseline::default()
+    };
+    let diff = baseline.diff(&analysis.findings);
+    Ok(CheckOutcome {
+        analysis,
+        baseline,
+        diff,
+    })
+}
+
+/// Rewrite `lint.toml` to exactly cover the current findings. Returns the
+/// number of baselined findings. D000s are never baselined and make this
+/// fail, so a broken suppression cannot be ratcheted in.
+pub fn fix_baseline(root: &Path) -> Result<usize, String> {
+    let analysis = analyze(root)?;
+    if let Some(d0) = analysis.findings.iter().find(|f| f.id == LintId::D000) {
+        return Err(format!(
+            "cannot baseline suppression-hygiene findings; fix them first: {d0}"
+        ));
+    }
+    let baseline = Baseline::from_findings(&analysis.findings);
+    std::fs::write(root.join("lint.toml"), baseline.render())
+        .map_err(|e| format!("write lint.toml: {e}"))?;
+    Ok(analysis.findings.len())
+}

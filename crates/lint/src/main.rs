@@ -1,0 +1,151 @@
+//! CLI driver: `cargo run -p lint -- <command>`.
+//!
+//! Commands:
+//!   check                 lint the workspace against lint.toml (exit 1 on debt)
+//!   check --fix-baseline  rewrite lint.toml to match current findings
+//!   --explain <ID>        print the rationale behind a lint
+//!   graph                 print the workspace crate/module graph
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or internal error.
+
+use lint::catalog::{LintId, Severity};
+use lint::graph::CrateGraph;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match strs.as_slice() {
+        ["check"] => run_check(false, None),
+        ["check", "--fix-baseline"] | ["--fix-baseline", "check"] => run_check(true, None),
+        ["check", "--root", root] => run_check(false, Some(root)),
+        ["check", "--fix-baseline", "--root", root]
+        | ["check", "--root", root, "--fix-baseline"] => run_check(true, Some(root)),
+        ["--explain", id] | ["explain", id] => explain(id),
+        ["graph"] => graph(),
+        [] | ["--help" | "-h" | "help"] => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("lint: unrecognized arguments: {}\n{USAGE}", other.join(" "));
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+distinct-lint: workspace invariant checks (D001..D007)
+
+usage: cargo run -p lint -- <command>
+
+  check                 lint the workspace, resolve against lint.toml
+  check --fix-baseline  regenerate lint.toml from current findings
+  check --root <dir>    lint a different workspace root (used by self-tests)
+  --explain <D00x>      print a lint's rationale and sanctioned fixes
+  graph                 print the crate/module dependency graph
+";
+
+fn workspace_root() -> Result<PathBuf, String> {
+    // Prefer the compile-time manifest location (correct under
+    // `cargo run -p lint` from anywhere), fall back to the cwd.
+    let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    if let Some(root) = lint::workspace::find_root(&here) {
+        return Ok(root);
+    }
+    let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+    lint::workspace::find_root(&cwd).ok_or_else(|| "no workspace root found".into())
+}
+
+fn run_check(fix: bool, root_override: Option<&str>) -> ExitCode {
+    let root = match root_override {
+        Some(r) => PathBuf::from(r),
+        None => match workspace_root() {
+            Ok(r) => r,
+            Err(e) => return internal(&e),
+        },
+    };
+    if fix {
+        return match lint::fix_baseline(&root) {
+            Ok(n) => {
+                println!("lint: wrote lint.toml covering {n} finding(s)");
+                ExitCode::SUCCESS
+            }
+            Err(e) => internal(&e),
+        };
+    }
+    let outcome = match lint::check(&root) {
+        Ok(o) => o,
+        Err(e) => return internal(&e),
+    };
+    let baselined = outcome.analysis.findings.len() - outcome.diff.new_debt.len();
+    if outcome.diff.is_clean() {
+        println!(
+            "lint: clean — {} files, {} finding(s) baselined, {} suppression(s) in use",
+            outcome.analysis.files, baselined, outcome.analysis.suppressions_used
+        );
+        return ExitCode::SUCCESS;
+    }
+    for f in &outcome.diff.new_debt {
+        let sev = match f.id.severity() {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        };
+        println!("[{sev}] {f}");
+    }
+    for (id, file, allowed, have) in &outcome.diff.stale {
+        println!(
+            "[stale] {id}: {file}: baseline says {allowed} finding(s) but only {have} remain — \
+             run `cargo run -p lint -- check --fix-baseline` to ratchet down"
+        );
+    }
+    println!(
+        "lint: FAILED — {} new finding(s), {} stale baseline entr(y/ies) \
+         ({} files scanned; use `--explain <ID>` for rationale)",
+        outcome.diff.new_debt.len(),
+        outcome.diff.stale.len(),
+        outcome.analysis.files
+    );
+    ExitCode::FAILURE
+}
+
+fn explain(id: &str) -> ExitCode {
+    match LintId::parse(id) {
+        Some(id) => {
+            let sev = match id.severity() {
+                Severity::Deny => "deny",
+                Severity::Warn => "warn",
+            };
+            println!("{id} [{sev}]: {}\n", id.title());
+            println!("{}", id.rationale());
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "lint: unknown lint `{id}`; known: {}",
+                LintId::ALL.map(|i| i.name()).join(", ")
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn graph() -> ExitCode {
+    let root = match workspace_root() {
+        Ok(r) => r,
+        Err(e) => return internal(&e),
+    };
+    match CrateGraph::load(&root) {
+        Ok(g) => {
+            print!("{}", g.render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => internal(&e),
+    }
+}
+
+fn internal(msg: &str) -> ExitCode {
+    eprintln!("lint: error: {msg}");
+    ExitCode::from(2)
+}

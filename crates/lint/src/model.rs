@@ -1,0 +1,384 @@
+//! Per-file analysis context: where a file sits in the workspace, which
+//! token ranges are test code, and the function spans passes reason about.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// What kind of code a file holds — passes scope themselves by role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Shipping library code (`crates/*/src/**`, root `src/**`).
+    Library,
+    /// Integration tests (`tests/**`) and anything under `#[cfg(test)]`.
+    Test,
+    /// Example programs (`examples/**`).
+    Example,
+    /// Benchmarks and experiment harnesses (`benches/**`, `crates/bench`).
+    Bench,
+    /// Binary entry points (`src/bin/**`, `src/main.rs`).
+    Bin,
+}
+
+/// One function item: token span, header facts the passes need.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub start: usize,
+    /// Token index of the body's opening `{` (== `end` for bodiless fns).
+    pub body_start: usize,
+    /// Token index one past the body's closing `}`.
+    pub end: usize,
+    /// Whether any parameter or generic bound names `guard` (the
+    /// budget-guard convention: `guard: &mut dyn FnMut(u64) -> bool`).
+    pub has_guard_param: bool,
+    /// Whether the span is test code (`#[test]` / inside `#[cfg(test)]`).
+    pub is_test: bool,
+}
+
+/// A lexed file plus the structural facts every pass shares.
+#[derive(Debug)]
+pub struct FileCtx {
+    /// Workspace-relative path with `/` separators (`crates/core/src/x.rs`).
+    pub path: String,
+    /// Owning crate's directory name (`core`, `exec`, ...; `.` for the
+    /// root package).
+    pub crate_name: String,
+    /// File role.
+    pub role: Role,
+    /// The token stream (comments included).
+    pub toks: Vec<Tok>,
+    /// `test[i]` — token `i` lies in test code (`#[cfg(test)]` region or a
+    /// `#[test]` function) or the whole file is test-roled.
+    pub test_mask: Vec<bool>,
+    /// All function items, in source order.
+    pub fns: Vec<FnSpan>,
+}
+
+/// Classify a workspace-relative path into (crate name, role).
+/// `None` means the file is out of scope (vendor, target, lint fixtures).
+pub fn classify(path: &str) -> Option<(String, Role)> {
+    let parts: Vec<&str> = path.split('/').collect();
+    if parts.iter().any(|p| p.starts_with('.')) {
+        return None;
+    }
+    match parts.as_slice() {
+        ["vendor", ..] | ["target", ..] => None,
+        // The lint crate's known-bad fixtures must not lint the workspace.
+        ["crates", "lint", "tests", "fixtures", ..] => None,
+        ["crates", "bench", ..] => Some(("bench".into(), Role::Bench)),
+        ["crates", krate, "src", "bin", ..] => Some(((*krate).into(), Role::Bin)),
+        ["crates", krate, "src", ..] => Some(((*krate).into(), Role::Library)),
+        ["crates", krate, "tests", ..] => Some(((*krate).into(), Role::Test)),
+        ["crates", krate, "examples", ..] => Some(((*krate).into(), Role::Example)),
+        ["crates", krate, "benches", ..] => Some(((*krate).into(), Role::Bench)),
+        ["src", "bin", ..] | ["src", "main.rs"] => Some((".".into(), Role::Bin)),
+        ["src", ..] => Some((".".into(), Role::Library)),
+        ["tests", ..] => Some((".".into(), Role::Test)),
+        ["examples", ..] => Some((".".into(), Role::Example)),
+        ["benches", ..] => Some((".".into(), Role::Bench)),
+        _ => None,
+    }
+}
+
+impl FileCtx {
+    /// Lex and structure one file.
+    pub fn new(path: &str, crate_name: &str, role: Role, src: &str) -> FileCtx {
+        let toks = lex(src);
+        let test_mask = build_test_mask(&toks, role);
+        let fns = find_fns(&toks, &test_mask);
+        FileCtx {
+            path: path.to_string(),
+            crate_name: crate_name.to_string(),
+            role,
+            toks,
+            test_mask,
+            fns,
+        }
+    }
+
+    /// Non-comment token at index, if any.
+    pub fn tok(&self, i: usize) -> Option<&Tok> {
+        self.toks.get(i)
+    }
+
+    /// Index of the next token after `i` skipping comments; `toks.len()`
+    /// when exhausted.
+    pub fn next_code(&self, mut i: usize) -> usize {
+        i += 1;
+        while i < self.toks.len()
+            && matches!(self.toks[i].kind, TokKind::Comment | TokKind::DocComment)
+        {
+            i += 1;
+        }
+        i
+    }
+
+    /// Index of the previous code token before `i`, if any.
+    pub fn prev_code(&self, i: usize) -> Option<usize> {
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            if !matches!(self.toks[j].kind, TokKind::Comment | TokKind::DocComment) {
+                return Some(j);
+            }
+        }
+        None
+    }
+
+    /// Whether token `i` is inside test code.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_mask.get(i).copied().unwrap_or(false)
+    }
+
+    /// Whether the file as a whole is library-shipping code.
+    pub fn is_library(&self) -> bool {
+        self.role == Role::Library
+    }
+}
+
+/// Mark the token ranges under `#[cfg(test)]` items and `#[test]` fns.
+fn build_test_mask(toks: &[Tok], role: Role) -> Vec<bool> {
+    let mut mask = vec![role != Role::Library && role != Role::Bin; toks.len()];
+    let n = toks.len();
+    let mut i = 0usize;
+    while i < n {
+        // An attribute: `#` `[` ... `]`.
+        if toks[i].is_punct('#') && i + 1 < n && toks[i + 1].is_punct('[') {
+            let attr_start = i;
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut is_test_attr = false;
+            let mut saw_cfg = false;
+            let mut saw_test_ident = false;
+            while j < n {
+                let t = &toks[j];
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.is_ident("cfg") {
+                    saw_cfg = true;
+                } else if t.is_ident("test") {
+                    saw_test_ident = true;
+                    // Bare `#[test]` (or `#[tokio::test]`-style endings).
+                    if !saw_cfg {
+                        is_test_attr = true;
+                    }
+                }
+                j += 1;
+            }
+            if saw_cfg && saw_test_ident {
+                is_test_attr = true;
+            }
+            if is_test_attr && j < n {
+                // Mark from the attribute through the end of the next item:
+                // either a braced body or a `;`-terminated declaration.
+                let mut k = j + 1;
+                // Skip further attributes on the same item.
+                while k + 1 < n && toks[k].is_punct('#') && toks[k + 1].is_punct('[') {
+                    let mut d = 0usize;
+                    while k < n {
+                        if toks[k].is_punct('[') {
+                            d += 1;
+                        } else if toks[k].is_punct(']') {
+                            d -= 1;
+                            if d == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                }
+                let mut brace_depth = 0usize;
+                let mut entered = false;
+                while k < n {
+                    if toks[k].is_punct('{') {
+                        brace_depth += 1;
+                        entered = true;
+                    } else if toks[k].is_punct('}') {
+                        brace_depth = brace_depth.saturating_sub(1);
+                        if entered && brace_depth == 0 {
+                            break;
+                        }
+                    } else if !entered && toks[k].is_punct(';') {
+                        break;
+                    }
+                    k += 1;
+                }
+                let end = (k + 1).min(n);
+                for m in mask.iter_mut().take(end).skip(attr_start) {
+                    *m = true;
+                }
+                i = end;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Locate every `fn` item: name, header facts, body token span.
+fn find_fns(toks: &[Tok], test_mask: &[bool]) -> Vec<FnSpan> {
+    let n = toks.len();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        if toks[i].is_ident("fn") {
+            // `fn` inside a type position (`FnMut(u64)`) is an Ident of
+            // different text, so a bare `fn` keyword is reliable.
+            let start = i;
+            let line = toks[i].line;
+            let mut j = i + 1;
+            while j < n && matches!(toks[j].kind, TokKind::Comment | TokKind::DocComment) {
+                j += 1;
+            }
+            let name = if j < n && toks[j].kind == TokKind::Ident {
+                toks[j].text.clone()
+            } else {
+                // `fn(` type syntax — not an item.
+                i += 1;
+                continue;
+            };
+            // Scan the header to the body `{` or a terminating `;`,
+            // tracking paren/bracket/angle nesting loosely and looking for
+            // a `guard` identifier in the parameter list.
+            let mut has_guard_param = false;
+            let mut k = j + 1;
+            let mut paren_depth = 0usize;
+            let mut body_start = None;
+            while k < n {
+                let t = &toks[k];
+                if t.is_punct('(') {
+                    paren_depth += 1;
+                } else if t.is_punct(')') {
+                    paren_depth = paren_depth.saturating_sub(1);
+                } else if paren_depth > 0 && t.is_ident("guard") {
+                    has_guard_param = true;
+                } else if paren_depth == 0 && t.is_punct('{') {
+                    body_start = Some(k);
+                    break;
+                } else if paren_depth == 0 && t.is_punct(';') {
+                    break;
+                }
+                k += 1;
+            }
+            let (body_start, end) = match body_start {
+                Some(b) => {
+                    // Match braces to the body's end.
+                    let mut depth = 0usize;
+                    let mut e = b;
+                    while e < n {
+                        if toks[e].is_punct('{') {
+                            depth += 1;
+                        } else if toks[e].is_punct('}') {
+                            depth -= 1;
+                            if depth == 0 {
+                                e += 1;
+                                break;
+                            }
+                        }
+                        e += 1;
+                    }
+                    (b, e)
+                }
+                None => (k, k),
+            };
+            out.push(FnSpan {
+                name,
+                line,
+                start,
+                body_start,
+                end,
+                has_guard_param,
+                is_test: test_mask.get(start).copied().unwrap_or(false),
+            });
+            // Do not skip the body: nested fns should be found too.
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(
+            classify("crates/core/src/pipeline.rs"),
+            Some(("core".into(), Role::Library))
+        );
+        assert_eq!(
+            classify("crates/exec/tests/t.rs"),
+            Some(("exec".into(), Role::Test))
+        );
+        assert_eq!(
+            classify("crates/bench/src/bin/exp.rs"),
+            Some(("bench".into(), Role::Bench))
+        );
+        assert_eq!(classify("src/lib.rs"), Some((".".into(), Role::Library)));
+        assert_eq!(classify("tests/smoke.rs"), Some((".".into(), Role::Test)));
+        assert_eq!(classify("examples/q.rs"), Some((".".into(), Role::Example)));
+        assert_eq!(classify("vendor/rand/src/lib.rs"), None);
+        assert_eq!(classify("crates/lint/tests/fixtures/bad.rs"), None);
+        assert_eq!(
+            classify("crates/oracle/src/bin/regen_golden.rs"),
+            Some(("oracle".into(), Role::Bin))
+        );
+    }
+
+    #[test]
+    fn cfg_test_region_is_masked() {
+        let src = "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\nfn lib2() {}";
+        let ctx = FileCtx::new("crates/c/src/a.rs", "c", Role::Library, src);
+        let unwraps: Vec<bool> = ctx
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(i, _)| ctx.in_test(i))
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+        let lib2 = ctx.fns.iter().find(|f| f.name == "lib2").unwrap();
+        assert!(!lib2.is_test);
+    }
+
+    #[test]
+    fn test_attr_fn_is_masked() {
+        let src = "#[test]\nfn t() { z.unwrap(); }\nfn real() { w.unwrap(); }";
+        let ctx = FileCtx::new("crates/c/src/a.rs", "c", Role::Library, src);
+        let t = ctx.fns.iter().find(|f| f.name == "t").unwrap();
+        let real = ctx.fns.iter().find(|f| f.name == "real").unwrap();
+        assert!(t.is_test);
+        assert!(!real.is_test);
+    }
+
+    #[test]
+    fn fn_spans_and_guard_params() {
+        let src = "pub fn a(guard: &mut dyn FnMut(u64) -> bool) { loop {} }\nfn b() -> usize { 1 }";
+        let ctx = FileCtx::new("crates/c/src/a.rs", "c", Role::Library, src);
+        assert_eq!(ctx.fns.len(), 2);
+        assert!(ctx.fns[0].has_guard_param);
+        assert!(!ctx.fns[1].has_guard_param);
+        assert!(ctx.fns[0].end > ctx.fns[0].body_start);
+    }
+
+    #[test]
+    fn whole_file_test_role_masks_everything() {
+        let ctx = FileCtx::new("tests/x.rs", ".", Role::Test, "fn f() { a.unwrap(); }");
+        assert!(ctx.test_mask.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,232 @@
+//! Inline suppressions: `// distinct-lint: allow(D002, reason="...")`.
+//!
+//! A suppression comment covers findings on its own line; a comment that
+//! stands alone on a line covers the next source line instead. Every
+//! suppression must carry a non-empty reason, and every suppression must
+//! actually suppress something — violations of either rule surface as
+//! [`LintId::D000`] findings, so dead or lazy allows cannot accumulate.
+
+use crate::catalog::{Finding, LintId};
+use crate::lexer::TokKind;
+use crate::model::FileCtx;
+
+/// One parsed suppression comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Lints this comment allows.
+    pub ids: Vec<LintId>,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Line the comment sits on.
+    pub comment_line: u32,
+    /// Line whose findings it covers.
+    pub target_line: u32,
+    /// Whether any finding was actually suppressed (filled by the driver).
+    pub used: bool,
+}
+
+/// Scan a file's comment tokens for suppressions. Malformed ones come back
+/// as D000 findings immediately.
+pub fn collect(ctx: &FileCtx) -> (Vec<Suppression>, Vec<Finding>) {
+    let mut sups = Vec::new();
+    let mut findings = Vec::new();
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if t.kind != TokKind::Comment {
+            continue;
+        }
+        let Some(pos) = t.text.find("distinct-lint:") else {
+            continue;
+        };
+        let body = t.text[pos + "distinct-lint:".len()..].trim();
+        match parse_body(body) {
+            Ok((ids, reason)) => {
+                // A comment with code before it on the same line covers
+                // that line; a standalone comment covers the next line.
+                let standalone = ctx
+                    .prev_code(i)
+                    .map(|p| ctx.toks[p].line < t.line)
+                    .unwrap_or(true);
+                let target_line = if standalone { t.line + 1 } else { t.line };
+                sups.push(Suppression {
+                    ids,
+                    reason,
+                    comment_line: t.line,
+                    target_line,
+                    used: false,
+                });
+            }
+            Err(why) => findings.push(Finding {
+                id: LintId::D000,
+                file: ctx.path.clone(),
+                line: t.line,
+                message: why,
+            }),
+        }
+    }
+    (sups, findings)
+}
+
+/// Parse `allow(D001, D004, reason="...")`.
+fn parse_body(body: &str) -> Result<(Vec<LintId>, String), String> {
+    let body = body.trim();
+    let inner = body
+        .strip_prefix("allow")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('('))
+        .and_then(|r| r.rfind(')').map(|e| &r[..e]))
+        .ok_or_else(|| format!("expected `allow(D00x, reason=\"...\")`, got `{body}`"))?;
+    let mut ids = Vec::new();
+    let mut reason = None;
+    for part in split_args(inner) {
+        let part = part.trim();
+        if let Some(r) = part.strip_prefix("reason") {
+            let r = r.trim_start();
+            let r = r
+                .strip_prefix('=')
+                .map(str::trim)
+                .ok_or("`reason` must be `reason=\"...\"`")?;
+            let r = r
+                .strip_prefix('"')
+                .and_then(|r| r.strip_suffix('"'))
+                .ok_or("reason must be a double-quoted string")?;
+            if r.trim().is_empty() {
+                return Err("reason string must not be empty".into());
+            }
+            reason = Some(r.to_string());
+        } else if !part.is_empty() {
+            let id = LintId::parse(part).ok_or_else(|| format!("unknown lint id `{part}`"))?;
+            ids.push(id);
+        }
+    }
+    if ids.is_empty() {
+        return Err("suppression names no lint ids".into());
+    }
+    let reason = reason.ok_or("suppression is missing its reason=\"...\"")?;
+    Ok((ids, reason))
+}
+
+/// Split on commas that are not inside the reason string.
+fn split_args(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    out.push(cur);
+    out
+}
+
+/// Drop findings covered by a suppression, marking those suppressions used.
+/// Returns the surviving findings; afterwards, unused suppressions are the
+/// caller's D000s.
+pub fn apply(findings: Vec<Finding>, sups: &mut [Suppression]) -> Vec<Finding> {
+    findings
+        .into_iter()
+        .filter(|f| {
+            for s in sups.iter_mut() {
+                if s.target_line == f.line && s.ids.contains(&f.id) {
+                    s.used = true;
+                    return false;
+                }
+            }
+            true
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Role;
+
+    fn ctx(src: &str) -> FileCtx {
+        FileCtx::new("crates/c/src/a.rs", "c", Role::Library, src)
+    }
+
+    #[test]
+    fn trailing_suppression_covers_its_line() {
+        let c = ctx("let x = m.get(&k); // distinct-lint: allow(D002, reason=\"checked above\")");
+        let (sups, bad) = collect(&c);
+        assert!(bad.is_empty());
+        assert_eq!(sups.len(), 1);
+        assert_eq!(sups[0].target_line, 1);
+        assert_eq!(sups[0].ids, vec![LintId::D002]);
+        assert_eq!(sups[0].reason, "checked above");
+    }
+
+    #[test]
+    fn standalone_suppression_covers_next_line() {
+        let c = ctx(
+            "// distinct-lint: allow(D001, reason=\"integer counts only\")\nfor v in m.values() {}",
+        );
+        let (sups, bad) = collect(&c);
+        assert!(bad.is_empty());
+        assert_eq!(sups[0].target_line, 2);
+    }
+
+    #[test]
+    fn multiple_ids() {
+        let c = ctx("x(); // distinct-lint: allow(D002, D004, reason=\"why, and more\")");
+        let (sups, bad) = collect(&c);
+        assert!(bad.is_empty());
+        assert_eq!(sups[0].ids, vec![LintId::D002, LintId::D004]);
+        assert_eq!(sups[0].reason, "why, and more");
+    }
+
+    #[test]
+    fn missing_reason_is_d000() {
+        let c = ctx("x(); // distinct-lint: allow(D002)");
+        let (sups, bad) = collect(&c);
+        assert!(sups.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].id, LintId::D000);
+    }
+
+    #[test]
+    fn empty_reason_is_d000() {
+        let c = ctx("x(); // distinct-lint: allow(D002, reason=\"  \")");
+        let (_, bad) = collect(&c);
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn unknown_id_is_d000() {
+        let c = ctx("x(); // distinct-lint: allow(D042, reason=\"nope\")");
+        let (_, bad) = collect(&c);
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn apply_consumes_matching_findings() {
+        let c = ctx("bad(); // distinct-lint: allow(D002, reason=\"proven\")");
+        let (mut sups, _) = collect(&c);
+        let fs = vec![
+            Finding {
+                id: LintId::D002,
+                file: "f".into(),
+                line: 1,
+                message: "m".into(),
+            },
+            Finding {
+                id: LintId::D002,
+                file: "f".into(),
+                line: 9,
+                message: "m".into(),
+            },
+        ];
+        let left = apply(fs, &mut sups);
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].line, 9);
+        assert!(sups[0].used);
+    }
+}

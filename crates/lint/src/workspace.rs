@@ -1,0 +1,91 @@
+//! Workspace discovery: find the root, walk it, classify every `.rs` file.
+
+use crate::model::{classify, FileCtx};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Locate the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` contains a `[workspace]` table.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Collect every analyzable `.rs` file under `root`, in sorted path order
+/// so reports and the baseline are stable. Skips `target/`, `vendor/`,
+/// hidden directories, and the lint fixtures (see [`classify`]).
+pub fn collect_files(root: &Path) -> Result<Vec<FileCtx>, String> {
+    let mut paths = Vec::new();
+    walk(root, root, &mut paths)?;
+    paths.sort();
+    let mut out = Vec::new();
+    for rel in paths {
+        let Some((crate_name, role)) = classify(&rel) else {
+            continue;
+        };
+        let src = fs::read_to_string(root.join(&rel)).map_err(|e| format!("read {rel}: {e}"))?;
+        out.push(FileCtx::new(&rel, &crate_name, role, &src));
+    }
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir entry: {e}"))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || name == "target" || name == "vendor" {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("strip_prefix: {e}"))?
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace() {
+        let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+        assert!(root.join("Cargo.toml").exists());
+        let files = collect_files(&root).expect("collect");
+        // The workspace certainly contains its own core pipeline.
+        assert!(files
+            .iter()
+            .any(|f| f.path == "crates/core/src/pipeline.rs"));
+        // And never the vendored stubs or lint fixtures.
+        assert!(files.iter().all(|f| !f.path.starts_with("vendor/")));
+        assert!(files
+            .iter()
+            .all(|f| !f.path.starts_with("crates/lint/tests/fixtures/")));
+        // Sorted, so reports are stable run to run.
+        let mut sorted: Vec<_> = files.iter().map(|f| f.path.clone()).collect();
+        sorted.sort();
+        assert_eq!(
+            sorted,
+            files.iter().map(|f| f.path.clone()).collect::<Vec<_>>()
+        );
+    }
+}

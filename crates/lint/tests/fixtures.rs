@@ -1,0 +1,165 @@
+//! Fixture-based self-tests for the lint passes.
+//!
+//! Each `tests/fixtures/*.rs` file declares its virtual workspace location
+//! in `//@` header comments and its expected findings as `//~ D00x`
+//! markers on the offending lines. The harness lexes the fixture exactly
+//! as the real driver would (passes, then suppressions, then
+//! unused-suppression D000s) and asserts the (lint, line) multiset matches
+//! the markers — no more, no less. The fixtures directory itself is
+//! excluded from real workspace scans by `model::classify`.
+
+use lint::catalog::{Finding, LintId};
+use lint::model::{FileCtx, Role};
+use lint::{passes, suppress};
+use std::path::{Path, PathBuf};
+
+struct Fixture {
+    name: String,
+    path: String,
+    crate_name: String,
+    role: Role,
+    src: String,
+    /// Expected (lint, 1-based line) pairs, from the `//~` markers.
+    expected: Vec<(LintId, u32)>,
+}
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn parse_fixture(name: &str, src: &str) -> Fixture {
+    let mut path = None;
+    let mut crate_name = None;
+    let mut role = Role::Library;
+    let mut expected = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        if let Some(rest) = line.trim().strip_prefix("//@") {
+            let (key, value) = rest
+                .split_once(':')
+                .unwrap_or_else(|| panic!("{name}:{lineno}: malformed `//@` header"));
+            let value = value.trim().to_string();
+            match key.trim() {
+                "path" => path = Some(value),
+                "crate" => crate_name = Some(value),
+                "role" => {
+                    role = match value.as_str() {
+                        "library" => Role::Library,
+                        "test" => Role::Test,
+                        "example" => Role::Example,
+                        "bench" => Role::Bench,
+                        "bin" => Role::Bin,
+                        other => panic!("{name}:{lineno}: unknown role `{other}`"),
+                    }
+                }
+                other => panic!("{name}:{lineno}: unknown header `{other}`"),
+            }
+        }
+        if let Some(pos) = line.find("//~") {
+            for word in line[pos + 3..].split_whitespace() {
+                let id = LintId::parse(word)
+                    .unwrap_or_else(|| panic!("{name}:{lineno}: bad marker id `{word}`"));
+                expected.push((id, lineno));
+            }
+        }
+    }
+    Fixture {
+        name: name.to_string(),
+        path: path.unwrap_or_else(|| panic!("{name}: missing `//@ path:` header")),
+        crate_name: crate_name.unwrap_or_else(|| panic!("{name}: missing `//@ crate:` header")),
+        role,
+        src: src.to_string(),
+        expected,
+    }
+}
+
+/// Run one fixture through the same per-file pipeline `lint::analyze` uses:
+/// passes, suppression application, then unused suppressions as D000s.
+fn findings_for(f: &Fixture) -> Vec<(LintId, u32)> {
+    let ctx = FileCtx::new(&f.path, &f.crate_name, f.role, &f.src);
+    let (mut sups, malformed) = suppress::collect(&ctx);
+    let mut findings: Vec<Finding> = malformed;
+    findings.extend(suppress::apply(passes::run_all(&ctx), &mut sups));
+    for s in &sups {
+        if !s.used {
+            findings.push(Finding {
+                id: LintId::D000,
+                file: ctx.path.clone(),
+                line: s.comment_line,
+                message: "unused suppression".into(),
+            });
+        }
+    }
+    let mut out: Vec<(LintId, u32)> = findings.iter().map(|f| (f.id, f.line)).collect();
+    out.sort_by_key(|&(id, line)| (line, id));
+    out
+}
+
+fn load_fixtures() -> Vec<Fixture> {
+    let dir = fixtures_dir();
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .to_string_lossy()
+                .into_owned()
+        })
+        .filter(|n| n.ends_with(".rs"))
+        .collect();
+    names.sort();
+    names
+        .iter()
+        .map(|n| {
+            let src = std::fs::read_to_string(dir.join(n)).expect("read fixture");
+            parse_fixture(n, &src)
+        })
+        .collect()
+}
+
+#[test]
+fn every_fixture_matches_its_markers() {
+    let fixtures = load_fixtures();
+    assert!(
+        fixtures.len() >= 9,
+        "expected the full fixture set, found {}",
+        fixtures.len()
+    );
+    for f in &fixtures {
+        let mut expected = f.expected.clone();
+        expected.sort_by_key(|&(id, line)| (line, id));
+        let got = findings_for(f);
+        assert_eq!(
+            got, expected,
+            "{}: findings disagree with //~ markers\n  got:      {:?}\n  expected: {:?}",
+            f.name, got, expected
+        );
+    }
+}
+
+#[test]
+fn fixtures_cover_every_lint() {
+    let fixtures = load_fixtures();
+    let seen: std::collections::BTreeSet<LintId> = fixtures
+        .iter()
+        .flat_map(|f| f.expected.iter().map(|&(id, _)| id))
+        .collect();
+    for id in LintId::ALL {
+        assert!(
+            seen.contains(&id),
+            "no fixture exercises {id:?}; add a `//~ {}` case",
+            id.name()
+        );
+    }
+}
+
+#[test]
+fn fixture_paths_are_invisible_to_real_scans() {
+    // The known-bad fixtures live under the one directory `classify`
+    // blinds itself to; if that exclusion regresses, every fixture
+    // violation becomes workspace debt.
+    assert_eq!(
+        lint::model::classify("crates/lint/tests/fixtures/d001_hash_order.rs"),
+        None
+    );
+}

@@ -1,0 +1,33 @@
+//@ crate: relgraph
+//@ path: crates/relgraph/src/bad_d001.rs
+//@ role: library
+
+use rustc_hash::FxHashMap;
+
+/// Accumulates f64 in hash order: the textbook determinism bug.
+pub fn total(weights: &FxHashMap<u32, f64>) -> f64 {
+    let mut t = 0.0;
+    for (_, w) in weights { //~ D001
+        t += w;
+    }
+    t
+}
+
+/// Reduces a hash iterator directly — same bug, iterator-chain shape.
+pub fn total_chain(weights: &FxHashMap<u32, f64>) -> f64 {
+    weights.values().sum() //~ D001
+}
+
+/// Emits output rows in hash order.
+pub fn rows(weights: &FxHashMap<u32, f64>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (k, _) in weights { //~ D001
+        out.push(*k);
+    }
+    out
+}
+
+/// Ordered iteration is fine: BTreeMap walks in key order.
+pub fn total_sorted(by_node: &std::collections::BTreeMap<u32, f64>) -> f64 {
+    by_node.values().sum()
+}

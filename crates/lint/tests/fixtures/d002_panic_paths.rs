@@ -1,0 +1,33 @@
+//@ crate: core
+//@ path: crates/core/src/bad_d002.rs
+//@ role: library
+
+/// Panics on empty input instead of returning a typed error.
+pub fn head(xs: &[f64]) -> f64 {
+    let first = xs.first().unwrap(); //~ D002
+    first + xs[0] //~ D002
+}
+
+/// Aborts on a branch the author believed unreachable.
+pub fn pick(mode: u8) -> &'static str {
+    match mode {
+        0 => "resemblance",
+        1 => "walk",
+        _ => panic!("unknown mode {mode}"), //~ D002
+    }
+}
+
+/// Message-carrying expect is still a panic path.
+pub fn lookup(xs: &[f64], i: usize) -> f64 {
+    *xs.get(i).expect("index out of range") //~ D002
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_in_test_code_are_fine() {
+        let v = [1.0];
+        assert_eq!(*v.first().unwrap(), v[0]);
+        assert_eq!(super::pick(0), "resemblance");
+    }
+}

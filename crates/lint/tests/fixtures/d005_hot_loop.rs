@@ -1,0 +1,35 @@
+//@ crate: svm
+//@ path: crates/svm/src/smo.rs
+//@ role: library
+
+/// Optimizes without ever consulting the work budget: cancellation and
+/// deadlines cannot land while this runs.
+pub fn iterate(xs: &[f64]) -> f64 { //~ D005
+    let mut acc = 0.0;
+    for x in xs {
+        acc += x;
+    }
+    acc
+}
+
+/// A guard parameter marks the budget as threaded through.
+pub fn iterate_guarded(xs: &[f64], guard: &mut dyn FnMut(u64) -> bool) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        if !guard(1) {
+            break;
+        }
+        acc += x;
+    }
+    acc
+}
+
+/// Charging a RunControl inside the loop also satisfies the pass.
+pub fn iterate_charging(xs: &[f64], ctl: &RunControl) -> Option<f64> {
+    let mut acc = 0.0;
+    for x in xs {
+        ctl.charge(1)?;
+        acc += x;
+    }
+    Some(acc)
+}

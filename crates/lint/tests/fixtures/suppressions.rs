@@ -1,0 +1,28 @@
+//@ crate: cluster
+//@ path: crates/cluster/src/suppressed.rs
+//@ role: library
+
+/// A proven-safe unwrap, allowed with its invariant as the reason: the
+/// finding is consumed and nothing surfaces.
+pub fn covered(xs: &[f64]) -> f64 {
+    // distinct-lint: allow(D002, reason="caller guarantees xs is non-empty")
+    xs.first().unwrap() + 1.0
+}
+
+/// Trailing-comment form covers its own line.
+pub fn covered_inline(xs: &[f64]) -> f64 {
+    xs.first().unwrap() + 2.0 // distinct-lint: allow(D002, reason="caller guarantees xs is non-empty")
+}
+
+/// An allow that matches nothing must surface as D000 so dead
+/// suppressions cannot accumulate.
+pub fn stale_allow() -> u32 {
+    // distinct-lint: allow(D004, reason="left behind after a refactor") //~ D000
+    7
+}
+
+/// An allow without a reason is malformed: D000 at the comment.
+pub fn lazy_allow(xs: &[f64]) -> f64 {
+    // distinct-lint: allow(D002) //~ D000
+    xs.first().unwrap() //~ D002
+}

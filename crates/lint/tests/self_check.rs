@@ -1,0 +1,123 @@
+//! The analyzer turned on itself: the real workspace must be exactly as
+//! clean as `lint.toml` says it is, the crate graph must stay acyclic,
+//! and the shipped binary must fail loudly on seeded violations.
+
+use lint::graph::CrateGraph;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    lint::workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("lint crate lives inside the workspace")
+}
+
+/// The CI gate in library form: no new findings, no stale baseline
+/// entries, no suppression-hygiene (D000) debt. An exact match — if a
+/// finding was fixed, the baseline must be ratcheted down too.
+#[test]
+fn workspace_is_exactly_as_clean_as_the_baseline() {
+    let outcome = lint::check(&workspace_root()).expect("check runs");
+    assert!(
+        outcome.diff.is_clean(),
+        "workspace drifted from lint.toml\n  new debt: {:#?}\n  stale: {:?}",
+        outcome.diff.new_debt,
+        outcome.diff.stale
+    );
+}
+
+#[test]
+fn crate_graph_is_acyclic_with_exec_below_core() {
+    let g = CrateGraph::load(&workspace_root()).expect("graph loads");
+    let order = g.topo_order().expect("workspace crate graph is acyclic");
+    let pos = |dir: &str| {
+        order
+            .iter()
+            .position(|c| c == dir)
+            .unwrap_or_else(|| panic!("crate `{dir}` missing from topo order"))
+    };
+    // The layering D003 enforces textually, structurally: the exec pool
+    // underlies core, which underlies nothing below it.
+    assert!(pos("exec") < pos("core"));
+    assert!(pos("relstore") < pos("relgraph"));
+}
+
+/// Drive the real `lint` binary over a scratch workspace seeded with
+/// D001/D002/D003 violations: check fails with each ID reported, the
+/// baseline ratchet accepts the debt, new debt fails again, and removing
+/// a baselined finding without ratcheting down is itself an error.
+#[test]
+fn binary_fails_on_seeded_violations_and_ratchets() {
+    let scratch =
+        std::env::temp_dir().join(format!("distinct-lint-selfcheck-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let src_dir = scratch.join("crates/app/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir scratch workspace");
+    std::fs::write(scratch.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+
+    let seeded = "\
+use rustc_hash::FxHashMap;
+
+pub fn total(weights: &FxHashMap<u32, f64>) -> f64 {
+    weights.values().sum()
+}
+
+pub fn head(xs: &[f64]) -> f64 {
+    xs.first().unwrap()
+}
+
+pub fn go() {
+    std::thread::spawn(|| {});
+}
+";
+    let lib = src_dir.join("lib.rs");
+    std::fs::write(&lib, seeded).expect("write seeded lib");
+
+    let run = |args: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_lint"))
+            .args(args)
+            .arg("--root")
+            .arg(&scratch)
+            .output()
+            .expect("spawn lint binary");
+        let text = format!(
+            "{}{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (out.status.code(), text)
+    };
+
+    // 1. No baseline: every seeded violation is new debt, exit 1.
+    let (code, text) = run(&["check"]);
+    assert_eq!(code, Some(1), "seeded workspace must fail check:\n{text}");
+    for id in ["D001", "D002", "D003"] {
+        assert!(text.contains(id), "missing {id} in:\n{text}");
+    }
+
+    // 2. Ratchet the debt in, then check is clean.
+    let (code, text) = run(&["check", "--fix-baseline"]);
+    assert_eq!(code, Some(0), "fix-baseline failed:\n{text}");
+    let (code, text) = run(&["check"]);
+    assert_eq!(code, Some(0), "baselined workspace must pass:\n{text}");
+
+    // 3. New debt on top of the baseline still fails.
+    std::fs::write(
+        &lib,
+        format!("{seeded}\npub fn more(xs: &[f64]) -> f64 {{\n    xs.last().unwrap()\n}}\n"),
+    )
+    .expect("append new debt");
+    let (code, text) = run(&["check"]);
+    assert_eq!(code, Some(1), "new debt must fail:\n{text}");
+    assert!(text.contains("D002"), "new unwrap not reported:\n{text}");
+
+    // 4. Fixing a finding without ratcheting the baseline down is stale.
+    std::fs::write(&lib, seeded.replace("xs.first().unwrap()", "42.0")).expect("fix a finding");
+    let (code, text) = run(&["check"]);
+    assert_eq!(code, Some(1), "stale baseline must fail:\n{text}");
+    assert!(
+        text.contains("[stale]"),
+        "stale entry not reported:\n{text}"
+    );
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}

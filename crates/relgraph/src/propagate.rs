@@ -37,9 +37,12 @@ impl Propagation {
     }
 
     /// Total forward mass (≤ 1; < 1 only if some walk dead-ends, e.g. a
-    /// null foreign key).
+    /// null foreign key). Summed in ascending node order so the value is
+    /// independent of the map's insertion history (lint D001).
     pub fn total_forward(&self) -> f64 {
-        self.forward.values().sum()
+        let mut terms: Vec<(NodeId, f64)> = self.forward.iter().map(|(&n, &p)| (n, p)).collect();
+        terms.sort_unstable_by_key(|&(n, _)| n);
+        terms.iter().map(|&(_, p)| p).sum()
     }
 
     /// True if no neighbor tuples were reached.
@@ -78,6 +81,7 @@ pub fn propagate_blocked(
     blocked: &[NodeId],
 ) -> Propagation {
     propagate_blocked_guarded(graph, catalog, path, origin, blocked, &mut |_| true)
+        // distinct-lint: allow(D002, reason="guard is the constant true closure above, so the traversal can never be abandoned")
         .expect("permissive guard never stops propagation")
 }
 
@@ -114,7 +118,13 @@ pub fn propagate_blocked_guarded(
         }
         let src_rel = rels[i];
         let mut next: FxHashMap<NodeId, f64> = FxHashMap::default();
-        for (&u, &p) in &frontier {
+        // Expand the frontier in ascending node order: several sources can
+        // deposit mass on the same target, and f64 `+=` is order-sensitive,
+        // so hash-order expansion would make the low-order bits of `next`
+        // depend on the frontier map's insertion history (lint D001).
+        let mut expand: Vec<(NodeId, f64)> = frontier.iter().map(|(&u, &p)| (u, p)).collect();
+        expand.sort_unstable_by_key(|&(u, _)| u);
+        for (u, p) in expand {
             let nbrs = graph.step_neighbors(*step, u, src_rel);
             if nbrs.is_empty() {
                 continue; // dead end: mass is lost (e.g. null FK)
@@ -144,6 +154,10 @@ pub fn propagate_blocked_guarded(
         let rev = step.reversed();
         let rev_src_rel = rels[i + 1];
         let mut g_next: FxHashMap<NodeId, f64> = FxHashMap::default();
+        // Each `u` gets an independent entry and `acc` sums over the
+        // deterministic reverse-neighbor slice, so iteration order cannot
+        // affect any value — only the map's (unobserved) internal layout.
+        // distinct-lint: allow(D001, reason="per-key insert with no cross-key accumulation; acc sums a deterministic slice")
         for &u in levels[i + 1].keys() {
             let nbrs = graph.step_neighbors(rev, u, rev_src_rel);
             debug_assert!(!nbrs.is_empty(), "reached tuple has no reverse neighbor");

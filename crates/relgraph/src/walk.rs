@@ -18,19 +18,31 @@ use crate::propagate::Propagation;
 
 /// Directed walk probability `Walk_P(a → b)`: leave `a` forward along the
 /// path, return to `b` along the reverse path.
+///
+/// The cross terms are summed in ascending node order (not hash-map
+/// iteration order): float addition is not associative, so a hash-ordered
+/// sum would let the maps' insertion history perturb low-order bits and
+/// break the bit-identical-at-any-thread-count guarantee (lint D001).
 pub fn directed_walk(a: &Propagation, b: &Propagation) -> f64 {
     // Iterate over the smaller support.
-    if a.forward.len() <= b.backward.len() {
-        a.forward
-            .iter()
-            .map(|(n, &fa)| fa * b.backward.get(n).copied().unwrap_or(0.0))
-            .sum()
-    } else {
-        b.backward
-            .iter()
-            .map(|(n, &bb)| bb * a.forward.get(n).copied().unwrap_or(0.0))
-            .sum()
-    }
+    let (small, large): (Vec<(crate::graph::NodeId, f64)>, _) =
+        if a.forward.len() <= b.backward.len() {
+            (
+                a.forward.iter().map(|(&n, &w)| (n, w)).collect(),
+                &b.backward,
+            )
+        } else {
+            (
+                b.backward.iter().map(|(&n, &w)| (n, w)).collect(),
+                &a.forward,
+            )
+        };
+    let mut terms = small;
+    terms.sort_unstable_by_key(|&(n, _)| n);
+    terms
+        .iter()
+        .map(|&(n, w)| w * large.get(&n).copied().unwrap_or(0.0))
+        .sum()
 }
 
 /// Symmetrized walk probability between two references along one path.

@@ -245,3 +245,65 @@ fn world_5_supervised_weights() {
         true,
     );
 }
+
+/// Regression for the sorted-iteration (lint D001) conversion of
+/// `WeightedSet`: the resemblance of two sets must be **bit-identical**
+/// however their backing maps were populated — f64 addition is not
+/// associative, and the old hash-order accumulation let insertion history
+/// perturb low-order bits — and must still agree with the oracle's
+/// literal Definition-2 union walk.
+#[test]
+fn resemblance_is_insertion_order_invariant_and_matches_oracle() {
+    use oracle::Mass;
+    use relgraph::{NodeId, WeightedSet};
+    use relstore::{RelId, TupleId, TupleRef};
+
+    // Deterministic pseudo-random weights over a moderately large support.
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 + 1e-6
+    };
+    let a_pairs: Vec<(u32, f64)> = (0..200).map(|i| (i * 3 % 251, next())).collect();
+    let b_pairs: Vec<(u32, f64)> = (0..180).map(|i| (i * 7 % 251, next())).collect();
+
+    let build = |pairs: &[(u32, f64)]| -> WeightedSet {
+        pairs.iter().map(|&(n, w)| (NodeId(n), w)).collect()
+    };
+    // Three insertion orders: as generated, reversed, and odd-then-even.
+    let orders = |pairs: &[(u32, f64)]| -> Vec<Vec<(u32, f64)>> {
+        let rev: Vec<_> = pairs.iter().rev().copied().collect();
+        let mut split: Vec<_> = pairs.iter().skip(1).step_by(2).copied().collect();
+        split.extend(pairs.iter().step_by(2).copied());
+        vec![pairs.to_vec(), rev, split]
+    };
+
+    let reference = build(&a_pairs).resemblance(&build(&b_pairs));
+    for ao in orders(&a_pairs) {
+        for bo in orders(&b_pairs) {
+            let r = build(&ao).resemblance(&build(&bo));
+            assert_eq!(
+                r.to_bits(),
+                reference.to_bits(),
+                "insertion order changed resemblance: {r} vs {reference}"
+            );
+        }
+    }
+
+    // And the production value still matches the oracle's literal
+    // Definition-2 accumulation over the sorted union.
+    let mass = |pairs: &[(u32, f64)]| -> Mass {
+        let mut m = Mass::new();
+        for &(n, w) in pairs {
+            *m.entry(TupleRef::new(RelId(0), TupleId(n))).or_insert(0.0) += w;
+        }
+        m
+    };
+    let oracle_r = oracle::weighted_jaccard(&mass(&a_pairs), &mass(&b_pairs));
+    assert!(
+        (reference - oracle_r).abs() < 1e-12,
+        "core {reference} vs oracle {oracle_r}"
+    );
+}
