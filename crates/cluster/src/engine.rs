@@ -292,7 +292,7 @@ pub fn agglomerate_exec<M: Merger + Sync>(
     if completed {
         let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
         for (_, local) in chunks {
-            // distinct-lint: allow(D002, reason="stats.stopped was checked above; a complete run leaves every chunk Some by the exec pool contract")
+            // distinct-lint: allow(D002, D101, reason="stats.stopped was checked above; a complete run leaves every chunk Some by the exec pool contract")
             heap.extend(local.expect("complete seeding has no refused chunks"));
         }
         let mut g = |units: u64| guard(units);

@@ -103,6 +103,7 @@ impl Distinct {
         let attr = self.ref_attr_index();
         let mut order: Vec<Value> = Vec::new();
         let mut by_name: FxHashMap<Value, Vec<TupleRef>> = FxHashMap::default();
+        // distinct-lint: allow(D104, reason="single grouping scan over the reference relation; per-name budget charging starts in the resolve stage below, which dominates")
         for (tid, t) in rel.iter() {
             let v = t.get(attr);
             if v.is_null() {

@@ -156,7 +156,7 @@ fn train_one(
     };
     let kernel_model = train_smo_guarded(&scaled, Kernel::Linear, &cfg, guard)?;
     let accuracy = kernel_model.accuracy(&scaled);
-    // distinct-lint: allow(D002, reason="kernel is Kernel::Linear two lines up, and to_linear is total for linear kernels")
+    // distinct-lint: allow(D002, D101, reason="kernel is Kernel::Linear two lines up, and to_linear is total for linear kernels")
     let linear = kernel_model.to_linear().expect("linear kernel collapses");
     // Undo the global scale (a uniform rescaling: relative weights are
     // unchanged, and they are normalized downstream anyway).

@@ -118,7 +118,7 @@ impl DistinctMerger {
         let mut resem = vec![vec![0.0; n]; n];
         let mut dwalk = vec![vec![0.0; n]; n];
         for (range, vals) in chunks {
-            // distinct-lint: allow(D002, reason="stats.stopped was checked above; a complete run leaves every chunk Some by the exec pool contract")
+            // distinct-lint: allow(D002, D101, reason="stats.stopped was checked above; a complete run leaves every chunk Some by the exec pool contract")
             let vals = vals.expect("complete run has no refused chunks");
             for (k, (r, dij, dji)) in range.zip(vals) {
                 let (i, j) = exec::triangle_pair(n, k);

@@ -134,7 +134,7 @@ impl World {
     pub fn generate(config: WorldConfig) -> World {
         config
             .validate()
-            .unwrap_or_else(|e| panic!("invalid WorldConfig: {e}"));
+            .unwrap_or_else(|e| panic!("invalid WorldConfig: {e}")); // distinct-lint: allow(D002, reason="failing fast on an invalid test config is the generator's contract; dev-only crate, never on the resolve path")
         let mut rng = StdRng::seed_from_u64(config.seed);
 
         // --- Venues & publishers -----------------------------------------

@@ -3,7 +3,9 @@
 use std::fmt;
 
 /// Lint identifiers. `D000` is the meta-lint about the suppression
-/// machinery itself; `D001`–`D007` guard the project invariants.
+/// machinery itself; `D001`–`D007` guard the project invariants with
+/// per-file token scans, and `D101`–`D104` are the interprocedural
+/// (call-graph-backed) lints run by `check --semantic`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)] // the catalog below documents each variant
 pub enum LintId {
@@ -15,6 +17,10 @@ pub enum LintId {
     D005,
     D006,
     D007,
+    D101,
+    D102,
+    D103,
+    D104,
 }
 
 /// How bad a violation is. `Deny` findings fail the build outright (after
@@ -29,7 +35,7 @@ pub enum Severity {
 
 impl LintId {
     /// All registered lints, in ID order.
-    pub const ALL: [LintId; 8] = [
+    pub const ALL: [LintId; 12] = [
         LintId::D000,
         LintId::D001,
         LintId::D002,
@@ -38,6 +44,10 @@ impl LintId {
         LintId::D005,
         LintId::D006,
         LintId::D007,
+        LintId::D101,
+        LintId::D102,
+        LintId::D103,
+        LintId::D104,
     ];
 
     /// Parse `"D001"` (case-insensitive) into an ID.
@@ -57,6 +67,10 @@ impl LintId {
             LintId::D005 => "D005",
             LintId::D006 => "D006",
             LintId::D007 => "D007",
+            LintId::D101 => "D101",
+            LintId::D102 => "D102",
+            LintId::D103 => "D103",
+            LintId::D104 => "D104",
         }
     }
 
@@ -71,6 +85,10 @@ impl LintId {
             LintId::D005 => Severity::Warn,
             LintId::D006 => Severity::Warn,
             LintId::D007 => Severity::Warn,
+            LintId::D101 => Severity::Deny,
+            LintId::D102 => Severity::Warn,
+            LintId::D103 => Severity::Deny,
+            LintId::D104 => Severity::Warn,
         }
     }
 
@@ -85,6 +103,10 @@ impl LintId {
             LintId::D005 => "loop in a budget-scoped hot path without a guard",
             LintId::D006 => "lossy float cast or f32 reduction in numeric code",
             LintId::D007 => "public API item without a doc comment in crates/core",
+            LintId::D101 => "panic path reachable from resolve()/train() on the call graph",
+            LintId::D102 => "unsanitized probability arithmetic flowing to a cluster sink",
+            LintId::D103 => "inconsistent lock order or lock held across a channel send",
+            LintId::D104 => "loop on a charge-free call path from a pipeline entry point",
         }
     }
 
@@ -162,6 +184,57 @@ impl LintId {
                  guards rustdoc-visible items; this pass keeps the invariant \
                  in the same report as the rest and covers macro-generated \
                  gaps rustc misses."
+            }
+            LintId::D101 => {
+                "The semantic refinement of D002: a panic site (unwrap/expect/\
+                 panic!/literal index) in library code is only a defect when \
+                 the workspace call graph can actually reach it from a public \
+                 `Distinct::resolve*`/`train*` entry point — those are the \
+                 paths PR 1's graceful-degradation contract protects. The \
+                 resolver over-approximates (method calls match by name, \
+                 constrained to the caller's normal-dependency closure), so a \
+                 D101 finding means `no proof of unreachability`, and every \
+                 finding names one concrete call chain from the entry point. \
+                 Fix: return a typed error along that chain, or prove the \
+                 invariant in an allow(D101) reason."
+            }
+            LintId::D102 => {
+                "Definitions 2–3 of the paper require set-resemblance and \
+                 walk probabilities to stay inside [0,1]; downstream, \
+                 crates/cluster compares them against thresholds, so an \
+                 out-of-range or NaN value silently corrupts clustering \
+                 decisions. A function whose name or doc comment marks it as \
+                 probability-valued, whose body does range-risky arithmetic \
+                 (+, *, /, exp, powf, sum) with no in-body sanitizer \
+                 (clamp / debug_assert! / min+max pair), and which the \
+                 clustering engine transitively calls, is flagged at its \
+                 definition. Fix: debug_assert! the range (cheap, checked in \
+                 the overflow CI profile) or clamp at the boundary."
+            }
+            LintId::D103 => {
+                "The 16-way sharded ProfileCache and the exec pool's channels \
+                 mix locks with message passing; a cycle in the lock-\
+                 acquisition order, or a lock held across a blocking \
+                 `.send(...)`, is a deadlock that only manifests under \
+                 contention. The pass extracts per-function lock acquisitions \
+                 (`.lock()`/`.read()`/`.write()` with empty argument lists), \
+                 propagates held-lock sets through calls (a `let`-bound guard \
+                 is assumed held to end of function — an over-approximation), \
+                 and flags ordering cycles and held-across-send sites. Fix: \
+                 keep lock scopes single-statement (as ProfileCache does), \
+                 impose one global acquisition order, or drop guards before \
+                 sending."
+            }
+            LintId::D104 => {
+                "The semantic refinement of D005: a loop only starves \
+                 cancellation if some call path from a public resolve*/train* \
+                 entry point reaches it without ever passing a budget charge \
+                 (a guard parameter, or a guard/shared_guard/charge/status \
+                 call). Leaf helpers whose every caller charges per item are \
+                 proven safe by the graph instead of needing a syntactic \
+                 allow. A finding names the charge-free chain. Fix: charge \
+                 the budget somewhere on that chain, or allow(D104) with the \
+                 proof if the path is infeasible."
             }
         }
     }

@@ -1,12 +1,48 @@
 //! Crate/module graph of the workspace, built by parsing each member's
 //! `Cargo.toml` with the same minimal hand-rolled TOML reading used for
-//! the baseline. Drives the `graph` subcommand and the layering
-//! assertions in the self-check suite.
+//! the baseline. Drives the `graph` subcommand, the layering assertions
+//! in the self-check suite, and the call-graph resolver's
+//! dependency-closure constraint.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
+
+/// A workspace-loading failure. These are fatal: a half-loaded graph
+/// would silently weaken every check built on it (a crate missing from
+/// the graph is a crate whose panics the semantic passes cannot see).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A filesystem read failed.
+    Io {
+        /// What was being read.
+        context: String,
+        /// The underlying error text.
+        reason: String,
+    },
+    /// A directory under `crates/` has no `Cargo.toml`.
+    MissingManifest {
+        /// The offending directory name.
+        dir: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io { context, reason } => write!(f, "{context}: {reason}"),
+            GraphError::MissingManifest { dir } => write!(
+                f,
+                "crates/{dir}/ has no Cargo.toml — every directory under crates/ \
+                 must be a workspace member (remove strays or add a manifest)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
 
 /// One workspace member crate.
 #[derive(Debug, Clone)]
@@ -15,8 +51,13 @@ pub struct CrateNode {
     pub dir: String,
     /// `[package] name` from the manifest (e.g. `distinct`).
     pub package: String,
-    /// Workspace-internal dependencies, as directory names, sorted.
+    /// Workspace-internal dependencies (normal + dev), as directory
+    /// names, sorted.
     pub deps: Vec<String>,
+    /// Workspace-internal `[dependencies]` only (no dev-dependencies),
+    /// sorted. The call-graph resolver uses these: a dev-only dependency
+    /// cannot be reached from shipping library code.
+    pub normal_deps: Vec<String>,
     /// `.rs` modules under `src/`, workspace-relative, sorted.
     pub modules: Vec<String>,
 }
@@ -30,26 +71,47 @@ pub struct CrateGraph {
 
 impl CrateGraph {
     /// Build the graph by scanning `crates/*/Cargo.toml` under `root`.
-    pub fn load(root: &Path) -> Result<CrateGraph, String> {
+    /// Any directory under `crates/` without a manifest is a fatal
+    /// [`GraphError::MissingManifest`].
+    pub fn load(root: &Path) -> Result<CrateGraph, GraphError> {
         // Dependency keys in member manifests are workspace aliases
         // (`cluster.workspace = true`), which match the directory names,
         // so the alias set is just the directory listing.
         let crates_dir = root.join("crates");
-        let mut dirs: Vec<String> = fs::read_dir(&crates_dir)
-            .map_err(|e| format!("read_dir crates/: {e}"))?
-            .filter_map(|e| e.ok())
-            .filter(|e| e.path().join("Cargo.toml").exists())
-            .map(|e| e.file_name().to_string_lossy().into_owned())
-            .collect();
+        let mut dirs: Vec<String> = Vec::new();
+        let entries = fs::read_dir(&crates_dir).map_err(|e| GraphError::Io {
+            context: "read_dir crates/".into(),
+            reason: e.to_string(),
+        })?;
+        for entry in entries {
+            let entry = entry.map_err(|e| GraphError::Io {
+                context: "read_dir crates/ entry".into(),
+                reason: e.to_string(),
+            })?;
+            if !entry.path().is_dir() {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with('.') {
+                continue;
+            }
+            if !entry.path().join("Cargo.toml").exists() {
+                return Err(GraphError::MissingManifest { dir: name });
+            }
+            dirs.push(name);
+        }
         dirs.sort();
 
         let mut graph = CrateGraph::default();
         for dir in &dirs {
             let manifest_path = crates_dir.join(dir).join("Cargo.toml");
-            let text = fs::read_to_string(&manifest_path)
-                .map_err(|e| format!("read {}: {e}", manifest_path.display()))?;
+            let text = fs::read_to_string(&manifest_path).map_err(|e| GraphError::Io {
+                context: format!("read {}", manifest_path.display()),
+                reason: e.to_string(),
+            })?;
             let mut package = String::new();
             let mut deps = Vec::new();
+            let mut normal_deps = Vec::new();
             let mut section = String::new();
             for raw in text.lines() {
                 let line = raw.trim();
@@ -67,12 +129,18 @@ impl CrateGraph {
                 if section == "dependencies" || section == "dev-dependencies" {
                     // `cluster.workspace = true` or `cluster = { workspace = true }`
                     let dep = key.split('.').next().unwrap_or(key).to_string();
-                    if dirs.contains(&dep) && !deps.contains(&dep) {
-                        deps.push(dep);
+                    if dirs.contains(&dep) {
+                        if !deps.contains(&dep) {
+                            deps.push(dep.clone());
+                        }
+                        if section == "dependencies" && !normal_deps.contains(&dep) {
+                            normal_deps.push(dep);
+                        }
                     }
                 }
             }
             deps.sort();
+            normal_deps.sort();
             let mut modules = Vec::new();
             collect_modules(root, &crates_dir.join(dir).join("src"), &mut modules);
             modules.sort();
@@ -82,11 +150,31 @@ impl CrateGraph {
                     dir: dir.clone(),
                     package,
                     deps,
+                    normal_deps,
                     modules,
                 },
             );
         }
         Ok(graph)
+    }
+
+    /// The transitive closure of `dir`'s *normal* dependencies, including
+    /// `dir` itself. Library code in `dir` can only name items from these
+    /// crates, which bounds what a call site may resolve to.
+    pub fn normal_closure(&self, dir: &str) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        let mut stack = vec![dir.to_string()];
+        while let Some(d) = stack.pop() {
+            if !out.insert(d.clone()) {
+                continue;
+            }
+            if let Some(node) = self.nodes.get(&d) {
+                for dep in &node.normal_deps {
+                    stack.push(dep.clone());
+                }
+            }
+        }
+        out
     }
 
     /// Return the members in dependency order, or the cycle that prevents
@@ -195,5 +283,40 @@ mod tests {
         let pos = |n: &str| order.iter().position(|x| x == n).unwrap_or(usize::MAX);
         assert!(pos("exec") < pos("core"));
         assert!(pos("relgraph") < pos("core"));
+    }
+
+    #[test]
+    fn normal_deps_exclude_dev_only_edges() {
+        let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("root");
+        let g = CrateGraph::load(&root).expect("graph");
+        // datagen is a dev-dependency of core: present in the union,
+        // absent from the normal edge set and the normal closure.
+        assert!(g.nodes["core"].deps.contains(&"datagen".to_string()));
+        assert!(!g.nodes["core"].normal_deps.contains(&"datagen".to_string()));
+        let closure = g.normal_closure("core");
+        assert!(closure.contains("relgraph"));
+        assert!(closure.contains("cluster"));
+        assert!(closure.contains("relstore"));
+        assert!(!closure.contains("datagen"));
+        assert!(!closure.contains("oracle"));
+    }
+
+    #[test]
+    fn missing_manifest_is_fatal() {
+        let scratch =
+            std::env::temp_dir().join(format!("distinct-lint-graph-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&scratch);
+        fs::create_dir_all(scratch.join("crates/ghost/src")).expect("mkdir");
+        fs::write(scratch.join("Cargo.toml"), "[workspace]\n").expect("manifest");
+        fs::write(scratch.join("crates/ghost/src/lib.rs"), "").expect("lib");
+        let err = CrateGraph::load(&scratch).expect_err("must fail");
+        assert_eq!(
+            err,
+            GraphError::MissingManifest {
+                dir: "ghost".into()
+            }
+        );
+        assert!(err.to_string().contains("ghost"));
+        let _ = fs::remove_dir_all(&scratch);
     }
 }

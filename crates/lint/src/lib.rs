@@ -9,19 +9,58 @@
 //! the checked-in debt baseline ([`baseline`]). The [`graph`] module maps
 //! the crate topology for the `graph` subcommand and the layering
 //! self-checks.
+//!
+//! `check --semantic` swaps the per-file panic (D002) and loop-guard
+//! (D005) scans for their interprocedural refinements: [`parse`] recovers
+//! function items from the token stream, [`symbols`] resolves call sites
+//! across crates, [`callgraph`] runs reachability (D101/D104), and
+//! [`taint`]/[`locks`] add probability-range (D102) and lock-order
+//! (D103) analyses on the same graph.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod catalog;
 pub mod graph;
 pub mod lexer;
+pub mod locks;
 pub mod model;
+pub mod parse;
 pub mod passes;
 pub mod suppress;
+pub mod symbols;
+pub mod taint;
 pub mod workspace;
 
 use baseline::{Baseline, Diff};
 use catalog::{Finding, LintId};
+use std::collections::BTreeMap;
 use std::path::Path;
+
+/// Which analysis the run performs. The two modes share D000/D001/D003/
+/// D004/D006/D007; syntactic mode adds the per-file D002/D005 scans,
+/// semantic mode replaces them with the call-graph lints D101–D104.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Per-file token scans only (`check`).
+    Syntactic,
+    /// Per-file scans minus D002/D005, plus the interprocedural passes
+    /// (`check --semantic`).
+    Semantic,
+}
+
+impl Mode {
+    /// Whether `id` can fire in this mode. Baseline entries and
+    /// suppressions naming only inactive lints are ignored, not stale.
+    pub fn is_active(self, id: LintId) -> bool {
+        match self {
+            Mode::Syntactic => !matches!(
+                id,
+                LintId::D101 | LintId::D102 | LintId::D103 | LintId::D104
+            ),
+            Mode::Semantic => !matches!(id, LintId::D002 | LintId::D005),
+        }
+    }
+}
 
 /// Result of analyzing the whole workspace (before baseline resolution).
 #[derive(Debug)]
@@ -35,22 +74,43 @@ pub struct Analysis {
     pub suppressions_used: usize,
 }
 
-/// Lex, model, lint, and suppress every analyzable file under `root`.
+/// Lex, model, lint, and suppress every analyzable file under `root`
+/// with the syntactic passes.
 pub fn analyze(root: &Path) -> Result<Analysis, String> {
+    analyze_mode(root, Mode::Syntactic)
+}
+
+/// Lex, model, lint, and suppress every analyzable file under `root` in
+/// the given mode.
+pub fn analyze_mode(root: &Path, mode: Mode) -> Result<Analysis, String> {
     let ctxs = workspace::collect_files(root)?;
+    // Semantic findings land on concrete files/lines, so they flow
+    // through the same per-file suppression machinery as everything else.
+    let mut semantic: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    if mode == Mode::Semantic {
+        let ws = symbols::Workspace::from_workspace(root, &ctxs).map_err(|e| e.to_string())?;
+        let graph = callgraph::CallGraph::build(ws);
+        for f in callgraph::run_semantic(&graph) {
+            semantic.entry(f.file.clone()).or_default().push(f);
+        }
+    }
     let mut findings = Vec::new();
     let mut suppressions_used = 0usize;
     let files = ctxs.len();
     for ctx in &ctxs {
         let (mut sups, malformed) = suppress::collect(ctx);
         findings.extend(malformed);
-        let raw = passes::run_all(ctx);
+        let mut raw = match mode {
+            Mode::Syntactic => passes::run_all(ctx),
+            Mode::Semantic => passes::run_semantic_file(ctx),
+        };
+        raw.extend(semantic.remove(&ctx.path).unwrap_or_default());
         let kept = suppress::apply(raw, &mut sups);
         findings.extend(kept);
         for s in &sups {
             if s.used {
                 suppressions_used += 1;
-            } else {
+            } else if s.ids.iter().any(|id| mode.is_active(*id)) {
                 findings.push(Finding {
                     id: LintId::D000,
                     file: ctx.path.clone(),
@@ -62,6 +122,8 @@ pub fn analyze(root: &Path) -> Result<Analysis, String> {
                     ),
                 });
             }
+            // A suppression naming only lints this mode never runs (e.g.
+            // allow(D002) under --semantic) is neither used nor unused.
         }
     }
     findings.sort_by(|a, b| (&a.file, a.line, a.id).cmp(&(&b.file, b.line, b.id)));
@@ -77,23 +139,30 @@ pub fn analyze(root: &Path) -> Result<Analysis, String> {
 pub struct CheckOutcome {
     /// The underlying analysis.
     pub analysis: Analysis,
-    /// The baseline that was applied (empty if `lint.toml` is absent).
+    /// The baseline that was applied (empty if `lint.toml` is absent),
+    /// restricted to this mode's active lints.
     pub baseline: Baseline,
     /// Exact-count comparison result; clean means exit 0.
     pub diff: Diff,
 }
 
-/// Run the full check: analyze, load `lint.toml` (missing file means an
-/// empty baseline), and diff.
+/// Run the full syntactic check: analyze, load `lint.toml` (missing file
+/// means an empty baseline), and diff.
 pub fn check(root: &Path) -> Result<CheckOutcome, String> {
-    let analysis = analyze(root)?;
-    let baseline_path = root.join("lint.toml");
-    let baseline = if baseline_path.exists() {
-        let text =
-            std::fs::read_to_string(&baseline_path).map_err(|e| format!("read lint.toml: {e}"))?;
-        Baseline::parse(&text)?
-    } else {
-        Baseline::default()
+    check_mode(root, Mode::Syntactic)
+}
+
+/// Run the full check in the given mode. Baseline entries for lints the
+/// mode does not run are ignored rather than reported stale.
+pub fn check_mode(root: &Path, mode: Mode) -> Result<CheckOutcome, String> {
+    let analysis = analyze_mode(root, mode)?;
+    let full = load_baseline(root)?;
+    let baseline = Baseline {
+        entries: full
+            .entries
+            .into_iter()
+            .filter(|((id, _), _)| mode.is_active(*id))
+            .collect(),
     };
     let diff = baseline.diff(&analysis.findings);
     Ok(CheckOutcome {
@@ -103,18 +172,40 @@ pub fn check(root: &Path) -> Result<CheckOutcome, String> {
     })
 }
 
-/// Rewrite `lint.toml` to exactly cover the current findings. Returns the
-/// number of baselined findings. D000s are never baselined and make this
-/// fail, so a broken suppression cannot be ratcheted in.
+/// Rewrite `lint.toml` to exactly cover the current syntactic findings.
 pub fn fix_baseline(root: &Path) -> Result<usize, String> {
-    let analysis = analyze(root)?;
+    fix_baseline_mode(root, Mode::Syntactic)
+}
+
+/// Rewrite `lint.toml` to exactly cover the current findings in `mode`,
+/// preserving existing entries for lints the mode does not run (so a
+/// semantic `--fix-baseline` cannot silently drop syntactic debt, and
+/// vice versa). Returns the number of baselined findings. D000s are never
+/// baselined and make this fail, so a broken suppression cannot be
+/// ratcheted in.
+pub fn fix_baseline_mode(root: &Path, mode: Mode) -> Result<usize, String> {
+    let analysis = analyze_mode(root, mode)?;
     if let Some(d0) = analysis.findings.iter().find(|f| f.id == LintId::D000) {
         return Err(format!(
             "cannot baseline suppression-hygiene findings; fix them first: {d0}"
         ));
     }
-    let baseline = Baseline::from_findings(&analysis.findings);
+    let mut baseline = Baseline::from_findings(&analysis.findings);
+    for ((id, file), count) in load_baseline(root)?.entries {
+        if !mode.is_active(id) {
+            baseline.entries.insert((id, file), count);
+        }
+    }
     std::fs::write(root.join("lint.toml"), baseline.render())
         .map_err(|e| format!("write lint.toml: {e}"))?;
     Ok(analysis.findings.len())
+}
+
+fn load_baseline(root: &Path) -> Result<Baseline, String> {
+    let path = root.join("lint.toml");
+    if !path.exists() {
+        return Ok(Baseline::default());
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("read lint.toml: {e}"))?;
+    Baseline::parse(&text)
 }

@@ -1,0 +1,285 @@
+//! D103 — lock-order consistency. Builds a global lock-ordering digraph
+//! from per-function acquisition facts: an edge `A → B` means some code
+//! path acquires `B` while holding `A` (directly, or through a call whose
+//! callee transitively acquires `B`). A cycle in that digraph is a
+//! potential deadlock; so is a lock held across a blocking `.send(..)`.
+//! Locks are identified by their textual receiver label — two sites with
+//! the same label are conservatively the same lock, and differently
+//! labelled aliases are missed (stated in the catalog rationale).
+
+use crate::callgraph::CallGraph;
+use crate::catalog::{Finding, LintId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One ordering edge with the site that witnesses it.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Edge {
+    held: String,
+    acquired: String,
+    file: String,
+    line: u32,
+}
+
+/// Fixpoint over the call graph: the set of lock labels each function may
+/// acquire (itself or transitively), and whether it may send.
+fn transitive_effects(graph: &CallGraph) -> (Vec<BTreeSet<String>>, Vec<bool>) {
+    let ws = &graph.ws;
+    let n = ws.fns.len();
+    let mut acquires: Vec<BTreeSet<String>> = (0..n)
+        .map(|i| {
+            ws.fns[i]
+                .facts
+                .locks
+                .iter()
+                .map(|l| l.label.clone())
+                .collect()
+        })
+        .collect();
+    let mut sends: Vec<bool> = (0..n).map(|i| !ws.fns[i].facts.sends.is_empty()).collect();
+    // The graph may be cyclic (recursion), so iterate to a fixpoint;
+    // label sets only grow, so this terminates.
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            for &j in &graph.edges[i] {
+                if sends[j] && !sends[i] {
+                    sends[i] = true;
+                    changed = true;
+                }
+                if !acquires[j].is_subset(&acquires[i]) {
+                    let add: Vec<String> = acquires[j].difference(&acquires[i]).cloned().collect();
+                    acquires[i].extend(add);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return (acquires, sends);
+        }
+    }
+}
+
+/// Run the D103 pass over a built call graph.
+pub fn d103_lock_order(graph: &CallGraph) -> Vec<Finding> {
+    let ws = &graph.ws;
+    let (acquires, sends) = transitive_effects(graph);
+    let mut edges: BTreeSet<Edge> = BTreeSet::new();
+    let mut findings = Vec::new();
+    for (i, f) in ws.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        for lock in &f.facts.locks {
+            let held = (lock.idx, lock.hold_end);
+            // Later direct acquisitions inside the hold range.
+            for other in &f.facts.locks {
+                if other.idx > held.0 && other.idx < held.1 && other.label != lock.label {
+                    edges.insert(Edge {
+                        held: lock.label.clone(),
+                        acquired: other.label.clone(),
+                        file: f.file.clone(),
+                        line: other.line,
+                    });
+                }
+            }
+            // Calls made while holding: the callee's transitive acquires
+            // happen under this lock, and a transitive send blocks under it.
+            for call in &f.facts.calls {
+                if call.idx <= held.0 || call.idx >= held.1 {
+                    continue;
+                }
+                for &j in &graph.edges[i] {
+                    // Only callees this call site resolves to.
+                    if !ws.resolve(i, call).contains(&j) {
+                        continue;
+                    }
+                    for label in &acquires[j] {
+                        if label != &lock.label {
+                            edges.insert(Edge {
+                                held: lock.label.clone(),
+                                acquired: label.clone(),
+                                file: f.file.clone(),
+                                line: call.line,
+                            });
+                        }
+                    }
+                    if sends[j] {
+                        findings.push(Finding {
+                            id: LintId::D103,
+                            file: f.file.clone(),
+                            line: call.line,
+                            message: format!(
+                                "lock `{}` held across call to `{}` which may send on a channel",
+                                lock.label,
+                                ws.qual(j)
+                            ),
+                        });
+                    }
+                }
+            }
+            // Direct sends inside the hold range.
+            for &(line, idx) in &f.facts.sends {
+                if idx > held.0 && idx < held.1 {
+                    findings.push(Finding {
+                        id: LintId::D103,
+                        file: f.file.clone(),
+                        line,
+                        message: format!("lock `{}` held across `.send(..)`", lock.label),
+                    });
+                }
+            }
+        }
+    }
+    // Cycle detection on the label digraph: flag each edge that closes a
+    // cycle (its target can already reach its source).
+    let mut succ: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in &edges {
+        succ.entry(e.held.as_str())
+            .or_default()
+            .insert(e.acquired.as_str());
+    }
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(u) = stack.pop() {
+            if u == to {
+                return true;
+            }
+            if !seen.insert(u) {
+                continue;
+            }
+            if let Some(next) = succ.get(u) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    };
+    for e in &edges {
+        if reaches(e.acquired.as_str(), e.held.as_str()) {
+            findings.push(Finding {
+                id: LintId::D103,
+                file: e.file.clone(),
+                line: e.line,
+                message: format!(
+                    "acquiring `{}` while holding `{}` closes a lock-order cycle",
+                    e.acquired, e.held
+                ),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, &a.message).cmp(&(&b.file, b.line, &b.message)));
+    findings.dedup();
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FileCtx, Role};
+    use crate::symbols::Workspace;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn graph(files: &[(&str, &str, &str)]) -> CallGraph {
+        let ctxs: Vec<FileCtx> = files
+            .iter()
+            .map(|(p, k, s)| FileCtx::new(p, k, Role::Library, s))
+            .collect();
+        let refs: Vec<&FileCtx> = ctxs.iter().collect();
+        let dirs: BTreeSet<String> = files.iter().map(|(_, k, _)| k.to_string()).collect();
+        let mut closures = BTreeMap::new();
+        for d in &dirs {
+            closures.insert(d.clone(), dirs.clone());
+        }
+        CallGraph::build(Workspace::build(&refs, BTreeMap::new(), closures))
+    }
+
+    #[test]
+    fn opposite_acquisition_orders_cycle() {
+        let g = graph(&[(
+            "crates/exec/src/pool.rs",
+            "exec",
+            "\
+fn ab(&self) { let a = self.a.lock(); let b = self.b.lock(); }
+fn ba(&self) { let b = self.b.lock(); let a = self.a.lock(); }
+",
+        )]);
+        let findings = d103_lock_order(&g);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("lock-order cycle")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let g = graph(&[(
+            "crates/exec/src/pool.rs",
+            "exec",
+            "\
+fn ab(&self) { let a = self.a.lock(); let b = self.b.lock(); }
+fn also_ab(&self) { let a = self.a.lock(); let b = self.b.lock(); }
+",
+        )]);
+        assert!(d103_lock_order(&g).is_empty());
+    }
+
+    #[test]
+    fn send_under_lock_direct_and_through_call() {
+        let g = graph(&[(
+            "crates/exec/src/pool.rs",
+            "exec",
+            "\
+fn direct(&self) { let a = self.state.lock(); self.tx.send(1); }
+fn indirect(&self) { let a = self.state.lock(); self.notify(); }
+fn notify(&self) { self.tx.send(2); }
+",
+        )]);
+        let findings = d103_lock_order(&g);
+        assert!(
+            findings.iter().any(|f| f.message.contains("`.send(..)`")),
+            "{findings:?}"
+        );
+        assert!(
+            findings.iter().any(|f| f.message.contains("may send")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn cross_function_cycle_through_calls() {
+        // f holds A and calls g (acquires B); h holds B and calls k
+        // (acquires A): A→B and B→A through the graph.
+        let g = graph(&[(
+            "crates/exec/src/pool.rs",
+            "exec",
+            "\
+fn f(&self) { let a = self.a.lock(); self.grab_b(); }
+fn grab_b(&self) { let b = self.b.lock(); }
+fn h(&self) { let b = self.b.lock(); self.grab_a(); }
+fn grab_a(&self) { let a = self.a.lock(); }
+",
+        )]);
+        let findings = d103_lock_order(&g);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("lock-order cycle")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn single_statement_scopes_do_not_overlap() {
+        // ProfileCache style: guard dropped at end of statement.
+        let g = graph(&[(
+            "crates/relstore/src/cache.rs",
+            "relstore",
+            "\
+fn put(&self, k: u64, v: V) { self.shard(k).lock().insert(k, v); self.other(k).lock().remove(&k); }
+",
+        )]);
+        assert!(d103_lock_order(&g).is_empty());
+    }
+}

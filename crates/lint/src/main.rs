@@ -2,50 +2,108 @@
 //!
 //! Commands:
 //!   check                 lint the workspace against lint.toml (exit 1 on debt)
+//!   check --semantic      swap D002/D005 for the call-graph lints D101-D104
 //!   check --fix-baseline  rewrite lint.toml to match current findings
+//!   call-graph            print the resolved call graph as GraphViz DOT
+//!   call-graph --reach F  list everything reachable from functions matching F
 //!   --explain <ID>        print the rationale behind a lint
 //!   graph                 print the workspace crate/module graph
 //!
-//! Exit codes: 0 clean, 1 findings, 2 usage or internal error.
+//! Exit codes: 0 clean, 1 findings (or an empty --reach match), 2 usage
+//! or internal error.
 
 use lint::catalog::{LintId, Severity};
 use lint::graph::CrateGraph;
+use lint::Mode;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let strs: Vec<&str> = args.iter().map(String::as_str).collect();
-    match strs.as_slice() {
-        ["check"] => run_check(false, None),
-        ["check", "--fix-baseline"] | ["--fix-baseline", "check"] => run_check(true, None),
-        ["check", "--root", root] => run_check(false, Some(root)),
-        ["check", "--fix-baseline", "--root", root]
-        | ["check", "--root", root, "--fix-baseline"] => run_check(true, Some(root)),
-        ["--explain", id] | ["explain", id] => explain(id),
-        ["graph"] => graph(),
-        [] | ["--help" | "-h" | "help"] => {
+    match strs.split_first() {
+        Some((&"check", rest)) => match parse_check_flags(rest) {
+            Ok((mode, fix, root)) => run_check(mode, fix, root.as_deref()),
+            Err(e) => usage_error(&e),
+        },
+        Some((&"call-graph", rest)) => match parse_callgraph_flags(rest) {
+            Ok((reach, root)) => run_callgraph(reach.as_deref(), root.as_deref()),
+            Err(e) => usage_error(&e),
+        },
+        Some((&"graph", rest)) => match parse_root_only(rest) {
+            Ok(root) => graph(root.as_deref()),
+            Err(e) => usage_error(&e),
+        },
+        Some((&("--explain" | "explain"), [id])) => explain(id),
+        None | Some((&("--help" | "-h" | "help"), [])) => {
             print!("{USAGE}");
             ExitCode::SUCCESS
         }
-        other => {
-            eprintln!("lint: unrecognized arguments: {}\n{USAGE}", other.join(" "));
-            ExitCode::from(2)
-        }
+        _ => usage_error(&format!("unrecognized arguments: {}", strs.join(" "))),
     }
 }
 
 const USAGE: &str = "\
-distinct-lint: workspace invariant checks (D001..D007)
+distinct-lint: workspace invariant checks (D001..D007 per-file, D101..D104 semantic)
 
 usage: cargo run -p lint -- <command>
 
   check                 lint the workspace, resolve against lint.toml
+  check --semantic      interprocedural mode: D101..D104 replace D002/D005
   check --fix-baseline  regenerate lint.toml from current findings
   check --root <dir>    lint a different workspace root (used by self-tests)
-  --explain <D00x>      print a lint's rationale and sanctioned fixes
+  call-graph            print the resolved call graph as GraphViz DOT
+  call-graph --reach <fn>  list functions reachable from <fn> (substring match)
+  --explain <Dxxx>      print a lint's rationale and sanctioned fixes
   graph                 print the crate/module dependency graph
 ";
+
+fn parse_check_flags(rest: &[&str]) -> Result<(Mode, bool, Option<String>), String> {
+    let mut mode = Mode::Syntactic;
+    let mut fix = false;
+    let mut root = None;
+    let mut it = rest.iter();
+    while let Some(&flag) = it.next() {
+        match flag {
+            "--semantic" => mode = Mode::Semantic,
+            "--fix-baseline" => fix = true,
+            "--root" => match it.next() {
+                Some(&r) => root = Some(r.to_string()),
+                None => return Err("--root needs a directory".into()),
+            },
+            other => return Err(format!("unrecognized check flag `{other}`")),
+        }
+    }
+    Ok((mode, fix, root))
+}
+
+fn parse_callgraph_flags(rest: &[&str]) -> Result<(Option<String>, Option<String>), String> {
+    let mut reach = None;
+    let mut root = None;
+    let mut it = rest.iter();
+    while let Some(&flag) = it.next() {
+        match flag {
+            "--reach" => match it.next() {
+                Some(&q) => reach = Some(q.to_string()),
+                None => return Err("--reach needs a function name".into()),
+            },
+            "--root" => match it.next() {
+                Some(&r) => root = Some(r.to_string()),
+                None => return Err("--root needs a directory".into()),
+            },
+            other => return Err(format!("unrecognized call-graph flag `{other}`")),
+        }
+    }
+    Ok((reach, root))
+}
+
+fn parse_root_only(rest: &[&str]) -> Result<Option<String>, String> {
+    match rest {
+        [] => Ok(None),
+        ["--root", r] => Ok(Some((*r).to_string())),
+        other => Err(format!("unrecognized arguments: {}", other.join(" "))),
+    }
+}
 
 fn workspace_root() -> Result<PathBuf, String> {
     // Prefer the compile-time manifest location (correct under
@@ -58,16 +116,20 @@ fn workspace_root() -> Result<PathBuf, String> {
     lint::workspace::find_root(&cwd).ok_or_else(|| "no workspace root found".into())
 }
 
-fn run_check(fix: bool, root_override: Option<&str>) -> ExitCode {
-    let root = match root_override {
-        Some(r) => PathBuf::from(r),
-        None => match workspace_root() {
-            Ok(r) => r,
-            Err(e) => return internal(&e),
-        },
+fn resolve_root(root_override: Option<&str>) -> Result<PathBuf, String> {
+    match root_override {
+        Some(r) => Ok(PathBuf::from(r)),
+        None => workspace_root(),
+    }
+}
+
+fn run_check(mode: Mode, fix: bool, root_override: Option<&str>) -> ExitCode {
+    let root = match resolve_root(root_override) {
+        Ok(r) => r,
+        Err(e) => return internal(&e),
     };
     if fix {
-        return match lint::fix_baseline(&root) {
+        return match lint::fix_baseline_mode(&root, mode) {
             Ok(n) => {
                 println!("lint: wrote lint.toml covering {n} finding(s)");
                 ExitCode::SUCCESS
@@ -75,14 +137,18 @@ fn run_check(fix: bool, root_override: Option<&str>) -> ExitCode {
             Err(e) => internal(&e),
         };
     }
-    let outcome = match lint::check(&root) {
+    let outcome = match lint::check_mode(&root, mode) {
         Ok(o) => o,
         Err(e) => return internal(&e),
+    };
+    let label = match mode {
+        Mode::Syntactic => "lint",
+        Mode::Semantic => "lint[semantic]",
     };
     let baselined = outcome.analysis.findings.len() - outcome.diff.new_debt.len();
     if outcome.diff.is_clean() {
         println!(
-            "lint: clean — {} files, {} finding(s) baselined, {} suppression(s) in use",
+            "{label}: clean — {} files, {} finding(s) baselined, {} suppression(s) in use",
             outcome.analysis.files, baselined, outcome.analysis.suppressions_used
         );
         return ExitCode::SUCCESS;
@@ -101,13 +167,45 @@ fn run_check(fix: bool, root_override: Option<&str>) -> ExitCode {
         );
     }
     println!(
-        "lint: FAILED — {} new finding(s), {} stale baseline entr(y/ies) \
+        "{label}: FAILED — {} new finding(s), {} stale baseline entr(y/ies) \
          ({} files scanned; use `--explain <ID>` for rationale)",
         outcome.diff.new_debt.len(),
         outcome.diff.stale.len(),
         outcome.analysis.files
     );
     ExitCode::FAILURE
+}
+
+fn run_callgraph(reach: Option<&str>, root_override: Option<&str>) -> ExitCode {
+    let root = match resolve_root(root_override) {
+        Ok(r) => r,
+        Err(e) => return internal(&e),
+    };
+    let ctxs = match lint::workspace::collect_files(&root) {
+        Ok(c) => c,
+        Err(e) => return internal(&e),
+    };
+    let ws = match lint::symbols::Workspace::from_workspace(&root, &ctxs) {
+        Ok(w) => w,
+        Err(e) => return internal(&e.to_string()),
+    };
+    let graph = lint::callgraph::CallGraph::build(ws);
+    match reach {
+        Some(query) => {
+            print!("{}", graph.reach_report(query));
+            if graph.find_fns(query).is_empty() {
+                // A vanished root is a failure (CI uses this to assert the
+                // resolve spine still exists).
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        None => {
+            print!("{}", graph.to_dot());
+            ExitCode::SUCCESS
+        }
+    }
 }
 
 fn explain(id: &str) -> ExitCode {
@@ -131,8 +229,8 @@ fn explain(id: &str) -> ExitCode {
     }
 }
 
-fn graph() -> ExitCode {
-    let root = match workspace_root() {
+fn graph(root_override: Option<&str>) -> ExitCode {
+    let root = match resolve_root(root_override) {
         Ok(r) => r,
         Err(e) => return internal(&e),
     };
@@ -141,8 +239,13 @@ fn graph() -> ExitCode {
             print!("{}", g.render());
             ExitCode::SUCCESS
         }
-        Err(e) => internal(&e),
+        Err(e) => internal(&e.to_string()),
     }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
 }
 
 fn internal(msg: &str) -> ExitCode {

@@ -33,7 +33,7 @@ pub const NUMERIC_CRATES: [&str; 5] = ["core", "cluster", "svm", "relgraph", "ev
 /// `Instant::now` control flow (D004).
 pub const CLOCK_HOME: &str = "crates/core/src/control.rs";
 
-/// Run every pass over one file.
+/// Run every syntactic pass over one file.
 pub fn run_all(ctx: &FileCtx) -> Vec<Finding> {
     let mut out = Vec::new();
     d001_hash_order(ctx, &mut out);
@@ -41,6 +41,20 @@ pub fn run_all(ctx: &FileCtx) -> Vec<Finding> {
     d003_raw_threads(ctx, &mut out);
     d004_wall_clock(ctx, &mut out);
     d005_unguarded_hot_loops(ctx, &mut out);
+    d006_lossy_floats(ctx, &mut out);
+    d007_missing_docs(ctx, &mut out);
+    out.sort_by_key(|f| (f.line, f.id));
+    out
+}
+
+/// Run the per-file passes that still apply under `check --semantic`.
+/// D002 and D005 are omitted: their interprocedural refinements D101 and
+/// D104 replace them at workspace scope.
+pub fn run_semantic_file(ctx: &FileCtx) -> Vec<Finding> {
+    let mut out = Vec::new();
+    d001_hash_order(ctx, &mut out);
+    d003_raw_threads(ctx, &mut out);
+    d004_wall_clock(ctx, &mut out);
     d006_lossy_floats(ctx, &mut out);
     d007_missing_docs(ctx, &mut out);
     out.sort_by_key(|f| (f.line, f.id));
@@ -282,14 +296,15 @@ fn d001_hash_order(ctx: &FileCtx, out: &mut Vec<Finding>) {
 
 // ---------------------------------------------------------------- D002 --
 
-/// Panic paths in non-test library code.
-fn d002_panic_paths(ctx: &FileCtx, out: &mut Vec<Finding>) {
-    if !ctx.is_library() {
-        return;
-    }
+/// Scan the token range `[from, to)` for panic sites: `.unwrap()`-family
+/// method calls, `panic!`-family macros, and indexing by integer literal.
+/// Test-masked tokens are skipped. Shared by the per-file D002 pass and
+/// the interprocedural D101 pass (which scans function bodies).
+pub fn panic_sites(ctx: &FileCtx, from: usize, to: usize) -> Vec<(u32, String)> {
     let toks = &ctx.toks;
-    let n = toks.len();
-    for i in 0..n {
+    let n = toks.len().min(to);
+    let mut out = Vec::new();
+    for i in from..n {
         if ctx.in_test(i) || toks[i].kind != TokKind::Ident {
             continue;
         }
@@ -303,22 +318,12 @@ fn d002_panic_paths(ctx: &FileCtx, out: &mut Vec<Finding>) {
             "unwrap" | "expect" | "unwrap_err" | "expect_err"
                 if prev_dot && next < n && toks[next].is_punct('(') =>
             {
-                out.push(finding(
-                    ctx,
-                    LintId::D002,
-                    t.line,
-                    format!("`.{}()` can panic", t.text),
-                ));
+                out.push((t.line, format!("`.{}()` can panic", t.text)));
             }
             "panic" | "unreachable" | "todo" | "unimplemented"
                 if next < n && toks[next].is_punct('!') && !prev_dot =>
             {
-                out.push(finding(
-                    ctx,
-                    LintId::D002,
-                    t.line,
-                    format!("`{}!` in library code", t.text),
-                ));
+                out.push((t.line, format!("`{}!` in library code", t.text)));
             }
             _ => {}
         }
@@ -331,14 +336,23 @@ fn d002_panic_paths(ctx: &FileCtx, out: &mut Vec<Finding>) {
             let lit = ctx.next_code(next);
             let close = ctx.next_code(lit);
             if lit < n && toks[lit].kind == TokKind::Int && close < n && toks[close].is_punct(']') {
-                out.push(finding(
-                    ctx,
-                    LintId::D002,
+                out.push((
                     t.line,
                     format!("indexing by literal `[{}]` can panic", toks[lit].text),
                 ));
             }
         }
+    }
+    out
+}
+
+/// Panic paths in non-test library code.
+fn d002_panic_paths(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !ctx.is_library() {
+        return;
+    }
+    for (line, message) in panic_sites(ctx, 0, ctx.toks.len()) {
+        out.push(finding(ctx, LintId::D002, line, message));
     }
 }
 

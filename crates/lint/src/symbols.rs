@@ -1,0 +1,315 @@
+//! Workspace symbol table: every library function definition, indexed
+//! for call-site resolution under the crate-dependency constraint.
+//!
+//! Resolution is a deliberate over-approximation (it must never miss a
+//! real edge, or D101's "unreachable" proofs would be unsound):
+//!
+//! * a method call `recv.name(..)` resolves to **every** function named
+//!   `name` — receivers are untyped at the token level;
+//! * a path call `a::b::name(..)` resolves to functions named `name`
+//!   whose impl type, crate, or module stem matches every path segment;
+//! * a bare call `name(..)` prefers same-crate functions, falling back
+//!   to the whole dependency closure (for `use`-imported free functions);
+//!
+//! all three constrained to the caller's *normal* dependency closure:
+//! library code in `core` cannot call into `datagen` (a dev-dependency),
+//! so `datagen`'s panic sites stay unreachable from `resolve()`.
+
+use crate::graph::{CrateGraph, GraphError};
+use crate::model::FileCtx;
+use crate::parse::{parse_fns, CallSite, FnDef};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// The parsed workspace: all library functions plus the crate topology
+/// facts resolution needs.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Every library (non-fixture) function definition, in file order.
+    pub fns: Vec<FnDef>,
+    /// Function name → indices into `fns`.
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// Crate directory name → `[package] name`.
+    pub packages: BTreeMap<String, String>,
+    /// Crate directory name → transitive normal-dependency closure
+    /// (directory names, including the crate itself).
+    closures: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl Workspace {
+    /// Build the symbol table from pre-lexed files plus explicit crate
+    /// topology — the constructor fixtures use directly.
+    pub fn build(
+        ctxs: &[&FileCtx],
+        packages: BTreeMap<String, String>,
+        closures: BTreeMap<String, BTreeSet<String>>,
+    ) -> Workspace {
+        let mut fns = Vec::new();
+        for ctx in ctxs {
+            if ctx.is_library() {
+                fns.extend(parse_fns(ctx));
+            }
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        Workspace {
+            fns,
+            by_name,
+            packages,
+            closures,
+        }
+    }
+
+    /// Build from the real workspace: crate topology from
+    /// [`CrateGraph::load`] plus the root package's own manifest.
+    pub fn from_workspace(root: &Path, ctxs: &[FileCtx]) -> Result<Workspace, GraphError> {
+        let graph = CrateGraph::load(root)?;
+        let mut packages = BTreeMap::new();
+        let mut closures = BTreeMap::new();
+        for (dir, node) in &graph.nodes {
+            packages.insert(dir.clone(), node.package.clone());
+            closures.insert(dir.clone(), graph.normal_closure(dir));
+        }
+        // The root package (crate dir `.`): name and normal deps from the
+        // top-level manifest, if it declares a package at all.
+        let (root_pkg, root_deps) = root_package(root, &graph)?;
+        if let Some(pkg) = root_pkg {
+            packages.insert(".".into(), pkg);
+        }
+        let mut root_closure: BTreeSet<String> = BTreeSet::new();
+        root_closure.insert(".".into());
+        for dep in root_deps {
+            root_closure.extend(graph.normal_closure(&dep));
+        }
+        closures.insert(".".into(), root_closure);
+        let refs: Vec<&FileCtx> = ctxs.iter().collect();
+        Ok(Workspace::build(&refs, packages, closures))
+    }
+
+    /// Qualified display name: `package::Type::name` (package falls back
+    /// to the directory name).
+    pub fn qual(&self, i: usize) -> String {
+        let f = &self.fns[i];
+        let pkg = self
+            .packages
+            .get(&f.crate_dir)
+            .cloned()
+            .unwrap_or_else(|| f.crate_dir.clone());
+        match &f.impl_type {
+            Some(ty) => format!("{pkg}::{ty}::{}", f.name),
+            None => format!("{pkg}::{}", f.name),
+        }
+    }
+
+    /// Whether `target_dir` is inside the caller crate's normal
+    /// dependency closure.
+    fn in_closure(&self, caller_dir: &str, target_dir: &str) -> bool {
+        match self.closures.get(caller_dir) {
+            Some(c) => c.contains(target_dir),
+            // Unknown crate (scratch workspaces without manifests): only
+            // same-crate calls resolve.
+            None => caller_dir == target_dir,
+        }
+    }
+
+    /// Candidate callees for one call site inside `fns[caller]`.
+    pub fn resolve(&self, caller: usize, call: &CallSite) -> Vec<usize> {
+        let caller_dir = self.fns[caller].crate_dir.clone();
+        let Some(cands) = self.by_name.get(&call.name) else {
+            return Vec::new();
+        };
+        let visible: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&i| {
+                !self.fns[i].is_test && self.in_closure(&caller_dir, &self.fns[i].crate_dir)
+            })
+            .collect();
+        if call.is_method {
+            return visible;
+        }
+        if !call.path.is_empty() {
+            return visible
+                .into_iter()
+                .filter(|&i| {
+                    call.path
+                        .iter()
+                        .all(|seg| self.segment_matches(i, seg, caller))
+                })
+                .collect();
+        }
+        // Bare call: same-crate first, dependency closure as fallback.
+        let same: Vec<usize> = visible
+            .iter()
+            .copied()
+            .filter(|&i| self.fns[i].crate_dir == caller_dir)
+            .collect();
+        if !same.is_empty() {
+            same
+        } else {
+            visible
+        }
+    }
+
+    /// Whether one path segment is consistent with candidate `i`:
+    /// `crate`/`self`/`Self` always match; otherwise the segment must
+    /// name the candidate's impl type, crate directory, package, or
+    /// module file stem.
+    fn segment_matches(&self, i: usize, seg: &str, caller: usize) -> bool {
+        if matches!(seg, "crate" | "self" | "Self" | "super") {
+            // `Self::` must stay inside the caller's impl type when both
+            // are known; the cheap approximation is same-file.
+            if seg == "Self" {
+                let (c, t) = (&self.fns[caller], &self.fns[i]);
+                if let (Some(ct), Some(tt)) = (&c.impl_type, &t.impl_type) {
+                    return ct == tt;
+                }
+            }
+            return true;
+        }
+        let f = &self.fns[i];
+        if f.impl_type.as_deref() == Some(seg) || f.crate_dir == seg {
+            return true;
+        }
+        if self.packages.get(&f.crate_dir).map(String::as_str) == Some(seg) {
+            return true;
+        }
+        // Module stem: `crates/relstore/src/persist.rs` → `persist`.
+        let stem = f
+            .file
+            .rsplit('/')
+            .next()
+            .and_then(|n| n.strip_suffix(".rs"))
+            .unwrap_or("");
+        stem == seg
+    }
+}
+
+/// Read the root manifest's `[package] name` and workspace-internal
+/// `[dependencies]` (directory-name aliases).
+fn root_package(
+    root: &Path,
+    graph: &CrateGraph,
+) -> Result<(Option<String>, Vec<String>), GraphError> {
+    let path = root.join("Cargo.toml");
+    let text = std::fs::read_to_string(&path).map_err(|e| GraphError::Io {
+        context: format!("read {}", path.display()),
+        reason: e.to_string(),
+    })?;
+    let mut pkg = None;
+    let mut deps = Vec::new();
+    let mut section = String::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') && line.ends_with(']') {
+            section = line.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        let Some((key, val)) = line.split_once('=') else {
+            continue;
+        };
+        let (key, val) = (key.trim(), val.trim());
+        if section == "package" && key == "name" {
+            pkg = Some(val.trim_matches('"').to_string());
+        }
+        if section == "dependencies" {
+            let dep = key.split('.').next().unwrap_or(key).to_string();
+            if graph.nodes.contains_key(&dep) && !deps.contains(&dep) {
+                deps.push(dep);
+            }
+        }
+    }
+    Ok((pkg, deps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FileCtx, Role};
+
+    fn two_crate_ws() -> (Vec<FileCtx>, Workspace) {
+        let a = FileCtx::new(
+            "crates/core/src/pipeline.rs",
+            "core",
+            Role::Library,
+            "impl Distinct {\n pub fn resolve(&self) { self.deep(); helper(); relgraph::walk::go(1); }\n fn deep(&self) {}\n}\nfn helper() {}\n",
+        );
+        let b = FileCtx::new(
+            "crates/relgraph/src/walk.rs",
+            "relgraph",
+            Role::Library,
+            "pub fn go(n: u32) { x.unwrap(); }\n",
+        );
+        let c = FileCtx::new(
+            "crates/datagen/src/world.rs",
+            "datagen",
+            Role::Library,
+            "pub fn go(n: u32) { panic!(\"boom\"); }\n",
+        );
+        let ctxs = vec![a, b, c];
+        let refs: Vec<&FileCtx> = ctxs.iter().collect();
+        let mut packages = BTreeMap::new();
+        packages.insert("core".to_string(), "distinct".to_string());
+        let mut closures = BTreeMap::new();
+        let cl = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<BTreeSet<_>>();
+        closures.insert("core".into(), cl(&["core", "relgraph"]));
+        closures.insert("relgraph".into(), cl(&["relgraph"]));
+        closures.insert("datagen".into(), cl(&["datagen"]));
+        let ws = Workspace::build(&refs, packages, closures);
+        (ctxs, ws)
+    }
+
+    #[test]
+    fn resolution_respects_dependency_closure() {
+        let (_ctxs, ws) = two_crate_ws();
+        let resolve = ws.fns.iter().position(|f| f.name == "resolve").unwrap();
+        let call_go = ws.fns[resolve]
+            .facts
+            .calls
+            .iter()
+            .find(|c| c.name == "go")
+            .unwrap()
+            .clone();
+        let targets = ws.resolve(resolve, &call_go);
+        // Only the relgraph `go` — datagen is outside the closure.
+        assert_eq!(targets.len(), 1, "{targets:?}");
+        assert_eq!(ws.fns[targets[0]].crate_dir, "relgraph");
+    }
+
+    #[test]
+    fn method_and_bare_calls_resolve() {
+        let (_ctxs, ws) = two_crate_ws();
+        let resolve = ws.fns.iter().position(|f| f.name == "resolve").unwrap();
+        let deep = ws.fns[resolve]
+            .facts
+            .calls
+            .iter()
+            .find(|c| c.name == "deep")
+            .unwrap()
+            .clone();
+        assert_eq!(ws.resolve(resolve, &deep).len(), 1);
+        let helper = ws.fns[resolve]
+            .facts
+            .calls
+            .iter()
+            .find(|c| c.name == "helper")
+            .unwrap()
+            .clone();
+        assert_eq!(ws.resolve(resolve, &helper).len(), 1);
+    }
+
+    #[test]
+    fn qual_uses_package_name() {
+        let (_ctxs, ws) = two_crate_ws();
+        let resolve = ws.fns.iter().position(|f| f.name == "resolve").unwrap();
+        assert_eq!(ws.qual(resolve), "distinct::Distinct::resolve");
+        let go = ws
+            .fns
+            .iter()
+            .position(|f| f.name == "go" && f.crate_dir == "relgraph")
+            .unwrap();
+        assert_eq!(ws.qual(go), "relgraph::go");
+    }
+}

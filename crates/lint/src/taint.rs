@@ -1,0 +1,152 @@
+//! D102 — probability-range taint. A function that *produces* a
+//! probability (by name or doc contract) and does range-risky arithmetic
+//! without an in-body sanitizer is flagged when the clustering engine
+//! transitively consumes it: Definitions 2–3 of the paper require those
+//! values to stay in [0,1] before threshold comparisons.
+
+use crate::callgraph::CallGraph;
+use crate::catalog::{Finding, LintId};
+
+/// Name/doc markers that promise a probability-valued result.
+fn is_probability_fn(name: &str, doc: &str) -> bool {
+    let n = name.to_ascii_lowercase();
+    if ["resemblance", "jaccard", "similarity", "prob"]
+        .iter()
+        .any(|m| n.contains(m))
+    {
+        return true;
+    }
+    let d = doc.to_ascii_lowercase();
+    d.contains("probability") || d.contains("[0,1]") || d.contains("[0, 1]")
+}
+
+/// Run the D102 pass over a built call graph.
+pub fn d102_probability_taint(graph: &CallGraph) -> Vec<Finding> {
+    let ws = &graph.ws;
+    // Sinks: every non-test function in the clustering crate. Reachability
+    // *from* the sinks marks everything clustering may consume.
+    let sinks: Vec<usize> = (0..ws.fns.len())
+        .filter(|&i| ws.fns[i].crate_dir == "cluster" && !ws.fns[i].is_test)
+        .collect();
+    if sinks.is_empty() {
+        return Vec::new();
+    }
+    let parent = graph.reach(&sinks, |_| true);
+    let mut out = Vec::new();
+    for (i, f) in ws.fns.iter().enumerate() {
+        if parent[i].is_none() || f.is_test {
+            continue;
+        }
+        if !is_probability_fn(&f.name, &f.doc) {
+            continue;
+        }
+        if !f.facts.risky_arith || f.facts.sanitizes {
+            continue;
+        }
+        let chain = graph.chain(&parent, i);
+        out.push(Finding {
+            id: LintId::D102,
+            file: f.file.clone(),
+            line: f.line,
+            message: format!(
+                "probability-valued fn `{}` has unsanitized arithmetic; consumed via {chain}",
+                f.name
+            ),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FileCtx, Role};
+    use crate::symbols::Workspace;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn graph(files: &[(&str, &str, &str)]) -> CallGraph {
+        let ctxs: Vec<FileCtx> = files
+            .iter()
+            .map(|(p, k, s)| FileCtx::new(p, k, Role::Library, s))
+            .collect();
+        let refs: Vec<&FileCtx> = ctxs.iter().collect();
+        let dirs: BTreeSet<String> = files.iter().map(|(_, k, _)| k.to_string()).collect();
+        let mut closures = BTreeMap::new();
+        for d in &dirs {
+            closures.insert(d.clone(), dirs.clone());
+        }
+        CallGraph::build(Workspace::build(&refs, BTreeMap::new(), closures))
+    }
+
+    #[test]
+    fn unsanitized_probability_flowing_to_cluster_is_flagged() {
+        let g = graph(&[
+            (
+                "crates/cluster/src/engine.rs",
+                "cluster",
+                "pub fn decide(a: &S, b: &S) -> bool { resemblance(a, b) > 0.5 }",
+            ),
+            (
+                "crates/relgraph/src/neighbors.rs",
+                "relgraph",
+                "pub fn resemblance(a: &S, b: &S) -> f64 { a.x / b.x }",
+            ),
+        ]);
+        let findings = d102_probability_taint(&g);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].file, "crates/relgraph/src/neighbors.rs");
+        assert!(
+            findings[0].message.contains("decide") || findings[0].message.contains("resemblance")
+        );
+    }
+
+    #[test]
+    fn sanitizer_or_no_sink_clears_the_finding() {
+        // Same producer with a debug_assert: clean.
+        let g = graph(&[
+            (
+                "crates/cluster/src/engine.rs",
+                "cluster",
+                "pub fn decide(a: &S, b: &S) -> bool { resemblance(a, b) > 0.5 }",
+            ),
+            (
+                "crates/relgraph/src/neighbors.rs",
+                "relgraph",
+                "pub fn resemblance(a: &S, b: &S) -> f64 { let r = a.x / b.x; debug_assert!(r >= 0.0); r }",
+            ),
+        ]);
+        assert!(d102_probability_taint(&g).is_empty());
+        // Unsanitized, but nothing in cluster calls it: clean.
+        let g2 = graph(&[
+            (
+                "crates/cluster/src/engine.rs",
+                "cluster",
+                "pub fn decide() -> bool { true }",
+            ),
+            (
+                "crates/relgraph/src/neighbors.rs",
+                "relgraph",
+                "pub fn resemblance(a: &S, b: &S) -> f64 { a.x / b.x }",
+            ),
+        ]);
+        assert!(d102_probability_taint(&g2).is_empty());
+    }
+
+    #[test]
+    fn doc_contract_marks_a_probability_fn() {
+        let g = graph(&[
+            (
+                "crates/cluster/src/engine.rs",
+                "cluster",
+                "pub fn decide(w: f64) -> bool { edge_weight(w) > 0.5 }",
+            ),
+            (
+                "crates/relgraph/src/walk.rs",
+                "relgraph",
+                "/// Walk probability for one hop.\npub fn edge_weight(w: f64) -> f64 { w * w }",
+            ),
+        ]);
+        let findings = d102_probability_taint(&g);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+    }
+}

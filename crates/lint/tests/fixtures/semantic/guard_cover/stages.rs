@@ -1,0 +1,27 @@
+//@ path: crates/core/src/stages.rs
+//@ crate: core
+//@ deps: relgraph
+//@ package: distinct
+//! Fixture: D104 charge-free-path coverage. `resolve_uncharged` reaches
+//! the hot loop without ever charging the budget control; the identical
+//! loop under `resolve_charged` is discharged by the `ctl.charge(..)` hop
+//! above it.
+
+/// Entry that charges the control before descending into the hot loop.
+pub fn resolve_charged(ctl: &Ctl) -> usize {
+    ctl.charge(1);
+    hot_loop(3)
+}
+
+/// Entry that forgets to charge anything on the way down.
+pub fn resolve_uncharged() -> usize {
+    hot_loop(3)
+}
+
+fn hot_loop(n: usize) -> usize {
+    let mut acc = 0;
+    for i in 0..n { //~ D104
+        acc += i;
+    }
+    acc
+}

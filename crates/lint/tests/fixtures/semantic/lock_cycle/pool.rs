@@ -1,0 +1,34 @@
+//@ path: crates/exec/src/pool.rs
+//@ crate: exec
+//! Fixture: D103 lock discipline. `ab` and `ba` acquire the same two
+//! mutexes in opposite orders (a deliberate lock-order cycle), and
+//! `held_send` blocks on a channel send while holding a lock.
+//! `consistent` takes both locks in the canonical order only.
+
+struct Pool;
+
+impl Pool {
+    fn ab(&self) {
+        let a = self.mu_a.lock();
+        let b = self.mu_b.lock(); //~ D103
+        work(&a, &b);
+    }
+
+    fn ba(&self) {
+        let b = self.mu_b.lock();
+        let a = self.mu_a.lock(); //~ D103
+        work(&a, &b);
+    }
+
+    fn held_send(&self) {
+        let g = self.state.lock();
+        self.tx.send(1); //~ D103
+        drop(g);
+    }
+
+    fn consistent(&self) {
+        let a = self.mu_a.lock();
+        let c = self.mu_c.lock();
+        work(&a, &c);
+    }
+}

@@ -1,0 +1,20 @@
+//@ path: crates/cluster/src/engine.rs
+//@ crate: cluster
+//! Fixture: the callee side of the cross-file D101 pair. `run` is reached
+//! from `Distinct::resolve` and panics; `not_reached` panics but has no
+//! caller on any entry-point path; `proven` is reached but carries a
+//! reasoned suppression.
+
+pub fn run(n: usize) -> usize {
+    let v: Vec<usize> = vec![n];
+    let first = v.first().copied().unwrap(); //~ D101
+    first + proven(Some(first))
+}
+
+pub fn not_reached(x: Option<usize>) -> usize {
+    x.unwrap()
+}
+
+pub fn proven(x: Option<usize>) -> usize {
+    x.unwrap() // distinct-lint: allow(D101, reason="run passes Some unconditionally on the line above")
+}

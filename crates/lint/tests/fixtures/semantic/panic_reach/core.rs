@@ -1,0 +1,16 @@
+//@ path: crates/core/src/pipeline.rs
+//@ crate: core
+//@ deps: cluster
+//@ package: distinct
+//! Fixture: a public `resolve` entry point in crates/core that reaches a
+//! panic site two crates away. The panic itself lives in `cluster.rs`.
+
+/// The resolver facade.
+pub struct Distinct;
+
+impl Distinct {
+    /// Entry point: D101 roots the reachability walk here.
+    pub fn resolve(&self) -> usize {
+        cluster::engine::run(1)
+    }
+}

@@ -1,0 +1,10 @@
+//@ path: crates/cluster/src/decide.rs
+//@ crate: cluster
+//@ deps: relgraph
+//! Fixture: the D102 sink side. The clustering decision consumes two
+//! probability-valued functions from `relgraph`; one sanitizes its result
+//! and one does not.
+
+pub fn decide(a: &Refs, b: &Refs) -> bool {
+    resemblance_of(a, b) > 0.5 && walk_prob(a) > 0.1
+}

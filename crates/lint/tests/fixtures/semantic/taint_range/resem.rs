@@ -1,0 +1,14 @@
+//@ path: crates/relgraph/src/resem.rs
+//@ crate: relgraph
+//! Fixture: the D102 producer side. `resemblance_of` divides without
+//! clamping or asserting a [0, 1] range while a cluster-crate sink
+//! consumes it; `walk_prob` performs the same arithmetic but clamps.
+
+pub fn resemblance_of(a: &Refs, b: &Refs) -> f64 { //~ D102
+    a.weight / b.weight
+}
+
+/// Walk probability over the shared neighborhood, clamped into range.
+pub fn walk_prob(a: &Refs) -> f64 {
+    (a.weight * a.weight).clamp(0.0, 1.0)
+}

@@ -25,6 +25,21 @@ fn workspace_is_exactly_as_clean_as_the_baseline() {
     );
 }
 
+/// The same gate in semantic mode: the interprocedural lints D101–D104
+/// (plus the shared per-file passes) must also match the baseline exactly
+/// against the live workspace.
+#[test]
+fn workspace_is_semantically_clean() {
+    let outcome =
+        lint::check_mode(&workspace_root(), lint::Mode::Semantic).expect("semantic check runs");
+    assert!(
+        outcome.diff.is_clean(),
+        "workspace drifted from lint.toml under --semantic\n  new debt: {:#?}\n  stale: {:?}",
+        outcome.diff.new_debt,
+        outcome.diff.stale
+    );
+}
+
 #[test]
 fn crate_graph_is_acyclic_with_exec_below_core() {
     let g = CrateGraph::load(&workspace_root()).expect("graph loads");
@@ -120,4 +135,151 @@ pub fn go() {
     );
 
     let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// Recursively copy the source parts of a workspace: every file under
+/// `crates/` and `src/` plus the root `Cargo.toml` and `lint.toml`.
+fn copy_workspace(from: &Path, to: &Path) {
+    fn copy_tree(from: &Path, to: &Path) {
+        std::fs::create_dir_all(to).expect("mkdir copy target");
+        for entry in std::fs::read_dir(from).expect("read copy source") {
+            let entry = entry.expect("dir entry");
+            let (src, dst) = (entry.path(), to.join(entry.file_name()));
+            if src.is_dir() {
+                copy_tree(&src, &dst);
+            } else {
+                std::fs::copy(&src, &dst).expect("copy file");
+            }
+        }
+    }
+    std::fs::create_dir_all(to).expect("mkdir scratch root");
+    for top in ["Cargo.toml", "lint.toml"] {
+        if from.join(top).exists() {
+            std::fs::copy(from.join(top), to.join(top)).expect("copy root file");
+        }
+    }
+    for dir in ["crates", "src"] {
+        if from.join(dir).is_dir() {
+            copy_tree(&from.join(dir), &to.join(dir));
+        }
+    }
+}
+
+fn run_lint(args: &[&str], root: &Path) -> (Option<i32>, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_lint"))
+        .args(args)
+        .arg("--root")
+        .arg(root)
+        .output()
+        .expect("spawn lint binary");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.code(), text)
+}
+
+/// The PR's acceptance scenario, end to end: copy the real workspace,
+/// confirm `check --semantic` passes on the copy, then seed a panic site
+/// into crates/cluster reachable from a new `resolve*` entry point and
+/// assert the binary fails with a D101 finding naming the call chain.
+#[test]
+fn binary_reports_seeded_panic_reachable_from_resolve() {
+    let scratch =
+        std::env::temp_dir().join(format!("distinct-lint-semcheck-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    copy_workspace(&workspace_root(), &scratch);
+
+    // The pristine copy is exactly as clean as the real workspace.
+    let (code, text) = run_lint(&["check", "--semantic"], &scratch);
+    assert_eq!(code, Some(0), "pristine copy must pass --semantic:\n{text}");
+
+    // Seed: an unwrap in crates/cluster plus a core entry point that
+    // reaches it. Lexing does not require the files to be `mod`-declared.
+    std::fs::write(
+        scratch.join("crates/cluster/src/seeded.rs"),
+        "pub fn seeded_stage(x: Option<f64>) -> f64 {\n    x.unwrap()\n}\n",
+    )
+    .expect("seed cluster panic site");
+    std::fs::write(
+        scratch.join("crates/core/src/seeded_entry.rs"),
+        "/// Seeded entry point for the self-check.\n\
+         pub fn resolve_seeded() -> f64 {\n    cluster::seeded::seeded_stage(None)\n}\n",
+    )
+    .expect("seed core entry point");
+
+    let (code, text) = run_lint(&["check", "--semantic"], &scratch);
+    assert_eq!(code, Some(1), "seeded copy must fail --semantic:\n{text}");
+    assert!(text.contains("D101"), "no D101 reported:\n{text}");
+    assert!(
+        text.contains("crates/cluster/src/seeded.rs"),
+        "finding not at the seeded site:\n{text}"
+    );
+    assert!(
+        text.contains("resolve_seeded") && text.contains(" → "),
+        "finding does not name the call chain from the entry point:\n{text}"
+    );
+
+    // Syntactic mode is indifferent to reachability: the same workspace
+    // fails there too, but as a plain per-file D002.
+    let (code, text) = run_lint(&["check"], &scratch);
+    assert_eq!(
+        code,
+        Some(1),
+        "seeded copy must fail syntactic check:\n{text}"
+    );
+    assert!(text.contains("D002"), "no D002 reported:\n{text}");
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// A directory under `crates/` without a manifest must be a loud, typed
+/// error from `graph` (it used to exit 0 with partial output).
+#[test]
+fn graph_fails_loudly_on_missing_manifest() {
+    let scratch =
+        std::env::temp_dir().join(format!("distinct-lint-graphcheck-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(scratch.join("crates/ghost/src")).expect("mkdir scratch");
+    std::fs::write(scratch.join("Cargo.toml"), "[workspace]\n").expect("write root manifest");
+    std::fs::write(scratch.join("crates/ghost/src/lib.rs"), "").expect("write stray lib");
+
+    let (code, text) = run_lint(&["graph"], &scratch);
+    assert_eq!(
+        code,
+        Some(2),
+        "graph must fail on a stray crate dir:\n{text}"
+    );
+    assert!(
+        text.contains("ghost") && text.contains("no Cargo.toml"),
+        "error does not name the stray directory:\n{text}"
+    );
+
+    // The semantic check depends on the same crate topology, so it fails
+    // with the same typed error instead of silently under-resolving.
+    let (code, text) = run_lint(&["check", "--semantic"], &scratch);
+    assert_eq!(code, Some(2), "semantic check must fail too:\n{text}");
+    assert!(text.contains("no Cargo.toml"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// `call-graph --reach` over the real workspace: the production resolve
+/// spine (core → cluster → relgraph) must stay reachable, and a query
+/// matching nothing must fail. CI runs the same smoke via the binary.
+#[test]
+fn reach_query_covers_the_resolve_spine() {
+    let root = workspace_root();
+    let (code, text) = run_lint(&["call-graph", "--reach", "distinct::resolve"], &root);
+    assert_eq!(code, Some(0), "reach query failed:\n{text}");
+    for marker in ["[core]", "[cluster]", "[relgraph]"] {
+        assert!(
+            text.contains(marker),
+            "resolve no longer reaches {marker}:\n{text}"
+        );
+    }
+    let (code, text) = run_lint(&["call-graph", "--reach", "zzz_no_such_fn"], &root);
+    assert_eq!(code, Some(1), "vanished root must exit 1:\n{text}");
+    assert!(text.contains("no function matches"), "{text}");
 }

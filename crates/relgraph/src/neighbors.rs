@@ -26,6 +26,12 @@ pub struct WeightedSet {
     weights: Vec<(NodeId, f64)>,
 }
 
+/// Debug check for the representation invariant: strictly ascending node
+/// ids (which also rules out duplicates).
+fn is_sorted(w: &[(NodeId, f64)]) -> bool {
+    w.iter().zip(w.iter().skip(1)).all(|(x, y)| x.0 < y.0)
+}
+
 impl WeightedSet {
     /// An empty set.
     pub fn new() -> Self {
@@ -96,6 +102,10 @@ impl WeightedSet {
     /// two sorted pair lists, so the result is order-independent).
     // distinct-lint: allow(D005, reason="O(len) leaf over two sets; callers charge the budget per merge")
     pub fn merge(&mut self, other: &WeightedSet) {
+        // The merge-join below is only correct on sorted inputs; every
+        // constructor sorts, so a violation here means a corrupted set.
+        debug_assert!(is_sorted(&self.weights), "merge target not sorted");
+        debug_assert!(is_sorted(&other.weights), "merge source not sorted");
         if other.is_empty() {
             return;
         }
@@ -139,6 +149,8 @@ impl WeightedSet {
     /// ```
     // distinct-lint: allow(D005, reason="O(|A|+|B|) per-pair leaf; DistinctMerger charges the budget per pair")
     pub fn resemblance(&self, other: &WeightedSet) -> f64 {
+        debug_assert!(is_sorted(&self.weights), "resemblance lhs not sorted");
+        debug_assert!(is_sorted(&other.weights), "resemblance rhs not sorted");
         if self.is_empty() || other.is_empty() {
             return 0.0;
         }
@@ -191,7 +203,9 @@ impl WeightedSet {
             }
         }
         let union = self.len() + other.len() - inter;
-        inter as f64 / union as f64
+        let j = inter as f64 / union as f64;
+        debug_assert!((0.0..=1.0).contains(&j), "jaccard out of range: {j}");
+        j
     }
 }
 
@@ -293,6 +307,20 @@ mod tests {
         ) {
             let a = set(&xs);
             prop_assert!((a.resemblance(&a) - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn resemblance_bounded_for_arbitrary_weights(
+            xs in proptest::collection::vec((0u32..64, 1e-12f64..1e12), 0..40),
+            ys in proptest::collection::vec((0u32..64, 1e-12f64..1e12), 0..40),
+        ) {
+            // Wildly mixed magnitudes (12 orders apart) must still land in
+            // [0,1]: the D102 contract the clustering thresholds rely on.
+            let a = set(&xs);
+            let b = set(&ys);
+            let r = a.resemblance(&b);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&r), "{r}");
+            prop_assert!(r.is_finite());
         }
 
         #[test]

@@ -86,7 +86,7 @@ fn parse_records(text: &str) -> Result<Vec<Vec<Field>>> {
         records.push(record);
     }
     // Drop fully empty trailing records (blank lines).
-    records.retain(|r| !(r.len() == 1 && r[0].text.is_empty() && !r[0].quoted));
+    records.retain(|r| !matches!(r.as_slice(), [f] if f.text.is_empty() && !f.quoted));
     Ok(records)
 }
 

@@ -51,6 +51,8 @@ pub enum StoreError {
     /// A store directory has no manifest: either it predates manifests,
     /// was never fully committed, or isn't a store at all.
     MissingManifest { dir: String },
+    /// An in-memory structure could not be encoded for persistence.
+    Serialize { what: String, reason: String },
 }
 
 impl fmt::Display for StoreError {
@@ -109,6 +111,9 @@ impl fmt::Display for StoreError {
             }
             StoreError::MissingManifest { dir } => {
                 write!(f, "no manifest.json in `{dir}`: not a committed store")
+            }
+            StoreError::Serialize { what, reason } => {
+                write!(f, "could not serialize {what}: {reason}")
             }
         }
     }

@@ -124,7 +124,11 @@ pub fn save_catalog_with(catalog: &Catalog, dir: &Path, vfs: &mut dyn Vfs) -> Re
     vfs.create_dir_all(dir)
         .map_err(|e| io_err("create dir", e))?;
     let schemas: Vec<&RelationSchema> = catalog.relations().map(|(_, r)| r.schema()).collect();
-    let schema_json = serde_json::to_string_pretty(&schemas).expect("schemas serialize");
+    let schema_json =
+        serde_json::to_string_pretty(&schemas).map_err(|e| StoreError::Serialize {
+            what: "schema.json".into(),
+            reason: e.to_string(),
+        })?;
     let mut files = vec![ManifestEntry {
         file: "schema.json".into(),
         bytes: schema_json.len() as u64,
@@ -150,7 +154,10 @@ pub fn save_catalog_with(catalog: &Catalog, dir: &Path, vfs: &mut dyn Vfs) -> Re
     // Compact encoding on purpose: the manifest cannot checksum itself, so
     // it must not contain semantically inert bytes (pretty-print
     // whitespace) that single-byte corruption could hide in.
-    let manifest_json = serde_json::to_string(&manifest).expect("manifest serializes");
+    let manifest_json = serde_json::to_string(&manifest).map_err(|e| StoreError::Serialize {
+        what: "manifest.json".into(),
+        reason: e.to_string(),
+    })?;
     // Commit point: until this rename lands, a loader sees the previous
     // manifest (or none) and never trusts the new files.
     write_atomic(vfs, dir, MANIFEST_FILE, manifest_json.as_bytes())

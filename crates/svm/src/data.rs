@@ -144,7 +144,7 @@ impl Dataset {
         let mut d = Dataset::new();
         for &i in indices {
             d.push(self.features[i].clone(), self.labels[i])
-                .expect("subset of valid data");
+                .expect("subset of valid data"); // distinct-lint: allow(D002, reason="source rows were validated by their own push; a subset cannot introduce a new arity or label")
         }
         d
     }

@@ -58,7 +58,7 @@ pub fn select_c(
         .iter()
         .copied()
         .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.total_cmp(&a.0)))
-        .expect("non-empty sweep");
+        .expect("non-empty sweep"); // distinct-lint: allow(D002, reason="empty candidate lists are rejected with BadParameter at entry, so the sweep has at least one element")
     Ok(GridSearchResult { c, accuracy, sweep })
 }
 

@@ -79,7 +79,7 @@ impl StandardScaler {
         let mut out = Dataset::new();
         for (x, y) in data.iter() {
             out.push(self.transform(x), y)
-                .expect("labels already validated");
+                .expect("labels already validated"); // distinct-lint: allow(D002, reason="transform preserves arity and the (x, y) pairs come from an already-validated Dataset")
         }
         out
     }
