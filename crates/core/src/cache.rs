@@ -85,6 +85,17 @@ impl ProfileCache {
             .collect()
     }
 
+    /// Drop every cached profile, releasing the memory (the `Arc`s may
+    /// keep individual profiles alive while in use elsewhere). Used by the
+    /// run manager's memory-budget guard: evicting is always safe —
+    /// profiles are pure caches of deterministic computation, so a later
+    /// run recomputes bit-identical values.
+    pub fn evict_all(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+    }
+
     /// Replace the whole cache (checkpoint restore).
     pub fn replace(&self, entries: Vec<(TupleRef, Arc<Profile>)>) {
         for shard in &self.shards {
@@ -151,6 +162,23 @@ mod tests {
         // Release builds skip the debug assertion but still drop the entry.
         assert_eq!(cache.len(), 0);
         assert!(cache.get(&r).is_none());
+    }
+
+    #[test]
+    fn evict_all_empties_every_shard_but_keeps_live_arcs_valid() {
+        let cache = ProfileCache::new();
+        let (r, p) = fake_profile(42, false);
+        cache.insert(r, Arc::clone(&p));
+        for tid in 0..50 {
+            let (r, p) = fake_profile(tid, false);
+            cache.insert(r, p);
+        }
+        let held = cache.get(&r).unwrap();
+        cache.evict_all();
+        assert_eq!(cache.len(), 0);
+        assert!(cache.get(&r).is_none());
+        // The evicted entry stays usable through outstanding handles.
+        assert_eq!(held.reference, r);
     }
 
     #[test]

@@ -8,10 +8,17 @@
 //! File format (single file):
 //!
 //! ```text
-//! DISTINCTCKPT1\n
+//! DISTINCTCKPT2\n
 //! <16 hex chars: FNV-1a-64 of the payload bytes>\n
 //! <JSON payload>
 //! ```
+//!
+//! The magic line's numeric suffix is the checkpoint **format version**
+//! ([`CHECKPOINT_FORMAT_VERSION`]), repeated as a `format` field inside
+//! the payload. A file written by a build with a different version is
+//! refused with the typed [`DistinctError::VersionMismatch`] — never
+//! reinterpreted under this build's schema, and never conflated with
+//! corruption (the bytes are intact, just foreign).
 //!
 //! Writes go to a `*.tmp` sibling first and are renamed into place, via
 //! the same [`Vfs`](relstore::Vfs) abstraction the store uses — so the
@@ -33,24 +40,88 @@ use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::sync::Arc;
 
-/// Magic header line of a checkpoint file.
-pub const CHECKPOINT_MAGIC: &str = "DISTINCTCKPT1";
+/// Magic prefix of a checkpoint file's header line; the numeric suffix is
+/// the format version.
+pub const CHECKPOINT_MAGIC_PREFIX: &str = "DISTINCTCKPT";
+
+/// Checkpoint format version this build reads and writes. Bumped whenever
+/// the payload schema changes shape; loads of any other version fail with
+/// [`DistinctError::VersionMismatch`].
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 2;
+
+/// Magic header line of a checkpoint file (prefix + format version).
+pub const CHECKPOINT_MAGIC: &str = "DISTINCTCKPT2";
 
 #[derive(Debug, Serialize, Deserialize)]
-struct PropEntry {
+pub(crate) struct PropEntry {
     forward: Vec<(u32, f64)>,
     backward: Vec<(u32, f64)>,
 }
 
+/// Persisted form of one reference profile. Shared by the engine
+/// checkpoint and the run manager's per-chunk profile checkpoints.
 #[derive(Debug, Serialize, Deserialize)]
-struct ProfileEntry {
+pub(crate) struct ProfileEntry {
     rel: u32,
     tid: u32,
     props: Vec<PropEntry>,
 }
 
+/// Encode one profile for persistence. Deterministic: the hash-ordered
+/// propagation maps are emitted as sorted pair lists, so identical
+/// profiles always serialize to identical bytes.
+pub(crate) fn encode_profile(p: &Profile) -> ProfileEntry {
+    ProfileEntry {
+        rel: p.reference.rel.0,
+        tid: p.reference.tid.0,
+        props: p
+            .props
+            .iter()
+            .map(|prop| PropEntry {
+                forward: sorted_pairs(&prop.forward),
+                backward: sorted_pairs(&prop.backward),
+            })
+            .collect(),
+    }
+}
+
+/// Decode one persisted profile. `None` when the per-path propagation
+/// count disagrees with the engine's path set (a checkpoint from a
+/// different schema).
+pub(crate) fn decode_profile(entry: &ProfileEntry, n_paths: usize) -> Option<Profile> {
+    if entry.props.len() != n_paths {
+        return None;
+    }
+    let reference = TupleRef::new(relstore::RelId(entry.rel), relstore::TupleId(entry.tid));
+    let mut props = Vec::with_capacity(n_paths);
+    let mut sets = Vec::with_capacity(n_paths);
+    for p in &entry.props {
+        let to_map = |pairs: &[(u32, f64)]| {
+            pairs
+                .iter()
+                .map(|&(n, w)| (relgraph::NodeId(n), w))
+                .collect::<FxHashMap<relgraph::NodeId, f64>>()
+        };
+        let prop = Propagation {
+            forward: to_map(&p.forward),
+            backward: to_map(&p.backward),
+        };
+        sets.push(WeightedSet::from_map(prop.forward.clone()));
+        props.push(prop);
+    }
+    Some(Profile {
+        reference,
+        props,
+        sets,
+        placeholder: false,
+    })
+}
+
 #[derive(Debug, Serialize, Deserialize)]
 struct CheckpointPayload {
+    /// Format version, repeated from the magic line so a re-framed payload
+    /// cannot smuggle a foreign schema past the header check.
+    format: u32,
     /// Join-path descriptions — the checkpoint's compatibility key.
     paths: Vec<String>,
     /// Tuple count of the catalog the profiles were computed against
@@ -86,22 +157,12 @@ impl Distinct {
         let mut profiles: Vec<ProfileEntry> = self
             .profile_cache_snapshot()
             .into_iter()
-            .map(|(r, p)| ProfileEntry {
-                rel: r.rel.0,
-                tid: r.tid.0,
-                props: p
-                    .props
-                    .iter()
-                    .map(|prop| PropEntry {
-                        forward: sorted_pairs(&prop.forward),
-                        backward: sorted_pairs(&prop.backward),
-                    })
-                    .collect(),
-            })
+            .map(|(_, p)| encode_profile(&p))
             .collect();
         // Deterministic output: the cache iterates in hash order.
         profiles.sort_unstable_by_key(|e| (e.rel, e.tid));
         let payload = CheckpointPayload {
+            format: CHECKPOINT_FORMAT_VERSION,
             paths: self.paths().descriptions.clone(),
             catalog_tuples: self.catalog().tuple_count() as u64,
             min_sim: self.config().min_sim,
@@ -160,6 +221,18 @@ impl Distinct {
         let mut lines = text.splitn(3, '\n');
         let magic = lines.next().unwrap_or("");
         if magic != CHECKPOINT_MAGIC {
+            // A well-formed magic with a different version suffix is a
+            // foreign-build checkpoint, not corruption.
+            if let Some(found) = magic
+                .strip_prefix(CHECKPOINT_MAGIC_PREFIX)
+                .and_then(|v| v.parse::<u32>().ok())
+            {
+                return Err(DistinctError::VersionMismatch {
+                    path: path.display().to_string(),
+                    found,
+                    expected: CHECKPOINT_FORMAT_VERSION,
+                });
+            }
             return Err(corrupt(
                 path,
                 format!("bad magic `{magic}` (expected {CHECKPOINT_MAGIC})"),
@@ -180,6 +253,13 @@ impl Distinct {
         }
         let payload: CheckpointPayload = serde_json::from_str(json)
             .map_err(|e| corrupt(path, format!("unparseable payload: {e}")))?;
+        if payload.format != CHECKPOINT_FORMAT_VERSION {
+            return Err(DistinctError::VersionMismatch {
+                path: path.display().to_string(),
+                found: payload.format,
+                expected: CHECKPOINT_FORMAT_VERSION,
+            });
+        }
         if payload.paths != self.paths().descriptions {
             return Err(corrupt(
                 path,
@@ -200,41 +280,16 @@ impl Distinct {
         let mut restored: Vec<(TupleRef, Arc<Profile>)> =
             Vec::with_capacity(payload.profiles.len());
         for entry in &payload.profiles {
-            if entry.props.len() != n_paths {
-                return Err(corrupt(
+            let profile = decode_profile(entry, n_paths).ok_or_else(|| {
+                corrupt(
                     path,
                     format!(
                         "profile has {} per-path propagations, engine has {n_paths} paths",
                         entry.props.len()
                     ),
-                ));
-            }
-            let reference = TupleRef::new(relstore::RelId(entry.rel), relstore::TupleId(entry.tid));
-            let mut props = Vec::with_capacity(n_paths);
-            let mut sets = Vec::with_capacity(n_paths);
-            for p in &entry.props {
-                let to_map = |pairs: &[(u32, f64)]| {
-                    pairs
-                        .iter()
-                        .map(|&(n, w)| (relgraph::NodeId(n), w))
-                        .collect::<FxHashMap<relgraph::NodeId, f64>>()
-                };
-                let prop = Propagation {
-                    forward: to_map(&p.forward),
-                    backward: to_map(&p.backward),
-                };
-                sets.push(WeightedSet::from_map(prop.forward.clone()));
-                props.push(prop);
-            }
-            restored.push((
-                reference,
-                Arc::new(Profile {
-                    reference,
-                    props,
-                    sets,
-                    placeholder: false,
-                }),
-            ));
+                )
+            })?;
+            restored.push((profile.reference, Arc::new(profile)));
         }
         // All validation passed: install atomically (state-wise) — a
         // failed load leaves the engine exactly as it was.
@@ -344,9 +399,15 @@ mod tests {
             std::fs::write(&path, &bad).unwrap();
             let mut fresh = engine(&d);
             let err = fresh.load_checkpoint(&path).unwrap_err();
+            // A flip landing on the magic's version digit reads as a
+            // foreign version; everywhere else it is corruption. Both are
+            // rejections that install nothing.
             assert!(
-                matches!(err, DistinctError::CorruptCheckpoint { .. }),
-                "byte {pos}: expected CorruptCheckpoint, got {err}"
+                matches!(
+                    err,
+                    DistinctError::CorruptCheckpoint { .. } | DistinctError::VersionMismatch { .. }
+                ),
+                "byte {pos}: expected a rejection, got {err}"
             );
             // The failed load left the engine untrained and uncached.
             assert!(fresh.learned().is_none());
@@ -405,6 +466,55 @@ mod tests {
         assert!(matches!(
             fresh.load_checkpoint(&path).unwrap_err(),
             DistinctError::CorruptCheckpoint { .. }
+        ));
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn foreign_format_version_is_a_typed_mismatch() {
+        let d = dataset();
+        let mut e = engine(&d);
+        e.train().unwrap();
+        let path = temp_file("ver");
+        e.save_checkpoint(&path).unwrap();
+        let blob = std::fs::read_to_string(&path).unwrap();
+
+        // A version-1 file (the pre-versioned-payload format): typed
+        // mismatch from the magic line, not a confusing bad-magic error.
+        let old = blob.replacen(CHECKPOINT_MAGIC, "DISTINCTCKPT1", 1);
+        std::fs::write(&path, &old).unwrap();
+        let mut fresh = engine(&d);
+        match fresh.load_checkpoint(&path).unwrap_err() {
+            DistinctError::VersionMismatch {
+                found, expected, ..
+            } => {
+                assert_eq!(found, 1);
+                assert_eq!(expected, CHECKPOINT_FORMAT_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other}"),
+        }
+        assert!(fresh.learned().is_none());
+        assert_eq!(fresh.cached_profiles(), 0);
+
+        // A re-framed payload smuggling a foreign `format` field past a
+        // current magic line is caught by the payload check.
+        let (_, rest) = blob.split_once('\n').unwrap();
+        let (_, json) = rest.split_once('\n').unwrap();
+        let smuggled = json.replacen(
+            &format!("\"format\":{CHECKPOINT_FORMAT_VERSION}"),
+            "\"format\":99",
+            1,
+        );
+        assert_ne!(smuggled, json, "payload must carry the format field");
+        let reframed = format!(
+            "{CHECKPOINT_MAGIC}\n{:016x}\n{smuggled}",
+            fnv1a64(smuggled.as_bytes())
+        );
+        std::fs::write(&path, reframed).unwrap();
+        let mut fresh = engine(&d);
+        assert!(matches!(
+            fresh.load_checkpoint(&path).unwrap_err(),
+            DistinctError::VersionMismatch { found: 99, .. }
         ));
         std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
     }

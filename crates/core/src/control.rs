@@ -91,6 +91,9 @@ pub enum InterruptKind {
     DeadlineExceeded,
     /// The work budget ran out.
     BudgetExhausted,
+    /// A watchdog observed no heartbeat progress for the stall timeout
+    /// and tripped the run (stuck stage, livelocked worker).
+    Stalled,
 }
 
 impl fmt::Display for InterruptKind {
@@ -99,6 +102,7 @@ impl fmt::Display for InterruptKind {
             InterruptKind::Cancelled => "cancelled",
             InterruptKind::DeadlineExceeded => "deadline exceeded",
             InterruptKind::BudgetExhausted => "work budget exhausted",
+            InterruptKind::Stalled => "stalled (no heartbeat progress)",
         })
     }
 }
@@ -123,7 +127,8 @@ pub struct RunControl {
     spent: AtomicU64,
     // Trips latch: once interrupted, every later check reports the same
     // kind, so a run's error consistently names the first cause.
-    tripped: AtomicU64, // 0 = none, else InterruptKind discriminant + 1
+    // Arc-shared so a [`TripHandle`] can latch from another thread.
+    tripped: Arc<AtomicU64>, // 0 = none, else InterruptKind discriminant + 1
     charges: AtomicU64,
 }
 
@@ -142,7 +147,7 @@ impl RunControl {
             deadline: None,
             budget: None,
             spent: AtomicU64::new(0),
-            tripped: AtomicU64::new(0),
+            tripped: Arc::new(AtomicU64::new(0)),
             charges: AtomicU64::new(0),
         }
     }
@@ -176,18 +181,7 @@ impl RunControl {
     }
 
     fn latch(&self, kind: InterruptKind) -> InterruptKind {
-        let code = match kind {
-            InterruptKind::Cancelled => 1,
-            InterruptKind::DeadlineExceeded => 2,
-            InterruptKind::BudgetExhausted => 3,
-        };
-        match self
-            .tripped
-            .compare_exchange(0, code, Ordering::Relaxed, Ordering::Relaxed)
-        {
-            Ok(_) => kind,
-            Err(prev) => Self::decode(prev).unwrap_or(kind),
-        }
+        latch_in(&self.tripped, kind)
     }
 
     fn decode(code: u64) -> Option<InterruptKind> {
@@ -195,7 +189,30 @@ impl RunControl {
             1 => Some(InterruptKind::Cancelled),
             2 => Some(InterruptKind::DeadlineExceeded),
             3 => Some(InterruptKind::BudgetExhausted),
+            4 => Some(InterruptKind::Stalled),
             _ => None,
+        }
+    }
+
+    /// Trip the run externally with the given cause: the kind latches (the
+    /// first cause wins) and the cancel flag is raised so guard closures
+    /// observe the interruption on their next charge. The run-manager
+    /// watchdog uses this to convert a stuck stage into a typed
+    /// [`InterruptKind::Stalled`] degradation.
+    pub fn interrupt(&self, kind: InterruptKind) -> InterruptKind {
+        let latched = self.latch(kind);
+        self.cancel.cancel();
+        latched
+    }
+
+    /// A cloneable, `'static` handle onto this control's trip latch and
+    /// cancel flag, for threads that outlive the borrow of the control
+    /// itself — the run-manager watchdog holds one so a stall callback can
+    /// trip the run without borrowing it.
+    pub fn trip_handle(&self) -> TripHandle {
+        TripHandle {
+            cancel: self.cancel.clone(),
+            tripped: Arc::clone(&self.tripped),
         }
     }
 
@@ -266,6 +283,75 @@ impl RunControl {
     }
 }
 
+/// Latch `kind` into a shared trip word (first cause wins), reporting the
+/// kind that is actually latched.
+fn latch_in(tripped: &AtomicU64, kind: InterruptKind) -> InterruptKind {
+    let code = match kind {
+        InterruptKind::Cancelled => 1,
+        InterruptKind::DeadlineExceeded => 2,
+        InterruptKind::BudgetExhausted => 3,
+        InterruptKind::Stalled => 4,
+    };
+    match tripped.compare_exchange(0, code, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => kind,
+        Err(prev) => RunControl::decode(prev).unwrap_or(kind),
+    }
+}
+
+/// A cloneable, thread-safe handle onto a [`RunControl`]'s trip latch.
+///
+/// Unlike the control itself (which is borrowed by the running pipeline),
+/// a handle is `'static` and can move into a watchdog or supervisor
+/// thread; [`TripHandle::interrupt`] behaves exactly like
+/// [`RunControl::interrupt`] on the originating control.
+#[derive(Debug, Clone)]
+pub struct TripHandle {
+    cancel: CancelToken,
+    tripped: Arc<AtomicU64>,
+}
+
+impl TripHandle {
+    /// Trip the originating run: latch the cause (first one wins) and
+    /// raise the cancel flag so guards observe it on their next charge.
+    pub fn interrupt(&self, kind: InterruptKind) -> InterruptKind {
+        let latched = latch_in(&self.tripped, kind);
+        self.cancel.cancel();
+        latched
+    }
+}
+
+/// Parse a `VmRSS:`/`VmHWM:` line of `/proc/self/status` ("  1234 kB")
+/// into bytes.
+fn parse_status_kb(line: &str) -> Option<u64> {
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Read one `VmXXX` field of `/proc/self/status` in bytes.
+fn read_proc_status(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with(field))
+        .and_then(parse_status_kb)
+}
+
+/// Current resident set size of this process in bytes, or `None` where
+/// `/proc/self/status` is unavailable (non-Linux). Used by the run
+/// manager's memory-budget guard; like the wall clock, process-wide
+/// memory observation lives here so the rest of the workspace stays
+/// deterministic (lint D004's sanctioned home).
+pub fn current_rss_bytes() -> Option<u64> {
+    read_proc_status("VmRSS:")
+}
+
+/// Peak resident set size (high-water mark) of this process in bytes, or
+/// `None` where unavailable. Reported in [`crate::ExecReport`] for the
+/// benchmark ladder.
+pub fn peak_rss_bytes() -> Option<u64> {
+    read_proc_status("VmHWM:")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,6 +415,49 @@ mod tests {
         assert!(guard(5));
         assert!(!guard(1));
         assert!(!guard(1), "guard stays tripped");
+    }
+
+    #[test]
+    fn interrupt_latches_stalled_and_cancels() {
+        let ctl = RunControl::new();
+        assert_eq!(
+            ctl.interrupt(InterruptKind::Stalled),
+            InterruptKind::Stalled
+        );
+        // Latched: the first cause wins over later interrupts.
+        assert_eq!(
+            ctl.interrupt(InterruptKind::Cancelled),
+            InterruptKind::Stalled
+        );
+        assert_eq!(ctl.status(), Some(InterruptKind::Stalled));
+        assert_eq!(ctl.charge(1), Some(InterruptKind::Stalled));
+        assert!(ctl.token().is_cancelled());
+    }
+
+    #[test]
+    fn trip_handle_interrupts_from_another_thread() {
+        let ctl = RunControl::new();
+        let handle = ctl.trip_handle();
+        std::thread::spawn(move || handle.interrupt(InterruptKind::Stalled))
+            .join()
+            .unwrap();
+        assert_eq!(ctl.status(), Some(InterruptKind::Stalled));
+        assert!(ctl.token().is_cancelled());
+        // The latch still reports the first cause to later handles.
+        assert_eq!(
+            ctl.trip_handle().interrupt(InterruptKind::Cancelled),
+            InterruptKind::Stalled
+        );
+    }
+
+    #[test]
+    fn rss_probes_report_plausible_sizes_on_linux() {
+        if let (Some(cur), Some(peak)) = (current_rss_bytes(), peak_rss_bytes()) {
+            assert!(cur > 0);
+            assert!(peak >= cur / 2, "HWM {peak} implausibly below RSS {cur}");
+        }
+        assert_eq!(parse_status_kb("VmRSS:\t  128 kB"), Some(128 * 1024));
+        assert_eq!(parse_status_kb("VmRSS:"), None);
     }
 
     #[test]

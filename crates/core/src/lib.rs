@@ -50,15 +50,19 @@ pub mod probe;
 pub mod refcluster;
 pub mod report;
 pub mod request;
+pub mod runmgr;
 pub mod training;
 pub mod variants;
 
 pub use calibrate::{
     calibrate_min_sim, synthesize_groups, CalibrationConfig, CalibrationResult, PseudoGroup,
 };
-pub use checkpoint::CHECKPOINT_MAGIC;
+pub use checkpoint::{CHECKPOINT_FORMAT_VERSION, CHECKPOINT_MAGIC, CHECKPOINT_MAGIC_PREFIX};
 pub use config::{CompositeMode, DistinctConfig, MeasureMode, TrainingConfig, WeightingMode};
-pub use control::{CancelToken, InterruptKind, Progress, RunControl, Stage};
+pub use control::{
+    current_rss_bytes, peak_rss_bytes, CancelToken, InterruptKind, Progress, RunControl, Stage,
+    TripHandle,
+};
 pub use dedupe::{DedupeOptions, EntityAssignment, NameResolution};
 pub use features::{
     build_profile, build_profile_guarded, directed_walk_features, empty_profile,
@@ -73,6 +77,7 @@ pub use probe::StageProbe;
 pub use refcluster::DistinctMerger;
 pub use report::{render_name_dot, render_name_report};
 pub use request::{ExecReport, ResolveRequest, StageStats, TrainRequest};
+pub use runmgr::{DurableOutcome, RunOptions, RunReport, RUN_FORMAT_VERSION};
 pub use training::{
     build_training_set, featurize_pairs, PairFeatures, TrainingError, TrainingPair, TrainingSet,
 };

@@ -22,7 +22,7 @@ use crate::features::{
 use crate::learn::{assemble_datasets, learn_weights_guarded, LearnedModel, PathWeights};
 use crate::paths::PathSet;
 use crate::refcluster::DistinctMerger;
-use crate::request::{ExecReport, ResolveRequest, TrainRequest};
+use crate::request::{ExecReport, ResolveRequest, StageStats, TrainRequest};
 use crate::training::{
     build_training_set, featurize_pairs, PairFeatures, TrainingError, TrainingSet,
 };
@@ -66,6 +66,18 @@ pub enum DistinctError {
         /// What failed.
         reason: String,
     },
+    /// A checkpoint file declares a format version this build does not
+    /// understand. Unlike [`DistinctError::CorruptCheckpoint`] the bytes
+    /// are intact — they were written by a different (older or newer)
+    /// build and must not be reinterpreted under this build's schema.
+    VersionMismatch {
+        /// The offending file.
+        path: String,
+        /// The format version the file declares.
+        found: u32,
+        /// The format version this build reads and writes.
+        expected: u32,
+    },
 }
 
 impl fmt::Display for DistinctError {
@@ -86,6 +98,14 @@ impl fmt::Display for DistinctError {
             DistinctError::CorruptCheckpoint { path, reason } => {
                 write!(f, "corrupt checkpoint `{path}`: {reason}")
             }
+            DistinctError::VersionMismatch {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "checkpoint `{path}` has format version {found}, this build understands {expected}"
+            ),
         }
     }
 }
@@ -106,6 +126,14 @@ impl From<SvmError> for DistinctError {
     fn from(e: SvmError) -> Self {
         DistinctError::Svm(e)
     }
+}
+
+/// Attach a stage's logical-clock delta ([`RunControl`] units charged
+/// while it ran) to its parallel statistics.
+pub(crate) fn stage_stats(par: exec::ParStats, logical: u64) -> StageStats {
+    let mut s: StageStats = par.into();
+    s.logical = logical;
+    s
 }
 
 /// How a limited [`Distinct::resolve`] run was degraded by its limits.
@@ -404,6 +432,18 @@ impl Distinct {
         self.profile_cache.replace(entries);
     }
 
+    /// Insert one profile into the shared cache (run-manager chunk
+    /// restore; races resolve to the first entry, which is identical).
+    pub(crate) fn cache_insert(&self, r: TupleRef, p: Arc<Profile>) {
+        self.profile_cache.insert(r, p);
+    }
+
+    /// Drop every cached profile (run-manager memory-budget guard).
+    /// Always safe: profiles are pure caches of deterministic computation.
+    pub(crate) fn evict_profiles(&self) {
+        self.profile_cache.evict_all();
+    }
+
     /// Install a learned model without retraining (checkpoint restore).
     pub(crate) fn install_learned(&mut self, model: Option<LearnedModel>) {
         self.learned = model;
@@ -430,7 +470,7 @@ impl Distinct {
 
     /// The executor for one run: an explicit per-request override beats the
     /// engine configuration (where 0 = auto).
-    fn executor_for(&self, threads: Option<usize>) -> exec::Executor {
+    pub(crate) fn executor_for(&self, threads: Option<usize>) -> exec::Executor {
         exec::Executor::with_threads(threads.unwrap_or(self.config.threads))
     }
 
@@ -441,7 +481,7 @@ impl Distinct {
     /// profile could not be computed before a limit tripped get a
     /// zero-mass [`empty_profile`] placeholder, which is never cached — a
     /// later, unconstrained run recomputes the real profile.
-    fn profile_fanout(
+    pub(crate) fn profile_fanout(
         &self,
         refs: &[TupleRef],
         executor: &exec::Executor,
@@ -508,12 +548,6 @@ impl Distinct {
         self.train_with(&TrainRequest::new())
     }
 
-    /// [`Distinct::train`] under execution limits.
-    #[deprecated(note = "build a `TrainRequest` and call `train_with`")]
-    pub fn train_ctl(&mut self, ctl: &RunControl) -> Result<TrainingReport, DistinctError> {
-        self.train_with(&TrainRequest::new().control(ctl))
-    }
-
     /// Train according to a [`TrainRequest`]. Training cannot degrade
     /// gracefully — a half-trained model would silently misweight every
     /// later resolution — so tripping a limit aborts with
@@ -547,7 +581,9 @@ impl Distinct {
         let mut train_refs: Vec<TupleRef> = ts.pairs.iter().flat_map(|p| [p.a, p.b]).collect();
         train_refs.sort_unstable();
         train_refs.dedup();
+        let logical0 = ctl.spent();
         let (profiles, profile_stats) = self.profile_fanout(&train_refs, &executor, ctl);
+        let profile_logical = ctl.spent().saturating_sub(logical0);
         let real = profiles.iter().filter(|p| !p.placeholder).count();
         if real < train_refs.len() {
             let kind = ctl.status().unwrap_or(InterruptKind::Cancelled);
@@ -555,8 +591,10 @@ impl Distinct {
         }
         let by_ref: FxHashMap<TupleRef, Arc<Profile>> =
             train_refs.iter().copied().zip(profiles).collect();
+        let logical1 = ctl.spent();
         let (featurized, feature_stats) =
             featurize_pairs(&ts.pairs, &by_ref, &executor, &|| ctl.status().is_some());
+        let feature_logical = ctl.spent().saturating_sub(logical1);
         let features: Vec<PairFeatures> = {
             let done = featurized.iter().filter(|f| f.is_some()).count();
             if done < ts.pairs.len() {
@@ -598,9 +636,10 @@ impl Distinct {
                 .map(|((d, r), w)| (d, r, w))
                 .collect(),
             exec: ExecReport {
-                profiles: profile_stats.into(),
-                similarity: feature_stats.into(),
+                profiles: stage_stats(profile_stats, profile_logical),
+                similarity: stage_stats(feature_stats, feature_logical),
                 clustering: Default::default(),
+                peak_rss_bytes: crate::control::peak_rss_bytes().unwrap_or(0),
             },
         };
         if self.config.weighting == WeightingMode::Supervised {
@@ -652,7 +691,9 @@ impl Distinct {
         let executor = self.executor_for(req.threads);
 
         // Stage 1: profiles (placeholders for anything a limit cut off).
+        let logical0 = ctl.spent();
         let (profiles, profile_stats) = self.profile_fanout(refs, &executor, ctl);
+        let profile_logical = ctl.spent().saturating_sub(logical0);
         let profiles_computed = profiles.iter().filter(|p| !p.placeholder).count();
         let mut trip: Option<(Stage, InterruptKind)> = None;
         if profiles_computed < refs.len() {
@@ -662,28 +703,24 @@ impl Distinct {
 
         // Stage 2: pairwise similarity matrix.
         let guard = ctl.shared_guard();
-        let (merger, matrix_stats) = DistinctMerger::from_profiles_exec(
-            &profiles,
-            &self.weights,
-            self.config.measure,
-            self.config.composite,
-            &executor,
-            &guard,
-        );
+        let logical1 = ctl.spent();
+        let (merger, matrix_stats) = self.similarity_stage(&profiles, &executor, &guard);
+        let similarity_logical = ctl.spent().saturating_sub(logical1);
 
         // Stage 3: agglomerative clustering.
         // distinct-lint: allow(D004, reason="wall time feeds ExecReport stage timings only; control flow stays with RunControl")
         let clock = Instant::now();
+        let logical2 = ctl.spent();
         let (partial, mut cluster_stats) = match merger {
-            Some(mut inner) => {
-                if req.is_constrained() {
-                    let mut constrained =
-                        ConstrainedMerger::new(inner, refs.len(), &req.must_link, &req.cannot_link);
-                    agglomerate_exec(refs.len(), &mut constrained, min_sim, &executor, &guard)
-                } else {
-                    agglomerate_exec(refs.len(), &mut inner, min_sim, &executor, &guard)
-                }
-            }
+            Some(inner) => self.clustering_stage(
+                inner,
+                refs.len(),
+                min_sim,
+                &req.must_link,
+                &req.cannot_link,
+                &executor,
+                &guard,
+            ),
             None => {
                 // The matrix build was cut short: every reference stays a
                 // singleton (an empty dendrogram cut below any threshold).
@@ -691,21 +728,11 @@ impl Distinct {
                     let kind = ctl.status().unwrap_or(InterruptKind::Cancelled);
                     trip = Some((Stage::SimilarityMatrix, kind));
                 }
-                let dendrogram = Dendrogram::new(refs.len());
-                let labels = dendrogram.cut(f64::NEG_INFINITY);
-                (
-                    PartialClustering {
-                        clustering: Clustering { labels, dendrogram },
-                        completed: false,
-                    },
-                    exec::ParStats {
-                        threads: 1,
-                        ..Default::default()
-                    },
-                )
+                Self::singleton_partition(refs.len())
             }
         };
         cluster_stats.wall = clock.elapsed();
+        let clustering_logical = ctl.spent().saturating_sub(logical2);
         if !partial.completed && trip.is_none() {
             let kind = ctl.status().unwrap_or(InterruptKind::Cancelled);
             trip = Some((Stage::Clustering, kind));
@@ -721,36 +748,71 @@ impl Distinct {
             clustering: partial.clustering,
             degraded,
             exec: ExecReport {
-                profiles: profile_stats.into(),
-                similarity: matrix_stats.into(),
-                clustering: cluster_stats.into(),
+                profiles: stage_stats(profile_stats, profile_logical),
+                similarity: stage_stats(matrix_stats, similarity_logical),
+                clustering: stage_stats(cluster_stats, clustering_logical),
+                peak_rss_bytes: crate::control::peak_rss_bytes().unwrap_or(0),
             },
         }
     }
 
-    /// Cluster with an explicit `min_sim` (used by the baselines' per-
-    /// method threshold sweep in Fig. 4).
-    #[deprecated(note = "build a `ResolveRequest` with `.min_sim(..)` and call `resolve`")]
-    pub fn resolve_with_min_sim(&self, refs: &[TupleRef], min_sim: f64) -> Clustering {
-        self.resolve(&ResolveRequest::new(refs).min_sim(min_sim))
-            .clustering
-    }
-
-    /// Resolution under execution limits, degrading gracefully.
-    #[deprecated(note = "build a `ResolveRequest` with `.control(..)` and call `resolve`")]
-    pub fn resolve_ctl(&self, refs: &[TupleRef], ctl: &RunControl) -> ResolveOutcome {
-        self.resolve(&ResolveRequest::new(refs).control(ctl))
-    }
-
-    /// Limited resolution with an explicit `min_sim`.
-    #[deprecated(note = "build a `ResolveRequest` and call `resolve`")]
-    pub fn resolve_with_min_sim_ctl(
+    /// Stage 2 of resolution, named for the run manager: the pairwise
+    /// similarity tables under the engine's weights, measure, and
+    /// composite. Returns `None` (with the stats recording how far it got)
+    /// when `guard` trips mid-build.
+    pub(crate) fn similarity_stage(
         &self,
-        refs: &[TupleRef],
+        profiles: &[Arc<Profile>],
+        executor: &exec::Executor,
+        guard: &(dyn Fn(u64) -> bool + Sync),
+    ) -> (Option<DistinctMerger>, exec::ParStats) {
+        DistinctMerger::from_profiles_exec(
+            profiles,
+            &self.weights,
+            self.config.measure,
+            self.config.composite,
+            executor,
+            guard,
+        )
+    }
+
+    /// Stage 3 of resolution, named for the run manager: agglomerative
+    /// merging over a built similarity matrix, wrapped in user constraints
+    /// when any are present.
+    #[allow(clippy::too_many_arguments)] // internal stage seam: the run manager threads every resolve option through explicitly
+    pub(crate) fn clustering_stage(
+        &self,
+        mut merger: DistinctMerger,
+        n: usize,
         min_sim: f64,
-        ctl: &RunControl,
-    ) -> ResolveOutcome {
-        self.resolve(&ResolveRequest::new(refs).min_sim(min_sim).control(ctl))
+        must_link: &[(usize, usize)],
+        cannot_link: &[(usize, usize)],
+        executor: &exec::Executor,
+        guard: &(dyn Fn(u64) -> bool + Sync),
+    ) -> (PartialClustering, exec::ParStats) {
+        if !must_link.is_empty() || !cannot_link.is_empty() {
+            let mut constrained = ConstrainedMerger::new(merger, n, must_link, cannot_link);
+            agglomerate_exec(n, &mut constrained, min_sim, executor, guard)
+        } else {
+            agglomerate_exec(n, &mut merger, min_sim, executor, guard)
+        }
+    }
+
+    /// The all-singletons fallback partition over `n` references: an empty
+    /// dendrogram cut below any threshold, flagged incomplete.
+    pub(crate) fn singleton_partition(n: usize) -> (PartialClustering, exec::ParStats) {
+        let dendrogram = Dendrogram::new(n);
+        let labels = dendrogram.cut(f64::NEG_INFINITY);
+        (
+            PartialClustering {
+                clustering: Clustering { labels, dendrogram },
+                completed: false,
+            },
+            exec::ParStats {
+                threads: 1,
+                ..Default::default()
+            },
+        )
     }
 
     /// Calibrated probability that two references denote the same entity,
@@ -761,35 +823,6 @@ impl Distinct {
         let pa = self.profile(a);
         let pb = self.profile(b);
         Some(learned.pair_probability(&resemblance_features(&pa, &pb), &walk_features(&pa, &pb)))
-    }
-
-    /// Convenience: references of `name`, clustered.
-    #[deprecated(note = "call `references_of` then `resolve` with a `ResolveRequest`")]
-    pub fn resolve_name(&self, name: &str) -> (Vec<TupleRef>, Clustering) {
-        let refs = self.references_of(name);
-        let clustering = self.resolve(&ResolveRequest::new(&refs)).clustering;
-        (refs, clustering)
-    }
-
-    /// Cluster under user-supplied constraints: `must_link` /
-    /// `cannot_link` pairs are indexes into `refs`.
-    ///
-    /// # Panics
-    /// Panics on out-of-range, self-referential, or contradictory
-    /// constraint pairs (programmer error, matching the wrapped merger).
-    #[deprecated(note = "build a `ResolveRequest` with `.must_link(..)` / `.cannot_link(..)`")]
-    pub fn resolve_constrained(
-        &self,
-        refs: &[TupleRef],
-        must_link: &[(usize, usize)],
-        cannot_link: &[(usize, usize)],
-    ) -> Clustering {
-        self.resolve(
-            &ResolveRequest::new(refs)
-                .must_link(must_link)
-                .cannot_link(cannot_link),
-        )
-        .clustering
     }
 
     /// Export the trained state (configuration + weights + path
@@ -1035,52 +1068,6 @@ mod tests {
             scores.f_measure,
             scores.precision,
             scores.recall
-        );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_request_form() {
-        let d = dataset();
-        let config = DistinctConfig {
-            training: small_training(),
-            ..Default::default()
-        };
-        let engine = Distinct::prepare(&d.catalog, "Publish", "author", config).unwrap();
-        let (refs, clustering) = engine.resolve_name("Hui Fang");
-        assert_eq!(refs.len(), 9);
-        assert_eq!(clustering.labels.len(), 9);
-        assert_eq!(
-            clustering.labels,
-            engine
-                .resolve(&ResolveRequest::new(&refs))
-                .clustering
-                .labels
-        );
-        assert_eq!(
-            engine.resolve_with_min_sim(&refs, 0.02).labels,
-            engine
-                .resolve(&ResolveRequest::new(&refs).min_sim(0.02))
-                .clustering
-                .labels
-        );
-        let ctl = RunControl::new();
-        assert_eq!(
-            engine.resolve_ctl(&refs, &ctl).clustering.labels,
-            engine
-                .resolve(&ResolveRequest::new(&refs).control(&ctl))
-                .clustering
-                .labels
-        );
-        assert_eq!(
-            engine
-                .resolve_with_min_sim_ctl(&refs, 0.02, &ctl)
-                .clustering
-                .labels,
-            engine
-                .resolve(&ResolveRequest::new(&refs).min_sim(0.02).control(&ctl))
-                .clustering
-                .labels
         );
     }
 

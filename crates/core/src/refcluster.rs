@@ -146,6 +146,41 @@ impl DistinctMerger {
         self.n
     }
 
+    /// The leaf pairwise tables `(resemblance, directed walk)`, for the
+    /// run manager's similarity-stage checkpoint. Only meaningful on a
+    /// freshly built merger (before any merge extends the tables).
+    pub(crate) fn to_tables(&self) -> (&[Vec<f64>], &[Vec<f64>]) {
+        (&self.resem, &self.dwalk)
+    }
+
+    /// Rebuild a merger from checkpointed leaf tables. Inverse of
+    /// [`DistinctMerger::to_tables`] — JSON round-trips `f64` exactly, so
+    /// a merger restored this way clusters bit-identically to the one that
+    /// was saved. Returns `None` when the tables are not square matrices
+    /// of matching size.
+    pub(crate) fn from_tables(
+        resem: Vec<Vec<f64>>,
+        dwalk: Vec<Vec<f64>>,
+        measure: MeasureMode,
+        composite: CompositeMode,
+    ) -> Option<Self> {
+        let n = resem.len();
+        if dwalk.len() != n
+            || resem.iter().any(|row| row.len() != n)
+            || dwalk.iter().any(|row| row.len() != n)
+        {
+            return None;
+        }
+        Some(DistinctMerger {
+            resem,
+            dwalk,
+            sizes: vec![1; n],
+            measure,
+            composite,
+            n,
+        })
+    }
+
     /// The weighted resemblance between two leaf references (diagnostics).
     pub fn leaf_resemblance(&self, i: usize, j: usize) -> f64 {
         self.resem[i][j]
@@ -394,6 +429,40 @@ mod tests {
             assert_eq!(m.resem, reference.resem, "threads={threads}");
             assert_eq!(m.dwalk, reference.dwalk, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn table_round_trip_restores_a_bit_identical_merger() {
+        let profiles: Vec<Profile> = (0..9)
+            .map(|i| profile(i, &[(i % 3, 0.4 + 0.05 * i as f64), ((i + 1) % 3, 0.25)]))
+            .collect();
+        let m = DistinctMerger::from_profiles(
+            &profiles,
+            &weights(),
+            MeasureMode::Combined,
+            CompositeMode::Geometric,
+        );
+        let (resem, dwalk) = m.to_tables();
+        let restored = DistinctMerger::from_tables(
+            resem.to_vec(),
+            dwalk.to_vec(),
+            MeasureMode::Combined,
+            CompositeMode::Geometric,
+        )
+        .unwrap();
+        let (mut a, mut b) = (m.clone(), restored);
+        let ca = agglomerate(9, &mut a, 0.01);
+        let cb = agglomerate(9, &mut b, 0.01);
+        assert_eq!(ca.labels, cb.labels);
+        assert_eq!(ca.dendrogram.merges(), cb.dendrogram.merges());
+        // Malformed tables are refused, not misindexed.
+        assert!(DistinctMerger::from_tables(
+            vec![vec![0.0; 2]; 3],
+            vec![vec![0.0; 3]; 3],
+            MeasureMode::Combined,
+            CompositeMode::Geometric,
+        )
+        .is_none());
     }
 
     #[test]

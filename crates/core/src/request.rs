@@ -17,6 +17,7 @@
 
 use crate::control::RunControl;
 use relstore::TupleRef;
+use std::path::Path;
 use std::time::Duration;
 
 /// Statistics of one pipeline stage, for speedup reporting.
@@ -30,6 +31,11 @@ pub struct StageStats {
     pub threads: usize,
     /// Wall-clock time of the stage.
     pub wall: Duration,
+    /// Logical-clock time of the stage: [`RunControl`] work units charged
+    /// while it ran. Unlike `wall` this is deterministic for a given
+    /// input, so benchmark deltas can separate algorithmic work from
+    /// machine noise.
+    pub logical: u64,
 }
 
 impl From<exec::ParStats> for StageStats {
@@ -39,6 +45,7 @@ impl From<exec::ParStats> for StageStats {
             completed: s.completed,
             threads: s.threads,
             wall: s.wall,
+            logical: 0,
         }
     }
 }
@@ -57,12 +64,21 @@ pub struct ExecReport {
     /// Clustering (tasks = candidate pairs seeded; wall covers the whole
     /// agglomeration including the sequential merge loop).
     pub clustering: StageStats,
+    /// Peak resident set size of the process in bytes when the run
+    /// finished (`/proc/self/status` VmHWM), `0` where unavailable.
+    /// Process-wide, so concurrent runs share one high-water mark.
+    pub peak_rss_bytes: u64,
 }
 
 impl ExecReport {
     /// Total wall-clock time across the tracked stages.
     pub fn total_wall(&self) -> Duration {
         self.profiles.wall + self.similarity.wall + self.clustering.wall
+    }
+
+    /// Total logical-clock work units across the tracked stages.
+    pub fn total_logical(&self) -> u64 {
+        self.profiles.logical + self.similarity.logical + self.clustering.logical
     }
 
     /// The widest thread count any stage used.
@@ -87,6 +103,7 @@ pub struct ResolveRequest<'a> {
     pub(crate) cannot_link: Vec<(usize, usize)>,
     pub(crate) control: Option<&'a RunControl>,
     pub(crate) threads: Option<usize>,
+    pub(crate) run_dir: Option<&'a Path>,
 }
 
 impl<'a> ResolveRequest<'a> {
@@ -135,6 +152,22 @@ impl<'a> ResolveRequest<'a> {
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
         self
+    }
+
+    /// Make the run durable: stage checkpoints are committed into
+    /// `run_dir`, and a request re-issued over the same directory skips
+    /// completed stages and restarts the interrupted one from its last
+    /// committed chunk boundary. Consumed by
+    /// [`crate::Distinct::resolve_durable`]; the plain
+    /// [`crate::Distinct::resolve`] ignores it.
+    pub fn resume(mut self, run_dir: &'a Path) -> Self {
+        self.run_dir = Some(run_dir);
+        self
+    }
+
+    /// The run directory set by [`ResolveRequest::resume`], if any.
+    pub fn run_dir(&self) -> Option<&Path> {
+        self.run_dir
     }
 
     /// The references this request clusters.
@@ -217,16 +250,29 @@ mod tests {
                 completed: 10,
                 threads: 4,
                 wall: Duration::from_millis(7),
+                logical: 100,
             },
             similarity: StageStats {
                 tasks: 45,
                 completed: 45,
                 threads: 2,
                 wall: Duration::from_millis(3),
+                logical: 45,
             },
             clustering: StageStats::default(),
+            peak_rss_bytes: 0,
         };
         assert_eq!(r.total_wall(), Duration::from_millis(10));
+        assert_eq!(r.total_logical(), 145);
         assert_eq!(r.max_threads(), 4);
+    }
+
+    #[test]
+    fn resume_builder_carries_the_run_dir() {
+        let refs = vec![TupleRef::new(RelId(0), TupleId(0))];
+        let dir = Path::new("/tmp/run");
+        let req = ResolveRequest::new(&refs).resume(dir);
+        assert_eq!(req.run_dir(), Some(dir));
+        assert!(ResolveRequest::new(&refs).run_dir().is_none());
     }
 }

@@ -1,0 +1,1068 @@
+//! Durable, resumable resolution: the run manager.
+//!
+//! [`Distinct::resolve`] computes everything in memory; a crash at 95% of
+//! a paper-scale run loses all of it. [`Distinct::resolve_durable`] runs
+//! the same three stages — profile fan-out, pairwise similarity matrix,
+//! agglomerative clustering — but commits an atomic, checksummed
+//! checkpoint into a **run directory** as each unit of work completes:
+//!
+//! ```text
+//! <run_dir>/
+//!   run.json           run manifest: format version + request fingerprint
+//!   profiles-<k>.ck    profiles of refs[k..k+len], one file per chunk
+//!   similarity.ck      the full pairwise leaf tables (stage 2 output)
+//!   clustering.ck      labels + merge history (the final answer)
+//! ```
+//!
+//! Every file is written with [`relstore::write_atomic`] (temp + rename,
+//! the sanctioned persistence primitive of lint D105) and framed like the
+//! engine checkpoint: magic line with a format version, FNV-1a-64
+//! checksum, JSON payload. A killed run therefore leaves only complete,
+//! verifiable artifacts plus at most one `.tmp` orphan.
+//!
+//! **Resume** is the same call on the same directory: the manifest
+//! fingerprint proves the directory belongs to this exact request (same
+//! references, threshold, constraints, weights, catalog), then completed
+//! stages are skipped — a committed `clustering.ck` returns immediately,
+//! a committed `similarity.ck` skips profiling entirely, and otherwise
+//! profiling restarts from the first chunk without a committed file.
+//! Because each stage's persisted output round-trips `f64`s exactly, a
+//! resumed run's partition is bit-identical to an uninterrupted one (the
+//! chaos sweep in `tests/resume_chaos.rs` proves this at every kill
+//! point).
+//!
+//! Three robustness seams ride along:
+//!
+//! * **retry with backoff** — transient I/O failures are retried up to
+//!   [`RunOptions::max_retries`] times with exponential backoff and
+//!   deterministic, seeded jitter (the same splitmix64 recipe as the
+//!   fault injector, so schedules reproduce per seed);
+//! * **watchdog** — when [`RunOptions::stall_after`] is set, a
+//!   [`exec::Watchdog`] observes a heartbeat beaten at every chunk and
+//!   stage commit; silence trips the run with the typed
+//!   [`InterruptKind::Stalled`], degrading it like any other limit
+//!   instead of hanging forever;
+//! * **memory budget** — when [`RunOptions::memory_budget_bytes`] is set
+//!   and resident memory exceeds it, the shared profile cache is evicted
+//!   (profiles are pure caches — always safe) and the chunk size shrinks,
+//!   trading commit frequency for peak footprint.
+
+use crate::checkpoint::{decode_profile, encode_profile, ProfileEntry};
+use crate::control::{InterruptKind, RunControl, Stage};
+use crate::features::{empty_profile, Profile};
+use crate::pipeline::{stage_stats, Degraded, Distinct, DistinctError, ResolveOutcome};
+use crate::refcluster::DistinctMerger;
+use crate::request::{ExecReport, ResolveRequest};
+use cluster::{Clustering, Dendrogram};
+use relstore::{fnv1a64, write_atomic, StdVfs, Vfs};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Run-directory format version. Bumped whenever any persisted layout or
+/// payload schema changes shape; resuming a directory written by any
+/// other version fails with [`DistinctError::VersionMismatch`].
+pub const RUN_FORMAT_VERSION: u32 = 1;
+
+/// Magic prefix of every run-directory file's header line; the numeric
+/// suffix is the format version.
+const RUN_MAGIC_PREFIX: &str = "DISTINCTRUN";
+
+/// Magic header line (prefix + format version).
+const RUN_MAGIC: &str = "DISTINCTRUN1";
+
+const MANIFEST_FILE: &str = "run.json";
+const SIMILARITY_FILE: &str = "similarity.ck";
+const CLUSTERING_FILE: &str = "clustering.ck";
+
+/// Tuning knobs of a durable run. The defaults suit test- to mid-scale
+/// runs; the benchmark ladder overrides `chunk_size` per rung.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// References profiled (and committed) per chunk checkpoint.
+    pub chunk_size: usize,
+    /// Floor the memory guard never shrinks the chunk size below.
+    pub min_chunk_size: usize,
+    /// Transient I/O retries per operation (0 = fail fast, which the
+    /// chaos kill sweeps use to make every injected fault fatal).
+    pub max_retries: u32,
+    /// First retry delay; doubles on each subsequent attempt.
+    pub backoff_base: Duration,
+    /// Seed of the deterministic backoff jitter stream.
+    pub retry_seed: u64,
+    /// Trip the run with [`InterruptKind::Stalled`] after this much
+    /// heartbeat silence; `None` disables the watchdog.
+    pub stall_after: Option<Duration>,
+    /// Watchdog poll cadence (stall detection slack is one poll).
+    pub watchdog_poll: Duration,
+    /// Evict the profile cache and shrink chunks when resident memory
+    /// exceeds this; `None` disables the guard.
+    pub memory_budget_bytes: Option<u64>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            chunk_size: 256,
+            min_chunk_size: 16,
+            max_retries: 3,
+            backoff_base: Duration::from_millis(2),
+            retry_seed: 2007,
+            stall_after: None,
+            watchdog_poll: Duration::from_millis(25),
+            memory_budget_bytes: None,
+        }
+    }
+}
+
+/// What the run manager did, alongside the resolution outcome: which
+/// stages were restored instead of recomputed, how hard the durability
+/// machinery had to work.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// References whose profiles were restored from chunk checkpoints.
+    pub profiles_restored: usize,
+    /// Profile chunk checkpoints committed by this run.
+    pub chunks_committed: usize,
+    /// Stage 2 was restored from `similarity.ck` (profiling skipped).
+    pub similarity_restored: bool,
+    /// The final `clustering.ck` was restored (nothing recomputed).
+    pub clustering_restored: bool,
+    /// Transient I/O retries performed across the whole run.
+    pub io_retries: u64,
+    /// Times the memory guard evicted the profile cache.
+    pub memory_evictions: u32,
+    /// The watchdog fired (the outcome will be degraded as `Stalled`).
+    pub stalled: bool,
+}
+
+/// A durable run's result: the ordinary [`ResolveOutcome`] plus the
+/// [`RunReport`] of the durability machinery.
+#[derive(Debug, Clone)]
+pub struct DurableOutcome {
+    /// The resolution result, exactly as [`Distinct::resolve`] shapes it.
+    pub outcome: ResolveOutcome,
+    /// What the run manager restored, committed, and retried.
+    pub run: RunReport,
+}
+
+/// On-disk manifest claiming a run directory for one exact request.
+#[derive(Debug, Serialize, Deserialize)]
+struct RunManifest {
+    format: u32,
+    /// FNV-1a-64 over the request identity: references, threshold,
+    /// constraints, weights, measure/composite, catalog size, paths.
+    fingerprint: String,
+    refs: usize,
+    chunk: usize,
+}
+
+/// Profiles of `refs[start..start + entries.len()]`, one file per chunk.
+/// Keyed by range start, so resuming walks the chain of committed chunks
+/// from zero regardless of the chunk size they were written with.
+#[derive(Debug, Serialize, Deserialize)]
+struct ProfileChunk {
+    format: u32,
+    start: usize,
+    entries: Vec<ProfileEntry>,
+}
+
+/// Stage 2 output: the full pairwise leaf tables. JSON round-trips `f64`
+/// exactly, so a merger rebuilt from these clusters bit-identically.
+#[derive(Debug, Serialize, Deserialize)]
+struct SimilarityCk {
+    format: u32,
+    n: usize,
+    resem: Vec<Vec<f64>>,
+    dwalk: Vec<Vec<f64>>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct MergeEntry {
+    a: usize,
+    b: usize,
+    similarity: f64,
+    size: usize,
+}
+
+/// The final answer: labels plus the merge history that produced them.
+#[derive(Debug, Serialize, Deserialize)]
+struct ClusteringCk {
+    format: u32,
+    labels: Vec<usize>,
+    merges: Vec<MergeEntry>,
+}
+
+fn corrupt(path: &Path, reason: impl Into<String>) -> DistinctError {
+    DistinctError::CorruptCheckpoint {
+        path: path.display().to_string(),
+        reason: reason.into(),
+    }
+}
+
+/// Frame a JSON payload exactly like the engine checkpoint: magic line,
+/// checksum line, payload.
+fn frame(json: &str) -> String {
+    format!("{RUN_MAGIC}\n{:016x}\n{json}", fnv1a64(json.as_bytes()))
+}
+
+/// Verify and strip the frame. A well-formed magic with a different
+/// version suffix is a foreign-build artifact ([`DistinctError::VersionMismatch`]);
+/// anything else that fails is corruption.
+fn unframe<'a>(path: &Path, bytes: &'a [u8]) -> Result<&'a str, DistinctError> {
+    let text =
+        std::str::from_utf8(bytes).map_err(|_| corrupt(path, "run file is not valid UTF-8"))?;
+    let mut lines = text.splitn(3, '\n');
+    let magic = lines.next().unwrap_or("");
+    if magic != RUN_MAGIC {
+        if let Some(found) = magic
+            .strip_prefix(RUN_MAGIC_PREFIX)
+            .and_then(|v| v.parse::<u32>().ok())
+        {
+            return Err(DistinctError::VersionMismatch {
+                path: path.display().to_string(),
+                found,
+                expected: RUN_FORMAT_VERSION,
+            });
+        }
+        return Err(corrupt(
+            path,
+            format!("bad magic `{magic}` (expected {RUN_MAGIC})"),
+        ));
+    }
+    let declared = lines
+        .next()
+        .ok_or_else(|| corrupt(path, "missing checksum line"))?;
+    let json = lines
+        .next()
+        .ok_or_else(|| corrupt(path, "missing payload"))?;
+    let actual = format!("{:016x}", fnv1a64(json.as_bytes()));
+    if declared != actual {
+        return Err(corrupt(
+            path,
+            format!("checksum mismatch: header {declared}, payload {actual}"),
+        ));
+    }
+    Ok(json)
+}
+
+/// Parse an unframed payload, mapping parse failures to corruption and a
+/// foreign `format` field to the typed version mismatch.
+fn parse_payload<T: Deserialize>(
+    path: &Path,
+    json: &str,
+    format_of: impl Fn(&T) -> u32,
+) -> Result<T, DistinctError> {
+    let value: T = serde_json::from_str(json)
+        .map_err(|e| corrupt(path, format!("unparseable payload: {e}")))?;
+    let found = format_of(&value);
+    if found != RUN_FORMAT_VERSION {
+        return Err(DistinctError::VersionMismatch {
+            path: path.display().to_string(),
+            found,
+            expected: RUN_FORMAT_VERSION,
+        });
+    }
+    Ok(value)
+}
+
+/// Retry-with-backoff state shared across every I/O operation of a run.
+/// Jitter is a deterministic splitmix64 stream over (seed, attempt
+/// index) — the same finalizer the fault injector uses — so a given seed
+/// always produces the same backoff schedule.
+struct Retry {
+    max: u32,
+    base: Duration,
+    seed: u64,
+    attempts: u64,
+}
+
+impl Retry {
+    fn new(opts: &RunOptions) -> Self {
+        Retry {
+            max: opts.max_retries,
+            base: opts.backoff_base,
+            seed: opts.retry_seed,
+            attempts: 0,
+        }
+    }
+
+    fn jitter(&mut self) -> Duration {
+        self.attempts += 1;
+        let mut z = self
+            .seed
+            .wrapping_add(self.attempts.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let bound = (self.base.as_micros() as u64).max(1);
+        Duration::from_micros(z % bound)
+    }
+
+    /// Run `op`, retrying transient failures with exponential backoff and
+    /// seeded jitter. The final failure surfaces as a store I/O error
+    /// naming `what`.
+    fn run<T, E: std::fmt::Display>(
+        &mut self,
+        what: &str,
+        mut op: impl FnMut() -> Result<T, E>,
+    ) -> Result<T, DistinctError> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    if attempt >= self.max {
+                        return Err(DistinctError::Store(relstore::StoreError::Io {
+                            context: what.to_string(),
+                            reason: e.to_string(),
+                        }));
+                    }
+                    attempt += 1;
+                    let backoff = self
+                        .base
+                        .saturating_mul(1u32 << (attempt - 1).min(10))
+                        .saturating_add(self.jitter());
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+    }
+}
+
+/// Read a run file, treating "not there yet" as a normal resume state.
+fn read_optional(
+    vfs: &mut dyn Vfs,
+    path: &Path,
+    retry: &mut Retry,
+) -> Result<Option<Vec<u8>>, DistinctError> {
+    retry.run(&format!("read {}", path.display()), || {
+        match vfs.read(path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    })
+}
+
+/// Serialize, frame, and atomically commit one run file.
+fn write_framed<T: Serialize>(
+    vfs: &mut dyn Vfs,
+    dir: &Path,
+    name: &str,
+    value: &T,
+    retry: &mut Retry,
+) -> Result<(), DistinctError> {
+    let json = serde_json::to_string(value).map_err(|e| {
+        DistinctError::Store(relstore::StoreError::Io {
+            context: format!("serialize {name}"),
+            reason: e.to_string(),
+        })
+    })?;
+    let blob = frame(&json);
+    retry.run(&format!("write {name}"), || {
+        write_atomic(vfs, dir, name, blob.as_bytes())
+    })
+}
+
+impl Distinct {
+    /// The identity of one durable request, as a fingerprint hex string.
+    /// Everything that changes the answer participates: the references
+    /// and their order, the threshold, constraints, installed weights,
+    /// measure/composite modes, the join-path set, and the catalog size.
+    fn run_fingerprint(&self, req: &ResolveRequest<'_>, min_sim: f64) -> String {
+        use std::fmt::Write as _;
+        let mut key = String::new();
+        let _ = write!(
+            key,
+            "run-v{RUN_FORMAT_VERSION};min_sim={:016x};measure={:?};composite={:?};tuples={};",
+            min_sim.to_bits(),
+            self.config().measure,
+            self.config().composite,
+            self.catalog().tuple_count(),
+        );
+        for d in &self.paths().descriptions {
+            key.push_str(d);
+            key.push(';');
+        }
+        for w in self
+            .weights()
+            .resem
+            .iter()
+            .chain(self.weights().walk.iter())
+        {
+            let _ = write!(key, "{:016x},", w.to_bits());
+        }
+        for r in req.refs {
+            let _ = write!(key, "r{}:{};", r.rel.0, r.tid.0);
+        }
+        for &(a, b) in &req.must_link {
+            let _ = write!(key, "m{a}-{b};");
+        }
+        for &(a, b) in &req.cannot_link {
+            let _ = write!(key, "c{a}-{b};");
+        }
+        format!("{:016x}", fnv1a64(key.as_bytes()))
+    }
+
+    /// Durable [`Distinct::resolve`]: same stages, same answer, but every
+    /// completed unit of work is committed into the request's run
+    /// directory ([`ResolveRequest::resume`]), so a crashed or degraded
+    /// run restarts from its last committed chunk instead of from zero.
+    /// Uses the real filesystem and default [`RunOptions`].
+    pub fn resolve_durable(
+        &self,
+        req: &ResolveRequest<'_>,
+    ) -> Result<DurableOutcome, DistinctError> {
+        self.resolve_durable_with(req, &mut StdVfs, &RunOptions::default())
+    }
+
+    /// [`Distinct::resolve_durable`] through an explicit [`Vfs`] (the
+    /// fault-injectable entry point) with explicit [`RunOptions`].
+    pub fn resolve_durable_with(
+        &self,
+        req: &ResolveRequest<'_>,
+        vfs: &mut dyn Vfs,
+        opts: &RunOptions,
+    ) -> Result<DurableOutcome, DistinctError> {
+        let run_dir = req.run_dir.ok_or_else(|| {
+            DistinctError::Config(
+                "resolve_durable needs a run directory (ResolveRequest::resume)".into(),
+            )
+        })?;
+        let refs = req.refs;
+        let n = refs.len();
+        let min_sim = req.min_sim.unwrap_or(self.config().min_sim);
+        let unlimited = RunControl::new();
+        let ctl = req.control.unwrap_or(&unlimited);
+        let executor = self.executor_for(req.threads);
+        let mut retry = Retry::new(opts);
+        let mut report = RunReport::default();
+
+        retry.run("create run directory", || vfs.create_dir_all(run_dir))?;
+
+        // Claim the directory, or verify an existing claim: a fingerprint
+        // mismatch means the directory belongs to a different resolution
+        // and must not be mixed into this one.
+        let fingerprint = self.run_fingerprint(req, min_sim);
+        let manifest_path = run_dir.join(MANIFEST_FILE);
+        match read_optional(vfs, &manifest_path, &mut retry)? {
+            Some(bytes) => {
+                let json = unframe(&manifest_path, &bytes)?;
+                let manifest: RunManifest =
+                    parse_payload(&manifest_path, json, |m: &RunManifest| m.format)?;
+                if manifest.fingerprint != fingerprint || manifest.refs != n {
+                    return Err(corrupt(
+                        &manifest_path,
+                        "run directory belongs to a different resolution (fingerprint mismatch)",
+                    ));
+                }
+            }
+            None => {
+                let manifest = RunManifest {
+                    format: RUN_FORMAT_VERSION,
+                    fingerprint: fingerprint.clone(),
+                    refs: n,
+                    chunk: opts.chunk_size.max(1),
+                };
+                write_framed(vfs, run_dir, MANIFEST_FILE, &manifest, &mut retry)?;
+            }
+        }
+
+        // Fast path: the run already finished — return its committed
+        // answer without touching a single profile.
+        let clustering_path = run_dir.join(CLUSTERING_FILE);
+        if let Some(bytes) = read_optional(vfs, &clustering_path, &mut retry)? {
+            let json = unframe(&clustering_path, &bytes)?;
+            let ck: ClusteringCk =
+                parse_payload(&clustering_path, json, |c: &ClusteringCk| c.format)?;
+            if ck.labels.len() != n {
+                return Err(corrupt(
+                    &clustering_path,
+                    format!(
+                        "labels cover {} references, request has {n}",
+                        ck.labels.len()
+                    ),
+                ));
+            }
+            let mut dendrogram = Dendrogram::new(n);
+            for m in &ck.merges {
+                dendrogram.record(m.a, m.b, m.similarity, m.size);
+            }
+            report.clustering_restored = true;
+            report.io_retries = retry.attempts;
+            return Ok(DurableOutcome {
+                outcome: ResolveOutcome {
+                    clustering: Clustering {
+                        labels: ck.labels,
+                        dendrogram,
+                    },
+                    degraded: None,
+                    exec: ExecReport {
+                        peak_rss_bytes: crate::control::peak_rss_bytes().unwrap_or(0),
+                        ..Default::default()
+                    },
+                },
+                run: report,
+            });
+        }
+
+        // From here real work can run long: arm the watchdog. Every chunk
+        // or stage commit beats the heartbeat; silence trips the control
+        // with the typed Stalled cause, which the stages observe through
+        // their ordinary guards.
+        let heartbeat = exec::Heartbeat::new();
+        let watchdog = opts.stall_after.map(|stall| {
+            let handle = ctl.trip_handle();
+            exec::Watchdog::spawn(heartbeat.clone(), stall, opts.watchdog_poll, move || {
+                handle.interrupt(InterruptKind::Stalled);
+            })
+        });
+
+        let mut trip: Option<(Stage, InterruptKind)> = None;
+        let mut profile_stats = exec::ParStats::default();
+        let mut profile_logical = 0u64;
+        let mut profiles_computed = n;
+        let guard = ctl.shared_guard();
+
+        // Stage 2 restored? Then stage 1 is unnecessary: clustering only
+        // needs the similarity tables.
+        let similarity_path = run_dir.join(SIMILARITY_FILE);
+        let mut matrix_stats = exec::ParStats::default();
+        let mut similarity_logical = 0u64;
+        let merger: Option<DistinctMerger> = match read_optional(vfs, &similarity_path, &mut retry)?
+        {
+            Some(bytes) => {
+                let json = unframe(&similarity_path, &bytes)?;
+                let ck: SimilarityCk =
+                    parse_payload(&similarity_path, json, |c: &SimilarityCk| c.format)?;
+                if ck.n != n {
+                    return Err(corrupt(
+                        &similarity_path,
+                        format!("tables cover {} references, request has {n}", ck.n),
+                    ));
+                }
+                let restored = DistinctMerger::from_tables(
+                    ck.resem,
+                    ck.dwalk,
+                    self.config().measure,
+                    self.config().composite,
+                )
+                .ok_or_else(|| corrupt(&similarity_path, "similarity tables are not square"))?;
+                report.similarity_restored = true;
+                heartbeat.beat();
+                Some(restored)
+            }
+            None => {
+                // Stage 1: profiles, chunk by chunk. Committed chunks
+                // are restored; missing ones are computed and
+                // committed before moving on, so a kill at any point
+                // loses at most one chunk of work.
+                let n_paths = self.paths().len();
+                let mut profiles: Vec<Arc<Profile>> = Vec::with_capacity(n);
+                let mut chunk = opts.chunk_size.max(1);
+                let logical0 = ctl.spent();
+                while profiles.len() < n {
+                    let pos = profiles.len();
+                    if let Some(budget) = opts.memory_budget_bytes {
+                        let over = crate::control::current_rss_bytes()
+                            .map(|rss| rss > budget)
+                            .unwrap_or(false);
+                        if over {
+                            self.evict_profiles();
+                            chunk = (chunk / 2).max(opts.min_chunk_size.max(1)).min(chunk);
+                            report.memory_evictions += 1;
+                        }
+                    }
+                    let name = format!("profiles-{pos}.ck");
+                    let chunk_path = run_dir.join(&name);
+                    if let Some(bytes) = read_optional(vfs, &chunk_path, &mut retry)? {
+                        let json = unframe(&chunk_path, &bytes)?;
+                        let ck: ProfileChunk =
+                            parse_payload(&chunk_path, json, |c: &ProfileChunk| c.format)?;
+                        if ck.start != pos || ck.entries.is_empty() || pos + ck.entries.len() > n {
+                            return Err(corrupt(
+                                &chunk_path,
+                                format!(
+                                    "chunk claims refs {}..{} of {n}, expected to start at {pos}",
+                                    ck.start,
+                                    ck.start + ck.entries.len()
+                                ),
+                            ));
+                        }
+                        for (i, entry) in ck.entries.iter().enumerate() {
+                            let profile = decode_profile(entry, n_paths).ok_or_else(|| {
+                                corrupt(&chunk_path, "profile does not match the engine's path set")
+                            })?;
+                            if profile.reference != refs[pos + i] {
+                                return Err(corrupt(
+                                    &chunk_path,
+                                    format!("profile {i} is for a different reference"),
+                                ));
+                            }
+                            let profile = Arc::new(profile);
+                            self.cache_insert(refs[pos + i], Arc::clone(&profile));
+                            profiles.push(profile);
+                        }
+                        report.profiles_restored += ck.entries.len();
+                        heartbeat.beat();
+                        continue;
+                    }
+                    // Compute and commit this chunk.
+                    let end = (pos + chunk).min(n);
+                    let (chunk_profiles, stats) =
+                        self.profile_fanout(&refs[pos..end], &executor, ctl);
+                    profile_stats = profile_stats.merge(stats);
+                    let real = chunk_profiles.iter().filter(|p| !p.placeholder).count();
+                    if real < end - pos {
+                        // A limit tripped mid-chunk: commit nothing
+                        // from it (a committed chunk must be fully
+                        // real), keep what we have, degrade.
+                        let kind = ctl.status().unwrap_or(InterruptKind::Cancelled);
+                        trip = Some((Stage::Profiles, kind));
+                        profiles.extend(chunk_profiles);
+                        break;
+                    }
+                    let entries: Vec<ProfileEntry> =
+                        chunk_profiles.iter().map(|p| encode_profile(p)).collect();
+                    let ck = ProfileChunk {
+                        format: RUN_FORMAT_VERSION,
+                        start: pos,
+                        entries,
+                    };
+                    write_framed(vfs, run_dir, &name, &ck, &mut retry)?;
+                    report.chunks_committed += 1;
+                    profiles.extend(chunk_profiles);
+                    heartbeat.beat();
+                }
+                // A degraded run still resolves every reference:
+                // whatever was cut off stays a zero-mass placeholder
+                // (and therefore a singleton), exactly like resolve().
+                for &r in &refs[profiles.len()..] {
+                    profiles.push(Arc::new(empty_profile(self.paths(), r)));
+                }
+                profile_logical = ctl.spent().saturating_sub(logical0);
+                profiles_computed = profiles.iter().filter(|p| !p.placeholder).count();
+
+                // Stage 2: the pairwise similarity matrix.
+                let logical1 = ctl.spent();
+                let (built, stats) = self.similarity_stage(&profiles, &executor, &guard);
+                matrix_stats = stats;
+                similarity_logical = ctl.spent().saturating_sub(logical1);
+                if let Some(inner) = &built {
+                    if trip.is_none() {
+                        let (resem, dwalk) = inner.to_tables();
+                        let ck = SimilarityCk {
+                            format: RUN_FORMAT_VERSION,
+                            n,
+                            resem: resem.to_vec(),
+                            dwalk: dwalk.to_vec(),
+                        };
+                        write_framed(vfs, run_dir, SIMILARITY_FILE, &ck, &mut retry)?;
+                        heartbeat.beat();
+                    }
+                }
+                built
+            }
+        };
+
+        // Stage 3: agglomerative clustering, committed only when fully
+        // complete — a partial merge sequence is recomputable for free
+        // from the committed similarity tables.
+        // distinct-lint: allow(D004, reason="wall time feeds ExecReport stage timings only; control flow stays with RunControl")
+        let clock = Instant::now();
+        let logical2 = ctl.spent();
+        let (partial, mut cluster_stats) = match merger {
+            Some(inner) => self.clustering_stage(
+                inner,
+                n,
+                min_sim,
+                &req.must_link,
+                &req.cannot_link,
+                &executor,
+                &guard,
+            ),
+            None => {
+                if trip.is_none() {
+                    let kind = ctl.status().unwrap_or(InterruptKind::Cancelled);
+                    trip = Some((Stage::SimilarityMatrix, kind));
+                }
+                Self::singleton_partition(n)
+            }
+        };
+        cluster_stats.wall = clock.elapsed();
+        let clustering_logical = ctl.spent().saturating_sub(logical2);
+        if !partial.completed && trip.is_none() {
+            let kind = ctl.status().unwrap_or(InterruptKind::Cancelled);
+            trip = Some((Stage::Clustering, kind));
+        }
+        if trip.is_none() && partial.completed {
+            let merges: Vec<MergeEntry> = partial
+                .clustering
+                .dendrogram
+                .merges()
+                .iter()
+                .map(|m| MergeEntry {
+                    a: m.a,
+                    b: m.b,
+                    similarity: m.similarity,
+                    size: m.size,
+                })
+                .collect();
+            let ck = ClusteringCk {
+                format: RUN_FORMAT_VERSION,
+                labels: partial.clustering.labels.clone(),
+                merges,
+            };
+            write_framed(vfs, run_dir, CLUSTERING_FILE, &ck, &mut retry)?;
+            heartbeat.beat();
+        }
+
+        report.stalled = match watchdog {
+            Some(dog) => dog.stop(),
+            None => false,
+        };
+        report.io_retries = retry.attempts;
+        let degraded = trip.map(|(stage, kind)| Degraded {
+            stage,
+            kind,
+            profiles_computed,
+            refs_total: n,
+            clustering_completed: partial.completed,
+        });
+        Ok(DurableOutcome {
+            outcome: ResolveOutcome {
+                clustering: partial.clustering,
+                degraded,
+                exec: ExecReport {
+                    profiles: stage_stats(profile_stats, profile_logical),
+                    similarity: stage_stats(matrix_stats, similarity_logical),
+                    clustering: stage_stats(cluster_stats, clustering_logical),
+                    peak_rss_bytes: crate::control::peak_rss_bytes().unwrap_or(0),
+                },
+            },
+            run: report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DistinctConfig;
+    use crate::request::ResolveRequest;
+    use datagen::{AmbiguousSpec, World, WorldConfig};
+    use relstore::{FaultPlan, FaultyVfs};
+    use std::path::PathBuf;
+
+    fn dataset() -> datagen::DblpDataset {
+        let mut config = WorldConfig::tiny(21);
+        config.ambiguous = vec![AmbiguousSpec::new("Wei Wang", vec![10, 8, 5])];
+        datagen::to_catalog(&World::generate(config)).unwrap()
+    }
+
+    fn engine(d: &datagen::DblpDataset) -> Distinct {
+        Distinct::prepare(&d.catalog, "Publish", "author", DistinctConfig::default()).unwrap()
+    }
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("distinct_runmgr_{tag}_{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            TempDir(dir)
+        }
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn fast_opts() -> RunOptions {
+        RunOptions {
+            chunk_size: 8,
+            backoff_base: Duration::from_micros(100),
+            ..Default::default()
+        }
+    }
+
+    fn assert_same(a: &Clustering, b: &Clustering) {
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.dendrogram.merges(), b.dendrogram.merges());
+    }
+
+    #[test]
+    fn durable_run_matches_plain_resolve_and_each_resume_level_is_bit_identical() {
+        let d = dataset();
+        let e = engine(&d);
+        let refs = e.references_of("Wei Wang");
+        assert_eq!(refs.len(), 23);
+        let plain = e.resolve(&ResolveRequest::new(&refs)).clustering;
+
+        let dir = TempDir::new("levels");
+        let req = ResolveRequest::new(&refs).resume(dir.path());
+        let first = e
+            .resolve_durable_with(&req, &mut StdVfs, &fast_opts())
+            .unwrap();
+        assert!(first.outcome.is_complete());
+        assert_same(&first.outcome.clustering, &plain);
+        assert_eq!(first.run.chunks_committed, 3, "23 refs / chunks of 8");
+        assert!(!first.run.similarity_restored);
+        for f in [
+            "run.json",
+            "profiles-0.ck",
+            "profiles-8.ck",
+            "profiles-16.ck",
+            "similarity.ck",
+            "clustering.ck",
+        ] {
+            assert!(dir.path().join(f).exists(), "missing {f}");
+        }
+
+        // Resume level 0: the committed answer comes straight back.
+        let again = e
+            .resolve_durable_with(&req, &mut StdVfs, &fast_opts())
+            .unwrap();
+        assert!(again.run.clustering_restored);
+        assert_same(&again.outcome.clustering, &plain);
+
+        // Resume level 1: clustering recomputes from committed tables —
+        // profiling is skipped entirely.
+        std::fs::remove_file(dir.path().join("clustering.ck")).unwrap();
+        let from_tables = e
+            .resolve_durable_with(&req, &mut StdVfs, &fast_opts())
+            .unwrap();
+        assert!(from_tables.run.similarity_restored);
+        assert_eq!(from_tables.run.profiles_restored, 0);
+        assert_same(&from_tables.outcome.clustering, &plain);
+        assert!(dir.path().join("clustering.ck").exists(), "recommitted");
+
+        // Resume level 2: profiles restore from chunks, stages 2 and 3
+        // recompute — still bit-identical.
+        std::fs::remove_file(dir.path().join("clustering.ck")).unwrap();
+        std::fs::remove_file(dir.path().join("similarity.ck")).unwrap();
+        let from_chunks = e
+            .resolve_durable_with(&req, &mut StdVfs, &fast_opts())
+            .unwrap();
+        assert!(!from_chunks.run.similarity_restored);
+        assert_eq!(from_chunks.run.profiles_restored, refs.len());
+        assert_eq!(from_chunks.run.chunks_committed, 0);
+        assert_same(&from_chunks.outcome.clustering, &plain);
+    }
+
+    #[test]
+    fn killed_run_resumes_on_a_cold_engine_to_the_identical_partition() {
+        let d = dataset();
+        let e = engine(&d);
+        let refs = e.references_of("Wei Wang");
+        let expected = engine(&d).resolve(&ResolveRequest::new(&refs)).clustering;
+
+        let dir = TempDir::new("kill");
+        let req = ResolveRequest::new(&refs).resume(dir.path());
+        // Kill the run at its third write, with retries disabled so the
+        // injected fault is fatal.
+        let mut vfs = FaultyVfs::new(FaultPlan::fail_nth_write(3));
+        let opts = RunOptions {
+            max_retries: 0,
+            ..fast_opts()
+        };
+        let err = e
+            .resolve_durable_with(&req, &mut vfs, &opts)
+            .expect_err("injected write failure must surface");
+        assert!(matches!(err, DistinctError::Store(_)), "got {err}");
+
+        // A brand-new engine (cold cache) resumes the directory and lands
+        // on the identical partition.
+        let cold = engine(&d);
+        let resumed = cold
+            .resolve_durable_with(&req, &mut StdVfs, &fast_opts())
+            .unwrap();
+        assert!(resumed.outcome.is_complete());
+        assert!(resumed.run.profiles_restored > 0, "committed chunk reused");
+        assert_same(&resumed.outcome.clustering, &expected);
+    }
+
+    #[test]
+    fn transient_write_failures_are_absorbed_by_retry() {
+        let d = dataset();
+        let e = engine(&d);
+        let refs = e.references_of("Wei Wang");
+        let plain = e.resolve(&ResolveRequest::new(&refs)).clustering;
+
+        let dir = TempDir::new("retry");
+        let req = ResolveRequest::new(&refs).resume(dir.path());
+        let mut vfs = FaultyVfs::new(FaultPlan::fail_nth_write(2));
+        let out = e
+            .resolve_durable_with(&req, &mut vfs, &fast_opts())
+            .unwrap();
+        assert!(out.outcome.is_complete());
+        assert!(out.run.io_retries >= 1, "the fault must have cost a retry");
+        assert_same(&out.outcome.clustering, &plain);
+    }
+
+    #[test]
+    fn degraded_run_commits_its_progress_and_an_unlimited_resume_completes() {
+        let d = dataset();
+        let refs = {
+            let e = engine(&d);
+            e.references_of("Wei Wang")
+        };
+        let expected = engine(&d).resolve(&ResolveRequest::new(&refs)).clustering;
+
+        // Measure the full profiling cost in logical units, then budget
+        // half of it: the limit is guaranteed to trip mid-profiling while
+        // leaving room for the first chunks to commit.
+        let profile_cost = {
+            let probe = engine(&d);
+            let ctl = RunControl::new();
+            let _ = probe.resolve(&ResolveRequest::new(&refs).control(&ctl));
+            ctl.spent()
+        };
+
+        let dir = TempDir::new("degraded");
+        // A fresh engine under a small budget: some chunks complete and
+        // commit, then the limit trips and the run degrades (gracefully,
+        // like resolve()).
+        let e = engine(&d);
+        let ctl = RunControl::new().with_budget(profile_cost / 3);
+        let req = ResolveRequest::new(&refs).control(&ctl).resume(dir.path());
+        let opts = RunOptions {
+            chunk_size: 4,
+            ..fast_opts()
+        };
+        let limited = e.resolve_durable_with(&req, &mut StdVfs, &opts).unwrap();
+        let deg = limited.outcome.degraded.expect("small budget must degrade");
+        assert_eq!(deg.kind, InterruptKind::BudgetExhausted);
+        assert_eq!(deg.stage, Stage::Profiles, "{deg:?}");
+        assert!(
+            limited.run.chunks_committed >= 1,
+            "budget must allow at least one committed chunk: {:?}",
+            limited.run
+        );
+
+        // An unlimited resume on a cold engine finishes from the
+        // committed chunks and matches the uninterrupted answer.
+        let cold = engine(&d);
+        let resume_req = ResolveRequest::new(&refs).resume(dir.path());
+        let resumed = cold
+            .resolve_durable_with(&resume_req, &mut StdVfs, &opts)
+            .unwrap();
+        assert!(resumed.outcome.is_complete());
+        assert_eq!(
+            resumed.run.profiles_restored,
+            limited.run.chunks_committed * 4
+        );
+        assert_same(&resumed.outcome.clustering, &expected);
+    }
+
+    #[test]
+    fn run_directory_of_a_different_request_is_refused() {
+        let d = dataset();
+        let e = engine(&d);
+        let refs = e.references_of("Wei Wang");
+        let dir = TempDir::new("mismatch");
+        let req = ResolveRequest::new(&refs).resume(dir.path());
+        e.resolve_durable_with(&req, &mut StdVfs, &fast_opts())
+            .unwrap();
+
+        // Same directory, different threshold: a different resolution.
+        let other = ResolveRequest::new(&refs).min_sim(0.5).resume(dir.path());
+        let err = e
+            .resolve_durable_with(&other, &mut StdVfs, &fast_opts())
+            .unwrap_err();
+        match err {
+            DistinctError::CorruptCheckpoint { reason, .. } => {
+                assert!(reason.contains("fingerprint"), "{reason}");
+            }
+            other => panic!("expected CorruptCheckpoint, got {other}"),
+        }
+    }
+
+    #[test]
+    fn foreign_run_format_version_is_a_typed_mismatch() {
+        let d = dataset();
+        let e = engine(&d);
+        let refs = e.references_of("Wei Wang");
+        let dir = TempDir::new("version");
+        let req = ResolveRequest::new(&refs).resume(dir.path());
+        e.resolve_durable_with(&req, &mut StdVfs, &fast_opts())
+            .unwrap();
+
+        let manifest = dir.path().join("run.json");
+        let blob = std::fs::read_to_string(&manifest).unwrap();
+        std::fs::write(&manifest, blob.replacen(RUN_MAGIC, "DISTINCTRUN9", 1)).unwrap();
+        match e
+            .resolve_durable_with(&req, &mut StdVfs, &fast_opts())
+            .unwrap_err()
+        {
+            DistinctError::VersionMismatch {
+                found, expected, ..
+            } => {
+                assert_eq!(found, 9);
+                assert_eq!(expected, RUN_FORMAT_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn memory_budget_guard_evicts_and_shrinks_without_changing_the_answer() {
+        let d = dataset();
+        let e = engine(&d);
+        let refs = e.references_of("Wei Wang");
+        let plain = e.resolve(&ResolveRequest::new(&refs)).clustering;
+
+        let dir = TempDir::new("memory");
+        // One byte of budget: every chunk boundary sees an over-budget
+        // process, evicts, and shrinks down to the floor.
+        let opts = RunOptions {
+            chunk_size: 8,
+            min_chunk_size: 2,
+            memory_budget_bytes: Some(1),
+            ..fast_opts()
+        };
+        let cold = engine(&d);
+        let req = ResolveRequest::new(&refs).resume(dir.path());
+        let out = cold.resolve_durable_with(&req, &mut StdVfs, &opts).unwrap();
+        assert!(out.outcome.is_complete());
+        assert!(out.run.memory_evictions > 0, "guard must have fired");
+        // Shrunk chunks mean more, smaller commits than 23/8 would give.
+        assert!(out.run.chunks_committed > 3, "{:?}", out.run);
+        assert_same(&out.outcome.clustering, &plain);
+    }
+
+    #[test]
+    fn watchdog_on_a_healthy_run_stays_quiet() {
+        let d = dataset();
+        let e = engine(&d);
+        let refs = e.references_of("Wei Wang");
+        let dir = TempDir::new("watchdog");
+        let opts = RunOptions {
+            stall_after: Some(Duration::from_secs(600)),
+            watchdog_poll: Duration::from_millis(1),
+            ..fast_opts()
+        };
+        let req = ResolveRequest::new(&refs).resume(dir.path());
+        let out = e.resolve_durable_with(&req, &mut StdVfs, &opts).unwrap();
+        assert!(out.outcome.is_complete());
+        assert!(!out.run.stalled);
+    }
+
+    #[test]
+    fn missing_run_dir_is_a_config_error() {
+        let d = dataset();
+        let e = engine(&d);
+        let refs = e.references_of("Wei Wang");
+        assert!(matches!(
+            e.resolve_durable(&ResolveRequest::new(&refs)),
+            Err(DistinctError::Config(_))
+        ));
+    }
+}

@@ -14,9 +14,10 @@
 //! (`relstore::expand`) preserves relation ids and tuple order, so the
 //! ground-truth [`TupleRef`]s remain valid in an expanded catalog.
 
-use crate::world::World;
+use crate::config::WorldConfig;
+use crate::world::{World, WorldStream};
 use relstore::{AttrType, Catalog, RelId, SchemaBuilder, StoreError, Tuple, TupleRef, Value};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Ground truth for one ambiguous name.
 #[derive(Debug, Clone)]
@@ -55,8 +56,29 @@ pub struct DblpDataset {
     pub publish_entities: Vec<usize>,
 }
 
-/// Build the DBLP-schema catalog from a world.
-pub fn to_catalog(world: &World) -> Result<DblpDataset, StoreError> {
+/// Conference locations, assigned deterministically per (venue, year).
+const LOCATIONS: &[&str] = &[
+    "Athens",
+    "Beijing",
+    "Chicago",
+    "Dublin",
+    "Edinburgh",
+    "Florence",
+    "Geneva",
+    "Hanoi",
+    "Istanbul",
+    "Jakarta",
+    "Kyoto",
+    "Lisbon",
+];
+
+/// Location for a proceedings (venue, year) pair.
+fn location_for(venue: usize, year: i64) -> &'static str {
+    LOCATIONS[(venue * 31 + year as usize) % LOCATIONS.len()]
+}
+
+/// Register the five Fig. 2 relations on a fresh catalog.
+fn build_schema() -> Result<Catalog, StoreError> {
     let mut c = Catalog::new();
     c.add_relation(
         SchemaBuilder::new("Authors")
@@ -90,6 +112,12 @@ pub fn to_catalog(world: &World) -> Result<DblpDataset, StoreError> {
             .fk("paper_key", AttrType::Int, "Publications")
             .build()?,
     )?;
+    Ok(c)
+}
+
+/// Build the DBLP-schema catalog from a world.
+pub fn to_catalog(world: &World) -> Result<DblpDataset, StoreError> {
+    let mut c = build_schema()?;
 
     // Authors: one tuple per distinct display name.
     let mut seen_names: HashMap<&str, ()> = HashMap::new();
@@ -108,20 +136,6 @@ pub fn to_catalog(world: &World) -> Result<DblpDataset, StoreError> {
     }
 
     // Proceedings: one per (venue, year) occurring in the papers.
-    const LOCATIONS: &[&str] = &[
-        "Athens",
-        "Beijing",
-        "Chicago",
-        "Dublin",
-        "Edinburgh",
-        "Florence",
-        "Geneva",
-        "Hanoi",
-        "Istanbul",
-        "Jakarta",
-        "Kyoto",
-        "Lisbon",
-    ];
     let mut proc_keys: HashMap<(usize, i64), i64> = HashMap::new();
     let mut pairs: Vec<(usize, i64)> = world.papers.iter().map(|p| (p.venue, p.year)).collect();
     pairs.sort_unstable();
@@ -129,14 +143,13 @@ pub fn to_catalog(world: &World) -> Result<DblpDataset, StoreError> {
     for (i, &(venue, year)) in pairs.iter().enumerate() {
         let key = i as i64 + 1;
         proc_keys.insert((venue, year), key);
-        let location = LOCATIONS[(venue * 31 + year as usize) % LOCATIONS.len()];
         c.insert(
             "Proceedings",
             Tuple::new(vec![
                 Value::Int(key),
                 Value::str(&world.venues[venue].name),
                 Value::Int(year),
-                Value::str(location),
+                Value::str(location_for(venue, year)),
             ]),
         )?;
     }
@@ -178,6 +191,116 @@ pub fn to_catalog(world: &World) -> Result<DblpDataset, StoreError> {
                 "Publish",
                 Tuple::new(vec![
                     Value::str(&world.entities[a].name),
+                    Value::Int(p.id as i64 + 1),
+                ]),
+            )?;
+            publish_entities.push(a);
+            if let Some(&(gi, k)) = planted.get(&a) {
+                truths[gi].refs.push(t);
+                truths[gi].labels.push(k);
+            }
+        }
+    }
+
+    c.finalize(true)?;
+    let publish = c.relation_id("Publish").expect("Publish registered"); // distinct-lint: allow(D002, reason="Publish was registered by this same function a page up; dev-only generator crate")
+    let authors = c.relation_id("Authors").expect("Authors registered"); // distinct-lint: allow(D002, reason="Authors was registered by this same function a page up; dev-only generator crate")
+    Ok(DblpDataset {
+        catalog: c,
+        truths,
+        publish,
+        authors,
+        publish_entities,
+    })
+}
+
+/// Build the DBLP-schema catalog by streaming papers instead of
+/// materializing a [`World`].
+///
+/// Two deterministic passes over a [`WorldStream`]: pass one discovers
+/// the (venue, year) pairs that need Proceedings tuples while discarding
+/// each paper as soon as it is seen; pass two replays the stream and
+/// emits the Publications row and Publish rows of each paper before
+/// dropping it. Peak memory is the prelude (entities, venues) plus the
+/// catalog under construction plus one paper — never the full paper list
+/// — which is what makes [`WorldConfig::paper_scale`] worlds emittable.
+///
+/// The output is bit-identical to [`to_catalog`] on
+/// [`World::generate`] of the same config: both consume the same stream,
+/// and tuple ids are per-relation, so interleaving Publications and
+/// Publish inserts does not change any [`TupleRef`].
+pub fn stream_to_catalog(config: &WorldConfig) -> Result<DblpDataset, StoreError> {
+    // --- Pass 1: proceedings discovery --------------------------------
+    let mut pairs: BTreeSet<(usize, i64)> = BTreeSet::new();
+    for p in WorldStream::new(config.clone()) {
+        pairs.insert((p.venue, p.year));
+    }
+
+    // --- Prelude tuples ------------------------------------------------
+    let stream = WorldStream::new(config.clone());
+    let mut c = build_schema()?;
+    let mut seen_names: HashMap<String, ()> = HashMap::new();
+    for e in stream.entities() {
+        if seen_names.insert(e.name.clone(), ()).is_none() {
+            c.insert("Authors", Tuple::new(vec![Value::str(&e.name)]))?;
+        }
+    }
+    for v in stream.venues() {
+        c.insert(
+            "Conferences",
+            Tuple::new(vec![Value::str(&v.name), Value::str(&v.publisher)]),
+        )?;
+    }
+    let venue_names: Vec<String> = stream.venues().iter().map(|v| v.name.clone()).collect();
+    let mut proc_keys: HashMap<(usize, i64), i64> = HashMap::new();
+    for (i, &(venue, year)) in pairs.iter().enumerate() {
+        let key = i as i64 + 1;
+        proc_keys.insert((venue, year), key);
+        c.insert(
+            "Proceedings",
+            Tuple::new(vec![
+                Value::Int(key),
+                Value::str(&venue_names[venue]),
+                Value::Int(year),
+                Value::str(location_for(venue, year)),
+            ]),
+        )?;
+    }
+
+    // --- Pass 2: papers, one at a time ---------------------------------
+    // entity id -> (group index, entity index within group)
+    let mut planted: HashMap<usize, (usize, usize)> = HashMap::new();
+    for (gi, g) in stream.ambiguous_groups().iter().enumerate() {
+        for (k, &eid) in g.entity_ids.iter().enumerate() {
+            planted.insert(eid, (gi, k));
+        }
+    }
+    let mut truths: Vec<NameGroundTruth> = stream
+        .ambiguous_groups()
+        .iter()
+        .map(|g| NameGroundTruth {
+            name: g.name.clone(),
+            refs: Vec::new(),
+            labels: Vec::new(),
+        })
+        .collect();
+    let entity_names: Vec<String> = stream.entities().iter().map(|e| e.name.clone()).collect();
+    let mut publish_entities = Vec::new();
+    for p in stream {
+        let proc_key = proc_keys[&(p.venue, p.year)];
+        c.insert(
+            "Publications",
+            Tuple::new(vec![
+                Value::Int(p.id as i64 + 1),
+                Value::str(&p.title),
+                Value::Int(proc_key),
+            ]),
+        )?;
+        for &a in &p.authors {
+            let t = c.insert(
+                "Publish",
+                Tuple::new(vec![
+                    Value::str(&entity_names[a]),
                     Value::Int(p.id as i64 + 1),
                 ]),
             )?;
@@ -346,6 +469,43 @@ mod tests {
         for ((_, tup), &eid) in publish.iter().zip(&d.publish_entities) {
             assert_eq!(tup.get(0).as_str().unwrap(), world.entities[eid].name);
         }
+    }
+
+    #[test]
+    fn streaming_catalog_is_bit_identical_to_monolithic() {
+        let config = {
+            let mut c = WorldConfig::tiny(13);
+            c.ambiguous = vec![AmbiguousSpec::new("Wei Wang", vec![9, 6, 3])];
+            c
+        };
+        let mono = to_catalog(&World::generate(config.clone())).unwrap();
+        let streamed = stream_to_catalog(&config).unwrap();
+        for rel in [
+            "Authors",
+            "Conferences",
+            "Proceedings",
+            "Publications",
+            "Publish",
+        ] {
+            let ra = mono.catalog.relation_id(rel).unwrap();
+            let rb = streamed.catalog.relation_id(rel).unwrap();
+            assert_eq!(ra, rb, "{rel} relation id");
+            let a = mono.catalog.relation(ra);
+            let b = streamed.catalog.relation(rb);
+            assert_eq!(a.len(), b.len(), "{rel} cardinality");
+            for ((ia, ta), (ib, tb)) in a.iter().zip(b.iter()) {
+                assert_eq!(ia, ib, "{rel} tuple id");
+                assert_eq!(ta, tb, "{rel} tuple {ia:?}");
+            }
+        }
+        assert_eq!(mono.publish_entities, streamed.publish_entities);
+        assert_eq!(mono.truths.len(), streamed.truths.len());
+        for (x, y) in mono.truths.iter().zip(&streamed.truths) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.refs, y.refs);
+            assert_eq!(x.labels, y.labels);
+        }
+        assert!(streamed.catalog.is_finalized());
     }
 
     #[test]

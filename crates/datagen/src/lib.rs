@@ -23,7 +23,7 @@ pub mod shrink;
 pub mod world;
 
 pub use config::{AmbiguousSpec, WorldConfig};
-pub use dblp::{to_catalog, DblpDataset, NameGroundTruth};
+pub use dblp::{stream_to_catalog, to_catalog, DblpDataset, NameGroundTruth};
 pub use names::{NamePool, Zipf};
 pub use shrink::shrink_world;
-pub use world::{AmbiguousGroup, Entity, EntityId, Paper, Venue, World};
+pub use world::{AmbiguousGroup, Entity, EntityId, Paper, Venue, World, WorldStream};

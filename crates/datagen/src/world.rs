@@ -129,88 +129,15 @@ fn publisher_name(i: usize) -> String {
 impl World {
     /// Generate a world from a configuration.
     ///
+    /// Implemented by draining a [`WorldStream`], so a chunked consumer of
+    /// the stream sees bit-for-bit the papers this returns.
+    ///
     /// # Panics
     /// Panics if the configuration fails [`WorldConfig::validate`].
     pub fn generate(config: WorldConfig) -> World {
-        config
-            .validate()
-            .unwrap_or_else(|e| panic!("invalid WorldConfig: {e}")); // distinct-lint: allow(D002, reason="failing fast on an invalid test config is the generator's contract; dev-only crate, never on the resolve path")
-        let mut rng = StdRng::seed_from_u64(config.seed);
-
-        // --- Venues & publishers -----------------------------------------
-        let venues: Vec<Venue> = (0..config.n_venues)
-            .map(|i| Venue {
-                id: i,
-                name: venue_name(i),
-                publisher: publisher_name(rng.gen_range(0..config.n_publishers)),
-            })
-            .collect();
-
-        // Preferred venues per community.
-        let mut community_venues = Vec::with_capacity(config.n_communities);
-        let mut venue_ids: Vec<usize> = (0..config.n_venues).collect();
-        for _ in 0..config.n_communities {
-            venue_ids.shuffle(&mut rng);
-            community_venues.push(venue_ids[..config.venues_per_community].to_vec());
-        }
-
-        // --- Ordinary entities -------------------------------------------
-        let first = NamePool::first_names(config.first_name_pool, config.zipf_exponent);
-        let last = NamePool::last_names(config.last_name_pool, config.zipf_exponent);
-        let career = |rng: &mut StdRng| career_window(config.year_range, rng);
-        let mut entities: Vec<Entity> = Vec::with_capacity(config.n_authors);
-        for id in 0..config.n_authors {
-            let name = format!("{} {}", first.sample(&mut rng), last.sample(&mut rng));
-            // Geometric-ish paper count with mean ≈ mean_papers_per_author,
-            // floored at 3 (the paper drops authors with ≤ 2 papers).
-            let extra_mean = (config.mean_papers_per_author - 3.0).max(0.0);
-            let mut refs = 3usize;
-            if extra_mean > 0.0 {
-                let p = 1.0 / (1.0 + extra_mean);
-                while rng.gen::<f64>() > p {
-                    refs += 1;
-                    if refs > 200 {
-                        break;
-                    }
-                }
-            }
-            let active_years = career(&mut rng);
-            entities.push(Entity {
-                id,
-                name,
-                community: rng.gen_range(0..config.n_communities),
-                target_refs: refs,
-                planted: false,
-                active_years,
-            });
-        }
-
-        // --- Planted ambiguous entities ----------------------------------
-        let mut ambiguous_groups = Vec::with_capacity(config.ambiguous.len());
-        for spec in &config.ambiguous {
-            let group = plant_group(
-                spec,
-                &mut entities,
-                config.n_communities,
-                config.year_range,
-                &first,
-                &last,
-                &mut rng,
-            );
-            ambiguous_groups.push(group);
-        }
-
-        // --- Papers --------------------------------------------------------
-        let papers = generate_papers(&config, &entities, &community_venues, &mut rng);
-
-        World {
-            config,
-            entities,
-            venues,
-            papers,
-            ambiguous_groups,
-            community_venues,
-        }
+        let mut stream = WorldStream::new(config);
+        let papers: Vec<Paper> = stream.by_ref().collect();
+        stream.into_world(papers)
     }
 
     /// Entities in a community.
@@ -308,103 +235,294 @@ fn career_window(range: (i64, i64), rng: &mut StdRng) -> (i64, i64) {
     (start, (start + duration - 1).min(hi))
 }
 
-/// Generate papers until every entity has produced its target number of
-/// authorship records.
-fn generate_papers(
-    config: &WorldConfig,
-    entities: &[Entity],
-    community_venues: &[Vec<usize>],
-    rng: &mut StdRng,
-) -> Vec<Paper> {
-    // Community membership lists for fresh-coauthor draws.
-    let mut members: Vec<Vec<EntityId>> = vec![Vec::new(); config.n_communities];
-    for e in entities {
-        members[e.community].push(e.id);
-    }
-    // Remaining reference budget per entity; past collaborators per entity.
-    let mut budget: Vec<usize> = entities.iter().map(|e| e.target_refs).collect();
-    let mut collaborators: Vec<Vec<EntityId>> = vec![Vec::new(); entities.len()];
+/// Streaming world generator: the prelude (venues, communities, entities,
+/// planted groups) is materialized eagerly — it stays small even at paper
+/// scale — while papers are produced one at a time on demand, so a
+/// paper-scale world (~127K authors, ~616K papers, ~1.29M references; see
+/// [`WorldConfig::paper_scale`]) can be emitted into a catalog chunk by
+/// chunk without ever holding the full paper list in memory.
+///
+/// The stream is bit-identical to [`World::generate`]: `generate` is
+/// itself implemented by draining a `WorldStream`, so every paper id,
+/// byline, venue, year, and RNG draw matches the monolithic path.
+pub struct WorldStream {
+    config: WorldConfig,
+    entities: Vec<Entity>,
+    venues: Vec<Venue>,
+    ambiguous_groups: Vec<AmbiguousGroup>,
+    community_venues: Vec<Vec<usize>>,
+    rng: StdRng,
+    /// Community membership lists for fresh-coauthor draws.
+    members: Vec<Vec<EntityId>>,
+    /// Remaining reference budget per entity.
+    budget: Vec<usize>,
+    /// Past same-community collaborators per entity.
+    collaborators: Vec<Vec<EntityId>>,
+    /// Lead authors in shuffled order, revisited while they have budget.
+    leads: Vec<EntityId>,
+    lead_pos: usize,
+    progressed: bool,
+    emitted: usize,
+    title_counter: usize,
+    done: bool,
+}
 
-    let mut papers: Vec<Paper> = Vec::new();
-    // Lead authors in shuffled order, revisited while they have budget.
-    let mut leads: Vec<EntityId> = (0..entities.len()).collect();
-    leads.shuffle(rng);
+impl WorldStream {
+    /// Build the world prelude and position the stream at the first paper.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`WorldConfig::validate`].
+    pub fn new(config: WorldConfig) -> WorldStream {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid WorldConfig: {e}")); // distinct-lint: allow(D002, reason="failing fast on an invalid test config is the generator's contract; dev-only crate, never on the resolve path")
+        let mut rng = StdRng::seed_from_u64(config.seed);
 
-    let mut title_counter = 0usize;
-    loop {
-        let mut progressed = false;
-        for &lead in &leads {
-            if budget[lead] == 0 {
-                continue;
-            }
-            progressed = true;
-            // --- Assemble the byline -----------------------------------
-            let n_co = rng.gen_range(config.coauthors_per_paper.0..=config.coauthors_per_paper.1);
-            let mut authors = vec![lead];
-            let home = entities[lead].community;
-            for _ in 0..n_co {
-                let candidate = if !collaborators[lead].is_empty()
-                    && rng.gen::<f64>() < config.repeat_collaborator_prob
-                {
-                    collaborators[lead][rng.gen_range(0..collaborators[lead].len())]
-                } else if rng.gen::<f64>() < config.cross_community_prob {
-                    // Cross-community noise coauthor.
-                    rng.gen_range(0..entities.len())
-                } else {
-                    let pool = &members[home];
-                    pool[rng.gen_range(0..pool.len())]
-                };
-                // Planted entities must hit their Table-1 reference counts
-                // exactly, so they stop appearing once their budget is spent.
-                if entities[candidate].planted && budget[candidate] == 0 {
-                    continue;
-                }
-                if !authors.contains(&candidate) {
-                    authors.push(candidate);
-                }
-            }
-            // --- Venue & year -------------------------------------------
-            let venue = if rng.gen::<f64>() < config.venue_affinity {
-                let pref = &community_venues[home];
-                pref[rng.gen_range(0..pref.len())]
-            } else {
-                rng.gen_range(0..config.n_venues)
-            };
-            // Years come from the lead author's career window.
-            let (y0, y1) = entities[lead].active_years;
-            let year = rng.gen_range(y0..=y1);
-            // --- Record ---------------------------------------------------
-            for &a in &authors {
-                budget[a] = budget[a].saturating_sub(1);
-            }
-            // Sticky collaboration only forms inside a community: real
-            // cross-community coauthorships are one-off, and letting them
-            // into the repeat-collaborator pool would amplify a single
-            // noise edge into a bridge between communities.
-            for i in 0..authors.len() {
-                for j in 0..authors.len() {
-                    if i != j
-                        && entities[authors[i]].community == entities[authors[j]].community
-                        && !collaborators[authors[i]].contains(&authors[j])
-                    {
-                        collaborators[authors[i]].push(authors[j]);
+        // --- Venues & publishers -----------------------------------------
+        let venues: Vec<Venue> = (0..config.n_venues)
+            .map(|i| Venue {
+                id: i,
+                name: venue_name(i),
+                publisher: publisher_name(rng.gen_range(0..config.n_publishers)),
+            })
+            .collect();
+
+        // Preferred venues per community.
+        let mut community_venues = Vec::with_capacity(config.n_communities);
+        let mut venue_ids: Vec<usize> = (0..config.n_venues).collect();
+        for _ in 0..config.n_communities {
+            venue_ids.shuffle(&mut rng);
+            community_venues.push(venue_ids[..config.venues_per_community].to_vec());
+        }
+
+        // --- Ordinary entities -------------------------------------------
+        let first = NamePool::first_names(config.first_name_pool, config.zipf_exponent);
+        let last = NamePool::last_names(config.last_name_pool, config.zipf_exponent);
+        let career = |rng: &mut StdRng| career_window(config.year_range, rng);
+        let mut entities: Vec<Entity> = Vec::with_capacity(config.n_authors);
+        for id in 0..config.n_authors {
+            let name = format!("{} {}", first.sample(&mut rng), last.sample(&mut rng));
+            // Geometric-ish paper count with mean ≈ mean_papers_per_author,
+            // floored at 3 (the paper drops authors with ≤ 2 papers).
+            let extra_mean = (config.mean_papers_per_author - 3.0).max(0.0);
+            let mut refs = 3usize;
+            if extra_mean > 0.0 {
+                let p = 1.0 / (1.0 + extra_mean);
+                while rng.gen::<f64>() > p {
+                    refs += 1;
+                    if refs > 200 {
+                        break;
                     }
                 }
             }
-            title_counter += 1;
-            papers.push(Paper {
-                id: papers.len(),
-                title: format!("On Topic {title_counter}"),
-                venue,
-                year,
-                authors,
+            let active_years = career(&mut rng);
+            entities.push(Entity {
+                id,
+                name,
+                community: rng.gen_range(0..config.n_communities),
+                target_refs: refs,
+                planted: false,
+                active_years,
             });
         }
-        if !progressed {
-            break;
+
+        // --- Planted ambiguous entities ----------------------------------
+        let mut ambiguous_groups = Vec::with_capacity(config.ambiguous.len());
+        for spec in &config.ambiguous {
+            let group = plant_group(
+                spec,
+                &mut entities,
+                config.n_communities,
+                config.year_range,
+                &first,
+                &last,
+                &mut rng,
+            );
+            ambiguous_groups.push(group);
+        }
+
+        // --- Paper-generation state --------------------------------------
+        let mut members: Vec<Vec<EntityId>> = vec![Vec::new(); config.n_communities];
+        for e in &entities {
+            members[e.community].push(e.id);
+        }
+        let budget: Vec<usize> = entities.iter().map(|e| e.target_refs).collect();
+        let collaborators: Vec<Vec<EntityId>> = vec![Vec::new(); entities.len()];
+        let mut leads: Vec<EntityId> = (0..entities.len()).collect();
+        leads.shuffle(&mut rng);
+
+        WorldStream {
+            config,
+            entities,
+            venues,
+            ambiguous_groups,
+            community_venues,
+            rng,
+            members,
+            budget,
+            collaborators,
+            leads,
+            lead_pos: 0,
+            progressed: false,
+            emitted: 0,
+            title_counter: 0,
+            done: false,
         }
     }
-    papers
+
+    /// The entities (prelude; fixed before any paper is drawn).
+    pub fn entities(&self) -> &[Entity] {
+        &self.entities
+    }
+
+    /// The venues.
+    pub fn venues(&self) -> &[Venue] {
+        &self.venues
+    }
+
+    /// Planted groups with ground-truth entity ids.
+    pub fn ambiguous_groups(&self) -> &[AmbiguousGroup] {
+        &self.ambiguous_groups
+    }
+
+    /// Per-community preferred venue ids.
+    pub fn community_venues(&self) -> &[Vec<usize>] {
+        &self.community_venues
+    }
+
+    /// The configuration the stream was built from.
+    pub fn config(&self) -> &WorldConfig {
+        &self.config
+    }
+
+    /// Number of papers emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Drain up to `n` papers into a chunk; an empty chunk means the
+    /// stream is exhausted.
+    pub fn next_chunk(&mut self, n: usize) -> Vec<Paper> {
+        let mut chunk = Vec::with_capacity(n.min(1024));
+        while chunk.len() < n {
+            match self.next() {
+                Some(p) => chunk.push(p),
+                None => break,
+            }
+        }
+        chunk
+    }
+
+    /// Reassemble a [`World`] from the prelude plus externally collected
+    /// papers (the monolithic [`World::generate`] path).
+    fn into_world(self, papers: Vec<Paper>) -> World {
+        World {
+            config: self.config,
+            entities: self.entities,
+            venues: self.venues,
+            papers,
+            ambiguous_groups: self.ambiguous_groups,
+            community_venues: self.community_venues,
+        }
+    }
+
+    /// Emit one paper led by `lead` (which must have budget left).
+    fn emit_paper(&mut self, lead: EntityId) -> Paper {
+        // --- Assemble the byline -----------------------------------------
+        let n_co = self
+            .rng
+            .gen_range(self.config.coauthors_per_paper.0..=self.config.coauthors_per_paper.1);
+        let mut authors = vec![lead];
+        let home = self.entities[lead].community;
+        for _ in 0..n_co {
+            let candidate = if !self.collaborators[lead].is_empty()
+                && self.rng.gen::<f64>() < self.config.repeat_collaborator_prob
+            {
+                self.collaborators[lead][self.rng.gen_range(0..self.collaborators[lead].len())]
+            } else if self.rng.gen::<f64>() < self.config.cross_community_prob {
+                // Cross-community noise coauthor.
+                self.rng.gen_range(0..self.entities.len())
+            } else {
+                let pool = &self.members[home];
+                pool[self.rng.gen_range(0..pool.len())]
+            };
+            // Planted entities must hit their Table-1 reference counts
+            // exactly, so they stop appearing once their budget is spent.
+            if self.entities[candidate].planted && self.budget[candidate] == 0 {
+                continue;
+            }
+            if !authors.contains(&candidate) {
+                authors.push(candidate);
+            }
+        }
+        // --- Venue & year -------------------------------------------------
+        let venue = if self.rng.gen::<f64>() < self.config.venue_affinity {
+            let pref = &self.community_venues[home];
+            pref[self.rng.gen_range(0..pref.len())]
+        } else {
+            self.rng.gen_range(0..self.config.n_venues)
+        };
+        // Years come from the lead author's career window.
+        let (y0, y1) = self.entities[lead].active_years;
+        let year = self.rng.gen_range(y0..=y1);
+        // --- Record -------------------------------------------------------
+        for &a in &authors {
+            self.budget[a] = self.budget[a].saturating_sub(1);
+        }
+        // Sticky collaboration only forms inside a community: real
+        // cross-community coauthorships are one-off, and letting them
+        // into the repeat-collaborator pool would amplify a single
+        // noise edge into a bridge between communities.
+        for i in 0..authors.len() {
+            for j in 0..authors.len() {
+                if i != j
+                    && self.entities[authors[i]].community == self.entities[authors[j]].community
+                    && !self.collaborators[authors[i]].contains(&authors[j])
+                {
+                    self.collaborators[authors[i]].push(authors[j]);
+                }
+            }
+        }
+        self.title_counter += 1;
+        let paper = Paper {
+            id: self.emitted,
+            title: format!("On Topic {}", self.title_counter),
+            venue,
+            year,
+            authors,
+        };
+        self.emitted += 1;
+        paper
+    }
+}
+
+impl Iterator for WorldStream {
+    type Item = Paper;
+
+    /// Produce the next paper, revisiting leads in shuffled order until a
+    /// full pass makes no progress (every budget spent).
+    fn next(&mut self) -> Option<Paper> {
+        if self.done {
+            return None;
+        }
+        loop {
+            if self.lead_pos == self.leads.len() {
+                if !self.progressed {
+                    self.done = true;
+                    return None;
+                }
+                self.progressed = false;
+                self.lead_pos = 0;
+            }
+            let lead = self.leads[self.lead_pos];
+            self.lead_pos += 1;
+            if self.budget[lead] == 0 {
+                continue;
+            }
+            self.progressed = true;
+            return Some(self.emit_paper(lead));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -432,6 +550,43 @@ mod tests {
         for cv in &w.community_venues {
             assert_eq!(cv.len(), w.config.venues_per_community);
         }
+    }
+
+    #[test]
+    fn stream_is_bit_identical_to_generate() {
+        let config = {
+            let mut c = WorldConfig::tiny(7);
+            c.ambiguous = vec![AmbiguousSpec::new("Wei Wang", vec![20, 10, 5])];
+            c
+        };
+        let w = World::generate(config.clone());
+        let mut stream = WorldStream::new(config);
+        // Chunked draining (odd chunk size on purpose) must replay the
+        // monolithic world paper for paper.
+        let mut papers = Vec::new();
+        loop {
+            let chunk = stream.next_chunk(17);
+            if chunk.is_empty() {
+                break;
+            }
+            papers.extend(chunk);
+        }
+        assert_eq!(papers.len(), w.papers.len());
+        assert_eq!(stream.emitted(), w.papers.len());
+        for (a, b) in papers.iter().zip(&w.papers) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.title, b.title);
+            assert_eq!(a.venue, b.venue);
+            assert_eq!(a.year, b.year);
+            assert_eq!(a.authors, b.authors);
+        }
+        // The prelude matches too.
+        assert_eq!(stream.entities().len(), w.entities.len());
+        assert_eq!(stream.venues().len(), w.venues.len());
+        assert_eq!(stream.ambiguous_groups().len(), w.ambiguous_groups.len());
+        assert_eq!(stream.community_venues(), &w.community_venues[..]);
+        // Exhausted stream stays exhausted.
+        assert!(stream.next().is_none());
     }
 
     #[test]

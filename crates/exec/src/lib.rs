@@ -35,8 +35,9 @@
 #![warn(missing_docs)]
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Environment variable overriding the worker-thread count (`0` or unset
@@ -327,6 +328,112 @@ impl Executor {
     }
 }
 
+/// A monotonically increasing progress counter shared between a running
+/// stage and its [`Watchdog`]. The stage beats it at natural progress
+/// points (chunk commits, checkpoint writes) — one relaxed atomic add, so
+/// beating from a hot loop is free; the watchdog thread polls it.
+#[derive(Debug, Clone, Default)]
+pub struct Heartbeat(Arc<AtomicU64>);
+
+impl Heartbeat {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one unit of observable progress.
+    pub fn beat(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total beats recorded so far.
+    pub fn count(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A background thread that watches a [`Heartbeat`] and fires a callback
+/// once when no beat lands for `stall_after` — converting a silently stuck
+/// stage (livelocked worker, pathological input) into an explicit,
+/// observable event. The run manager wires the callback to trip its
+/// `RunControl` with a typed `Stalled` interruption, so a stall degrades
+/// the run exactly like any other limit instead of hanging forever.
+///
+/// The watchdog never kills anything itself: the callback cooperatively
+/// signals the watched computation, which unwinds through its ordinary
+/// guard checks. Dropping the watchdog stops and joins the thread.
+#[derive(Debug)]
+pub struct Watchdog {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<bool>>,
+}
+
+impl Watchdog {
+    /// Start watching `heartbeat`. `on_stall` runs on the watchdog thread,
+    /// at most once, when `stall_after` elapses with no beat; `poll` sets
+    /// the check cadence (and thus the detection slack — a stall is
+    /// noticed within `stall_after + poll`).
+    pub fn spawn(
+        heartbeat: Heartbeat,
+        stall_after: Duration,
+        poll: Duration,
+        on_stall: impl FnOnce() + Send + 'static,
+    ) -> Watchdog {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut last_count = heartbeat.count();
+            // distinct-lint: allow(D004, reason="the watchdog exists to observe wall-clock silence; it never influences the computed result, only raises a typed Stalled signal")
+            let mut last_beat = Instant::now();
+            loop {
+                if stop_flag.load(Ordering::Relaxed) {
+                    return false;
+                }
+                std::thread::sleep(poll);
+                let count = heartbeat.count();
+                if count != last_count {
+                    last_count = count;
+                    // distinct-lint: allow(D004, reason="stall timer restarts at each observed beat; reporting only, see above")
+                    last_beat = Instant::now();
+                    continue;
+                }
+                // distinct-lint: allow(D004, reason="stall detection compares wall-clock silence to the configured threshold; reporting only, see above")
+                if Instant::now().duration_since(last_beat) >= stall_after {
+                    if !stop_flag.load(Ordering::Relaxed) {
+                        on_stall();
+                        return true;
+                    }
+                    return false;
+                }
+            }
+        });
+        Watchdog {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop watching and join the thread. Returns whether the stall
+    /// callback fired.
+    pub fn stop(mut self) -> bool {
+        self.shutdown()
+    }
+
+    fn shutdown(&mut self) -> bool {
+        self.stop.store(true, Ordering::Relaxed);
+        match self.handle.take() {
+            Some(handle) => handle.join().unwrap_or(false),
+            None => false,
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
 /// Number of unordered pairs `(i, j)` with `i < j < n` — the size of the
 /// upper-triangle pair index space used by the similarity stages.
 pub fn triangle_count(n: usize) -> usize {
@@ -490,6 +597,57 @@ mod tests {
         );
         assert!(Executor::sequential().is_sequential());
         assert!(!Executor::with_threads(2).is_sequential());
+    }
+
+    #[test]
+    fn watchdog_fires_on_silence_and_reports_it() {
+        let hb = Heartbeat::new();
+        let fired = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&fired);
+        let dog = Watchdog::spawn(
+            hb,
+            Duration::from_millis(40),
+            Duration::from_millis(5),
+            move || flag.store(true, Ordering::Relaxed),
+        );
+        // Nobody beats: the stall must be noticed well within the margin.
+        std::thread::sleep(Duration::from_millis(300));
+        assert!(dog.stop());
+        assert!(fired.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_while_beats_arrive() {
+        let hb = Heartbeat::new();
+        let fired = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&fired);
+        let dog = Watchdog::spawn(
+            hb.clone(),
+            Duration::from_millis(500),
+            Duration::from_millis(5),
+            move || flag.store(true, Ordering::Relaxed),
+        );
+        for _ in 0..20 {
+            hb.beat();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!dog.stop());
+        assert!(!fired.load(Ordering::Relaxed));
+        assert_eq!(hb.count(), 20);
+    }
+
+    #[test]
+    fn dropping_a_watchdog_joins_without_firing() {
+        let fired = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&fired);
+        let dog = Watchdog::spawn(
+            Heartbeat::new(),
+            Duration::from_secs(3600),
+            Duration::from_millis(5),
+            move || flag.store(true, Ordering::Relaxed),
+        );
+        drop(dog);
+        assert!(!fired.load(Ordering::Relaxed));
     }
 
     #[test]

@@ -3,9 +3,9 @@
 use std::fmt;
 
 /// Lint identifiers. `D000` is the meta-lint about the suppression
-/// machinery itself; `D001`–`D007` guard the project invariants with
-/// per-file token scans, and `D101`–`D104` are the interprocedural
-/// (call-graph-backed) lints run by `check --semantic`.
+/// machinery itself; `D001`–`D007` and `D105` guard the project
+/// invariants with per-file token scans, and `D101`–`D104` are the
+/// interprocedural (call-graph-backed) lints run by `check --semantic`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)] // the catalog below documents each variant
 pub enum LintId {
@@ -21,6 +21,7 @@ pub enum LintId {
     D102,
     D103,
     D104,
+    D105,
 }
 
 /// How bad a violation is. `Deny` findings fail the build outright (after
@@ -35,7 +36,7 @@ pub enum Severity {
 
 impl LintId {
     /// All registered lints, in ID order.
-    pub const ALL: [LintId; 12] = [
+    pub const ALL: [LintId; 13] = [
         LintId::D000,
         LintId::D001,
         LintId::D002,
@@ -48,6 +49,7 @@ impl LintId {
         LintId::D102,
         LintId::D103,
         LintId::D104,
+        LintId::D105,
     ];
 
     /// Parse `"D001"` (case-insensitive) into an ID.
@@ -71,6 +73,7 @@ impl LintId {
             LintId::D102 => "D102",
             LintId::D103 => "D103",
             LintId::D104 => "D104",
+            LintId::D105 => "D105",
         }
     }
 
@@ -89,6 +92,7 @@ impl LintId {
             LintId::D102 => Severity::Warn,
             LintId::D103 => Severity::Deny,
             LintId::D104 => Severity::Warn,
+            LintId::D105 => Severity::Deny,
         }
     }
 
@@ -107,6 +111,7 @@ impl LintId {
             LintId::D102 => "unsanitized probability arithmetic flowing to a cluster sink",
             LintId::D103 => "inconsistent lock order or lock held across a channel send",
             LintId::D104 => "loop on a charge-free call path from a pipeline entry point",
+            LintId::D105 => "raw filesystem write bypassing the atomic temp+rename persist path",
         }
     }
 
@@ -235,6 +240,20 @@ impl LintId {
                  allow. A finding names the charge-free chain. Fix: charge \
                  the budget somewhere on that chain, or allow(D104) with the \
                  proof if the path is infeasible."
+            }
+            LintId::D105 => {
+                "Durable runs promise that a crash at any write leaves either \
+                 the old artifact or the new one, never a torn half — the \
+                 resume chaos sweep (tests/resume_chaos.rs) kills a run at \
+                 every write index and relies on it. That only holds if every \
+                 checkpoint/snapshot byte flows through \
+                 relstore::write_atomic (write `.tmp`, then rename), which \
+                 also routes I/O through the fault-injectable Vfs seam. A \
+                 direct `std::fs::write`, `File::create`, or \
+                 `OpenOptions::new` in library code outside the persistence \
+                 modules escapes both. Fix: take a `&mut dyn Vfs` and call \
+                 write_atomic, or allow(D105) with a reason for genuinely \
+                 non-durable output (e.g. the lint baseline itself)."
             }
         }
     }

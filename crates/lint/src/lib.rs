@@ -196,6 +196,7 @@ pub fn fix_baseline_mode(root: &Path, mode: Mode) -> Result<usize, String> {
             baseline.entries.insert((id, file), count);
         }
     }
+    // distinct-lint: allow(D105, reason="lint.toml is a dev-tool config, not a durable run artifact; a torn baseline is re-ratcheted, never resumed")
     std::fs::write(root.join("lint.toml"), baseline.render())
         .map_err(|e| format!("write lint.toml: {e}"))?;
     Ok(analysis.findings.len())

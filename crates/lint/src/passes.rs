@@ -33,6 +33,14 @@ pub const NUMERIC_CRATES: [&str; 5] = ["core", "cluster", "svm", "relgraph", "ev
 /// `Instant::now` control flow (D004).
 pub const CLOCK_HOME: &str = "crates/core/src/control.rs";
 
+/// The only library files allowed to open the filesystem write path
+/// directly (D105): the Vfs seam itself and the atomic temp+rename
+/// primitive built on it. Everything durable goes through these.
+pub const PERSIST_HOMES: [&str; 2] = [
+    "crates/relstore/src/faults.rs",
+    "crates/relstore/src/persist.rs",
+];
+
 /// Run every syntactic pass over one file.
 pub fn run_all(ctx: &FileCtx) -> Vec<Finding> {
     let mut out = Vec::new();
@@ -43,6 +51,7 @@ pub fn run_all(ctx: &FileCtx) -> Vec<Finding> {
     d005_unguarded_hot_loops(ctx, &mut out);
     d006_lossy_floats(ctx, &mut out);
     d007_missing_docs(ctx, &mut out);
+    d105_raw_persistence(ctx, &mut out);
     out.sort_by_key(|f| (f.line, f.id));
     out
 }
@@ -57,6 +66,7 @@ pub fn run_semantic_file(ctx: &FileCtx) -> Vec<Finding> {
     d004_wall_clock(ctx, &mut out);
     d006_lossy_floats(ctx, &mut out);
     d007_missing_docs(ctx, &mut out);
+    d105_raw_persistence(ctx, &mut out);
     out.sort_by_key(|f| (f.line, f.id));
     out
 }
@@ -500,6 +510,50 @@ fn d005_unguarded_hot_loops(ctx: &FileCtx, out: &mut Vec<Finding>) {
     }
 }
 
+// ---------------------------------------------------------------- D105 --
+
+/// Raw persistence writes outside the atomic temp+rename path.
+fn d105_raw_persistence(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !ctx.is_library() || PERSIST_HOMES.contains(&ctx.path.as_str()) {
+        return;
+    }
+    let toks = &ctx.toks;
+    let n = toks.len();
+    for i in 0..n {
+        if ctx.in_test(i) || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let head = toks[i].text.as_str();
+        let tails: &[&str] = match head {
+            "fs" => &["write", "rename", "copy"],
+            "File" => &["create", "create_new", "options"],
+            "OpenOptions" => &["new"],
+            _ => continue,
+        };
+        // `head :: tail`
+        let c1 = ctx.next_code(i);
+        let c2 = if c1 < n { ctx.next_code(c1) } else { n };
+        let tail = if c2 < n { ctx.next_code(c2) } else { n };
+        if c1 < n
+            && toks[c1].is_punct(':')
+            && c2 < n
+            && toks[c2].is_punct(':')
+            && tail < n
+            && tails.contains(&toks[tail].text.as_str())
+        {
+            out.push(finding(
+                ctx,
+                LintId::D105,
+                toks[i].line,
+                format!(
+                    "`{head}::{}` bypasses relstore::write_atomic",
+                    toks[tail].text
+                ),
+            ));
+        }
+    }
+}
+
 // ---------------------------------------------------------------- D006 --
 
 /// Lossy float casts / f32 reductions in numeric crates.
@@ -791,6 +845,32 @@ mod tests {
         // Outside the hot list nothing fires.
         let f4 = lib(src);
         assert!(f4.iter().all(|f| f.id != LintId::D005), "{f4:?}");
+    }
+
+    #[test]
+    fn d105_raw_write_and_open_options() {
+        let f = lib("/// d\npub fn save(p: &Path, b: &[u8]) { std::fs::write(p, b).ok(); }");
+        assert!(ids(&f).iter().any(|(id, _)| *id == LintId::D105), "{f:?}");
+        let f = lib("/// d\npub fn save(p: &Path) { let _ = OpenOptions::new().write(true); }");
+        assert!(ids(&f).iter().any(|(id, _)| *id == LintId::D105), "{f:?}");
+        let f = lib("/// d\npub fn save(p: &Path) { let _ = std::fs::File::create(p); }");
+        assert!(ids(&f).iter().any(|(id, _)| *id == LintId::D105), "{f:?}");
+    }
+
+    #[test]
+    fn d105_persist_homes_and_tests_are_exempt() {
+        let src = "pub fn raw(p: &Path, b: &[u8]) { std::fs::write(p, b).ok(); }";
+        for home in PERSIST_HOMES {
+            let f = run_all(&FileCtx::new(home, "relstore", Role::Library, src));
+            assert!(f.iter().all(|f| f.id != LintId::D105), "{home}: {f:?}");
+        }
+        let f = lib("#[cfg(test)]\nmod tests {\n fn t() { std::fs::write(p, b).unwrap(); }\n}");
+        assert!(f.iter().all(|f| f.id != LintId::D105), "{f:?}");
+        // Reads are not persistence.
+        let f = lib(
+            "/// d\npub fn load(p: &Path) -> String { fs::read_to_string(p).unwrap_or_default() }",
+        );
+        assert!(f.iter().all(|f| f.id != LintId::D105), "{f:?}");
     }
 
     #[test]

@@ -57,7 +57,7 @@ fn crate_graph_is_acyclic_with_exec_below_core() {
 }
 
 /// Drive the real `lint` binary over a scratch workspace seeded with
-/// D001/D002/D003 violations: check fails with each ID reported, the
+/// D001/D002/D003/D105 violations: check fails with each ID reported, the
 /// baseline ratchet accepts the debt, new debt fails again, and removing
 /// a baselined finding without ratcheting down is itself an error.
 #[test]
@@ -83,6 +83,10 @@ pub fn head(xs: &[f64]) -> f64 {
 pub fn go() {
     std::thread::spawn(|| {});
 }
+
+pub fn persist(p: &std::path::Path) {
+    let _ = std::fs::write(p, b\"state\");
+}
 ";
     let lib = src_dir.join("lib.rs");
     std::fs::write(&lib, seeded).expect("write seeded lib");
@@ -105,7 +109,7 @@ pub fn go() {
     // 1. No baseline: every seeded violation is new debt, exit 1.
     let (code, text) = run(&["check"]);
     assert_eq!(code, Some(1), "seeded workspace must fail check:\n{text}");
-    for id in ["D001", "D002", "D003"] {
+    for id in ["D001", "D002", "D003", "D105"] {
         assert!(text.contains(id), "missing {id} in:\n{text}");
     }
 

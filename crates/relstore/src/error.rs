@@ -51,6 +51,14 @@ pub enum StoreError {
     /// A store directory has no manifest: either it predates manifests,
     /// was never fully committed, or isn't a store at all.
     MissingManifest { dir: String },
+    /// A persisted file declares a format version this build does not
+    /// understand. Unlike [`StoreError::Corrupt`] the bytes are intact —
+    /// they were written by a different (older or newer) build.
+    VersionMismatch {
+        file: String,
+        found: u32,
+        expected: u32,
+    },
     /// An in-memory structure could not be encoded for persistence.
     Serialize { what: String, reason: String },
 }
@@ -112,6 +120,14 @@ impl fmt::Display for StoreError {
             StoreError::MissingManifest { dir } => {
                 write!(f, "no manifest.json in `{dir}`: not a committed store")
             }
+            StoreError::VersionMismatch {
+                file,
+                found,
+                expected,
+            } => write!(
+                f,
+                "store file `{file}` has format version {found}, this build understands {expected}"
+            ),
             StoreError::Serialize { what, reason } => {
                 write!(f, "could not serialize {what}: {reason}")
             }

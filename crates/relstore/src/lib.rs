@@ -62,8 +62,8 @@ pub use faults::{Fault, FaultKind, FaultPlan, FaultyVfs, StdVfs, Vfs};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use join::{enumerate_paths, Direction, JoinPath, JoinStep, PathEnumOptions};
 pub use persist::{
-    fnv1a64, load_catalog, load_catalog_with, save_catalog, save_catalog_with, Manifest,
-    ManifestEntry,
+    fnv1a64, load_catalog, load_catalog_with, save_catalog, save_catalog_with, write_atomic,
+    Manifest, ManifestEntry,
 };
 pub use query::{Predicate, Query, Rows};
 pub use relation::Relation;

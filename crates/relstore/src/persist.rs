@@ -109,7 +109,12 @@ fn io_err(context: &str, e: std::io::Error) -> StoreError {
 /// Write `bytes` to `dir/name` atomically: write `dir/name.tmp`, then
 /// rename over the target. A crash mid-write leaves only the `.tmp`
 /// orphan; the target keeps its previous content.
-fn write_atomic(vfs: &mut dyn Vfs, dir: &Path, name: &str, bytes: &[u8]) -> Result<()> {
+///
+/// This is the sanctioned persistence primitive (lint D105): checkpoint
+/// and snapshot writers elsewhere in the workspace build on it instead of
+/// calling `std::fs::write` directly, so every durable artifact inherits
+/// the same crash-safety and fault-injection seam.
+pub fn write_atomic(vfs: &mut dyn Vfs, dir: &Path, name: &str, bytes: &[u8]) -> Result<()> {
     let tmp = dir.join(format!("{name}.tmp"));
     let dst = dir.join(name);
     vfs.write(&tmp, bytes)
@@ -210,12 +215,10 @@ pub fn load_catalog_with(dir: &Path, vfs: &mut dyn Vfs) -> Result<Catalog> {
             reason: format!("unparseable manifest: {e}"),
         })?;
     if manifest.version != MANIFEST_VERSION {
-        return Err(StoreError::Corrupt {
+        return Err(StoreError::VersionMismatch {
             file: MANIFEST_FILE.into(),
-            reason: format!(
-                "manifest version {} (this build understands {MANIFEST_VERSION})",
-                manifest.version
-            ),
+            found: manifest.version,
+            expected: MANIFEST_VERSION,
         });
     }
     let schema_entry = manifest
@@ -375,6 +378,33 @@ mod tests {
             load_catalog(&dir),
             Err(StoreError::Corrupt { .. })
         ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn future_manifest_version_is_a_typed_mismatch() {
+        let dir = temp_dir("version");
+        save_catalog(&sample_catalog(), &dir).unwrap();
+        let mut manifest: Manifest =
+            serde_json::from_slice(&fs::read(dir.join(MANIFEST_FILE)).unwrap()).unwrap();
+        manifest.version = MANIFEST_VERSION + 7;
+        fs::write(
+            dir.join(MANIFEST_FILE),
+            serde_json::to_string(&manifest).unwrap().into_bytes(),
+        )
+        .unwrap();
+        match load_catalog(&dir) {
+            Err(StoreError::VersionMismatch {
+                file,
+                found,
+                expected,
+            }) => {
+                assert_eq!(file, MANIFEST_FILE);
+                assert_eq!(found, MANIFEST_VERSION + 7);
+                assert_eq!(expected, MANIFEST_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 

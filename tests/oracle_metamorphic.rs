@@ -15,16 +15,26 @@
 //!    on both the production probe and the oracle.
 //! 5. **Min-sim monotonicity** — raising the threshold only splits
 //!    clusters: the higher-threshold clustering refines the lower one.
+//! 6. **Resume-after-kill equivalence** — crashing a durable run at an
+//!    arbitrary write and resuming it on a cold engine yields exactly the
+//!    partition of an uninterrupted resolve: durability is invisible in
+//!    the answer.
 //!
 //! Property tests run on the vendored `proptest` (deterministic per-test
 //! seeding, no shrinking); the worlds are small so each case is cheap.
 
 use datagen::{AmbiguousSpec, DblpDataset, World, WorldConfig};
-use distinct::{Distinct, DistinctConfig, ResolveRequest, TrainingConfig, WeightingMode};
+use distinct::{
+    Distinct, DistinctConfig, DistinctError, ResolveRequest, RunOptions, TrainingConfig,
+    WeightingMode,
+};
 use oracle::{Composite, Measure, OracleEngine};
 use proptest::prelude::*;
 use relgraph::LinkGraph;
-use relstore::{AttrType, Catalog, JoinPath, JoinStep, SchemaBuilder, Tuple, TupleRef, Value};
+use relstore::{
+    AttrType, Catalog, FaultKind, FaultPlan, FaultyVfs, JoinPath, JoinStep, SchemaBuilder, StdVfs,
+    Tuple, TupleRef, Value,
+};
 use std::sync::OnceLock;
 
 // ---------------------------------------------------------------------------
@@ -314,5 +324,51 @@ proptest! {
         let cm = coarse.clustering.dendrogram.merges();
         prop_assert!(fm.len() <= cm.len());
         prop_assert_eq!(fm, &cm[..fm.len()]);
+    }
+
+    // 6. Durability is invisible: kill anywhere, resume cold, same answer.
+    #[test]
+    fn resume_after_kill_equals_cold_resolve(
+        kill_point in 1u64..=6,
+        torn in proptest::bool::ANY,
+    ) {
+        let eng = engine();
+        let refs = &fixture().truths[0].refs;
+        let cold = eng.resolve(&ResolveRequest::new(refs)).clustering;
+
+        let dir = std::env::temp_dir().join(format!(
+            "distinct_meta_resume_{}_{kill_point}_{torn}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = RunOptions {
+            chunk_size: 4,
+            ..Default::default()
+        };
+        let req = ResolveRequest::new(refs).resume(&dir);
+
+        // Crash the durable run at the swept write (9 refs / chunks of 4:
+        // manifest, three chunks, similarity, clustering — 6 writes).
+        let kind = if torn { FaultKind::Torn } else { FaultKind::Fail };
+        let mut vfs = FaultyVfs::new(
+            FaultPlan::new(kill_point.wrapping_mul(0x9e37)).with_fault(kill_point, kind),
+        );
+        let fatal = RunOptions { max_retries: 0, ..opts.clone() };
+        let err = eng
+            .resolve_durable_with(&req, &mut vfs, &fatal)
+            .expect_err("the injected crash must surface");
+        prop_assert!(matches!(err, DistinctError::Store(_)), "{}", err);
+
+        // A cold engine resumes to the identical partition.
+        let resumed = engine().resolve_durable_with(&req, &mut StdVfs, &opts);
+        let _ = std::fs::remove_dir_all(&dir);
+        prop_assert!(resumed.is_ok(), "resume failed: {:?}", resumed.err());
+        let resumed = resumed.unwrap();
+        prop_assert!(resumed.outcome.is_complete());
+        prop_assert_eq!(&resumed.outcome.clustering.labels, &cold.labels);
+        prop_assert_eq!(
+            resumed.outcome.clustering.dendrogram.merges(),
+            cold.dendrogram.merges()
+        );
     }
 }

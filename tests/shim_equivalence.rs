@@ -1,14 +1,10 @@
-//! The deprecated `resolve_*` / `train_ctl` shims must stay byte-for-byte
-//! equivalent to the `ResolveRequest` / `TrainRequest` forms they wrap.
-//!
-//! Each shim forwards to the request form internally; these tests pin the
-//! *observable* equivalence — identical labels, identical dendrograms
-//! (`Merge` compares exactly, similarities included), identical
-//! degradation status, identical learned weights — so the shims cannot
-//! drift while they remain deprecated, and deleting them later is a
-//! provable no-op for callers that migrated.
-
-#![allow(deprecated)]
+//! The deprecated `resolve_*` / `train_ctl` shims are gone; every call
+//! site builds a [`ResolveRequest`] / [`TrainRequest`] directly. This
+//! test pins the equivalence the shims used to guarantee, now stated
+//! purely against the request path: each historical call shape, spelled
+//! as a request, is byte-for-byte interchangeable with every other
+//! spelling of the same options — so deleting the shims was a provable
+//! no-op for callers that migrated.
 
 use datagen::{AmbiguousSpec, World, WorldConfig};
 use distinct::{
@@ -28,7 +24,7 @@ fn dataset() -> &'static datagen::DblpDataset {
     })
 }
 
-fn engine() -> Distinct {
+fn make_engine() -> Distinct {
     let config = DistinctConfig {
         training: TrainingConfig {
             positives: 80,
@@ -47,94 +43,72 @@ fn assert_same_clustering(a: &cluster::Clustering, b: &cluster::Clustering) {
 }
 
 #[test]
-fn resolve_name_matches_references_of_plus_resolve() {
-    let engine = engine();
-    let (refs, shim) = engine.resolve_name("Wei Wang");
-    assert_eq!(refs, engine.references_of("Wei Wang"));
-    let request = engine.resolve(&ResolveRequest::new(&refs));
-    assert!(request.degraded.is_none());
-    assert_same_clustering(&shim, &request.clustering);
-}
-
-#[test]
-fn resolve_with_min_sim_matches_min_sim_request() {
-    let engine = engine();
+fn request_spellings_of_the_old_shim_shapes_are_interchangeable() {
+    let engine = make_engine();
     let refs = engine.references_of("Wei Wang");
-    for min_sim in [1e-5, 2e-3, 0.02, 0.3] {
-        let shim = engine.resolve_with_min_sim(&refs, min_sim);
-        let request = engine.resolve(&ResolveRequest::new(&refs).min_sim(min_sim));
-        assert_same_clustering(&shim, &request.clustering);
-    }
-}
+    assert_eq!(refs.len(), 23);
 
-#[test]
-fn resolve_ctl_matches_control_request() {
-    let engine = engine();
-    let refs = engine.references_of("Hui Fang");
+    // `resolve_name(name)` ≡ references_of + bare request.
+    let bare = engine.resolve(&ResolveRequest::new(&refs));
+    assert!(bare.degraded.is_none());
+
+    // `resolve_with_min_sim(refs, engine_default)` ≡ bare request: an
+    // explicit threshold equal to the configured one changes nothing.
+    let engine_min_sim = engine.config().min_sim;
+    let explicit = engine.resolve(&ResolveRequest::new(&refs).min_sim(engine_min_sim));
+    assert_same_clustering(&bare.clustering, &explicit.clustering);
+
+    // `resolve_ctl(refs, ctl)` ≡ bare request under an unlimited control:
+    // attaching limits that never trip is observationally free.
+    let ctl = RunControl::new();
+    let limited = engine.resolve(&ResolveRequest::new(&refs).control(&ctl));
+    assert!(limited.degraded.is_none());
+    assert_same_clustering(&bare.clustering, &limited.clustering);
+
+    // `resolve_with_min_sim_ctl` ≡ the two options composed, in either
+    // builder order.
     let ctl_a = RunControl::new();
     let ctl_b = RunControl::new();
-    let shim = engine.resolve_ctl(&refs, &ctl_a);
-    let request = engine.resolve(&ResolveRequest::new(&refs).control(&ctl_b));
-    assert!(shim.degraded.is_none());
-    assert!(request.degraded.is_none());
-    assert_same_clustering(&shim.clustering, &request.clustering);
-}
+    let ab = engine.resolve(&ResolveRequest::new(&refs).min_sim(0.02).control(&ctl_a));
+    let ba = engine.resolve(&ResolveRequest::new(&refs).control(&ctl_b).min_sim(0.02));
+    assert_same_clustering(&ab.clustering, &ba.clustering);
 
-#[test]
-fn resolve_with_min_sim_ctl_matches_full_request() {
-    let engine = engine();
-    let refs = engine.references_of("Hui Fang");
-    let ctl_a = RunControl::new();
-    let ctl_b = RunControl::new();
-    let shim = engine.resolve_with_min_sim_ctl(&refs, 0.01, &ctl_a);
-    let request = engine.resolve(&ResolveRequest::new(&refs).min_sim(0.01).control(&ctl_b));
-    assert!(shim.degraded.is_none());
-    assert!(request.degraded.is_none());
-    assert_same_clustering(&shim.clustering, &request.clustering);
-}
-
-#[test]
-fn resolve_constrained_matches_constraint_request() {
-    let engine = engine();
-    let refs = engine.references_of("Wei Wang");
-    let must = [(0, 1), (2, 3)];
-    let cannot = [(0, 4)];
-    let shim = engine.resolve_constrained(&refs, &must, &cannot);
-    let request = engine.resolve(
+    // `resolve_constrained` ≡ the constraint builders, and the
+    // constraints actually bind: 0-1 together, 0-4 apart.
+    let constrained = engine.resolve(
         &ResolveRequest::new(&refs)
-            .must_link(&must)
-            .cannot_link(&cannot),
+            .must_link(&[(0, 1), (2, 3)])
+            .cannot_link(&[(0, 4)]),
     );
-    assert_same_clustering(&shim, &request.clustering);
-    // Constraints must actually bind: 0-1 together, 0-4 apart.
-    assert_eq!(shim.labels[0], shim.labels[1]);
-    assert_ne!(shim.labels[0], shim.labels[4]);
-}
+    let labels = &constrained.clustering.labels;
+    assert_eq!(labels[0], labels[1]);
+    assert_eq!(labels[2], labels[3]);
+    assert_ne!(labels[0], labels[4]);
 
-#[test]
-fn train_ctl_matches_train_with() {
-    // Two fresh engines over the same catalog: the shim and the request
-    // form must learn identical weights and report identical statistics.
-    let mut shim_engine = engine();
-    let mut request_engine = engine();
-    let ctl_a = RunControl::new();
-    let ctl_b = RunControl::new();
-    let shim = shim_engine.train_ctl(&ctl_a).unwrap();
+    // `train_ctl(ctl)` ≡ `train_with(request.control(ctl))` ≡ plain
+    // `train()`: identical learned weights, statistics, and downstream
+    // resolution.
+    let mut plain_engine = make_engine();
+    let mut request_engine = make_engine();
+    let train_ctl = RunControl::new();
+    let plain = plain_engine.train().unwrap();
     let request = request_engine
-        .train_with(&TrainRequest::new().control(&ctl_b))
+        .train_with(&TrainRequest::new().control(&train_ctl))
         .unwrap();
-    assert_eq!(shim_engine.weights(), request_engine.weights());
-    assert_eq!(shim.unique_names, request.unique_names);
-    assert_eq!(shim.positives, request.positives);
-    assert_eq!(shim.negatives, request.negatives);
-    assert_eq!(shim.resem_accuracy, request.resem_accuracy);
-    assert_eq!(shim.walk_accuracy, request.walk_accuracy);
-    assert_eq!(shim.path_weights, request.path_weights);
-    // And resolution under the learned weights stays equivalent too.
-    let refs = shim_engine.references_of("Wei Wang");
-    let shim_clusters = shim_engine.resolve_with_min_sim(&refs, 0.005);
-    let request_clusters = request_engine
-        .resolve(&ResolveRequest::new(&refs).min_sim(0.005))
-        .clustering;
-    assert_same_clustering(&shim_clusters, &request_clusters);
+    assert_eq!(plain_engine.weights(), request_engine.weights());
+    assert_eq!(plain.unique_names, request.unique_names);
+    assert_eq!(plain.positives, request.positives);
+    assert_eq!(plain.negatives, request.negatives);
+    assert_eq!(plain.resem_accuracy, request.resem_accuracy);
+    assert_eq!(plain.walk_accuracy, request.walk_accuracy);
+    assert_eq!(plain.path_weights, request.path_weights);
+    let trained_refs = plain_engine.references_of("Wei Wang");
+    assert_same_clustering(
+        &plain_engine
+            .resolve(&ResolveRequest::new(&trained_refs).min_sim(0.005))
+            .clustering,
+        &request_engine
+            .resolve(&ResolveRequest::new(&trained_refs).min_sim(0.005))
+            .clustering,
+    );
 }
