@@ -80,6 +80,14 @@ fn ms(d: std::time::Duration) -> u64 {
     d.as_millis() as u64
 }
 
+/// Stage timers are emitted with fractional precision: `as_millis`
+/// truncation rounded every sub-millisecond stage (clustering on the
+/// laptop rung, similarity once pruning landed) down to a flat `0`,
+/// hiding real stage-over-stage deltas from the smoke gate.
+fn ms_frac(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
 fn run_rung(r: &Rung) {
     eprintln!(
         "[{}] generating world ({} authors)...",
@@ -162,7 +170,8 @@ fn run_rung(r: &Rung) {
          \"references\": {references},\n    \"name_references\": {}\n  }},\n  \
          \"threads\": {},\n  \"generate_ms\": {generate_ms},\n  \"prepare_ms\": {prepare_ms},\n  \
          \"wall_ms\": {cold_ms},\n  \"logical\": {},\n  \"peak_rss_bytes\": {},\n  \
-         \"stages\": {{\n    \"profiles_ms\": {},\n    \"similarity_ms\": {},\n    \"clustering_ms\": {}\n  }},\n  \
+         \"pairs_total\": {},\n  \"pairs_pruned\": {},\n  \"pairs_exact\": {},\n  \
+         \"stages\": {{\n    \"profiles_ms\": {:.3},\n    \"similarity_ms\": {:.3},\n    \"clustering_ms\": {:.3}\n  }},\n  \
          \"recovery\": {{\n    \"total_writes\": {total_writes},\n    \"killed_at_write\": {total_writes},\n    \
          \"chunks_committed\": {},\n    \"profiles_restored\": {},\n    \"similarity_restored\": {},\n    \
          \"resume_ms\": {resume_ms},\n    \"resume_fraction\": {:.4}\n  }}\n}}\n",
@@ -172,9 +181,12 @@ fn run_rung(r: &Rung) {
         exec.max_threads(),
         exec.total_logical(),
         exec.peak_rss_bytes,
-        ms(exec.profiles.wall),
-        ms(exec.similarity.wall),
-        ms(exec.clustering.wall),
+        exec.pairs_total,
+        exec.pairs_pruned,
+        exec.pairs_exact,
+        ms_frac(exec.profiles.wall),
+        ms_frac(exec.similarity.wall),
+        ms_frac(exec.clustering.wall),
         cold.run.chunks_committed,
         resumed.run.profiles_restored,
         resumed.run.similarity_restored,

@@ -387,14 +387,27 @@ impl Distinct {
     /// suffices); profiles computed here land in the shared cache, making
     /// this also a deterministic cache-warming primitive for
     /// warm-vs-cold differential runs.
-    // distinct-lint: allow(D005, reason="documented sequential diagnostic surface outside resolve()'s budget scope")
     pub fn stage_probe(&self, refs: &[TupleRef]) -> crate::probe::StageProbe {
+        self.stage_probe_with(refs, &relgraph::Resemblance::default())
+    }
+
+    /// [`Distinct::stage_probe`] under an explicit similarity kernel —
+    /// the hook the oracle differential suite uses to pin
+    /// [`relgraph::Resemblance::Exact`] and the pruned default against
+    /// each other bit for bit.
+    // distinct-lint: allow(D005, reason="documented sequential diagnostic surface outside resolve()'s budget scope")
+    pub fn stage_probe_with(
+        &self,
+        refs: &[TupleRef],
+        kernel: &relgraph::Resemblance,
+    ) -> crate::probe::StageProbe {
         let profiles: Vec<Arc<Profile>> = refs.iter().map(|&r| self.profile(r)).collect();
-        let (merger, _) = DistinctMerger::from_profiles_exec(
+        let (merger, _, _) = DistinctMerger::from_profiles_exec(
             &profiles,
             &self.weights,
             self.config.measure,
             self.config.composite,
+            kernel,
             &exec::Executor::sequential(),
             &|_| true,
         );
@@ -640,6 +653,12 @@ impl Distinct {
                 similarity: stage_stats(feature_stats, feature_logical),
                 clustering: Default::default(),
                 peak_rss_bytes: crate::control::peak_rss_bytes().unwrap_or(0),
+                // Training featurizes explicit pairs; the pruned
+                // similarity engine (and its accounting) is a resolve
+                // concern.
+                pairs_total: 0,
+                pairs_pruned: 0,
+                pairs_exact: 0,
             },
         };
         if self.config.weighting == WeightingMode::Supervised {
@@ -704,7 +723,8 @@ impl Distinct {
         // Stage 2: pairwise similarity matrix.
         let guard = ctl.shared_guard();
         let logical1 = ctl.spent();
-        let (merger, matrix_stats) = self.similarity_stage(&profiles, &executor, &guard);
+        let (merger, matrix_stats, pair_counters) =
+            self.similarity_stage(&profiles, &req.resemblance, &executor, &guard);
         let similarity_logical = ctl.spent().saturating_sub(logical1);
 
         // Stage 3: agglomerative clustering.
@@ -752,6 +772,9 @@ impl Distinct {
                 similarity: stage_stats(matrix_stats, similarity_logical),
                 clustering: stage_stats(cluster_stats, clustering_logical),
                 peak_rss_bytes: crate::control::peak_rss_bytes().unwrap_or(0),
+                pairs_total: pair_counters.total,
+                pairs_pruned: pair_counters.pruned,
+                pairs_exact: pair_counters.exact,
             },
         }
     }
@@ -763,14 +786,20 @@ impl Distinct {
     pub(crate) fn similarity_stage(
         &self,
         profiles: &[Arc<Profile>],
+        kernel: &relgraph::Resemblance,
         executor: &exec::Executor,
         guard: &(dyn Fn(u64) -> bool + Sync),
-    ) -> (Option<DistinctMerger>, exec::ParStats) {
+    ) -> (
+        Option<DistinctMerger>,
+        exec::ParStats,
+        crate::refcluster::PairCounters,
+    ) {
         DistinctMerger::from_profiles_exec(
             profiles,
             &self.weights,
             self.config.measure,
             self.config.composite,
+            kernel,
             executor,
             guard,
         )

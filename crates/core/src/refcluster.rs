@@ -17,9 +17,78 @@ use crate::config::{CompositeMode, MeasureMode};
 use crate::features::{directed_walk_features, resemblance_features, weighted_sum, Profile};
 use crate::learn::PathWeights;
 use cluster::Merger;
+use relgraph::{Resemblance, SetArena};
+use relstore::FxHashMap;
 use std::borrow::Borrow;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Similarity kernel-unit accounting of one matrix build.
+///
+/// One *unit* is one (unordered reference pair, join path) evaluation,
+/// covering that pair's set resemblance and both directed walks along the
+/// path — so `total = pairs × paths`. A unit is **pruned** when the
+/// engine proved all three kernel values exactly zero without running a
+/// merge-join for the pair, and **exact** otherwise (at least one kernel
+/// evaluated, possibly reused from a content-identical row pair).
+/// `pruned + exact == total` holds by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PairCounters {
+    /// Kernel units scheduled (`pairs × paths`).
+    pub total: u64,
+    /// Units skipped under a provably-exactly-zero certificate.
+    pub pruned: u64,
+    /// Units that ran (or reused) at least one exact kernel.
+    pub exact: u64,
+}
+
+/// One assembly chunk's `(resemblance, walk i→j, walk j→i)` triples plus
+/// the exact kernel units the chunk consumed.
+type ChunkValues = (Vec<(f64, f64, f64)>, u64);
+
+/// Per-path kernel memos of the pruned similarity build: interned row
+/// assignments plus the *nonzero* kernel values, computed once per
+/// distinct row pair. A missing memo entry is a proof that the kernel
+/// value is exactly zero.
+struct PathKernels {
+    /// Distinct forward-set row of each reference.
+    row_f: Vec<u32>,
+    /// Distinct backward-set row of each reference.
+    row_b: Vec<u32>,
+    /// Per distinct row: is the row empty? (Decides the zero's sign for
+    /// walk misses: `directed_walk`'s `Sum` folds from `-0.0`, which only
+    /// survives when the iterated support is empty.)
+    row_empty: Vec<bool>,
+    /// Resemblance per normalized `(min, max)` forward-row pair.
+    resem: FxHashMap<(u32, u32), f64>,
+    /// Walk dot product per normalized `(min, max)` row pair (the dot is
+    /// symmetric in its rows, so one entry serves both directions).
+    dot: FxHashMap<(u32, u32), f64>,
+}
+
+impl PathKernels {
+    fn resem_at(&self, i: usize, j: usize) -> Option<f64> {
+        let (a, b) = (self.row_f[i], self.row_f[j]);
+        self.resem.get(&(a.min(b), a.max(b))).copied()
+    }
+
+    /// Walk dot `i → j` (forward row of `i` against backward row of `j`).
+    fn dot_at(&self, i: usize, j: usize) -> Option<f64> {
+        let (a, b) = (self.row_f[i], self.row_b[j]);
+        self.dot.get(&(a.min(b), a.max(b))).copied()
+    }
+
+    /// The exact kernel's zero for a pruned `i → j` walk: `-0.0` when
+    /// either side's support is empty, `+0.0` when both are non-empty but
+    /// provably disjoint — bit-identical to what `directed_walk` returns.
+    fn zero_walk(&self, i: usize, j: usize) -> f64 {
+        if self.row_empty[self.row_f[i] as usize] || self.row_empty[self.row_b[j] as usize] {
+            -0.0
+        } else {
+            0.0
+        }
+    }
+}
 
 /// A [`Merger`] implementing DISTINCT's composite cluster similarity.
 #[derive(Debug, Clone)]
@@ -38,7 +107,8 @@ pub struct DistinctMerger {
 }
 
 impl DistinctMerger {
-    /// Build the pairwise tables from reference profiles.
+    /// Build the pairwise tables from reference profiles with the exact
+    /// kernel — the canonical reference for tests and oracles.
     pub fn from_profiles(
         profiles: &[Profile],
         weights: &PathWeights,
@@ -50,6 +120,7 @@ impl DistinctMerger {
             weights,
             measure,
             composite,
+            &Resemblance::Exact,
             &exec::Executor::sequential(),
             &|_| true,
         )
@@ -59,50 +130,126 @@ impl DistinctMerger {
     }
 
     /// Like [`DistinctMerger::from_profiles`], but computes the O(n²)
-    /// pairwise feature tables **in parallel** over the flat upper-triangle
-    /// pair index space — this is the similarity-matrix hot path of
-    /// resolution. Each pair's features depend only on its two (immutable)
-    /// profiles and every value lands in a fixed matrix cell, so the
-    /// resulting tables are bit-identical for any thread count.
+    /// pairwise feature tables **in parallel** — this is the
+    /// similarity-matrix hot path of resolution. The resulting tables are
+    /// bit-identical for any thread count *and any kernel*:
     ///
-    /// `guard` is charged once per chunk with the chunk's pair count; if it
-    /// trips, pending chunks are abandoned and `None` is returned — a
+    /// * [`Resemblance::Exact`] fans the flat upper-triangle pair index
+    ///   space out in chunks and runs every merge-join kernel directly;
+    /// * [`Resemblance::Pruned`] first builds, per join path, a columnar
+    ///   [`SetArena`] over all forward and backward sets (deduplicating
+    ///   content-identical rows), sketches and an exact support-overlap
+    ///   matrix over the distinct rows, and evaluates only the kernels
+    ///   not *proven* exactly zero — then assembles the same
+    ///   upper-triangle chunks from memo lookups, where a missing entry
+    ///   is a proof the exact kernel returns zero. Only provably-zero
+    ///   work is skipped, so the tables (and every downstream merge) are
+    ///   bit-identical to `Exact` — the losslessness contract.
+    ///
+    /// `guard` is charged with kernel-pair counts (per assembly chunk,
+    /// and per arena build / surviving kernel batch on the pruned path);
+    /// if it trips, pending work is abandoned and `None` is returned — a
     /// partially filled matrix would silently bias the clustering toward
     /// whichever pairs happened to be computed. The [`exec::ParStats`]
-    /// records how far the stage got either way.
+    /// records how far the stage got either way, and the returned
+    /// [`PairCounters`] record how many kernel units the chosen kernel
+    /// pruned (zeroed on an interrupted build, like the tables).
     pub fn from_profiles_exec<P>(
         profiles: &[P],
         weights: &PathWeights,
         measure: MeasureMode,
         composite: CompositeMode,
+        kernel: &Resemblance,
         executor: &exec::Executor,
         guard: &(dyn Fn(u64) -> bool + Sync),
-    ) -> (Option<Self>, exec::ParStats)
+    ) -> (Option<Self>, exec::ParStats, PairCounters)
     where
         P: Borrow<Profile> + Sync,
     {
         let n = profiles.len();
-        let total = exec::triangle_count(n);
+        let n_paths = profiles.first().map_or(0, |p| p.borrow().path_count());
+        let n_pairs = exec::triangle_count(n);
+        let unit_total = (n_pairs * n_paths) as u64;
         let tripped = AtomicBool::new(false);
+
+        // The pruned path precomputes per-path kernel memos; the exact
+        // path computes kernels inline during assembly.
+        let (kernels, prep_stats) = match kernel {
+            Resemblance::Exact => (None, exec::ParStats::default()),
+            Resemblance::Pruned { sketch } => {
+                let path_idx: Vec<usize> = (0..n_paths).collect();
+                let (built, stats) = executor.par_map_guarded(
+                    &path_idx,
+                    |_, &k| build_path_kernels(profiles, k, sketch, guard, &tripped),
+                    || tripped.load(Ordering::Relaxed),
+                );
+                if built.iter().any(Option::is_none) {
+                    tripped.store(true, Ordering::Relaxed);
+                    let mut stats = stats;
+                    stats.stopped = true;
+                    return (None, stats, PairCounters::default());
+                }
+                (
+                    Some(built.into_iter().map(Option::unwrap).collect::<Vec<_>>()),
+                    stats,
+                )
+            }
+        };
+
+        // Assembly over the flat upper-triangle pair index space. Each
+        // pair's features depend only on its two (immutable) profiles /
+        // memos and every value lands in a fixed matrix cell.
         let (chunks, mut stats) = executor.par_chunks(
-            total,
-            |range: Range<usize>| -> Option<Vec<(f64, f64, f64)>> {
+            n_pairs,
+            |range: Range<usize>| -> Option<ChunkValues> {
                 if !guard(range.len() as u64) {
                     tripped.store(true, Ordering::Relaxed);
                     return None;
                 }
-                Some(
-                    range
-                        .map(|k| {
-                            let (i, j) = exec::triangle_pair(n, k);
-                            let (pi, pj) = (profiles[i].borrow(), profiles[j].borrow());
-                            let r = weighted_sum(&resemblance_features(pi, pj), &weights.resem);
-                            let dij = weighted_sum(&directed_walk_features(pi, pj), &weights.walk);
-                            let dji = weighted_sum(&directed_walk_features(pj, pi), &weights.walk);
-                            (r, dij, dji)
-                        })
-                        .collect(),
-                )
+                let mut exact_units = 0u64;
+                let vals = range
+                    .map(|k| {
+                        let (i, j) = exec::triangle_pair(n, k);
+                        match &kernels {
+                            None => {
+                                let (pi, pj) = (profiles[i].borrow(), profiles[j].borrow());
+                                exact_units += n_paths as u64;
+                                let r = weighted_sum(&resemblance_features(pi, pj), &weights.resem);
+                                let dij =
+                                    weighted_sum(&directed_walk_features(pi, pj), &weights.walk);
+                                let dji =
+                                    weighted_sum(&directed_walk_features(pj, pi), &weights.walk);
+                                (r, dij, dji)
+                            }
+                            Some(kernels) => {
+                                let mut r_feats = vec![0.0f64; n_paths];
+                                let mut dij_feats = vec![0.0f64; n_paths];
+                                let mut dji_feats = vec![0.0f64; n_paths];
+                                for (p, pk) in kernels.iter().enumerate() {
+                                    let mut hit = false;
+                                    r_feats[p] =
+                                        pk.resem_at(i, j).inspect(|_| hit = true).unwrap_or(0.0);
+                                    dij_feats[p] = pk
+                                        .dot_at(i, j)
+                                        .inspect(|_| hit = true)
+                                        .unwrap_or_else(|| pk.zero_walk(i, j));
+                                    dji_feats[p] = pk
+                                        .dot_at(j, i)
+                                        .inspect(|_| hit = true)
+                                        .unwrap_or_else(|| pk.zero_walk(j, i));
+                                    if hit {
+                                        exact_units += 1;
+                                    }
+                                }
+                                let r = weighted_sum(&r_feats, &weights.resem);
+                                let dij = weighted_sum(&dij_feats, &weights.walk);
+                                let dji = weighted_sum(&dji_feats, &weights.walk);
+                                (r, dij, dji)
+                            }
+                        }
+                    })
+                    .collect();
+                Some((vals, exact_units))
             },
             || tripped.load(Ordering::Relaxed),
         );
@@ -112,14 +259,21 @@ impl DistinctMerger {
             .filter(|(_, v)| v.is_some())
             .map(|(r, _)| r.len())
             .sum();
+        // One ParStats for the whole stage: pair-granularity tasks (the
+        // unit existing probes assert on), wall covering both phases.
+        stats.threads = stats.threads.max(prep_stats.threads);
+        stats.wall += prep_stats.wall;
+        stats.stopped = stats.stopped || prep_stats.stopped;
         if stats.stopped {
-            return (None, stats);
+            return (None, stats, PairCounters::default());
         }
+        let mut exact_units = 0u64;
         let mut resem = vec![vec![0.0; n]; n];
         let mut dwalk = vec![vec![0.0; n]; n];
         for (range, vals) in chunks {
             // distinct-lint: allow(D002, D101, reason="stats.stopped was checked above; a complete run leaves every chunk Some by the exec pool contract")
-            let vals = vals.expect("complete run has no refused chunks");
+            let (vals, chunk_exact) = vals.expect("complete run has no refused chunks");
+            exact_units += chunk_exact;
             for (k, (r, dij, dji)) in range.zip(vals) {
                 let (i, j) = exec::triangle_pair(n, k);
                 resem[i][j] = r;
@@ -128,6 +282,11 @@ impl DistinctMerger {
                 dwalk[j][i] = dji;
             }
         }
+        let counters = PairCounters {
+            total: unit_total,
+            pruned: unit_total - exact_units,
+            exact: exact_units,
+        };
         (
             Some(DistinctMerger {
                 resem,
@@ -138,6 +297,7 @@ impl DistinctMerger {
                 n,
             }),
             stats,
+            counters,
         )
     }
 
@@ -204,6 +364,108 @@ impl DistinctMerger {
         let b_to_a = self.dwalk[b][a] / self.sizes[b] as f64;
         0.5 * (a_to_b + b_to_a)
     }
+}
+
+/// Build the kernel memos for one join path: intern all forward and
+/// backward sets into a columnar [`SetArena`], prove most distinct row
+/// pairs exactly zero (sketch tier first, then the exact support-overlap
+/// matrix), and run the merge-join kernels only for the survivors.
+///
+/// `guard` is charged once with the interned set count (the arena /
+/// sketch / overlap build) and once with the surviving kernel count.
+fn build_path_kernels<P: Borrow<Profile>>(
+    profiles: &[P],
+    k: usize,
+    sketch: &relgraph::SketchConfig,
+    guard: &(dyn Fn(u64) -> bool + Sync),
+    tripped: &AtomicBool,
+) -> Option<PathKernels> {
+    let n = profiles.len();
+    if !guard(2 * n as u64) {
+        tripped.store(true, Ordering::Relaxed);
+        return None;
+    }
+    let bwd: Vec<relgraph::WeightedSet> = profiles
+        .iter()
+        .map(|p| p.borrow().props[k].backward_set())
+        .collect();
+    let arena = SetArena::build(
+        profiles
+            .iter()
+            .map(|p| &p.borrow().sets[k])
+            .chain(bwd.iter()),
+    );
+    let sketches = arena.sketches(sketch);
+    let overlap = arena.intersections();
+    let row_f: Vec<u32> = (0..n).map(|i| arena.row_of(i)).collect();
+    let row_b: Vec<u32> = (0..n).map(|i| arena.row_of(n + i)).collect();
+    let row_empty: Vec<bool> = sketches.iter().map(|s| s.is_empty()).collect();
+
+    // Distinct forward rows (ascending), remembering which are realized
+    // by at least two references — only those can produce a same-row
+    // (r, r) resemblance lookup from an i ≠ j pair.
+    let mut used_f: Vec<u32> = row_f.clone();
+    used_f.sort_unstable();
+    let mut uniq_f: Vec<(u32, bool)> = Vec::new();
+    for &r in &used_f {
+        match uniq_f.last_mut() {
+            Some((p, twice)) if *p == r => *twice = true,
+            _ => uniq_f.push((r, false)),
+        }
+    }
+    let mut used_b: Vec<u32> = row_b.clone();
+    used_b.sort_unstable();
+    used_b.dedup();
+
+    // Candidate row pairs, normalized (min, max). The dot candidates are
+    // the cross product of distinct forward × backward rows — a handful
+    // of combos only realized by i == j ride along harmlessly.
+    let mut resem_cands: Vec<(u32, u32)> = Vec::new();
+    for (x, &(a, twice)) in uniq_f.iter().enumerate() {
+        if twice {
+            resem_cands.push((a, a));
+        }
+        for &(b, _) in &uniq_f[x + 1..] {
+            resem_cands.push((a, b));
+        }
+    }
+    let mut dot_cands: Vec<(u32, u32)> = Vec::new();
+    for &(a, _) in &uniq_f {
+        for &b in &used_b {
+            dot_cands.push((a.min(b), a.max(b)));
+        }
+    }
+    dot_cands.sort_unstable();
+    dot_cands.dedup();
+
+    // Zero certificates: the sketch bound prunes first (cheap, sound),
+    // the exact overlap matrix catches everything a saturated mask
+    // missed — together they are complete, so a surviving pair has a
+    // provably nonzero kernel and a skipped pair a provably zero one.
+    let survives = |&(a, b): &(u32, u32)| {
+        sketches[a as usize].upper_bound(&sketches[b as usize]) != 0.0 && overlap.intersects(a, b)
+    };
+    let resem_cands: Vec<(u32, u32)> = resem_cands.into_iter().filter(|c| survives(c)).collect();
+    let dot_cands: Vec<(u32, u32)> = dot_cands.into_iter().filter(|c| survives(c)).collect();
+    if !guard((resem_cands.len() + dot_cands.len()) as u64) {
+        tripped.store(true, Ordering::Relaxed);
+        return None;
+    }
+    let mut resem = FxHashMap::default();
+    for (a, b) in resem_cands {
+        resem.insert((a, b), arena.resemblance_rows(a, b));
+    }
+    let mut dot = FxHashMap::default();
+    for (a, b) in dot_cands {
+        dot.insert((a, b), arena.dot_rows(a, b));
+    }
+    Some(PathKernels {
+        row_f,
+        row_b,
+        row_empty,
+        resem,
+        dot,
+    })
 }
 
 impl Merger for DistinctMerger {
@@ -415,20 +677,89 @@ mod tests {
             CompositeMode::Geometric,
         );
         for threads in [2usize, 5, 8] {
-            let (m, stats) = DistinctMerger::from_profiles_exec(
-                &profiles,
-                &weights(),
-                MeasureMode::Combined,
-                CompositeMode::Geometric,
-                &exec::Executor::with_threads(threads),
-                &|_| true,
-            );
-            let m = m.expect("permissive guard");
-            assert!(!stats.stopped);
-            assert_eq!(stats.completed, 12 * 11 / 2);
-            assert_eq!(m.resem, reference.resem, "threads={threads}");
-            assert_eq!(m.dwalk, reference.dwalk, "threads={threads}");
+            for kernel in [Resemblance::Exact, Resemblance::default()] {
+                let (m, stats, counters) = DistinctMerger::from_profiles_exec(
+                    &profiles,
+                    &weights(),
+                    MeasureMode::Combined,
+                    CompositeMode::Geometric,
+                    &kernel,
+                    &exec::Executor::with_threads(threads),
+                    &|_| true,
+                );
+                let m = m.expect("permissive guard");
+                assert!(!stats.stopped);
+                assert_eq!(stats.completed, 12 * 11 / 2);
+                // One join path in this fixture, so units == pairs.
+                assert_eq!(counters.total, 12 * 11 / 2);
+                assert_eq!(counters.pruned + counters.exact, counters.total);
+                if kernel == Resemblance::Exact {
+                    assert_eq!(counters.pruned, 0);
+                }
+                assert_eq!(m.resem, reference.resem, "threads={threads} {kernel:?}");
+                assert_eq!(m.dwalk, reference.dwalk, "threads={threads} {kernel:?}");
+            }
         }
+    }
+
+    /// The losslessness contract at the table level: the pruned build's
+    /// matrices carry the exact build's bits, including zero signs, and
+    /// its counters account for real pruning.
+    #[test]
+    fn pruned_build_is_bit_identical_and_actually_prunes() {
+        // Three disconnected cliques: most pairs have provably-zero
+        // kernels, a few same-row references exercise memo reuse.
+        let mut profiles: Vec<Profile> = Vec::new();
+        for g in 0..3u32 {
+            for m in 0..3u32 {
+                profiles.push(profile(
+                    g * 3 + m,
+                    &[(10 * g, 0.5 + 0.1 * m as f64), (10 * g + 1, 0.2)],
+                ));
+            }
+        }
+        profiles.push(profile(9, &[(0, 0.5), (1, 0.2)])); // same content as profile 0
+        profiles.push(profile(10, &[])); // empty: exercises the -0.0 walk zero
+        let n = profiles.len();
+        let exact = DistinctMerger::from_profiles(
+            &profiles,
+            &weights(),
+            MeasureMode::Combined,
+            CompositeMode::Geometric,
+        );
+        let (pruned, stats, counters) = DistinctMerger::from_profiles_exec(
+            &profiles,
+            &weights(),
+            MeasureMode::Combined,
+            CompositeMode::Geometric,
+            &Resemblance::default(),
+            &exec::Executor::with_threads(3),
+            &|_| true,
+        );
+        let pruned = pruned.expect("permissive guard");
+        assert!(!stats.stopped);
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(
+                    pruned.resem[i][j].to_bits(),
+                    exact.resem[i][j].to_bits(),
+                    "resem[{i}][{j}]"
+                );
+                assert_eq!(
+                    pruned.dwalk[i][j].to_bits(),
+                    exact.dwalk[i][j].to_bits(),
+                    "dwalk[{i}][{j}]"
+                );
+            }
+        }
+        assert_eq!(counters.total, exec::triangle_count(n) as u64);
+        assert_eq!(counters.pruned + counters.exact, counters.total);
+        // Cross-clique and empty-profile units are all provably zero:
+        // 9 same-clique pairs + the pair joining profile 0's duplicate
+        // to its clique... every nonzero unit involves two refs of one
+        // clique (clique 0 has 4 members now): C(4,2) + C(3,2) + C(3,2) = 12.
+        assert_eq!(counters.exact, 12);
+        assert!(counters.pruned > counters.exact);
     }
 
     #[test]
@@ -468,17 +799,21 @@ mod tests {
     #[test]
     fn tripped_matrix_build_returns_none() {
         let profiles = two_groups();
-        let (m, stats) = DistinctMerger::from_profiles_exec(
-            &profiles,
-            &weights(),
-            MeasureMode::Combined,
-            CompositeMode::Geometric,
-            &exec::Executor::sequential(),
-            &|_| false,
-        );
-        assert!(m.is_none());
-        assert!(stats.stopped);
-        assert_eq!(stats.completed, 0);
+        for kernel in [Resemblance::Exact, Resemblance::default()] {
+            let (m, stats, counters) = DistinctMerger::from_profiles_exec(
+                &profiles,
+                &weights(),
+                MeasureMode::Combined,
+                CompositeMode::Geometric,
+                &kernel,
+                &exec::Executor::sequential(),
+                &|_| false,
+            );
+            assert!(m.is_none(), "{kernel:?}");
+            assert!(stats.stopped);
+            assert_eq!(stats.completed, 0);
+            assert_eq!(counters, PairCounters::default());
+        }
     }
 
     #[test]

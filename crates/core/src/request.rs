@@ -16,6 +16,7 @@
 //! ```
 
 use crate::control::RunControl;
+use relgraph::{ConfigError, Resemblance};
 use relstore::TupleRef;
 use std::path::Path;
 use std::time::Duration;
@@ -68,6 +69,19 @@ pub struct ExecReport {
     /// finished (`/proc/self/status` VmHWM), `0` where unavailable.
     /// Process-wide, so concurrent runs share one high-water mark.
     pub peak_rss_bytes: u64,
+    /// Similarity kernel units scheduled: one unit is one (unordered
+    /// reference pair, join path) evaluation covering the pair's
+    /// resemblance and both directed walks along that path. Equals
+    /// `pairs × paths` whenever the similarity stage ran to completion.
+    pub pairs_total: u64,
+    /// Kernel units the pruned engine skipped because every kernel value
+    /// was provably exactly zero (sketch or support-overlap certificate).
+    /// Always `0` under [`relgraph::Resemblance::Exact`]. Invariant:
+    /// `pairs_pruned + pairs_exact == pairs_total`.
+    pub pairs_pruned: u64,
+    /// Kernel units whose exact merge-join kernels were evaluated (or
+    /// reused from a content-identical row pair).
+    pub pairs_exact: u64,
 }
 
 impl ExecReport {
@@ -104,6 +118,7 @@ pub struct ResolveRequest<'a> {
     pub(crate) control: Option<&'a RunControl>,
     pub(crate) threads: Option<usize>,
     pub(crate) run_dir: Option<&'a Path>,
+    pub(crate) resemblance: Resemblance,
 }
 
 impl<'a> ResolveRequest<'a> {
@@ -163,6 +178,30 @@ impl<'a> ResolveRequest<'a> {
     pub fn resume(mut self, run_dir: &'a Path) -> Self {
         self.run_dir = Some(run_dir);
         self
+    }
+
+    /// Select the similarity kernel for this run. The default is
+    /// [`Resemblance::Pruned`] with lossless settings — bit-identical
+    /// results to [`Resemblance::Exact`], which stays one call away:
+    ///
+    /// ```text
+    /// let req = ResolveRequest::new(&refs)
+    ///     .similarity(Resemblance::Exact)?;                 // reference path
+    /// let req = ResolveRequest::new(&refs)
+    ///     .similarity(Resemblance::Pruned { sketch })?;     // custom sketch
+    /// ```
+    ///
+    /// Invalid sketch parameters surface here as typed
+    /// [`ConfigError`]s instead of panicking mid-resolve.
+    pub fn similarity(mut self, kernel: Resemblance) -> Result<Self, ConfigError> {
+        kernel.validate()?;
+        self.resemblance = kernel;
+        Ok(self)
+    }
+
+    /// The similarity kernel this request will run with.
+    pub fn similarity_kernel(&self) -> Resemblance {
+        self.resemblance
     }
 
     /// The run directory set by [`ResolveRequest::resume`], if any.
@@ -240,6 +279,30 @@ mod tests {
         assert!(!bare.is_constrained());
         assert!(bare.min_sim.is_none());
         assert!(bare.threads.is_none());
+        // The fast path is the default path.
+        assert!(matches!(
+            bare.similarity_kernel(),
+            Resemblance::Pruned { .. }
+        ));
+    }
+
+    #[test]
+    fn similarity_builder_validates_the_kernel() {
+        use relgraph::SketchConfig;
+        let refs = vec![TupleRef::new(RelId(0), TupleId(0))];
+        let req = ResolveRequest::new(&refs)
+            .similarity(Resemblance::Exact)
+            .expect("Exact always validates");
+        assert_eq!(req.similarity_kernel(), Resemblance::Exact);
+        let err = ResolveRequest::new(&refs)
+            .similarity(Resemblance::Pruned {
+                sketch: SketchConfig {
+                    prefix_len: 0,
+                    minhash_bits: 9,
+                },
+            })
+            .unwrap_err();
+        assert_eq!(err, ConfigError::PrefixLen { got: 0 });
     }
 
     #[test]
@@ -261,10 +324,14 @@ mod tests {
             },
             clustering: StageStats::default(),
             peak_rss_bytes: 0,
+            pairs_total: 45,
+            pairs_pruned: 30,
+            pairs_exact: 15,
         };
         assert_eq!(r.total_wall(), Duration::from_millis(10));
         assert_eq!(r.total_logical(), 145);
         assert_eq!(r.max_threads(), 4);
+        assert_eq!(r.pairs_pruned + r.pairs_exact, r.pairs_total);
     }
 
     #[test]

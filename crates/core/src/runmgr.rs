@@ -532,6 +532,9 @@ impl Distinct {
         let similarity_path = run_dir.join(SIMILARITY_FILE);
         let mut matrix_stats = exec::ParStats::default();
         let mut similarity_logical = 0u64;
+        // A similarity stage restored from its checkpoint never ran the
+        // kernel engine here, so its counters stay zero.
+        let mut pair_counters = crate::refcluster::PairCounters::default();
         let merger: Option<DistinctMerger> = match read_optional(vfs, &similarity_path, &mut retry)?
         {
             Some(bytes) => {
@@ -648,8 +651,10 @@ impl Distinct {
 
                 // Stage 2: the pairwise similarity matrix.
                 let logical1 = ctl.spent();
-                let (built, stats) = self.similarity_stage(&profiles, &executor, &guard);
+                let (built, stats, counters) =
+                    self.similarity_stage(&profiles, &req.resemblance, &executor, &guard);
                 matrix_stats = stats;
+                pair_counters = counters;
                 similarity_logical = ctl.spent().saturating_sub(logical1);
                 if let Some(inner) = &built {
                     if trip.is_none() {
@@ -741,6 +746,9 @@ impl Distinct {
                     similarity: stage_stats(matrix_stats, similarity_logical),
                     clustering: stage_stats(cluster_stats, clustering_logical),
                     peak_rss_bytes: crate::control::peak_rss_bytes().unwrap_or(0),
+                    pairs_total: pair_counters.total,
+                    pairs_pruned: pair_counters.pruned,
+                    pairs_exact: pair_counters.exact,
                 },
             },
             run: report,

@@ -10,16 +10,24 @@
 //! * [`WeightedSet`] — weighted neighbor-tuple sets with the
 //!   connection-strength-weighted Jaccard of Definition 2;
 //! * [`walk_probability`] — random-walk probability between two references
-//!   along a path and its reverse (paper §2.4).
+//!   along a path and its reverse (paper §2.4);
+//! * [`Resemblance`] — the unified kernel selector ([`Resemblance::Exact`]
+//!   vs lossless [`Resemblance::Pruned`]) behind every resemblance
+//!   evaluation, backed by per-set [`Sketch`]es and the columnar
+//!   [`SetArena`].
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod graph;
 pub mod neighbors;
 pub mod propagate;
+pub mod sketch;
 pub mod walk;
 
+pub use arena::{IntersectionMatrix, SetArena};
 pub use graph::{LinkGraph, NodeId};
-pub use neighbors::WeightedSet;
+pub use neighbors::{Resemblance, WeightedSet};
 pub use propagate::{propagate, propagate_blocked, propagate_blocked_guarded, Propagation};
+pub use sketch::{ConfigError, Sketch, SketchConfig};
 pub use walk::{directed_walk, walk_probability};

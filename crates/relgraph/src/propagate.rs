@@ -49,6 +49,15 @@ impl Propagation {
     pub fn is_empty(&self) -> bool {
         self.forward.is_empty()
     }
+
+    /// The backward map as a sorted [`crate::WeightedSet`] — the
+    /// representation the columnar similarity arena interns. Weights are
+    /// the `Prob_P(t → r)` values; construction sorts by node id, so
+    /// downstream accumulations are independent of the map's insertion
+    /// history (lint D001).
+    pub fn backward_set(&self) -> crate::WeightedSet {
+        crate::WeightedSet::from_map(self.backward.clone())
+    }
 }
 
 /// Propagate probabilities from `origin` along `path`.

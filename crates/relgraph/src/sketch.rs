@@ -1,0 +1,488 @@
+//! Per-set similarity sketches: cheap, sound upper bounds on the
+//! weighted Jaccard resemblance of Definition 2.
+//!
+//! A [`Sketch`] summarizes one [`WeightedSet`](crate::WeightedSet) with
+//! O([`SketchConfig::prefix_len`]) state computed once per resolve:
+//!
+//! * the member count and total mass (accumulated in node order, so the
+//!   total is bit-identical to [`crate::WeightedSet::total`]);
+//! * a **top-weight prefix** — the `prefix_len` heaviest members, stored
+//!   sorted by key for merge-joining against another prefix;
+//! * the **tail** mass and maximum tail weight (everything outside the
+//!   prefix);
+//! * a hashed **support mask** of `2^minhash_bits` bits — one bit per
+//!   member. Two sets whose masks share no bit provably have disjoint
+//!   supports (an element common to both would set the same bit in each),
+//!   so a zero mask intersection proves resemblance *and* walk
+//!   probability are exactly zero. The converse does not hold: saturated
+//!   masks simply fail to prune.
+//!
+//! [`Sketch::upper_bound`] combines these into a bound `B(a, b)` with
+//! `B(a, b) >= Resem(a, b)` for every pair (property-tested in this
+//! module). The engine's *lossless* pruning rule only ever uses the
+//! certificate `B(a, b) == 0.0`: the bound then proves the exact kernel
+//! would return `0.0`, so skipping it cannot perturb a single bit of the
+//! similarity tables, whatever the clustering threshold. The full bound
+//! is still exposed (and tested sound) for threshold-based candidate
+//! generation in workloads whose aggregation tolerates it.
+
+use crate::graph::NodeId;
+use crate::WeightedSet;
+use std::fmt;
+
+/// Relative inflation applied to the accumulated numerator bound so that
+/// float rounding in the bound's own sums can never push it below the
+/// exactly-computed resemblance. Orders of magnitude above the worst-case
+/// relative error of summing `2^17` terms, orders below any useful
+/// threshold.
+const BOUND_SLACK: f64 = 1e-9;
+
+/// Validated parameters of the sketch tier.
+///
+/// Constructed via struct literal and checked with
+/// [`SketchConfig::validate`]; the `ResolveRequest` builder surfaces
+/// invalid values as typed [`ConfigError`]s at build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchConfig {
+    /// How many of the heaviest members the prefix keeps. Sets no longer
+    /// than this are represented exactly, making the zero-bound test
+    /// exact for them. Must be in `1..=65536`.
+    pub prefix_len: usize,
+    /// Log2 of the support-mask width in bits (`9` → a 512-bit mask).
+    /// Must be in `3..=24`.
+    pub minhash_bits: u32,
+}
+
+impl SketchConfig {
+    /// The default lossless configuration: a 16-entry prefix and a
+    /// 512-bit support mask. "Lossless" is a property of the pruning
+    /// rule (only provably-zero kernels are skipped), so *every* valid
+    /// configuration is lossless; this one just balances sketch size
+    /// against pruning power for the per-name group sizes the paper's
+    /// workload produces.
+    pub fn lossless() -> Self {
+        SketchConfig {
+            prefix_len: 16,
+            minhash_bits: 9,
+        }
+    }
+
+    /// Check parameter ranges, returning the first violation.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.prefix_len == 0 || self.prefix_len > 65536 {
+            return Err(ConfigError::PrefixLen {
+                got: self.prefix_len,
+            });
+        }
+        if !(3..=24).contains(&self.minhash_bits) {
+            return Err(ConfigError::MinHashBits {
+                got: self.minhash_bits,
+            });
+        }
+        Ok(())
+    }
+
+    /// Support-mask width in bits.
+    fn mask_bits(&self) -> u64 {
+        1u64 << self.minhash_bits
+    }
+}
+
+impl Default for SketchConfig {
+    fn default() -> Self {
+        SketchConfig::lossless()
+    }
+}
+
+/// An invalid [`SketchConfig`], reported at request build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `prefix_len` outside `1..=65536`.
+    PrefixLen {
+        /// The rejected value.
+        got: usize,
+    },
+    /// `minhash_bits` outside `3..=24`.
+    MinHashBits {
+        /// The rejected value.
+        got: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::PrefixLen { got } => {
+                write!(f, "sketch prefix_len must be in 1..=65536, got {got}")
+            }
+            ConfigError::MinHashBits { got } => {
+                write!(f, "sketch minhash_bits must be in 3..=24, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// SplitMix64: a cheap, statistically strong keyed bit mixer for the
+/// support mask. Deterministic across platforms and runs.
+fn mix(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The sketch of one weighted set (see the module docs).
+#[derive(Debug, Clone)]
+pub struct Sketch {
+    /// Member count of the sketched set.
+    len: usize,
+    /// Total mass, bit-identical to the set's own `total()`.
+    total: f64,
+    /// The `prefix_len` heaviest `(key, weight)` members, sorted by key.
+    prefix: Vec<(u64, f64)>,
+    /// Sum of the weights outside the prefix (0 when fully covered).
+    tail_mass: f64,
+    /// Largest weight outside the prefix (0 when fully covered).
+    tail_max: f64,
+    /// Hashed support mask, `2^minhash_bits` bits.
+    mask: Vec<u64>,
+    /// Mask width exponent, to reject cross-config comparisons.
+    minhash_bits: u32,
+}
+
+impl Sketch {
+    /// Sketch a weighted set under `config` (assumed validated).
+    pub fn of_set(set: &WeightedSet, config: &SketchConfig) -> Sketch {
+        Sketch::build(set.iter().map(|(NodeId(n), w)| (n as u64, w)), config)
+    }
+
+    /// Sketch an arbitrary `(key, weight)` sequence sorted by key with
+    /// strictly positive weights — the shared entry point for
+    /// [`WeightedSet`]s and interned arena rows.
+    pub(crate) fn build(pairs: impl Iterator<Item = (u64, f64)>, config: &SketchConfig) -> Sketch {
+        let items: Vec<(u64, f64)> = pairs.collect();
+        let len = items.len();
+        // Total in key order: the input is key-sorted, so this matches
+        // `WeightedSet::total()` bit for bit.
+        let total: f64 = items.iter().map(|&(_, w)| w).sum();
+        let mask_bits = config.mask_bits();
+        let words = (mask_bits as usize).div_ceil(64);
+        let mut mask = vec![0u64; words];
+        for &(k, _) in &items {
+            let bit = mix(k) & (mask_bits - 1);
+            mask[(bit / 64) as usize] |= 1u64 << (bit % 64);
+        }
+        // Top-`prefix_len` by weight, ties broken by key so the split is
+        // a pure function of the set.
+        let mut by_weight = items;
+        by_weight.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let cut = config.prefix_len.min(by_weight.len());
+        let tail = by_weight.split_off(cut);
+        let mut prefix = by_weight;
+        prefix.sort_unstable_by_key(|&(k, _)| k);
+        let tail_max = tail.iter().map(|&(_, w)| w).fold(0.0f64, f64::max);
+        // Tail mass in key order for determinism (any order is sound:
+        // the slack in `upper_bound` absorbs rounding differences).
+        let mut tail_sorted = tail;
+        tail_sorted.sort_unstable_by_key(|&(k, _)| k);
+        let tail_mass: f64 = tail_sorted.iter().map(|&(_, w)| w).sum();
+        Sketch {
+            len,
+            total,
+            prefix,
+            tail_mass,
+            tail_max,
+            mask,
+            minhash_bits: config.minhash_bits,
+        }
+    }
+
+    /// Member count of the sketched set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the sketched set was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total mass of the sketched set.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// True when the hashed support masks prove the two sets disjoint.
+    /// No false positives: a shared member sets the same bit in both.
+    pub fn provably_disjoint(&self, other: &Sketch) -> bool {
+        debug_assert_eq!(self.minhash_bits, other.minhash_bits);
+        self.mask.iter().zip(&other.mask).all(|(a, b)| a & b == 0)
+    }
+
+    /// A sound upper bound on `Resem(A, B)`:
+    /// `upper_bound(a, b) >= WeightedSet::resemblance(a, b)` always, and
+    /// `upper_bound(a, b) == 0.0` proves the resemblance **and** every
+    /// support-intersection quantity (hence the walk probability) is
+    /// exactly zero.
+    ///
+    /// Soundness: split the intersection by prefix membership. Shared
+    /// prefix keys contribute their exact `Σ min`; a key in one prefix
+    /// but the other's tail contributes at most `min(w, tail_max)` each
+    /// and at most the whole tail mass in sum; tail∩tail contributes at
+    /// most `min(tail_mass_A, tail_mass_B)`. The numerator bound is
+    /// inflated by a relative slack to absorb its own rounding, clamped
+    /// to `min(total_A, total_B)` (which dominates any `Σ min`), and
+    /// pushed through the monotone map `x ↦ x / (T_A + T_B − x)`.
+    pub fn upper_bound(&self, other: &Sketch) -> f64 {
+        if self.is_empty() || other.is_empty() {
+            return 0.0;
+        }
+        if self.provably_disjoint(other) {
+            return 0.0;
+        }
+        let (pa, pb) = (&self.prefix, &other.prefix);
+        // Exact Σ min over shared prefix keys, plus each side's
+        // prefix-only keys bounded against the other side's tail.
+        let mut shared = 0.0f64;
+        let mut a_only = 0.0f64; // Σ min(w_A, tail_max_B) over P_A \ P_B
+        let mut b_only = 0.0f64; // Σ min(w_B, tail_max_A) over P_B \ P_A
+        let (mut i, mut j) = (0, 0);
+        while i < pa.len() && j < pb.len() {
+            match pa[i].0.cmp(&pb[j].0) {
+                std::cmp::Ordering::Less => {
+                    a_only += pa[i].1.min(other.tail_max);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    b_only += pb[j].1.min(self.tail_max);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    shared += pa[i].1.min(pb[j].1);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        for &(_, w) in &pa[i..] {
+            a_only += w.min(other.tail_max);
+        }
+        for &(_, w) in &pb[j..] {
+            b_only += w.min(self.tail_max);
+        }
+        let t2 = a_only.min(other.tail_mass);
+        let t3 = b_only.min(self.tail_mass);
+        let t4 = self.tail_mass.min(other.tail_mass);
+        let num_ub = ((shared + t2 + t3 + t4) * (1.0 + BOUND_SLACK))
+            .min(self.total)
+            .min(other.total);
+        if num_ub <= 0.0 {
+            return 0.0;
+        }
+        let den = self.total + other.total - num_ub;
+        if den <= 0.0 {
+            1.0
+        } else {
+            (num_ub / den).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn set(pairs: &[(u32, f64)]) -> WeightedSet {
+        pairs.iter().map(|&(n, w)| (NodeId(n), w)).collect()
+    }
+
+    /// Shared soundness check: panics with a paste-ready description when
+    /// the bound undercuts the exact kernel. Proptest shrinks failures
+    /// through it, and the regression table below replays previously
+    /// shrunk cases verbatim.
+    fn check_sound(xs: &[(u32, f64)], ys: &[(u32, f64)], config: &SketchConfig) {
+        config.validate().expect("test configs are valid");
+        let (a, b) = (set(xs), set(ys));
+        let (sa, sb) = (Sketch::of_set(&a, config), Sketch::of_set(&b, config));
+        let bound = sa.upper_bound(&sb);
+        let exact = a.resemblance(&b);
+        assert!(
+            bound >= exact,
+            "bound {bound} < exact {exact} for xs={xs:?} ys={ys:?} config={config:?}"
+        );
+        assert!((0.0..=1.0).contains(&bound), "bound out of range: {bound}");
+        // The zero certificate is what the engine prunes on: it must
+        // imply a zero support intersection, not merely a zero value.
+        if bound == 0.0 {
+            assert_eq!(exact, 0.0);
+            assert_eq!(a.jaccard_unweighted(&b), 0.0);
+        }
+        // Symmetric within the slack's reach (the bound formula is
+        // symmetric term by term).
+        let rev = sb.upper_bound(&sa);
+        assert!(
+            (bound - rev).abs() < 1e-12,
+            "asymmetric bound {bound} vs {rev}"
+        );
+    }
+
+    #[test]
+    fn empty_and_disjoint_sets_bound_to_zero() {
+        let cfg = SketchConfig::lossless();
+        check_sound(&[], &[(1, 0.5)], &cfg);
+        check_sound(&[(1, 0.5)], &[(2, 0.5), (3, 0.25)], &cfg);
+        let a = Sketch::of_set(&set(&[(1, 0.5)]), &cfg);
+        let b = Sketch::of_set(&set(&[(2, 0.5)]), &cfg);
+        assert_eq!(a.upper_bound(&b), 0.0);
+        assert!(a.provably_disjoint(&b));
+    }
+
+    #[test]
+    fn identical_sets_bound_to_at_least_one() {
+        let cfg = SketchConfig::lossless();
+        let s = set(&[(1, 0.3), (2, 0.7)]);
+        let sk = Sketch::of_set(&s, &cfg);
+        assert!(sk.upper_bound(&sk) >= 1.0 - 1e-12);
+        assert!((sk.total() - s.total()).abs() == 0.0);
+    }
+
+    #[test]
+    fn fully_prefixed_sets_get_an_exact_zero_test() {
+        // Both sets fit in the prefix, so the zero certificate must fire
+        // exactly when the supports are disjoint.
+        let cfg = SketchConfig {
+            prefix_len: 8,
+            minhash_bits: 3, // tiny mask: saturates, forcing the prefix test
+        };
+        let a = Sketch::of_set(&set(&[(1, 0.9), (3, 0.1)]), &cfg);
+        let b = Sketch::of_set(&set(&[(2, 0.5), (4, 0.5)]), &cfg);
+        let c = Sketch::of_set(&set(&[(3, 1.0)]), &cfg);
+        assert_eq!(a.upper_bound(&b), 0.0);
+        assert!(a.upper_bound(&c) > 0.0);
+    }
+
+    #[test]
+    fn regression_cases_stay_sound() {
+        // Previously interesting shapes, replayed through the shared
+        // checker. Shrunk proptest counterexamples get appended here.
+        type Case = (&'static [(u32, f64)], &'static [(u32, f64)], SketchConfig);
+        let cases: &[Case] = &[
+            // Prefix boundary: one element falls into the tail.
+            (
+                &[(0, 0.5), (1, 0.4), (2, 0.3)],
+                &[(2, 0.3), (3, 0.2)],
+                SketchConfig {
+                    prefix_len: 2,
+                    minhash_bits: 3,
+                },
+            ),
+            // Tail-dominated overlap: the shared key is in both tails.
+            (
+                &[(0, 1.0), (9, 0.01)],
+                &[(5, 1.0), (9, 0.01)],
+                SketchConfig {
+                    prefix_len: 1,
+                    minhash_bits: 3,
+                },
+            ),
+            // Equal weights everywhere: ties broken by key.
+            (
+                &[(0, 0.2), (1, 0.2), (2, 0.2)],
+                &[(1, 0.2), (2, 0.2), (3, 0.2)],
+                SketchConfig {
+                    prefix_len: 2,
+                    minhash_bits: 4,
+                },
+            ),
+            // One singleton against a wide set.
+            (
+                &[(7, 0.125)],
+                &[(0, 0.1), (3, 0.1), (7, 0.1), (11, 0.1), (13, 0.1)],
+                SketchConfig {
+                    prefix_len: 3,
+                    minhash_bits: 5,
+                },
+            ),
+        ];
+        for (xs, ys, cfg) in cases {
+            check_sound(xs, ys, cfg);
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        SketchConfig::lossless().validate().unwrap();
+        assert_eq!(
+            SketchConfig {
+                prefix_len: 0,
+                minhash_bits: 9
+            }
+            .validate(),
+            Err(ConfigError::PrefixLen { got: 0 })
+        );
+        assert_eq!(
+            SketchConfig {
+                prefix_len: 16,
+                minhash_bits: 2
+            }
+            .validate(),
+            Err(ConfigError::MinHashBits { got: 2 })
+        );
+        assert_eq!(
+            SketchConfig {
+                prefix_len: 16,
+                minhash_bits: 25
+            }
+            .validate(),
+            Err(ConfigError::MinHashBits { got: 25 })
+        );
+        let msg = format!("{}", ConfigError::PrefixLen { got: 0 });
+        assert!(msg.contains("prefix_len"));
+    }
+
+    proptest! {
+        // The tentpole soundness property: for arbitrary [0,1]-weight
+        // sets and any valid sketch shape, the bound dominates the
+        // exactly computed resemblance.
+        #[test]
+        fn bound_dominates_resemblance(
+            xs in proptest::collection::vec((0u32..48, 1e-6f64..1.0), 0..40),
+            ys in proptest::collection::vec((0u32..48, 1e-6f64..1.0), 0..40),
+            prefix_len in 1usize..12,
+            minhash_bits in 3u32..10,
+        ) {
+            let cfg = SketchConfig { prefix_len, minhash_bits };
+            check_sound(&xs, &ys, &cfg);
+        }
+
+        // Mixed magnitudes must not break soundness either (the same
+        // 12-orders spread the resemblance kernel is tested under).
+        #[test]
+        fn bound_dominates_for_wild_weights(
+            xs in proptest::collection::vec((0u32..64, 1e-12f64..1e12), 0..30),
+            ys in proptest::collection::vec((0u32..64, 1e-12f64..1e12), 0..30),
+        ) {
+            check_sound(&xs, &ys, &SketchConfig::lossless());
+        }
+
+        // The zero certificate is complete for fully-prefixed sets:
+        // disjoint supports always produce a zero bound when both sets
+        // fit in their prefixes (so the engine prunes every truly-zero
+        // small-set kernel, not just some).
+        #[test]
+        fn zero_certificate_complete_when_fully_prefixed(
+            xs in proptest::collection::vec((0u32..24, 1e-3f64..1.0), 1..8),
+            ys in proptest::collection::vec((24u32..48, 1e-3f64..1.0), 1..8),
+        ) {
+            let cfg = SketchConfig { prefix_len: 16, minhash_bits: 9 };
+            let (a, b) = (set(&xs), set(&ys));
+            let sa = Sketch::of_set(&a, &cfg);
+            let sb = Sketch::of_set(&b, &cfg);
+            // Key ranges are disjoint by construction.
+            prop_assert_eq!(sa.upper_bound(&sb), 0.0);
+        }
+    }
+}

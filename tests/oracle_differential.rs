@@ -18,7 +18,9 @@
 //! its JSON — a ready-to-paste regression case.
 
 use datagen::{AmbiguousSpec, World, WorldConfig};
-use distinct::{Distinct, DistinctConfig, ResolveRequest, TrainingConfig, WeightingMode};
+use distinct::{
+    Distinct, DistinctConfig, Resemblance, ResolveRequest, TrainingConfig, WeightingMode,
+};
 use oracle::{Composite, Measure, OracleEngine};
 
 const TOLERANCE: f64 = 1e-9;
@@ -60,6 +62,20 @@ fn max_delta(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
         }
     }
     worst
+}
+
+/// First cell where two matrices differ in their f64 bit patterns, if any.
+/// Bitwise (not `==`) so a `-0.0` vs `+0.0` drift in the pruned engine's
+/// reconstructed zeros fails loudly instead of hiding behind IEEE equality.
+fn first_bit_mismatch(a: &[Vec<f64>], b: &[Vec<f64>]) -> Option<(usize, usize, f64, f64)> {
+    for (i, (ra, rb)) in a.iter().zip(b).enumerate() {
+        for (j, (&x, &y)) in ra.iter().zip(rb).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                return Some((i, j, x, y));
+            }
+        }
+    }
+    None
 }
 
 /// Run the full differential check on one world. `Err` carries a
@@ -120,9 +136,50 @@ fn check_world(config: &WorldConfig, supervised: bool) -> Result<(), String> {
             engine
                 .set_weights(weights.clone())
                 .map_err(|e| format!("set_weights failed: {e:?}"))?;
+            // Cold runs under the pruned default, so the oracle checks
+            // below also vet the pruning engine — and its accounting must
+            // balance: every scheduled kernel unit is either pruned under
+            // a zero certificate or evaluated exactly.
             let cold = engine.resolve(&ResolveRequest::new(refs).threads(threads));
             if cold.degraded.is_some() {
                 return Err(format!("unlimited run degraded for `{}`", truth.name));
+            }
+            let n_pairs = (refs.len() * refs.len().saturating_sub(1) / 2) as u64;
+            let n_paths = engine.paths().len() as u64;
+            if cold.exec.pairs_total != n_pairs * n_paths
+                || cold.exec.pairs_pruned + cold.exec.pairs_exact != cold.exec.pairs_total
+            {
+                return Err(format!(
+                    "`{}` kernel-unit accounting broken (threads={threads}): \
+                     total {} (expected {}), pruned {} + exact {}",
+                    truth.name,
+                    cold.exec.pairs_total,
+                    n_pairs * n_paths,
+                    cold.exec.pairs_pruned,
+                    cold.exec.pairs_exact
+                ));
+            }
+
+            // Kernel differential: the exact reference path must produce
+            // the same clustering and prune nothing.
+            let exact_req = ResolveRequest::new(refs)
+                .threads(threads)
+                .similarity(Resemblance::Exact)
+                .map_err(|e| format!("Exact kernel rejected: {e}"))?;
+            let exact = engine.resolve(&exact_req);
+            if exact.clustering.labels != cold.clustering.labels
+                || exact.clustering.dendrogram.merges() != cold.clustering.dendrogram.merges()
+            {
+                return Err(format!(
+                    "`{}` pruned run differs from the exact kernel (threads={threads})",
+                    truth.name
+                ));
+            }
+            if exact.exec.pairs_pruned != 0 || exact.exec.pairs_exact != exact.exec.pairs_total {
+                return Err(format!(
+                    "`{}` exact kernel claims pruning (threads={threads}): {:?}",
+                    truth.name, exact.exec
+                ));
             }
 
             // Stage probe (also warms the cache): per-stage 1e-9 agreement.
@@ -136,6 +193,24 @@ fn check_world(config: &WorldConfig, supervised: bool) -> Result<(), String> {
                 if delta > TOLERANCE {
                     return Err(format!(
                         "`{}` {stage} disagrees by {delta:e} (threads={threads})",
+                        truth.name
+                    ));
+                }
+            }
+
+            // Losslessness at full precision: the pruned default's stage
+            // tables must be *bit-identical* to the exact kernel's, not
+            // merely within tolerance.
+            let exact_probe = engine.stage_probe_with(refs, &Resemblance::Exact);
+            for (stage, pruned, exact_t) in [
+                ("resemblance", &probe.resemblance, &exact_probe.resemblance),
+                ("walk", &probe.walk, &exact_probe.walk),
+                ("similarity", &probe.similarity, &exact_probe.similarity),
+            ] {
+                if let Some((i, j, p, e)) = first_bit_mismatch(pruned, exact_t) {
+                    return Err(format!(
+                        "`{}` pruned {stage}[{i}][{j}] = {p:e} is not bit-identical \
+                         to exact {e:e} (threads={threads})",
                         truth.name
                     ));
                 }
@@ -243,6 +318,26 @@ fn world_5_supervised_weights() {
     assert_world_agrees(
         world_config(35, vec![AmbiguousSpec::new("Rakesh Kumar", vec![5, 4])]),
         true,
+    );
+}
+
+/// The zero certificates must actually fire on realistic data — a pruned
+/// engine that never prunes would pass every losslessness check while
+/// delivering none of the speedup the two-tier design exists for.
+#[test]
+fn pruned_kernel_prunes_on_a_real_world() {
+    let config = world_config(3, vec![AmbiguousSpec::new("Wei Wang", vec![6, 4])]);
+    let d = datagen::to_catalog(&World::generate(config)).unwrap();
+    let engine = Distinct::prepare(&d.catalog, "Publish", "author", engine_config(false)).unwrap();
+    let refs = &d.truths[0].refs;
+    let outcome = engine.resolve(&ResolveRequest::new(refs));
+    assert!(outcome.degraded.is_none());
+    let exec = outcome.exec;
+    assert_eq!(exec.pairs_pruned + exec.pairs_exact, exec.pairs_total);
+    assert!(
+        exec.pairs_pruned > 0,
+        "no kernel unit pruned out of {} on a multi-entity world",
+        exec.pairs_total
     );
 }
 
