@@ -170,7 +170,7 @@ fn run_rung(r: &Rung) {
          \"references\": {references},\n    \"name_references\": {}\n  }},\n  \
          \"threads\": {},\n  \"generate_ms\": {generate_ms},\n  \"prepare_ms\": {prepare_ms},\n  \
          \"wall_ms\": {cold_ms},\n  \"logical\": {},\n  \"peak_rss_bytes\": {},\n  \
-         \"pairs_total\": {},\n  \"pairs_pruned\": {},\n  \"pairs_exact\": {},\n  \
+         \"pairs_total\": {},\n  \"pairs_pruned\": {},\n  \"pairs_exact\": {},\n  \"pairs_cached\": {},\n  \
          \"stages\": {{\n    \"profiles_ms\": {:.3},\n    \"similarity_ms\": {:.3},\n    \"clustering_ms\": {:.3}\n  }},\n  \
          \"recovery\": {{\n    \"total_writes\": {total_writes},\n    \"killed_at_write\": {total_writes},\n    \
          \"chunks_committed\": {},\n    \"profiles_restored\": {},\n    \"similarity_restored\": {},\n    \
@@ -184,6 +184,7 @@ fn run_rung(r: &Rung) {
         exec.pairs_total,
         exec.pairs_pruned,
         exec.pairs_exact,
+        exec.pairs_cached,
         ms_frac(exec.profiles.wall),
         ms_frac(exec.similarity.wall),
         ms_frac(exec.clustering.wall),

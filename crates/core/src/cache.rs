@@ -96,6 +96,15 @@ impl ProfileCache {
         }
     }
 
+    /// Drop exactly the given references' profiles, keeping the rest warm.
+    /// Used by incremental updates: only references whose neighborhoods an
+    /// update touched need recomputation, everything else stays cached.
+    pub fn evict(&self, refs: &[TupleRef]) {
+        for r in refs {
+            self.shard(r).lock().remove(r);
+        }
+    }
+
     /// Replace the whole cache (checkpoint restore).
     pub fn replace(&self, entries: Vec<(TupleRef, Arc<Profile>)>) {
         for shard in &self.shards {
@@ -179,6 +188,28 @@ mod tests {
         assert!(cache.get(&r).is_none());
         // The evicted entry stays usable through outstanding handles.
         assert_eq!(held.reference, r);
+    }
+
+    #[test]
+    fn evict_drops_only_the_named_references() {
+        let cache = ProfileCache::new();
+        for tid in 0..20 {
+            let (r, p) = fake_profile(tid, false);
+            cache.insert(r, p);
+        }
+        let gone: Vec<TupleRef> = [3u32, 7, 19]
+            .iter()
+            .map(|&tid| TupleRef::new(RelId(0), TupleId(tid)))
+            .collect();
+        cache.evict(&gone);
+        assert_eq!(cache.len(), 17);
+        for r in &gone {
+            assert!(!cache.contains(r));
+        }
+        assert!(cache.contains(&TupleRef::new(RelId(0), TupleId(4))));
+        // Evicting a missing reference is a no-op.
+        cache.evict(&gone);
+        assert_eq!(cache.len(), 17);
     }
 
     #[test]

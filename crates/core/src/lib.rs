@@ -52,6 +52,7 @@ pub mod report;
 pub mod request;
 pub mod runmgr;
 pub mod training;
+pub mod update;
 pub mod variants;
 
 pub use calibrate::{
@@ -78,8 +79,9 @@ pub use refcluster::{DistinctMerger, PairCounters};
 pub use relgraph::{ConfigError, Resemblance, SketchConfig};
 pub use report::{render_name_dot, render_name_report};
 pub use request::{ExecReport, ResolveRequest, StageStats, TrainRequest};
-pub use runmgr::{DurableOutcome, RunOptions, RunReport, RUN_FORMAT_VERSION};
+pub use runmgr::{DurableOutcome, RunOptions, RunReport, UpdateStreamOutcome, RUN_FORMAT_VERSION};
 pub use training::{
     build_training_set, featurize_pairs, PairFeatures, TrainingError, TrainingPair, TrainingSet,
 };
+pub use update::{UpdateReport, UpdateTuple};
 pub use variants::{min_sim_grid, Variant};

@@ -216,14 +216,22 @@ pub struct TrainingReport {
 
 /// The prepared DISTINCT engine.
 pub struct Distinct {
-    config: DistinctConfig,
-    catalog: Catalog,
-    graph: LinkGraph,
-    paths: PathSet,
-    ref_attr_idx: usize,
-    weights: PathWeights,
-    learned: Option<LearnedModel>,
-    profile_cache: ProfileCache,
+    pub(crate) config: DistinctConfig,
+    pub(crate) catalog: Catalog,
+    pub(crate) graph: LinkGraph,
+    pub(crate) paths: PathSet,
+    pub(crate) ref_attr_idx: usize,
+    pub(crate) weights: PathWeights,
+    pub(crate) learned: Option<LearnedModel>,
+    pub(crate) profile_cache: ProfileCache,
+    /// Bumped whenever the installed weights (or the measure settings a
+    /// model import carries) change; cached per-name similarity tables are
+    /// only valid for the epoch they were built under.
+    pub(crate) weights_epoch: u64,
+    /// Per-name incremental state: leaf similarity tables, dirty marks,
+    /// and component clusterings (see [`crate::update`]). Only
+    /// [`ResolveRequest::incremental`] requests read or write it.
+    pub(crate) names: parking_lot::Mutex<crate::update::NameCache>,
 }
 
 impl Distinct {
@@ -280,6 +288,8 @@ impl Distinct {
             weights: PathWeights::uniform(n_paths),
             learned: None,
             profile_cache: ProfileCache::new(),
+            weights_epoch: 0,
+            names: parking_lot::Mutex::new(crate::update::NameCache::default()),
         })
     }
 
@@ -320,6 +330,7 @@ impl Distinct {
             )));
         }
         self.weights = weights;
+        self.weights_epoch += 1;
         Ok(())
     }
 
@@ -659,10 +670,15 @@ impl Distinct {
                 pairs_total: 0,
                 pairs_pruned: 0,
                 pairs_exact: 0,
+                pairs_cached: 0,
+                pairs_dirty: 0,
+                names_affected: 0,
+                arena_rows_interned: 0,
             },
         };
         if self.config.weighting == WeightingMode::Supervised {
             self.weights = model.weights.clone();
+            self.weights_epoch += 1;
         }
         self.learned = Some(model);
         Ok(report)
@@ -702,7 +718,19 @@ impl Distinct {
     /// clustering over all requested references, tagged with a
     /// [`Degraded`] report when any limit tripped, plus an [`ExecReport`]
     /// with per-stage task counts and wall times.
+    ///
+    /// A request built with [`ResolveRequest::incremental`] first tries
+    /// the delta path (see [`crate::update`]): clean pairs are copied from
+    /// the name's cached tables and only dirty pairs are re-scored. When
+    /// its preconditions fail — unknown name, constraints, non-positive
+    /// threshold, or a tripped limit — it falls back to this batch path,
+    /// so the partition is the same either way.
     pub fn resolve(&self, req: &ResolveRequest<'_>) -> ResolveOutcome {
+        if req.incremental {
+            if let Some(outcome) = self.resolve_incremental(req) {
+                return outcome;
+            }
+        }
         let refs = req.refs;
         let min_sim = req.min_sim.unwrap_or(self.config.min_sim);
         let unlimited = RunControl::new();
@@ -775,6 +803,10 @@ impl Distinct {
                 pairs_total: pair_counters.total,
                 pairs_pruned: pair_counters.pruned,
                 pairs_exact: pair_counters.exact,
+                pairs_cached: pair_counters.cached,
+                pairs_dirty: 0,
+                names_affected: 0,
+                arena_rows_interned: pair_counters.interned,
             },
         }
     }

@@ -29,9 +29,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// covering that pair's set resemblance and both directed walks along the
 /// path — so `total = pairs × paths`. A unit is **pruned** when the
 /// engine proved all three kernel values exactly zero without running a
-/// merge-join for the pair, and **exact** otherwise (at least one kernel
-/// evaluated, possibly reused from a content-identical row pair).
-/// `pruned + exact == total` holds by construction.
+/// merge-join for the pair, **cached** when its values were copied from a
+/// previous build's tables (incremental resolution), and **exact**
+/// otherwise (at least one kernel evaluated, possibly reused from a
+/// content-identical row pair). `pruned + exact + cached == total` holds
+/// by construction; `cached` is zero for every cold matrix build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PairCounters {
     /// Kernel units scheduled (`pairs × paths`).
@@ -40,6 +42,11 @@ pub struct PairCounters {
     pub pruned: u64,
     /// Units that ran (or reused) at least one exact kernel.
     pub exact: u64,
+    /// Units copied from cached tables of a previous build.
+    pub cached: u64,
+    /// Distinct neighbor-set rows interned into [`SetArena`]s during the
+    /// build (0 under [`Resemblance::Exact`] and on table-cache hits).
+    pub interned: u64,
 }
 
 /// One assembly chunk's `(resemblance, walk i→j, walk j→i)` triples plus
@@ -64,6 +71,8 @@ struct PathKernels {
     /// Walk dot product per normalized `(min, max)` row pair (the dot is
     /// symmetric in its rows, so one entry serves both directions).
     dot: FxHashMap<(u32, u32), f64>,
+    /// Distinct rows interned into this path's arena (accounting).
+    interned: u64,
 }
 
 impl PathKernels {
@@ -286,6 +295,10 @@ impl DistinctMerger {
             total: unit_total,
             pruned: unit_total - exact_units,
             exact: exact_units,
+            cached: 0,
+            interned: kernels
+                .as_ref()
+                .map_or(0, |ks| ks.iter().map(|k| k.interned).sum()),
         };
         (
             Some(DistinctMerger {
@@ -465,6 +478,7 @@ fn build_path_kernels<P: Borrow<Profile>>(
         row_empty,
         resem,
         dot,
+        interned: sketches.len() as u64,
     })
 }
 

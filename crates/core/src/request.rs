@@ -82,6 +82,24 @@ pub struct ExecReport {
     /// Kernel units whose exact merge-join kernels were evaluated (or
     /// reused from a content-identical row pair).
     pub pairs_exact: u64,
+    /// Kernel units copied verbatim from the tables of a previous resolve
+    /// of the same name (incremental requests only; a cold run reports
+    /// `0`). Invariant: `pairs_pruned + pairs_exact + pairs_cached ==
+    /// pairs_total`.
+    pub pairs_cached: u64,
+    /// Kernel units an incremental resolve had to re-score because an
+    /// update changed at least one endpoint's neighborhood. Always `≤
+    /// pairs_total` and `0` for batch runs; the headline delta-engine
+    /// claim is `pairs_dirty ≪ pairs_total`.
+    pub pairs_dirty: u64,
+    /// Distinct reference names whose cached state the triggering updates
+    /// invalidated (incremental requests only, `0` for batch runs).
+    pub names_affected: u64,
+    /// Distinct neighbor-set rows interned into per-path `SetArena`s
+    /// during this run. A warm incremental resolve that re-uses its cached
+    /// tables reports `0` — the regression guard for the
+    /// arena-rebuild-per-call waste.
+    pub arena_rows_interned: u64,
 }
 
 impl ExecReport {
@@ -119,6 +137,7 @@ pub struct ResolveRequest<'a> {
     pub(crate) threads: Option<usize>,
     pub(crate) run_dir: Option<&'a Path>,
     pub(crate) resemblance: Resemblance,
+    pub(crate) incremental: bool,
 }
 
 impl<'a> ResolveRequest<'a> {
@@ -128,6 +147,26 @@ impl<'a> ResolveRequest<'a> {
             refs,
             ..Default::default()
         }
+    }
+
+    /// A request that reuses the engine's cached per-name similarity
+    /// tables, re-scoring only the pairs that
+    /// [`crate::Distinct::apply_updates`] dirtied and repairing the
+    /// dendrogram component-locally. `refs` must be exactly the engine's
+    /// current reference set for one name (in tuple order); anything else —
+    /// or a cold cache — falls back to the batch path, so results are
+    /// always identical to [`ResolveRequest::new`] up to merge order.
+    pub fn incremental(refs: &'a [TupleRef]) -> Self {
+        ResolveRequest {
+            refs,
+            incremental: true,
+            ..Default::default()
+        }
+    }
+
+    /// Whether this request opted into the incremental path.
+    pub fn is_incremental(&self) -> bool {
+        self.incremental
     }
 
     /// Override the clustering threshold for this run only (the baselines'
@@ -325,13 +364,20 @@ mod tests {
             clustering: StageStats::default(),
             peak_rss_bytes: 0,
             pairs_total: 45,
-            pairs_pruned: 30,
+            pairs_pruned: 25,
             pairs_exact: 15,
+            pairs_cached: 5,
+            pairs_dirty: 15,
+            names_affected: 1,
+            arena_rows_interned: 12,
         };
         assert_eq!(r.total_wall(), Duration::from_millis(10));
         assert_eq!(r.total_logical(), 145);
         assert_eq!(r.max_threads(), 4);
-        assert_eq!(r.pairs_pruned + r.pairs_exact, r.pairs_total);
+        assert_eq!(
+            r.pairs_pruned + r.pairs_exact + r.pairs_cached,
+            r.pairs_total
+        );
     }
 
     #[test]

@@ -53,6 +53,7 @@ use crate::features::{empty_profile, Profile};
 use crate::pipeline::{stage_stats, Degraded, Distinct, DistinctError, ResolveOutcome};
 use crate::refcluster::DistinctMerger;
 use crate::request::{ExecReport, ResolveRequest};
+use crate::update::{UpdateReport, UpdateTuple};
 use cluster::{Clustering, Dendrogram};
 use relstore::{fnv1a64, write_atomic, StdVfs, Vfs};
 use serde::{Deserialize, Serialize};
@@ -76,6 +77,7 @@ const RUN_MAGIC: &str = "DISTINCTRUN1";
 const MANIFEST_FILE: &str = "run.json";
 const SIMILARITY_FILE: &str = "similarity.ck";
 const CLUSTERING_FILE: &str = "clustering.ck";
+const STREAM_MANIFEST_FILE: &str = "stream.json";
 
 /// Tuning knobs of a durable run. The defaults suit test- to mid-scale
 /// runs; the benchmark ladder overrides `chunk_size` per rung.
@@ -193,6 +195,50 @@ struct ClusteringCk {
     format: u32,
     labels: Vec<usize>,
     merges: Vec<MergeEntry>,
+}
+
+/// On-disk manifest claiming a run directory for one exact update stream
+/// (base catalog + full update log + chunking).
+#[derive(Debug, Serialize, Deserialize)]
+struct StreamManifest {
+    format: u32,
+    /// FNV-1a-64 over the stream identity: base tuple count, the whole
+    /// update log, weights, measure/composite, threshold, paths.
+    fingerprint: String,
+    updates: usize,
+    /// Chunk size fixed at claim time — a resume honors the committed
+    /// chunk chain regardless of the options it was called with.
+    chunk: usize,
+}
+
+/// One committed update chunk: what applying `updates[start..start+len]`
+/// did, plus the incremental partition of every name the chunk affected.
+#[derive(Debug, Serialize, Deserialize)]
+struct UpdateChunkCk {
+    format: u32,
+    start: usize,
+    len: usize,
+    report: UpdateReport,
+    partitions: Vec<(String, Vec<usize>)>,
+}
+
+/// A durable update stream's result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateStreamOutcome {
+    /// Accumulated [`UpdateReport`] across every chunk (committed and
+    /// replayed).
+    pub report: UpdateReport,
+    /// Final partition per affected name, sorted by name: each name's
+    /// labels from the last chunk that touched it (untouched thereafter,
+    /// so still current at stream end).
+    pub partitions: Vec<(String, Vec<usize>)>,
+    /// Chunks this call applied, resolved, and committed.
+    pub chunks_committed: usize,
+    /// Chunks restored from checkpoints (updates re-applied to rebuild
+    /// engine state, partitions taken from disk without re-resolving).
+    pub chunks_replayed: usize,
+    /// Transient I/O retries across the stream.
+    pub io_retries: u64,
 }
 
 fn corrupt(path: &Path, reason: impl Into<String>) -> DistinctError {
@@ -749,9 +795,193 @@ impl Distinct {
                     pairs_total: pair_counters.total,
                     pairs_pruned: pair_counters.pruned,
                     pairs_exact: pair_counters.exact,
+                    pairs_cached: pair_counters.cached,
+                    pairs_dirty: 0,
+                    names_affected: 0,
+                    arena_rows_interned: pair_counters.interned,
                 },
             },
             run: report,
+        })
+    }
+
+    /// The identity of one durable update stream: the base catalog state,
+    /// the entire update log, and everything that shapes the incremental
+    /// answers (weights, modes, threshold, paths).
+    fn stream_fingerprint(&self, updates: &[UpdateTuple]) -> Result<String, DistinctError> {
+        use std::fmt::Write as _;
+        let log = serde_json::to_string(updates).map_err(|e| {
+            DistinctError::Store(relstore::StoreError::Io {
+                context: "serialize update log".to_string(),
+                reason: e.to_string(),
+            })
+        })?;
+        let mut key = String::new();
+        let _ = write!(
+            key,
+            "stream-v{RUN_FORMAT_VERSION};tuples={};min_sim={:016x};measure={:?};composite={:?};log={:016x};",
+            self.catalog().tuple_count(),
+            self.config().min_sim.to_bits(),
+            self.config().measure,
+            self.config().composite,
+            fnv1a64(log.as_bytes()),
+        );
+        for d in &self.paths().descriptions {
+            key.push_str(d);
+            key.push(';');
+        }
+        for w in self
+            .weights()
+            .resem
+            .iter()
+            .chain(self.weights().walk.iter())
+        {
+            let _ = write!(key, "{:016x},", w.to_bits());
+        }
+        Ok(format!("{:016x}", fnv1a64(key.as_bytes())))
+    }
+
+    /// Durable [`Distinct::apply_updates`] over a whole update log: the
+    /// log is applied in chunks, and after each chunk every affected name
+    /// is re-resolved incrementally and the chunk — report plus the
+    /// affected names' partitions — is committed into the run directory.
+    /// Uses the real filesystem and default [`RunOptions`].
+    ///
+    /// **Resume** is the same call, same directory, on an engine prepared
+    /// on the same *base* catalog (the state before any of the log was
+    /// applied): committed chunks re-apply their updates to rebuild the
+    /// engine's catalog and graph but take their partitions from disk
+    /// without re-resolving, then the stream continues live. Because a
+    /// cold incremental resolve is bit-identical to a warm one, the
+    /// resumed stream's committed `(name, labels)` sequence is
+    /// bit-identical to an uninterrupted run's (the chaos sweep in
+    /// `tests/resume_chaos.rs` proves this at every kill point).
+    pub fn apply_update_stream(
+        &mut self,
+        updates: &[UpdateTuple],
+        run_dir: &Path,
+    ) -> Result<UpdateStreamOutcome, DistinctError> {
+        self.apply_update_stream_with(updates, run_dir, &mut StdVfs, &RunOptions::default())
+    }
+
+    /// [`Distinct::apply_update_stream`] through an explicit [`Vfs`] (the
+    /// fault-injectable entry point) with explicit [`RunOptions`].
+    pub fn apply_update_stream_with(
+        &mut self,
+        updates: &[UpdateTuple],
+        run_dir: &Path,
+        vfs: &mut dyn Vfs,
+        opts: &RunOptions,
+    ) -> Result<UpdateStreamOutcome, DistinctError> {
+        let mut retry = Retry::new(opts);
+        retry.run("create run directory", || vfs.create_dir_all(run_dir))?;
+
+        // Claim the directory, or verify an existing claim. The chunk
+        // size is fixed at claim time so a resume walks the committed
+        // chunk chain regardless of the options it was resumed with.
+        let fingerprint = self.stream_fingerprint(updates)?;
+        let manifest_path = run_dir.join(STREAM_MANIFEST_FILE);
+        let chunk = match read_optional(vfs, &manifest_path, &mut retry)? {
+            Some(bytes) => {
+                let json = unframe(&manifest_path, &bytes)?;
+                let manifest: StreamManifest =
+                    parse_payload(&manifest_path, json, |m: &StreamManifest| m.format)?;
+                if manifest.fingerprint != fingerprint || manifest.updates != updates.len() {
+                    return Err(corrupt(
+                        &manifest_path,
+                        "run directory belongs to a different update stream (fingerprint mismatch)",
+                    ));
+                }
+                manifest.chunk.max(1)
+            }
+            None => {
+                let chunk = opts.chunk_size.max(1);
+                let manifest = StreamManifest {
+                    format: RUN_FORMAT_VERSION,
+                    fingerprint: fingerprint.clone(),
+                    updates: updates.len(),
+                    chunk,
+                };
+                write_framed(vfs, run_dir, STREAM_MANIFEST_FILE, &manifest, &mut retry)?;
+                chunk
+            }
+        };
+
+        let mut report = UpdateReport::default();
+        let mut final_parts: std::collections::BTreeMap<String, Vec<usize>> = Default::default();
+        let mut chunks_committed = 0usize;
+        let mut chunks_replayed = 0usize;
+        let mut start = 0usize;
+        while start < updates.len() {
+            let end = (start + chunk).min(updates.len());
+            let name = format!("updates-{start}.ck");
+            let path = run_dir.join(&name);
+            if let Some(bytes) = read_optional(vfs, &path, &mut retry)? {
+                let json = unframe(&path, &bytes)?;
+                let ck: UpdateChunkCk = parse_payload(&path, json, |c: &UpdateChunkCk| c.format)?;
+                if ck.start != start || ck.len != end - start {
+                    return Err(corrupt(
+                        &path,
+                        format!(
+                            "chunk covers updates {}..{}, expected {start}..{end}",
+                            ck.start,
+                            ck.start + ck.len
+                        ),
+                    ));
+                }
+                // Replay the appends to rebuild engine state; resolve
+                // nothing — the committed partitions are the answer. On a
+                // fresh base engine the replay reproduces the committed
+                // report bit-for-bit; on an engine that already applied
+                // the chunk it is a pure no-op.
+                let live = self.apply_updates(&updates[start..end])?;
+                let noop = live.applied == 0 && live.refs_added == 0 && live.refs_dirtied == 0;
+                if live != ck.report && !noop {
+                    return Err(corrupt(
+                        &path,
+                        "replayed chunk diverged from its committed report",
+                    ));
+                }
+                report.absorb(&ck.report);
+                for (n, labels) in ck.partitions {
+                    final_parts.insert(n, labels);
+                }
+                chunks_replayed += 1;
+                start = end;
+                continue;
+            }
+            // Live: apply, incrementally re-resolve every affected name,
+            // commit the chunk, move on. A kill at any point loses at
+            // most this one chunk of resolution work.
+            let chunk_report = self.apply_updates(&updates[start..end])?;
+            let mut partitions: Vec<(String, Vec<usize>)> =
+                Vec::with_capacity(chunk_report.names.len());
+            for n in &chunk_report.names {
+                let refs = self.references_of(n);
+                let resolved = self.resolve(&ResolveRequest::incremental(&refs));
+                partitions.push((n.clone(), resolved.clustering.labels));
+            }
+            let ck = UpdateChunkCk {
+                format: RUN_FORMAT_VERSION,
+                start,
+                len: end - start,
+                report: chunk_report.clone(),
+                partitions: partitions.clone(),
+            };
+            write_framed(vfs, run_dir, &name, &ck, &mut retry)?;
+            chunks_committed += 1;
+            report.absorb(&chunk_report);
+            for (n, labels) in partitions {
+                final_parts.insert(n, labels);
+            }
+            start = end;
+        }
+        Ok(UpdateStreamOutcome {
+            report,
+            partitions: final_parts.into_iter().collect(),
+            chunks_committed,
+            chunks_replayed,
+            io_retries: retry.attempts,
         })
     }
 }
@@ -1072,5 +1302,141 @@ mod tests {
             e.resolve_durable(&ResolveRequest::new(&refs)),
             Err(DistinctError::Config(_))
         ));
+    }
+
+    fn stream_updates() -> (datagen::UpdateStream, Vec<UpdateTuple>) {
+        let mut config = WorldConfig::tiny(21);
+        config.ambiguous = vec![AmbiguousSpec::new("Wei Wang", vec![10, 8, 5])];
+        let stream = datagen::update_stream(&config, 0.15, 42).unwrap();
+        let updates: Vec<UpdateTuple> = stream
+            .log
+            .iter()
+            .map(|(rel, values)| UpdateTuple::new(rel.clone(), values.clone()))
+            .collect();
+        (stream, updates)
+    }
+
+    #[test]
+    fn update_stream_commits_chunks_and_matches_batch_resolution() {
+        let (stream, updates) = stream_updates();
+        assert!(!updates.is_empty());
+        let mut e = engine(&stream.base);
+        let dir = TempDir::new("stream");
+        let opts = RunOptions {
+            chunk_size: 5,
+            ..fast_opts()
+        };
+        let out = e
+            .apply_update_stream_with(&updates, dir.path(), &mut StdVfs, &opts)
+            .unwrap();
+        assert_eq!(out.report.applied, updates.len());
+        assert_eq!(out.chunks_replayed, 0);
+        assert_eq!(out.chunks_committed, updates.len().div_ceil(5));
+        assert!(dir.path().join("stream.json").exists());
+        assert!(dir.path().join("updates-0.ck").exists());
+        assert!(out.partitions.iter().any(|(n, _)| n == "Wei Wang"));
+
+        // The streamed partition equals a cold batch resolve on the
+        // engine's own final catalog — the convergence the oracle pins.
+        let cold =
+            Distinct::prepare(e.catalog(), "Publish", "author", DistinctConfig::default()).unwrap();
+        for (name, labels) in &out.partitions {
+            let refs = cold.references_of(name);
+            let batch = cold.resolve(&ResolveRequest::new(&refs));
+            assert_eq!(labels, &batch.clustering.labels, "name {name}");
+        }
+        // And the final ground-truth references are exactly the streamed
+        // name's references.
+        let refs = e.references_of("Wei Wang");
+        assert_eq!(refs, stream.truths[0].refs);
+    }
+
+    #[test]
+    fn killed_update_stream_resumes_bit_identically_on_a_fresh_base_engine() {
+        let (stream, updates) = stream_updates();
+        let opts = RunOptions {
+            chunk_size: 4,
+            ..fast_opts()
+        };
+
+        // Uninterrupted reference run.
+        let expected = {
+            let mut e = engine(&stream.base);
+            let dir = TempDir::new("stream_ref");
+            e.apply_update_stream_with(&updates, dir.path(), &mut StdVfs, &opts)
+                .unwrap()
+        };
+
+        // Killed at the third write, retries disabled → fatal.
+        let dir = TempDir::new("stream_kill");
+        let mut e = engine(&stream.base);
+        let mut vfs = FaultyVfs::new(FaultPlan::fail_nth_write(3));
+        let kill_opts = RunOptions {
+            max_retries: 0,
+            ..opts.clone()
+        };
+        let err = e
+            .apply_update_stream_with(&updates, dir.path(), &mut vfs, &kill_opts)
+            .expect_err("injected write failure must surface");
+        assert!(matches!(err, DistinctError::Store(_)), "got {err}");
+
+        // Resume on a fresh engine prepared on the same base.
+        let mut fresh = engine(&stream.base);
+        let resumed = fresh
+            .apply_update_stream_with(&updates, dir.path(), &mut StdVfs, &opts)
+            .unwrap();
+        assert!(resumed.chunks_replayed >= 1, "{resumed:?}");
+        assert_eq!(resumed.report, expected.report);
+        assert_eq!(resumed.partitions, expected.partitions);
+    }
+
+    #[test]
+    fn finished_update_stream_replays_as_a_no_op_on_a_fresh_engine() {
+        let (stream, updates) = stream_updates();
+        let dir = TempDir::new("stream_replay");
+        let opts = RunOptions {
+            chunk_size: 6,
+            ..fast_opts()
+        };
+        let first = {
+            let mut e = engine(&stream.base);
+            e.apply_update_stream_with(&updates, dir.path(), &mut StdVfs, &opts)
+                .unwrap()
+        };
+        let mut fresh = engine(&stream.base);
+        let again = fresh
+            .apply_update_stream_with(&updates, dir.path(), &mut StdVfs, &opts)
+            .unwrap();
+        assert_eq!(again.chunks_committed, 0);
+        assert_eq!(again.chunks_replayed, first.chunks_committed);
+        assert_eq!(again.report, first.report);
+        assert_eq!(again.partitions, first.partitions);
+    }
+
+    #[test]
+    fn update_stream_directory_of_a_different_log_is_refused() {
+        let (stream, updates) = stream_updates();
+        let dir = TempDir::new("stream_mismatch");
+        {
+            let mut e = engine(&stream.base);
+            e.apply_update_stream_with(&updates, dir.path(), &mut StdVfs, &fast_opts())
+                .unwrap();
+        }
+        // Same directory, truncated log: a different stream.
+        let mut e = engine(&stream.base);
+        let err = e
+            .apply_update_stream_with(
+                &updates[..updates.len() - 1],
+                dir.path(),
+                &mut StdVfs,
+                &fast_opts(),
+            )
+            .unwrap_err();
+        match err {
+            DistinctError::CorruptCheckpoint { reason, .. } => {
+                assert!(reason.contains("fingerprint"), "{reason}");
+            }
+            other => panic!("expected CorruptCheckpoint, got {other}"),
+        }
     }
 }

@@ -117,6 +117,19 @@ fn build_schema() -> Result<Catalog, StoreError> {
 
 /// Build the DBLP-schema catalog from a world.
 pub fn to_catalog(world: &World) -> Result<DblpDataset, StoreError> {
+    emit_with_proceedings(world, world)
+}
+
+/// [`to_catalog`], generalized for update-stream bases: papers come from
+/// `world`, but the proceedings pass covers every (venue, year) pair of
+/// `proceedings_from` — so a base catalog emitted from a paper subset
+/// still numbers its proc_keys exactly like a full-world build, and
+/// held-out papers replayed later always reference an existing
+/// proceedings.
+pub(crate) fn emit_with_proceedings(
+    world: &World,
+    proceedings_from: &World,
+) -> Result<DblpDataset, StoreError> {
     let mut c = build_schema()?;
 
     // Authors: one tuple per distinct display name.
@@ -137,7 +150,11 @@ pub fn to_catalog(world: &World) -> Result<DblpDataset, StoreError> {
 
     // Proceedings: one per (venue, year) occurring in the papers.
     let mut proc_keys: HashMap<(usize, i64), i64> = HashMap::new();
-    let mut pairs: Vec<(usize, i64)> = world.papers.iter().map(|p| (p.venue, p.year)).collect();
+    let mut pairs: Vec<(usize, i64)> = proceedings_from
+        .papers
+        .iter()
+        .map(|p| (p.venue, p.year))
+        .collect();
     pairs.sort_unstable();
     pairs.dedup();
     for (i, &(venue, year)) in pairs.iter().enumerate() {

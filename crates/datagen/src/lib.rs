@@ -20,10 +20,12 @@ pub mod config;
 pub mod dblp;
 pub mod names;
 pub mod shrink;
+pub mod updates;
 pub mod world;
 
 pub use config::{AmbiguousSpec, WorldConfig};
 pub use dblp::{stream_to_catalog, to_catalog, DblpDataset, NameGroundTruth};
 pub use names::{NamePool, Zipf};
 pub use shrink::shrink_world;
+pub use updates::{shuffle_log, update_stream, LogTuple, UpdateStream};
 pub use world::{AmbiguousGroup, Entity, EntityId, Paper, Venue, World, WorldStream};

@@ -19,14 +19,22 @@
 //!    arbitrary write and resuming it on a cold engine yields exactly the
 //!    partition of an uninterrupted resolve: durability is invisible in
 //!    the answer.
+//! 7. **Streaming ≡ batch convergence** — streaming a tuple log into a
+//!    base engine one update at a time, in *any* block order, under 1 or
+//!    4 worker threads, converges to exactly the partition a cold batch
+//!    engine computes on the union catalog (labels bit-identical within
+//!    an order, similarities within `1e-9`, partitions canonically equal
+//!    across orders). Corollaries: re-applying an absorbed log is a
+//!    no-op, and the chunking of the stream (1-tuple chunks vs. k-tuple
+//!    chunks vs. one shot) is unobservable.
 //!
 //! Property tests run on the vendored `proptest` (deterministic per-test
 //! seeding, no shrinking); the worlds are small so each case is cheap.
 
-use datagen::{AmbiguousSpec, DblpDataset, World, WorldConfig};
+use datagen::{AmbiguousSpec, DblpDataset, UpdateStream, World, WorldConfig};
 use distinct::{
     Distinct, DistinctConfig, DistinctError, ResolveRequest, RunOptions, TrainingConfig,
-    WeightingMode,
+    UpdateTuple, WeightingMode,
 };
 use oracle::{Composite, Measure, OracleEngine};
 use proptest::prelude::*;
@@ -370,5 +378,195 @@ proptest! {
             resumed.outcome.clustering.dendrogram.merges(),
             cold.dendrogram.merges()
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 7: streaming ≡ batch convergence
+// ---------------------------------------------------------------------------
+
+/// A small world with one planted two-entity name, split into a base
+/// catalog plus an update log holding out ~15% of the papers.
+fn convergence_stream(world_seed: u64) -> UpdateStream {
+    let mut config = WorldConfig::tiny(world_seed);
+    config.n_authors = 80;
+    config.n_venues = 10;
+    config.n_communities = 4;
+    config.mean_papers_per_author = 4.0;
+    config.ambiguous = vec![AmbiguousSpec::new("Wei Wang", vec![6, 5])];
+    datagen::update_stream(&config, 0.15, world_seed ^ 0xA5A5).unwrap()
+}
+
+fn prepare(catalog: &Catalog) -> Distinct {
+    Distinct::prepare(catalog, "Publish", "author", DistinctConfig::default()).unwrap()
+}
+
+fn as_updates(log: &[datagen::LogTuple]) -> Vec<UpdateTuple> {
+    log.iter()
+        .map(|(rel, values)| UpdateTuple::new(rel.clone(), values.clone()))
+        .collect()
+}
+
+/// Clusters as sorted multisets of `(author, paper_key)` value keys —
+/// the partition quotient that is invariant under catalog row order, so
+/// streams applied in different orders become comparable.
+fn canonical_partition(
+    catalog: &Catalog,
+    refs: &[TupleRef],
+    labels: &[usize],
+) -> Vec<Vec<(String, String)>> {
+    let clusters = labels.iter().max().map_or(0, |&m| m + 1);
+    let mut out = vec![Vec::new(); clusters];
+    for (i, r) in refs.iter().enumerate() {
+        let values = catalog.relation(r.rel).tuple(r.tid).values();
+        out[labels[i]].push((format!("{:?}", values[0]), format!("{:?}", values[1])));
+    }
+    for cluster in &mut out {
+        cluster.sort();
+    }
+    out.sort();
+    out
+}
+
+/// Invariant 7 proper: one-tuple-at-a-time streaming over every block
+/// order and thread count lands on the cold batch partition.
+#[test]
+fn streaming_updates_converge_to_cold_batch() {
+    for world_seed in [3u64, 7, 21, 33, 47] {
+        let stream = convergence_stream(world_seed);
+        assert!(stream.held_out_papers > 0, "world {world_seed}: empty log");
+
+        // The orders: the natural dependency order plus two block shuffles.
+        let orders = [
+            stream.log.clone(),
+            datagen::shuffle_log(&stream.log, world_seed ^ 1),
+            datagen::shuffle_log(&stream.log, world_seed ^ 2),
+        ];
+
+        let mut canonical: Option<Vec<Vec<(String, String)>>> = None;
+        for (oi, log) in orders.iter().enumerate() {
+            let updates = as_updates(log);
+            for threads in [1usize, 4] {
+                // Stream one tuple at a time into an engine prepared on
+                // the base catalog.
+                let mut streamed = prepare(&stream.base.catalog);
+                for update in &updates {
+                    streamed
+                        .apply_updates(std::slice::from_ref(update))
+                        .unwrap();
+                }
+                let refs = streamed.references_of("Wei Wang");
+                assert_eq!(refs.len(), 11, "world {world_seed}: planted 6+5 refs");
+                let inc = streamed.resolve(&ResolveRequest::incremental(&refs).threads(threads));
+
+                // Within an order the streamed catalog *is* the union
+                // catalog, so the cold batch comparison is exact. Checked
+                // on the natural order; shuffles are covered by the
+                // canonical cross-order comparison below.
+                if oi == 0 {
+                    let cold = prepare(streamed.catalog());
+                    let batch = cold.resolve(&ResolveRequest::new(&refs).threads(threads));
+                    assert_eq!(
+                        inc.clustering.labels, batch.clustering.labels,
+                        "world {world_seed} threads {threads}: streamed labels != batch"
+                    );
+                    assert_eq!(
+                        inc.clustering.dendrogram.merges(),
+                        batch.clustering.dendrogram.merges(),
+                        "world {world_seed} threads {threads}: streamed merges != batch"
+                    );
+                    if threads == 1 {
+                        // Stage-level agreement within 1e-9 (bit-identity
+                        // is asserted above; the tolerance is the contract).
+                        let ps = streamed.stage_probe(&refs);
+                        let pc = cold.stage_probe(&refs);
+                        for i in 0..refs.len() {
+                            for j in 0..refs.len() {
+                                let d = (ps.similarity[i][j] - pc.similarity[i][j]).abs();
+                                assert!(d <= 1e-9, "world {world_seed}: sim[{i}][{j}] off by {d}");
+                            }
+                        }
+                    }
+                }
+
+                // Across orders and thread counts: identical partition of
+                // the same logical references.
+                let canon = canonical_partition(streamed.catalog(), &refs, &inc.clustering.labels);
+                match &canonical {
+                    None => canonical = Some(canon),
+                    Some(expected) => assert_eq!(
+                        expected, &canon,
+                        "world {world_seed} order {oi} threads {threads}: partition moved"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Corollary: a log the engine has already absorbed is a no-op to
+/// re-apply, and the answer does not move.
+#[test]
+fn re_streaming_an_absorbed_log_is_idempotent() {
+    let stream = convergence_stream(21);
+    let updates = as_updates(&stream.log);
+    let mut e = prepare(&stream.base.catalog);
+
+    let first = e.apply_updates(&updates).unwrap();
+    assert_eq!(first.applied, updates.len());
+    let refs = e.references_of("Wei Wang");
+    let before = e.resolve(&ResolveRequest::incremental(&refs));
+
+    let again = e.apply_updates(&updates).unwrap();
+    assert_eq!(again.applied, 0, "absorbed tuples must be skipped");
+    assert_eq!(again.skipped, updates.len());
+    assert_eq!(again.refs_added, 0);
+    assert_eq!(again.refs_dirtied, 0, "a no-op update dirties nothing");
+    assert!(again.names.is_empty());
+
+    let after = e.resolve(&ResolveRequest::incremental(&refs));
+    assert_eq!(before.clustering.labels, after.clustering.labels);
+    assert_eq!(
+        before.clustering.dendrogram.merges(),
+        after.clustering.dendrogram.merges()
+    );
+}
+
+/// Corollary: the chunking of the stream is unobservable — 1-tuple
+/// chunks, k-tuple chunks, and a single batch land on the same engine
+/// state and partition.
+#[test]
+fn stream_chunking_is_unobservable() {
+    let stream = convergence_stream(7);
+    let updates = as_updates(&stream.log);
+
+    let chunkings: [&[usize]; 3] = [&[1], &[3, 5], &[usize::MAX]];
+    let mut results: Vec<(usize, Vec<usize>, Vec<cluster::Merge>)> = Vec::new();
+    for sizes in chunkings {
+        let mut e = prepare(&stream.base.catalog);
+        let mut applied = 0;
+        let mut cursor = 0;
+        let mut pick = 0;
+        while cursor < updates.len() {
+            let take = sizes[pick % sizes.len()].min(updates.len() - cursor);
+            pick += 1;
+            let report = e.apply_updates(&updates[cursor..cursor + take]).unwrap();
+            applied += report.applied;
+            cursor += take;
+        }
+        let refs = e.references_of("Wei Wang");
+        let out = e.resolve(&ResolveRequest::incremental(&refs));
+        results.push((
+            applied,
+            out.clustering.labels.clone(),
+            out.clustering.dendrogram.merges().to_vec(),
+        ));
+    }
+
+    let (applied, labels, merges) = &results[0];
+    for (other_applied, other_labels, other_merges) in &results[1..] {
+        assert_eq!(applied, other_applied, "chunking changed the applied count");
+        assert_eq!(labels, other_labels, "chunking changed the partition");
+        assert_eq!(merges, other_merges, "chunking changed the dendrogram");
     }
 }

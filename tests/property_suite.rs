@@ -1,7 +1,10 @@
 //! Cross-crate property tests: randomized relational catalogs, CSV
-//! round-trips, propagation invariants, and clustering laws.
+//! round-trips, propagation invariants, clustering laws, and the
+//! incremental-update ≡ batch equivalence under random base/log splits.
 
 use cluster::{agglomerate, Linkage, MatrixMerger};
+use datagen::{AmbiguousSpec, WorldConfig};
+use distinct::{Distinct, DistinctConfig, ResolveRequest, UpdateTuple};
 use proptest::prelude::*;
 use relgraph::{propagate, LinkGraph};
 use relstore::{
@@ -231,6 +234,113 @@ proptest! {
         // B3 recall 1 iff pairwise recall 1 (no gold pair separated).
         prop_assert_eq!(pw.recall >= 1.0 - 1e-12, b3.recall >= 1.0 - 1e-12);
     }
+
+    // -- incremental updates -------------------------------------------------
+
+    // For a random world and a random base/log split, applying the log
+    // incrementally to an engine prepared on the base must reach exactly
+    // the partition a cold engine computes on the union catalog — for
+    // every planted ambiguous name. On failure the world is first shrunk
+    // with `datagen::shrink_world` so the panic message carries a minimal
+    // reproducing configuration.
+    #[test]
+    fn incremental_updates_match_batch_on_random_splits(
+        world_seed in 1u64..1_000_000,
+        split_seed in 1u64..1_000_000,
+        holdout_pct in 5u32..45,
+    ) {
+        let config = update_world(world_seed);
+        let holdout = f64::from(holdout_pct) / 100.0;
+        if let Err(why) = streamed_equals_union_batch(&config, holdout, split_seed) {
+            let shrunk = datagen::shrink_world(config, |candidate| {
+                streamed_equals_union_batch(candidate, holdout, split_seed).is_err()
+            });
+            prop_assert!(
+                false,
+                "incremental != batch: {why}\nshrunk reproducing config: {shrunk:?}\n\
+                 (holdout {holdout}, split seed {split_seed})"
+            );
+        }
+    }
+}
+
+/// Small world for the incremental-update property: two planted names so
+/// an update can dirty one name while the other stays cached.
+fn update_world(seed: u64) -> WorldConfig {
+    let mut config = WorldConfig::tiny(seed);
+    config.n_authors = 70;
+    config.n_venues = 8;
+    config.n_communities = 4;
+    config.mean_papers_per_author = 4.0;
+    config.ambiguous = vec![
+        AmbiguousSpec::new("Wei Wang", vec![5, 4]),
+        AmbiguousSpec::new("Hui Fang", vec![4, 3]),
+    ];
+    config
+}
+
+/// `Ok(())` iff streaming the split's log into a base engine reproduces
+/// the union-catalog batch partition for every planted name. The check
+/// is exact (bit-identical labels and dendrograms), not approximate.
+fn streamed_equals_union_batch(
+    config: &WorldConfig,
+    holdout: f64,
+    split_seed: u64,
+) -> Result<(), String> {
+    let stream = match datagen::update_stream(config, holdout, split_seed) {
+        Ok(s) => s,
+        Err(e) => return Err(format!("update_stream failed: {e}")),
+    };
+    let updates: Vec<UpdateTuple> = stream
+        .log
+        .iter()
+        .map(|(rel, values)| UpdateTuple::new(rel.clone(), values.clone()))
+        .collect();
+
+    let mut streamed = match Distinct::prepare(
+        &stream.base.catalog,
+        "Publish",
+        "author",
+        DistinctConfig::default(),
+    ) {
+        Ok(e) => e,
+        Err(e) => return Err(format!("base prepare failed: {e}")),
+    };
+    if let Err(e) = streamed.apply_updates(&updates) {
+        return Err(format!("apply_updates failed: {e}"));
+    }
+
+    let batch = match Distinct::prepare(
+        streamed.catalog(),
+        "Publish",
+        "author",
+        DistinctConfig::default(),
+    ) {
+        Ok(e) => e,
+        Err(e) => return Err(format!("union prepare failed: {e}")),
+    };
+
+    for truth in &stream.truths {
+        let refs = streamed.references_of(&truth.name);
+        if refs != truth.refs {
+            return Err(format!(
+                "{}: streamed references diverge from the split's ground truth",
+                truth.name
+            ));
+        }
+        let inc = streamed.resolve(&ResolveRequest::incremental(&refs));
+        let cold = batch.resolve(&ResolveRequest::new(&refs));
+        if inc.clustering.labels != cold.clustering.labels {
+            return Err(format!(
+                "{}: labels diverge: incremental {:?} vs batch {:?}",
+                truth.name, inc.clustering.labels, cold.clustering.labels
+            ));
+        }
+        if inc.clustering.dendrogram.merges() != cold.clustering.dendrogram.merges() {
+            return Err(format!("{}: dendrograms diverge", truth.name));
+        }
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------

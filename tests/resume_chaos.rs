@@ -18,10 +18,16 @@
 //!   caught at resume time by the checkpoint checksums as a typed
 //!   corruption or version error — or, when the flipped file is one the
 //!   resume never needs, the answer is still bit-identical.
+//!
+//! The same discipline is applied to the *incremental* checkpoint path:
+//! a durable update stream ([`Distinct::apply_update_stream`]) is killed
+//! at every write in its schedule and resumed on a fresh base engine; the
+//! resumed outcome — accumulated report and per-name partitions — must be
+//! bit-identical to an uninterrupted stream's.
 
 use cluster::Clustering;
-use datagen::{AmbiguousSpec, DblpDataset, World, WorldConfig};
-use distinct::{Distinct, DistinctConfig, DistinctError, ResolveRequest, RunOptions};
+use datagen::{AmbiguousSpec, DblpDataset, UpdateStream, World, WorldConfig};
+use distinct::{Distinct, DistinctConfig, DistinctError, ResolveRequest, RunOptions, UpdateTuple};
 use oracle::{Composite, Measure, OracleEngine};
 use relstore::{FaultKind, FaultPlan, FaultyVfs, StdVfs};
 use std::path::{Path, PathBuf};
@@ -262,5 +268,133 @@ fn silent_bit_flips_are_caught_or_harmless_on_resume() {
             ) => {}
             Err(other) => panic!("flip #{nth}: expected typed corruption, got {other}"),
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental checkpoint path: durable update streams
+// ---------------------------------------------------------------------------
+
+/// A small world split into base + log so the stream spans several
+/// checkpoint chunks without the sweep getting expensive.
+fn stream_fixture() -> (UpdateStream, Vec<UpdateTuple>) {
+    let mut config = WorldConfig::tiny(33);
+    config.n_authors = 80;
+    config.n_venues = 10;
+    config.n_communities = 4;
+    config.mean_papers_per_author = 4.0;
+    config.ambiguous = vec![AmbiguousSpec::new("Wei Wang", vec![6, 5])];
+    let stream = datagen::update_stream(&config, 0.2, 9).unwrap();
+    let updates = stream
+        .log
+        .iter()
+        .map(|(rel, values)| UpdateTuple::new(rel.clone(), values.clone()))
+        .collect();
+    (stream, updates)
+}
+
+fn base_engine(stream: &UpdateStream) -> Distinct {
+    Distinct::prepare(
+        &stream.base.catalog,
+        "Publish",
+        "author",
+        DistinctConfig::default(),
+    )
+    .unwrap()
+}
+
+/// Chunks of 16 so the sweep crosses several chunk commits.
+fn stream_opts() -> RunOptions {
+    RunOptions {
+        chunk_size: 16,
+        backoff_base: Duration::from_micros(100),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn killed_update_stream_resumes_bit_identically_at_every_write() {
+    let (stream, updates) = stream_fixture();
+
+    // The uninterrupted outcome, and with it the write schedule to sweep.
+    let expected = {
+        let dir = TempDir::new("stream_clean");
+        let mut counting = relstore::FaultyVfs::new(FaultPlan::new(0));
+        let out = base_engine(&stream)
+            .apply_update_stream_with(&updates, dir.path(), &mut counting, &stream_opts())
+            .expect("clean update stream");
+        (out, counting.writes_attempted())
+    };
+    let (expected, total) = expected;
+    assert_eq!(expected.report.applied, updates.len());
+    assert!(
+        total >= 3,
+        "schedule too short to be an interesting sweep: {total} writes"
+    );
+    assert!(
+        !expected.partitions.is_empty(),
+        "the log must dirty at least one name"
+    );
+
+    for nth in 1..=total {
+        for kind in [FaultKind::Fail, FaultKind::Torn] {
+            let dir = TempDir::new(&format!("stream_kill_{nth}_{kind:?}"));
+            let fatal = RunOptions {
+                max_retries: 0,
+                ..stream_opts()
+            };
+            let mut vfs = FaultyVfs::new(FaultPlan::new(0xBEEF + nth).with_fault(nth, kind));
+            let err = base_engine(&stream)
+                .apply_update_stream_with(&updates, dir.path(), &mut vfs, &fatal)
+                .expect_err("the injected crash must surface");
+            assert!(
+                matches!(err, DistinctError::Store(_)),
+                "stream write #{nth} {kind:?}: expected a store error, got {err}"
+            );
+
+            // Resume on a fresh engine prepared on the same base catalog:
+            // committed chunks replay from disk, the rest runs live, and
+            // the outcome is bit-identical to the uninterrupted stream.
+            let resumed = base_engine(&stream)
+                .apply_update_stream_with(&updates, dir.path(), &mut StdVfs, &stream_opts())
+                .unwrap_or_else(|e| {
+                    panic!("stream resume after write #{nth} {kind:?} failed: {e}")
+                });
+            assert_eq!(
+                resumed.report, expected.report,
+                "kill at stream write #{nth} ({kind:?}): report diverged"
+            );
+            assert_eq!(
+                resumed.partitions, expected.partitions,
+                "kill at stream write #{nth} ({kind:?}): partitions diverged"
+            );
+            assert_eq!(
+                resumed.chunks_committed + resumed.chunks_replayed,
+                expected.chunks_committed,
+                "kill at stream write #{nth} ({kind:?}): chunk accounting broken"
+            );
+        }
+    }
+}
+
+#[test]
+fn update_stream_transient_faults_are_absorbed_by_retry() {
+    let (stream, updates) = stream_fixture();
+    let dir_clean = TempDir::new("stream_retry_expected");
+    let expected = base_engine(&stream)
+        .apply_update_stream_with(&updates, dir_clean.path(), &mut StdVfs, &stream_opts())
+        .unwrap();
+
+    // A failing write under retry is rewritten; the stream completes in
+    // one call wherever the fault lands (spot-checked across the span).
+    for nth in [1u64, 2, 3] {
+        let dir = TempDir::new(&format!("stream_retry_{nth}"));
+        let mut vfs = FaultyVfs::new(FaultPlan::fail_nth_write(nth));
+        let out = base_engine(&stream)
+            .apply_update_stream_with(&updates, dir.path(), &mut vfs, &stream_opts())
+            .unwrap_or_else(|e| panic!("retry should absorb stream write #{nth}: {e}"));
+        assert!(out.io_retries >= 1, "stream write #{nth} must cost a retry");
+        assert_eq!(out.report, expected.report);
+        assert_eq!(out.partitions, expected.partitions);
     }
 }
