@@ -20,9 +20,13 @@
 
 use datagen::{stream_to_catalog, DblpDataset, WorldConfig};
 use distinct::{Distinct, DistinctConfig, ResolveRequest, UpdateTuple};
+use distinct_bench::{BenchError, StageContext};
 use relstore::Value;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
+
+/// Stage context for this binary.
+const BIN: &str = "bench_incremental";
 
 /// The name the update touches: the largest Table 1 group.
 const NAME: &str = "Wei Wang";
@@ -56,15 +60,15 @@ fn ms_frac(d: std::time::Duration) -> f64 {
 
 /// One new paper by `NAME` at an existing venue: the `Publications` row
 /// and its `Publish` byline, the smallest update that moves the answer.
-fn single_paper_update(dataset: &DblpDataset) -> Vec<UpdateTuple> {
+fn single_paper_update(dataset: &DblpDataset) -> Result<Vec<UpdateTuple>, BenchError> {
     let pubs = dataset
         .catalog
         .relation_id("Publications")
-        .expect("Publications relation");
+        .stage(BIN, "locate the Publications relation")?;
     let rel = dataset.catalog.relation(pubs);
     let paper_key = rel.len() as i64 + 1;
     let proc_key = rel.tuple(relstore::TupleId(0)).values()[2].clone();
-    vec![
+    Ok(vec![
         UpdateTuple::new(
             "Publications",
             vec![
@@ -74,10 +78,10 @@ fn single_paper_update(dataset: &DblpDataset) -> Vec<UpdateTuple> {
             ],
         ),
         UpdateTuple::new("Publish", vec![Value::str(NAME), Value::Int(paper_key)]),
-    ]
+    ])
 }
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let scale = std::env::args().nth(1).unwrap_or_else(|| "paper".into());
     let config = config(&scale);
 
@@ -86,11 +90,16 @@ fn main() {
         config.n_authors
     );
     let t0 = Instant::now();
-    let dataset = stream_to_catalog(&config).expect("valid world");
+    let dataset = stream_to_catalog(&config).stage(BIN, "generate the streamed world")?;
     let generate_ms = ms(t0.elapsed());
     let papers = dataset
         .catalog
-        .relation(dataset.catalog.relation_id("Publications").expect("schema"))
+        .relation(
+            dataset
+                .catalog
+                .relation_id("Publications")
+                .stage(BIN, "locate the Publications relation")?,
+        )
         .len();
     let references = dataset.catalog.relation(dataset.publish).len();
     eprintln!(
@@ -104,7 +113,7 @@ fn main() {
         "author",
         DistinctConfig::default(),
     )
-    .expect("prepare");
+    .stage(BIN, "prepare the engine")?;
     let prepare_ms = ms(t1.elapsed());
 
     // Warm resolve: the steady state an update arrives into. Issued as an
@@ -116,9 +125,11 @@ fn main() {
     assert!(warm.is_complete(), "warm resolve degraded");
 
     // The measured path: apply one paper's tuples, re-resolve incrementally.
-    let updates = single_paper_update(&dataset);
+    let updates = single_paper_update(&dataset)?;
     let t3 = Instant::now();
-    let report = engine.apply_updates(&updates).expect("apply_updates");
+    let report = engine
+        .apply_updates(&updates)
+        .stage(BIN, "apply the one-paper update")?;
     let apply_ms = ms_frac(t3.elapsed());
     let refs_after = engine.references_of(NAME);
     let incremental = engine.resolve(&ResolveRequest::incremental(&refs_after));
@@ -135,7 +146,7 @@ fn main() {
         "author",
         DistinctConfig::default(),
     )
-    .expect("union prepare");
+    .stage(BIN, "prepare the cold union engine")?;
     let cold = cold_engine.resolve(&ResolveRequest::new(&refs_after));
     let cold_ms = ms_frac(t4.elapsed());
     assert_eq!(
@@ -185,9 +196,9 @@ fn main() {
     );
 
     let dir = out_dir();
-    std::fs::create_dir_all(&dir).expect("create benchmarks/");
+    std::fs::create_dir_all(&dir).stage(BIN, "create the benchmarks/ directory")?;
     let path = dir.join("BENCH_incremental.json");
-    std::fs::write(&path, &json).expect("write rung");
+    std::fs::write(&path, &json).stage(BIN, "write the rung JSON")?;
     eprintln!(
         "[{scale}] update {update_ms:.1} ms vs cold {cold_ms:.1} ms \
          ({speedup:.0}x, {} of {} pair-units dirty) -> {}",
@@ -195,4 +206,5 @@ fn main() {
         exec.pairs_total,
         path.display()
     );
+    Ok(())
 }

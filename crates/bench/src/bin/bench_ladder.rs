@@ -21,9 +21,13 @@
 
 use datagen::{stream_to_catalog, DblpDataset, WorldConfig};
 use distinct::{Distinct, DistinctConfig, ResolveRequest, RunOptions};
+use distinct_bench::{BenchError, StageContext};
 use relstore::{FaultPlan, FaultyVfs, StdVfs};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
+
+/// Stage context for this binary.
+const BIN: &str = "bench_ladder";
 
 /// The name every rung resolves: the largest Table 1 group.
 const NAME: &str = "Wei Wang";
@@ -88,17 +92,23 @@ fn ms_frac(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
-fn run_rung(r: &Rung) {
+fn run_rung(r: &Rung) -> Result<(), BenchError> {
     eprintln!(
         "[{}] generating world ({} authors)...",
         r.scenario, r.config.n_authors
     );
     let t0 = Instant::now();
-    let dataset: DblpDataset = stream_to_catalog(&r.config).expect("valid world");
+    let dataset: DblpDataset =
+        stream_to_catalog(&r.config).stage(BIN, "generate the streamed world")?;
     let generate_ms = ms(t0.elapsed());
     let papers = dataset
         .catalog
-        .relation(dataset.catalog.relation_id("Publications").expect("schema"))
+        .relation(
+            dataset
+                .catalog
+                .relation_id("Publications")
+                .stage(BIN, "locate the Publications relation")?,
+        )
         .len();
     let references = dataset.catalog.relation(dataset.publish).len();
     eprintln!(
@@ -113,7 +123,7 @@ fn run_rung(r: &Rung) {
         "author",
         DistinctConfig::default(),
     )
-    .expect("prepare");
+    .stage(BIN, "prepare the engine")?;
     let prepare_ms = ms(t1.elapsed());
 
     let refs = engine.references_of(NAME);
@@ -135,7 +145,7 @@ fn run_rung(r: &Rung) {
     let t2 = Instant::now();
     let cold = engine
         .resolve_durable_with(&req, &mut counting, &opts)
-        .expect("cold durable run");
+        .stage(BIN, "run the cold durable resolve")?;
     let cold_ms = ms(t2.elapsed());
     let total_writes = counting.writes_attempted();
     assert!(cold.outcome.is_complete(), "cold run degraded");
@@ -155,7 +165,7 @@ fn run_rung(r: &Rung) {
     let t3 = Instant::now();
     let resumed = engine
         .resolve_durable_with(&req, &mut StdVfs, &opts)
-        .expect("resume");
+        .stage(BIN, "resume the killed run")?;
     let resume_ms = ms(t3.elapsed());
     let _ = std::fs::remove_dir_all(&run_dir);
     assert_eq!(
@@ -195,20 +205,22 @@ fn run_rung(r: &Rung) {
     );
 
     let dir = out_dir();
-    std::fs::create_dir_all(&dir).expect("create benchmarks/");
+    std::fs::create_dir_all(&dir).stage(BIN, "create the benchmarks/ directory")?;
     let path = dir.join(format!("BENCH_{}.json", r.scenario));
-    std::fs::write(&path, &json).expect("write rung");
+    std::fs::write(&path, &json).stage(BIN, "write the rung JSON")?;
     eprintln!(
         "[{}] cold {cold_ms} ms, resume {resume_ms} ms ({:.1}% of cold) -> {}",
         r.scenario,
         100.0 * resume_ms as f64 / cold_ms.max(1) as f64,
         path.display()
     );
+    Ok(())
 }
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let which = std::env::args().nth(1).unwrap_or_else(|| "default".into());
     for rung in rungs(&which) {
-        run_rung(&rung);
+        run_rung(&rung)?;
     }
+    Ok(())
 }

@@ -8,11 +8,11 @@
 use distinct::{min_sim_grid, DistinctConfig, Variant};
 use distinct_bench::{
     build_dataset, evaluate_name, mean_accuracy, mean_f, sweep_best_min_sim, variant_engine,
-    PAPER_FIG4, STANDARD_SEED,
+    BenchError, StageContext, PAPER_FIG4, STANDARD_SEED,
 };
 use eval::{f3, f4, Align, Table};
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let dataset = build_dataset(STANDARD_SEED);
     let base = DistinctConfig::default();
     let grid = min_sim_grid();
@@ -67,21 +67,28 @@ fn main() {
     println!("{}", table.render());
 
     // The paper's three comparative claims, checked on our measurements.
-    let f_of = |v: Variant| measured.iter().find(|(m, _, _)| *m == v).unwrap().2;
-    let distinct = f_of(Variant::Distinct);
+    let f_of = |v: Variant| {
+        measured
+            .iter()
+            .find(|(m, _, _)| *m == v)
+            .map(|&(_, _, f)| f)
+            .stage("exp_fig4", "look up a measured variant's f-measure")
+    };
+    let distinct = f_of(Variant::Distinct)?;
     println!("shape checks (paper's claims, our measurements):");
     println!(
         "  DISTINCT vs unsupervised single-measure baselines: +{:.1}% / +{:.1}% f-measure (paper: ~15%)",
-        100.0 * (distinct - f_of(Variant::UnsupervisedResemblance)),
-        100.0 * (distinct - f_of(Variant::UnsupervisedWalk)),
+        100.0 * (distinct - f_of(Variant::UnsupervisedResemblance)?),
+        100.0 * (distinct - f_of(Variant::UnsupervisedWalk)?),
     );
     println!(
         "  supervision gain on combined measure: +{:.1}% f-measure (paper: >10%)",
-        100.0 * (distinct - f_of(Variant::UnsupervisedCombined)),
+        100.0 * (distinct - f_of(Variant::UnsupervisedCombined)?),
     );
     println!(
         "  combined-measure gain over supervised single measures: +{:.1}% / +{:.1}% (paper: ~3%)",
-        100.0 * (distinct - f_of(Variant::SupervisedResemblance)),
-        100.0 * (distinct - f_of(Variant::SupervisedWalk)),
+        100.0 * (distinct - f_of(Variant::SupervisedResemblance)?),
+        100.0 * (distinct - f_of(Variant::SupervisedWalk)?),
     );
+    Ok(())
 }

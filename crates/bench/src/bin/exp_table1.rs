@@ -4,17 +4,23 @@
 //!
 //! Run: `cargo run --release -p distinct-bench --bin exp_table1`
 
-use distinct_bench::{build_dataset, standard_world_config, STANDARD_SEED};
+use distinct_bench::{
+    build_dataset, standard_world_config, BenchError, StageContext, STANDARD_SEED,
+};
 use eval::{Align, Table};
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let config = standard_world_config(STANDARD_SEED);
     let dataset = build_dataset(STANDARD_SEED);
     let catalog = &dataset.catalog;
 
     let authors = catalog.relation(dataset.authors).len();
     let papers = catalog
-        .relation(catalog.relation_id("Publications").unwrap())
+        .relation(
+            catalog
+                .relation_id("Publications")
+                .stage("exp_table1", "locate the Publications relation")?,
+        )
         .len();
     let refs = catalog.relation(dataset.publish).len();
     println!("Synthetic DBLP-schema world (seed {STANDARD_SEED}):");
@@ -77,4 +83,5 @@ fn main() {
     if ok {
         println!("ground truth verified: every name matches its Table 1 profile");
     }
+    Ok(())
 }

@@ -7,11 +7,11 @@
 
 use datagen::{to_catalog, World};
 use distinct::{Distinct, DistinctConfig};
-use distinct_bench::standard_world_config;
+use distinct_bench::{standard_world_config, BenchError, StageContext};
 use eval::{Align, Table};
 use std::time::Instant;
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let mut table = Table::new(
         &[
             "authors",
@@ -48,10 +48,15 @@ fn main() {
         config.first_name_pool = 400 * scale;
         config.last_name_pool = 900 * scale;
         let world = World::generate(config);
-        let dataset = to_catalog(&world).expect("valid world");
+        let dataset = to_catalog(&world).stage("exp_timing", "emit the world as a catalog")?;
         let papers = dataset
             .catalog
-            .relation(dataset.catalog.relation_id("Publications").unwrap())
+            .relation(
+                dataset
+                    .catalog
+                    .relation_id("Publications")
+                    .stage("exp_timing", "locate the Publications relation")?,
+            )
             .len();
         let refs = dataset.catalog.relation(dataset.publish).len();
 
@@ -62,11 +67,13 @@ fn main() {
             "author",
             DistinctConfig::default(),
         )
-        .expect("prepare");
+        .stage("exp_timing", "prepare the engine")?;
         let prep = t0.elapsed();
 
         let t1 = Instant::now();
-        let report = engine.train().expect("train");
+        let report = engine
+            .train()
+            .stage("exp_timing", "train the combined measure")?;
         let train = t1.elapsed();
 
         let t2 = Instant::now();
@@ -87,4 +94,5 @@ fn main() {
         eprintln!("done: scale {scale}x");
     }
     println!("{}", table.render());
+    Ok(())
 }

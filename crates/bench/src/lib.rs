@@ -13,3 +13,61 @@ pub use harness::{
     build_dataset, evaluate_name, mean_accuracy, mean_f, standard_world_config, sweep_best_min_sim,
     variant_engine, NameResult, PaperRow, PAPER_FIG4, PAPER_TABLE2, STANDARD_SEED,
 };
+
+use std::fmt;
+
+/// A fatal error in an experiment binary, naming the binary and the
+/// pipeline stage that failed — the typed replacement for the bare
+/// `unwrap()`/`expect()` exits the `exp_*` and `bench_*` mains used to
+/// take. `main() -> Result<(), BenchError>` renders it through the
+/// [`fmt::Debug`] impl below, which delegates to [`fmt::Display`] so the
+/// process exit message reads as one plain sentence.
+pub struct BenchError {
+    /// The binary that failed (`exp_timing`, `bench_ladder`, ...).
+    pub bin: &'static str,
+    /// The stage that failed (`locate the Publications relation`, ...).
+    pub stage: &'static str,
+    /// What went wrong, from the underlying error when there is one.
+    pub detail: String,
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} failed: {}", self.bin, self.stage, self.detail)
+    }
+}
+
+impl fmt::Debug for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+/// Attach binary/stage context while converting an `Option` or a
+/// `Result` into `Result<T, BenchError>`.
+pub trait StageContext<T> {
+    /// Name the binary and stage this value was needed for.
+    fn stage(self, bin: &'static str, stage: &'static str) -> Result<T, BenchError>;
+}
+
+impl<T> StageContext<T> for Option<T> {
+    fn stage(self, bin: &'static str, stage: &'static str) -> Result<T, BenchError> {
+        self.ok_or(BenchError {
+            bin,
+            stage,
+            detail: "required value was missing".into(),
+        })
+    }
+}
+
+impl<T, E: fmt::Display> StageContext<T> for Result<T, E> {
+    fn stage(self, bin: &'static str, stage: &'static str) -> Result<T, BenchError> {
+        self.map_err(|e| BenchError {
+            bin,
+            stage,
+            detail: e.to_string(),
+        })
+    }
+}

@@ -26,6 +26,7 @@ const SHARDS: usize = 16;
 /// A concurrent map from references to their (immutable) profiles.
 #[derive(Debug)]
 pub(crate) struct ProfileCache {
+    // distinct-lint: shared(first-insert-wins: a profile is a pure function of its tuple, so racing builders insert bit-identical values)
     shards: Vec<Mutex<FxHashMap<TupleRef, Arc<Profile>>>>,
 }
 

@@ -25,7 +25,7 @@ const DEADLINE_STRIDE: u64 = 256;
 /// Hand a clone to another thread (a ctrl-C handler, a supervisor); the
 /// running pipeline observes the flag at its next control check.
 #[derive(Debug, Clone, Default)]
-pub struct CancelToken(Arc<AtomicBool>);
+pub struct CancelToken(Arc<AtomicBool>); // distinct-lint: shared(monotonic flag: set-once cancellation, observed at control checks)
 
 impl CancelToken {
     /// A fresh, un-cancelled token.
@@ -124,11 +124,14 @@ pub struct RunControl {
     cancel: CancelToken,
     deadline: Option<Instant>,
     budget: Option<u64>,
+    // distinct-lint: shared(commutative counter: relaxed adds of per-chunk costs, compared only against the budget)
     spent: AtomicU64,
     // Trips latch: once interrupted, every later check reports the same
     // kind, so a run's error consistently names the first cause.
     // Arc-shared so a [`TripHandle`] can latch from another thread.
+    // distinct-lint: shared(first-trip-wins latch: compare-exchange from zero; later trips keep the first cause)
     tripped: Arc<AtomicU64>, // 0 = none, else InterruptKind discriminant + 1
+    // distinct-lint: shared(commutative counter: relaxed increments, read only for diagnostics)
     charges: AtomicU64,
 }
 
@@ -307,6 +310,7 @@ fn latch_in(tripped: &AtomicU64, kind: InterruptKind) -> InterruptKind {
 #[derive(Debug, Clone)]
 pub struct TripHandle {
     cancel: CancelToken,
+    // distinct-lint: shared(same latch as RunControl.tripped: first-trip-wins via compare-exchange)
     tripped: Arc<AtomicU64>,
 }
 

@@ -231,6 +231,7 @@ pub struct Distinct {
     /// Per-name incremental state: leaf similarity tables, dirty marks,
     /// and component clusterings (see [`crate::update`]). Only
     /// [`ResolveRequest::incremental`] requests read or write it.
+    // distinct-lint: shared(exclusive takeout: an entry leaves the map before pool fanout and returns after the ordered commit, so no guard spans a boundary)
     pub(crate) names: parking_lot::Mutex<crate::update::NameCache>,
 }
 

@@ -333,7 +333,7 @@ impl Executor {
 /// points (chunk commits, checkpoint writes) — one relaxed atomic add, so
 /// beating from a hot loop is free; the watchdog thread polls it.
 #[derive(Debug, Clone, Default)]
-pub struct Heartbeat(Arc<AtomicU64>);
+pub struct Heartbeat(Arc<AtomicU64>); // distinct-lint: shared(commutative counter: relaxed beats; the watchdog only compares successive reads)
 
 impl Heartbeat {
     /// A fresh counter at zero.
@@ -364,6 +364,7 @@ impl Heartbeat {
 /// guard checks. Dropping the watchdog stops and joins the thread.
 #[derive(Debug)]
 pub struct Watchdog {
+    // distinct-lint: shared(monotonic flag: set-once stop signal, joined on drop)
     stop: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<bool>>,
 }

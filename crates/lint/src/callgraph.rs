@@ -232,12 +232,13 @@ impl CallGraph {
 }
 
 /// Run every interprocedural pass over one built graph.
-pub fn run_semantic(graph: &CallGraph) -> Vec<Finding> {
+pub fn run_semantic(graph: &CallGraph, ctxs: &[crate::model::FileCtx]) -> Vec<Finding> {
     let mut out = Vec::new();
     out.extend(graph.d101_panic_reach());
     out.extend(crate::taint::d102_probability_taint(graph));
     out.extend(crate::locks::d103_lock_order(graph));
     out.extend(graph.d104_unguarded_loops());
+    out.extend(crate::concur::run(graph, ctxs));
     out
 }
 

@@ -4,8 +4,9 @@ use std::fmt;
 
 /// Lint identifiers. `D000` is the meta-lint about the suppression
 /// machinery itself; `D001`–`D007` and `D105` guard the project
-/// invariants with per-file token scans, and `D101`–`D104` are the
-/// interprocedural (call-graph-backed) lints run by `check --semantic`.
+/// invariants with per-file token scans, and `D101`–`D104` plus the
+/// dataflow passes `D106`–`D109` are the interprocedural
+/// (call-graph-backed) lints run by `check --semantic`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)] // the catalog below documents each variant
 pub enum LintId {
@@ -22,6 +23,10 @@ pub enum LintId {
     D103,
     D104,
     D105,
+    D106,
+    D107,
+    D108,
+    D109,
 }
 
 /// How bad a violation is. `Deny` findings fail the build outright (after
@@ -36,7 +41,7 @@ pub enum Severity {
 
 impl LintId {
     /// All registered lints, in ID order.
-    pub const ALL: [LintId; 13] = [
+    pub const ALL: [LintId; 17] = [
         LintId::D000,
         LintId::D001,
         LintId::D002,
@@ -50,6 +55,10 @@ impl LintId {
         LintId::D103,
         LintId::D104,
         LintId::D105,
+        LintId::D106,
+        LintId::D107,
+        LintId::D108,
+        LintId::D109,
     ];
 
     /// Parse `"D001"` (case-insensitive) into an ID.
@@ -74,6 +83,10 @@ impl LintId {
             LintId::D103 => "D103",
             LintId::D104 => "D104",
             LintId::D105 => "D105",
+            LintId::D106 => "D106",
+            LintId::D107 => "D107",
+            LintId::D108 => "D108",
+            LintId::D109 => "D109",
         }
     }
 
@@ -93,6 +106,10 @@ impl LintId {
             LintId::D103 => Severity::Deny,
             LintId::D104 => Severity::Warn,
             LintId::D105 => Severity::Deny,
+            LintId::D106 => Severity::Deny,
+            LintId::D107 => Severity::Deny,
+            LintId::D108 => Severity::Deny,
+            LintId::D109 => Severity::Deny,
         }
     }
 
@@ -112,6 +129,10 @@ impl LintId {
             LintId::D103 => "inconsistent lock order or lock held across a channel send",
             LintId::D104 => "loop on a charge-free call path from a pipeline entry point",
             LintId::D105 => "raw filesystem write bypassing the atomic temp+rename persist path",
+            LintId::D106 => "lock guard live across an exec pool submit, channel op, or chunk closure",
+            LintId::D107 => "nondeterministic value (hash order, thread count, arrival order) reaching a deterministic sink",
+            LintId::D108 => "interior-mutability cell on the resolve/train/update spine without a shared(...) declaration",
+            LintId::D109 => "chunk closure mutating captured state outside the ordered-commit protocol",
         }
     }
 
@@ -254,6 +275,84 @@ impl LintId {
                  modules escapes both. Fix: take a `&mut dyn Vfs` and call \
                  write_atomic, or allow(D105) with a reason for genuinely \
                  non-durable output (e.g. the lint baseline itself)."
+            }
+            LintId::D106 => {
+                "PR 8's hand-maintained rule, formalized: a `Mutex`/`RwLock` \
+                 guard (including the sharded ProfileCache and the NameCache \
+                 in crates/core) must never be live across an exec pool \
+                 boundary — a `par_map_guarded`/`par_map_indexed`/`par_chunks` \
+                 submit, a channel `send`/`recv`, or a call that transitively \
+                 reaches one. The pool's workers rendezvous on channels; a \
+                 guard held by the submitting thread while they run turns any \
+                 worker that needs the same lock into a deadlock that only \
+                 manifests under contention, and blocks the ordered commit. \
+                 The pass runs a forward may-liveness dataflow over each \
+                 function's statement CFG (guard born at the `.lock()`/\
+                 `.read()`/`.write()` call, killed by `drop(guard)` or scope \
+                 exit) and flags the first live statement that hits a pool \
+                 boundary, naming the guard binding, the blocking call, and \
+                 the call chain. Fix: make the lock scope self-contained \
+                 before the boundary (take the value out, as \
+                 `take_name_entry` does), or `drop(guard)` first. The dynamic \
+                 twin of this rule is the `name_cache_guard_is_never_held_\
+                 across_the_pool_boundary` regression test in \
+                 crates/core/src/update.rs."
+            }
+            LintId::D107 => {
+                "The semantic refinement of D001 (which it retires under \
+                 --semantic): bit-identical output at any thread count dies \
+                 the moment a value derived from an unordered source — \
+                 HashMap/HashSet iteration with no sort or ordered-commit \
+                 sink, a thread-count read (`auto_threads`, \
+                 `available_parallelism`, `.threads()`), or chunk-arrival \
+                 order (`recv()` results) — flows into f64 accumulation, an \
+                 ExecReport counter, a checkpoint write, or a clustering \
+                 input. Float addition is not associative and counters must \
+                 not depend on scheduling, so any such flow makes the result \
+                 depend on hash history or the machine's core count. The \
+                 pass seeds taint at the unordered sources, propagates it \
+                 through `let` bindings along the statement CFG (a `sort`/\
+                 `sort_unstable` on the binding kills the taint — that is \
+                 the ordered-commit sink), and flags tainted values reaching \
+                 an accumulation, counter, persist, or clustering sink. Fix: \
+                 sort before consuming, route results through the exec \
+                 pool's ordered commit, or show the merge is commutative \
+                 (integer counters, max/min) in an allow(D107) reason."
+            }
+            LintId::D108 => {
+                "Every interior-mutability cell (`Mutex`, `RwLock`, \
+                 `Atomic*`, `Cell`/`RefCell`) that the resolve/train/\
+                 apply_updates spines can reach is a place where concurrent \
+                 writers could destroy determinism, so each one must carry a \
+                 `// distinct-lint: shared(<merge-discipline>)` declaration \
+                 on its field or static, naming its ordered-commit or \
+                 commutative-merge story (e.g. `shared(first-insert-wins: \
+                 profiles are bit-identical, so racing inserts commute)`). \
+                 The registry is exported by `distinct-lint facts --emit \
+                 json` and cross-checked by tests/determinism_facts.rs \
+                 against the 1/2/8-thread determinism suite, so the static \
+                 declaration and the dynamic evidence gate each other. An \
+                 undeclared cell cannot be baselined (like D000): the whole \
+                 point is that the discipline is written down where the cell \
+                 lives. Fix: add the shared(...) declaration with a real \
+                 merge story, or remove the interior mutability."
+            }
+            LintId::D109 => {
+                "crates/exec's determinism story is: workers compute into \
+                 thread-local buffers, send `(chunk_lo, result)` down a \
+                 channel, and the submitting thread commits the buffered \
+                 results in ascending chunk order. A chunk closure (an \
+                 argument to `spawn`, `par_map_guarded`, `par_map_indexed`, \
+                 or `par_chunks`) that instead mutates captured state \
+                 directly — `push`/`insert`/`extend`/indexed assignment/`+=` \
+                 on a binding it did not declare — commits in scheduling \
+                 order, which varies with thread count and timing. Atomic \
+                 ops (`store`/`fetch_add`/`compare_exchange`) and channel \
+                 `send`s are the sanctioned escape hatches (commutative or \
+                 ordered by the committing side). Fix: accumulate into a \
+                 closure-local value and send it, or declare the cell's \
+                 commutative-merge story via shared(...) and an allow(D109) \
+                 reason."
             }
         }
     }

@@ -1,0 +1,264 @@
+//! Statement-level control-flow graph recovery over the token stream.
+//!
+//! The lexer gives us tokens, [`crate::model`] gives us function spans;
+//! this module splits a function body into statements and wires
+//! successor edges so the [`crate::dataflow`] framework can run forward
+//! analyses with real flow-sensitivity instead of "whole body" facts.
+//!
+//! Recovery is deliberately coarse — it works on tokens, not an AST:
+//!
+//! - A statement ends at a `;` outside parentheses, or at a `{` that
+//!   opens a block (the header becomes one statement, the block's
+//!   contents are split recursively and flattened in source order).
+//! - `for`/`while`/`loop` headers get a back edge from the last body
+//!   statement and a bypass edge to the statement after the construct.
+//! - `if`/`else`/`match` headers get a bypass edge to the statement
+//!   after the construct (the not-taken path).
+//! - Everything else (closures, struct literals, match arms) is
+//!   linearized: over-approximate for may-analyses, which is the safe
+//!   direction for every lint built on this.
+
+use crate::lexer::TokKind;
+use crate::model::{FileCtx, FnSpan};
+
+/// One recovered statement: a half-open token range plus its first line.
+#[derive(Debug, Clone)]
+pub struct Stmt {
+    /// First token index (inclusive).
+    pub lo: usize,
+    /// One past the last token index.
+    pub hi: usize,
+    /// 1-based line of the first code token.
+    pub line: u32,
+}
+
+/// A function body's statement-level control-flow graph.
+#[derive(Debug)]
+pub struct Cfg {
+    /// Statements in source order (ranges are disjoint and sorted).
+    pub stmts: Vec<Stmt>,
+    /// `succ[i]` — indices of statements control may flow to from `i`.
+    pub succ: Vec<Vec<usize>>,
+}
+
+impl Cfg {
+    /// Build the CFG for `f`'s body. Bodiless functions get an empty CFG.
+    pub fn build(ctx: &FileCtx, f: &FnSpan) -> Cfg {
+        let mut b = Builder {
+            ctx,
+            stmts: Vec::new(),
+            edges: Vec::new(),
+        };
+        if f.body_start < f.end {
+            b.block(f.body_start + 1, f.end.saturating_sub(1));
+        }
+        let n = b.stmts.len();
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        // Source-order fallthrough between flattened statements.
+        for i in 0..n.saturating_sub(1) {
+            succ[i].push(i + 1);
+        }
+        for (from, to) in b.edges {
+            if from < n && to < n && !succ[from].contains(&to) {
+                succ[from].push(to);
+            }
+        }
+        Cfg {
+            stmts: b.stmts,
+            succ,
+        }
+    }
+
+    /// The statement containing token index `idx`, if any.
+    pub fn stmt_of(&self, idx: usize) -> Option<usize> {
+        self.stmts.iter().position(|s| s.lo <= idx && idx < s.hi)
+    }
+}
+
+struct Builder<'a> {
+    ctx: &'a FileCtx,
+    stmts: Vec<Stmt>,
+    /// Extra (non-fallthrough) edges: loop back edges and branch bypasses.
+    edges: Vec<(usize, usize)>,
+}
+
+impl Builder<'_> {
+    fn push_stmt(&mut self, lo: usize, hi: usize, pending: &mut Vec<usize>) -> usize {
+        let toks = &self.ctx.toks;
+        let line = toks[lo..hi]
+            .iter()
+            .find(|t| !matches!(t.kind, TokKind::Comment | TokKind::DocComment))
+            .map(|t| t.line)
+            .unwrap_or_else(|| toks[lo].line);
+        let idx = self.stmts.len();
+        // Drain branch-bypass / loop-skip edges aimed at "whatever comes
+        // after the construct" — that is this statement.
+        for from in pending.drain(..) {
+            self.edges.push((from, idx));
+        }
+        self.stmts.push(Stmt { lo, hi, line });
+        idx
+    }
+
+    /// Split `[lo, hi)` into statements. Returns the index of the last
+    /// statement appended for this range, if any.
+    fn block(&mut self, lo: usize, hi: usize) -> Option<usize> {
+        let toks = &self.ctx.toks;
+        let mut pending: Vec<usize> = Vec::new();
+        let mut last: Option<usize> = None;
+        let mut i = lo;
+        while i < hi {
+            if matches!(toks[i].kind, TokKind::Comment | TokKind::DocComment) {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            let mut paren = 0i32;
+            let mut is_loop = false;
+            let mut is_branch = false;
+            let mut j = i;
+            let mut outcome = Outcome::RunsToEnd;
+            while j < hi {
+                let t = &toks[j];
+                if matches!(t.kind, TokKind::Comment | TokKind::DocComment) {
+                    j += 1;
+                    continue;
+                }
+                if t.is_punct('(') || t.is_punct('[') {
+                    paren += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    paren -= 1;
+                } else if paren == 0 && t.kind == TokKind::Ident {
+                    match t.text.as_str() {
+                        "for" | "while" | "loop" => is_loop = true,
+                        "if" | "match" | "else" => is_branch = true,
+                        _ => {}
+                    }
+                } else if paren == 0 && t.is_punct('{') {
+                    outcome = Outcome::Block(j);
+                    break;
+                } else if paren == 0 && t.is_punct(';') {
+                    outcome = Outcome::Semi(j);
+                    break;
+                }
+                j += 1;
+            }
+            match outcome {
+                Outcome::Semi(semi) => {
+                    last = Some(self.push_stmt(start, semi + 1, &mut pending));
+                    i = semi + 1;
+                }
+                Outcome::RunsToEnd => {
+                    last = Some(self.push_stmt(start, hi, &mut pending));
+                    i = hi;
+                }
+                Outcome::Block(open) => {
+                    let header = self.push_stmt(start, open + 1, &mut pending);
+                    last = Some(header);
+                    let close = match_brace_from(self.ctx, open, hi);
+                    let body_last = self.block(open + 1, close);
+                    if is_loop {
+                        if let Some(bl) = body_last {
+                            self.edges.push((bl, header));
+                        }
+                    }
+                    if is_loop || is_branch {
+                        // The construct may not run (zero iterations, the
+                        // not-taken branch): edge to whatever comes next.
+                        pending.push(header);
+                    }
+                    if let Some(bl) = body_last {
+                        last = Some(bl);
+                    }
+                    i = close.saturating_add(1);
+                }
+            }
+        }
+        // Leftover bypass edges exit the block; the enclosing fallthrough
+        // edge from this block's last statement covers that path.
+        last
+    }
+}
+
+enum Outcome {
+    Semi(usize),
+    Block(usize),
+    RunsToEnd,
+}
+
+/// Matching `}` for the `{` at `open`, clamped to `hi`.
+pub(crate) fn match_brace_from(ctx: &FileCtx, open: usize, hi: usize) -> usize {
+    let toks = &ctx.toks;
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < hi.min(toks.len()) {
+        let t = &toks[k];
+        if matches!(t.kind, TokKind::Comment | TokKind::DocComment) {
+            k += 1;
+            continue;
+        }
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+        k += 1;
+    }
+    hi.min(toks.len()).saturating_sub(1).max(open)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Role;
+    use crate::parse;
+
+    fn cfg_of(body: &str) -> (FileCtx, Cfg) {
+        let src = format!("fn f() {{ {body} }}");
+        let ctx = FileCtx::new("crates/core/src/x.rs", "core", Role::Library, &src);
+        assert_eq!(ctx.fns.len(), 1, "test fn not recovered");
+        let span = ctx.fns[0].clone();
+        let cfg = Cfg::build(&ctx, &span);
+        (ctx, cfg)
+    }
+
+    #[test]
+    fn straight_line_statements_chain() {
+        let (_, cfg) = cfg_of("let a = 1; let b = a + 1; use_it(b);");
+        assert_eq!(cfg.stmts.len(), 3);
+        assert_eq!(cfg.succ[0], vec![1]);
+        assert_eq!(cfg.succ[1], vec![2]);
+        assert!(cfg.succ[2].is_empty());
+    }
+
+    #[test]
+    fn loop_gets_back_edge_and_bypass() {
+        let (_, cfg) = cfg_of("let a = 1;\nfor i in 0..3 { work(i); }\nafter();");
+        // stmts: let / for-header / work / after
+        assert_eq!(cfg.stmts.len(), 4, "{:?}", cfg.stmts);
+        // back edge: body -> header
+        assert!(cfg.succ[2].contains(&1), "{:?}", cfg.succ);
+        // bypass: header -> after
+        assert!(cfg.succ[1].contains(&3), "{:?}", cfg.succ);
+    }
+
+    #[test]
+    fn if_gets_bypass_edge() {
+        let (_, cfg) = cfg_of("if c { inside(); }\nafter();");
+        assert_eq!(cfg.stmts.len(), 3);
+        assert!(cfg.succ[0].contains(&1)); // taken
+        assert!(cfg.succ[0].contains(&2)); // not taken
+    }
+
+    #[test]
+    fn stmt_of_maps_tokens_to_statements() {
+        let (ctx, cfg) = cfg_of("let a = 1; touch(a);");
+        let fns = parse::parse_fns(&ctx);
+        let call = fns[0].facts.calls.iter().find(|c| c.name == "touch");
+        let idx = call.expect("call recovered").idx;
+        assert_eq!(cfg.stmt_of(idx), Some(1));
+    }
+}

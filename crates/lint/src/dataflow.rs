@@ -1,0 +1,197 @@
+//! A small forward dataflow framework over statement CFGs.
+//!
+//! Facts are strings (binding names, guard labels) in [`BTreeSet`]s —
+//! deterministic iteration order for free, and the universes here are a
+//! handful of names per function, so sets of strings beat bitsets on
+//! clarity with no measurable cost. Transfer functions are gen/kill:
+//! `out[s] = (in[s] − kill[s]) ∪ gen[s]`, with `in[s]` the join over
+//! predecessors — union for *may* analyses (a fact holds on **some**
+//! path), intersection for *must* (it holds on **every** path).
+//!
+//! The worklist iterates to a fixpoint; gen/kill transfer functions are
+//! monotone on the powerset lattice, so termination is bounded by
+//! `stmts × facts`.
+
+use crate::cfg::Cfg;
+use std::collections::BTreeSet;
+
+/// How predecessor facts merge at a join point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Join {
+    /// Union: the fact holds on at least one path (liveness, taint).
+    May,
+    /// Intersection: the fact holds on every path (availability).
+    Must,
+}
+
+/// Per-statement gen/kill sets, indexed like `cfg.stmts`.
+#[derive(Debug, Default)]
+pub struct GenKill {
+    /// Facts a statement creates.
+    pub gen: Vec<BTreeSet<String>>,
+    /// Facts a statement destroys (applied before gen).
+    pub kill: Vec<BTreeSet<String>>,
+}
+
+impl GenKill {
+    /// Empty gen/kill sets for `n` statements.
+    pub fn new(n: usize) -> GenKill {
+        GenKill {
+            gen: vec![BTreeSet::new(); n],
+            kill: vec![BTreeSet::new(); n],
+        }
+    }
+}
+
+/// The fixpoint: facts on entry to and exit from each statement.
+#[derive(Debug)]
+pub struct Flow {
+    /// `ins[s]` — facts holding just before statement `s`.
+    pub ins: Vec<BTreeSet<String>>,
+    /// `outs[s]` — facts holding just after statement `s`.
+    pub outs: Vec<BTreeSet<String>>,
+}
+
+impl Flow {
+    /// Facts live *during* statement `s`: everything flowing in plus
+    /// what the statement itself generates (a guard acquired by a
+    /// statement is held for the rest of that same statement).
+    pub fn during(&self, s: usize) -> BTreeSet<String> {
+        self.ins[s].union(&self.outs[s]).cloned().collect()
+    }
+}
+
+/// Run a forward gen/kill analysis over `cfg` to fixpoint.
+pub fn forward(cfg: &Cfg, gk: &GenKill, join: Join) -> Flow {
+    let n = cfg.stmts.len();
+    assert_eq!(gk.gen.len(), n, "gen sets must match statement count");
+    assert_eq!(gk.kill.len(), n, "kill sets must match statement count");
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (u, outs) in cfg.succ.iter().enumerate() {
+        for &v in outs {
+            preds[v].push(u);
+        }
+    }
+    // Must-analyses start optimistic (everything available) at non-entry
+    // statements; may-analyses start empty. Entries always start empty.
+    let universe: BTreeSet<String> = gk.gen.iter().flatten().cloned().collect();
+    let mut ins: Vec<BTreeSet<String>> = (0..n)
+        .map(|s| {
+            if join == Join::Must && !preds[s].is_empty() {
+                universe.clone()
+            } else {
+                BTreeSet::new()
+            }
+        })
+        .collect();
+    let mut outs: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+    for s in 0..n {
+        outs[s] = transfer(&ins[s], gk, s);
+    }
+    let mut work: Vec<usize> = (0..n).collect();
+    while let Some(s) = work.pop() {
+        let merged: BTreeSet<String> = match join {
+            Join::May => preds[s]
+                .iter()
+                .flat_map(|&p| outs[p].iter().cloned())
+                .collect(),
+            Join::Must => {
+                let mut it = preds[s].iter();
+                match it.next() {
+                    None => BTreeSet::new(),
+                    Some(&first) => {
+                        let mut acc = outs[first].clone();
+                        for &p in it {
+                            acc = acc.intersection(&outs[p]).cloned().collect();
+                        }
+                        acc
+                    }
+                }
+            }
+        };
+        let new_out = transfer(&merged, gk, s);
+        if merged != ins[s] || new_out != outs[s] {
+            ins[s] = merged;
+            outs[s] = new_out;
+            for &v in &cfg.succ[s] {
+                if !work.contains(&v) {
+                    work.push(v);
+                }
+            }
+        }
+    }
+    Flow { ins, outs }
+}
+
+fn transfer(input: &BTreeSet<String>, gk: &GenKill, s: usize) -> BTreeSet<String> {
+    let mut out: BTreeSet<String> = input.difference(&gk.kill[s]).cloned().collect();
+    out.extend(gk.gen[s].iter().cloned());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FileCtx, Role};
+
+    fn cfg_of(body: &str) -> Cfg {
+        let src = format!("fn f() {{ {body} }}");
+        let ctx = FileCtx::new("crates/core/src/x.rs", "core", Role::Library, &src);
+        Cfg::build(&ctx, &ctx.fns[0].clone())
+    }
+
+    fn set(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn may_facts_survive_a_branch_without_kill() {
+        // g born at stmt 0; killed only inside the if body; may-analysis
+        // keeps it live after the join because the bypass path never
+        // killed it.
+        let cfg = cfg_of("let g = l.lock();\nif c { drop(g); }\nafter();");
+        let n = cfg.stmts.len();
+        let mut gk = GenKill::new(n);
+        gk.gen[0] = set(&["g"]);
+        gk.kill[2] = set(&["g"]); // the drop(g) statement
+        let flow = forward(&cfg, &gk, Join::May);
+        let after = n - 1;
+        assert!(flow.ins[after].contains("g"), "{flow:?}");
+    }
+
+    #[test]
+    fn must_facts_die_at_an_unbalanced_join() {
+        let cfg = cfg_of("let g = l.lock();\nif c { drop(g); }\nafter();");
+        let n = cfg.stmts.len();
+        let mut gk = GenKill::new(n);
+        gk.gen[0] = set(&["g"]);
+        gk.kill[2] = set(&["g"]);
+        let flow = forward(&cfg, &gk, Join::Must);
+        let after = n - 1;
+        assert!(!flow.ins[after].contains("g"), "{flow:?}");
+    }
+
+    #[test]
+    fn kill_stops_straight_line_propagation() {
+        let cfg = cfg_of("let t = m.values();\nt.sort();\nconsume(t);");
+        let mut gk = GenKill::new(cfg.stmts.len());
+        gk.gen[0] = set(&["t"]);
+        gk.kill[1] = set(&["t"]);
+        let flow = forward(&cfg, &gk, Join::May);
+        assert!(flow.ins[1].contains("t"));
+        assert!(!flow.ins[2].contains("t"));
+    }
+
+    #[test]
+    fn loop_back_edge_reaches_a_fixpoint_with_facts_from_below() {
+        // Fact born inside the loop body is live at the header on the
+        // second iteration (back edge), so a may-analysis sees it there.
+        let cfg = cfg_of("for i in 0..3 { let t = src(); use_it(t); }\nafter();");
+        let n = cfg.stmts.len();
+        let mut gk = GenKill::new(n);
+        // stmt 1 is `let t = src();`
+        gk.gen[1] = set(&["t"]);
+        let flow = forward(&cfg, &gk, Join::May);
+        assert!(flow.ins[0].contains("t"), "{flow:?}");
+    }
+}

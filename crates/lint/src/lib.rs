@@ -10,16 +10,22 @@
 //! the crate topology for the `graph` subcommand and the layering
 //! self-checks.
 //!
-//! `check --semantic` swaps the per-file panic (D002) and loop-guard
-//! (D005) scans for their interprocedural refinements: [`parse`] recovers
-//! function items from the token stream, [`symbols`] resolves call sites
-//! across crates, [`callgraph`] runs reachability (D101/D104), and
-//! [`taint`]/[`locks`] add probability-range (D102) and lock-order
-//! (D103) analyses on the same graph.
+//! `check --semantic` swaps the per-file panic (D002), loop-guard
+//! (D005), and hash-order (D001) scans for their interprocedural
+//! refinements: [`parse`] recovers function items from the token stream,
+//! [`symbols`] resolves call sites across crates, [`callgraph`] runs
+//! reachability (D101/D104), [`taint`]/[`locks`] add probability-range
+//! (D102) and lock-order (D103) analyses on the same graph, and
+//! [`concur`] runs the determinism/concurrency dataflow passes
+//! (D106–D109) on statement-level CFGs ([`cfg`]) with a forward may/must
+//! framework ([`dataflow`]).
 
 pub mod baseline;
 pub mod callgraph;
 pub mod catalog;
+pub mod cfg;
+pub mod concur;
+pub mod dataflow;
 pub mod graph;
 pub mod lexer;
 pub mod locks;
@@ -36,15 +42,17 @@ use catalog::{Finding, LintId};
 use std::collections::BTreeMap;
 use std::path::Path;
 
-/// Which analysis the run performs. The two modes share D000/D001/D003/
-/// D004/D006/D007; syntactic mode adds the per-file D002/D005 scans,
-/// semantic mode replaces them with the call-graph lints D101–D104.
+/// Which analysis the run performs. The two modes share D000/D003/D004/
+/// D006/D007; syntactic mode adds the per-file D001/D002/D005 scans,
+/// semantic mode replaces them with the call-graph lints D101–D104 and
+/// the dataflow passes D106–D109 (D107 subsumes D001 the way D101/D104
+/// subsume D002/D005).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
     /// Per-file token scans only (`check`).
     Syntactic,
-    /// Per-file scans minus D002/D005, plus the interprocedural passes
-    /// (`check --semantic`).
+    /// Per-file scans minus D001/D002/D005, plus the interprocedural
+    /// passes (`check --semantic`).
     Semantic,
 }
 
@@ -55,9 +63,16 @@ impl Mode {
         match self {
             Mode::Syntactic => !matches!(
                 id,
-                LintId::D101 | LintId::D102 | LintId::D103 | LintId::D104
+                LintId::D101
+                    | LintId::D102
+                    | LintId::D103
+                    | LintId::D104
+                    | LintId::D106
+                    | LintId::D107
+                    | LintId::D108
+                    | LintId::D109
             ),
-            Mode::Semantic => !matches!(id, LintId::D002 | LintId::D005),
+            Mode::Semantic => !matches!(id, LintId::D001 | LintId::D002 | LintId::D005),
         }
     }
 }
@@ -90,7 +105,7 @@ pub fn analyze_mode(root: &Path, mode: Mode) -> Result<Analysis, String> {
     if mode == Mode::Semantic {
         let ws = symbols::Workspace::from_workspace(root, &ctxs).map_err(|e| e.to_string())?;
         let graph = callgraph::CallGraph::build(ws);
-        for f in callgraph::run_semantic(&graph) {
+        for f in callgraph::run_semantic(&graph, &ctxs) {
             semantic.entry(f.file.clone()).or_default().push(f);
         }
     }
@@ -182,12 +197,18 @@ pub fn fix_baseline(root: &Path) -> Result<usize, String> {
 /// semantic `--fix-baseline` cannot silently drop syntactic debt, and
 /// vice versa). Returns the number of baselined findings. D000s are never
 /// baselined and make this fail, so a broken suppression cannot be
-/// ratcheted in.
+/// ratcheted in; likewise D108 — an undeclared shared-state cell must get
+/// its `shared(...)` declaration, not a debt entry.
 pub fn fix_baseline_mode(root: &Path, mode: Mode) -> Result<usize, String> {
     let analysis = analyze_mode(root, mode)?;
     if let Some(d0) = analysis.findings.iter().find(|f| f.id == LintId::D000) {
         return Err(format!(
             "cannot baseline suppression-hygiene findings; fix them first: {d0}"
+        ));
+    }
+    if let Some(d8) = analysis.findings.iter().find(|f| f.id == LintId::D108) {
+        return Err(format!(
+            "cannot baseline an undeclared shared-state cell; write its shared(...) declaration: {d8}"
         ));
     }
     let mut baseline = Baseline::from_findings(&analysis.findings);

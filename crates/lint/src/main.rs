@@ -6,6 +6,7 @@
 //!   check --fix-baseline  rewrite lint.toml to match current findings
 //!   call-graph            print the resolved call graph as GraphViz DOT
 //!   call-graph --reach F  list everything reachable from functions matching F
+//!   facts --emit json     export the shared-state registry (cells + guards)
 //!   --explain <ID>        print the rationale behind a lint
 //!   graph                 print the workspace crate/module graph
 //!
@@ -28,6 +29,10 @@ fn main() -> ExitCode {
         },
         Some((&"call-graph", rest)) => match parse_callgraph_flags(rest) {
             Ok((reach, root)) => run_callgraph(reach.as_deref(), root.as_deref()),
+            Err(e) => usage_error(&e),
+        },
+        Some((&"facts", rest)) => match parse_facts_flags(rest) {
+            Ok(root) => run_facts(root.as_deref()),
             Err(e) => usage_error(&e),
         },
         Some((&"graph", rest)) => match parse_root_only(rest) {
@@ -54,9 +59,53 @@ usage: cargo run -p lint -- <command>
   check --root <dir>    lint a different workspace root (used by self-tests)
   call-graph            print the resolved call graph as GraphViz DOT
   call-graph --reach <fn>  list functions reachable from <fn> (substring match)
+  facts --emit json     export discovered shared-state cells and guard sites
   --explain <Dxxx>      print a lint's rationale and sanctioned fixes
   graph                 print the crate/module dependency graph
 ";
+
+fn parse_facts_flags(rest: &[&str]) -> Result<Option<String>, String> {
+    let mut root = None;
+    let mut emit = None;
+    let mut it = rest.iter();
+    while let Some(&flag) = it.next() {
+        match flag {
+            "--emit" => match it.next() {
+                Some(&"json") => emit = Some("json"),
+                Some(&other) => return Err(format!("unsupported facts format `{other}`")),
+                None => return Err("--emit needs a format (json)".into()),
+            },
+            "--root" => match it.next() {
+                Some(&r) => root = Some(r.to_string()),
+                None => return Err("--root needs a directory".into()),
+            },
+            other => return Err(format!("unrecognized facts flag `{other}`")),
+        }
+    }
+    if emit.is_none() {
+        return Err("facts requires `--emit json`".into());
+    }
+    Ok(root)
+}
+
+fn run_facts(root_override: Option<&str>) -> ExitCode {
+    let root = match resolve_root(root_override) {
+        Ok(r) => r,
+        Err(e) => return internal(&e),
+    };
+    let ctxs = match lint::workspace::collect_files(&root) {
+        Ok(c) => c,
+        Err(e) => return internal(&e),
+    };
+    let ws = match lint::symbols::Workspace::from_workspace(&root, &ctxs) {
+        Ok(w) => w,
+        Err(e) => return internal(&e.to_string()),
+    };
+    let graph = lint::callgraph::CallGraph::build(ws);
+    let facts = lint::concur::collect_facts(&graph, &ctxs);
+    print!("{}", lint::concur::facts_json(&facts));
+    ExitCode::SUCCESS
+}
 
 fn parse_check_flags(rest: &[&str]) -> Result<(Mode, bool, Option<String>), String> {
     let mut mode = Mode::Syntactic;

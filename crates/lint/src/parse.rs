@@ -45,6 +45,10 @@ pub struct LockSite {
     /// enclosing statement for inline uses, end of the function body for
     /// `let`-bound guards (an over-approximation — no drop tracking).
     pub hold_end: usize,
+    /// The `let` binding holding the guard, if the acquisition is
+    /// `let`-bound (`let cache = self.names.lock()` → `Some("cache")`).
+    /// D106's liveness dataflow kills the guard at `drop(binding)`.
+    pub binding: Option<String>,
 }
 
 /// What a function body does, as far as the semantic passes care.
@@ -60,6 +64,9 @@ pub struct BodyFacts {
     pub locks: Vec<LockSite>,
     /// `.send(...)` sites as `(line, token index)`.
     pub sends: Vec<(u32, usize)>,
+    /// `.recv()`/`.try_recv()`/`.recv_timeout(...)` sites as
+    /// `(line, token index)` — the other half of a channel rendezvous.
+    pub recvs: Vec<(u32, usize)>,
     /// Whether the body calls a budget hook
     /// (`guard(`/`shared_guard(`/`charge(`/`status(`).
     pub charges: bool,
@@ -103,7 +110,7 @@ const KEYWORDS: [&str; 34] = [
     "enum", "trait", "type", "const", "static", "mod", "crate", "super", "async", "await", "box",
 ];
 
-fn is_keyword(s: &str) -> bool {
+pub(crate) fn is_keyword(s: &str) -> bool {
     KEYWORDS.contains(&s)
 }
 
@@ -383,6 +390,11 @@ fn body_facts(ctx: &FileCtx, f: &FnSpan) -> BodyFacts {
             "send" if prev_dot && next < n && toks[next].is_punct('(') => {
                 facts.sends.push((t.line, i));
             }
+            "recv" | "try_recv" | "recv_timeout"
+                if prev_dot && next < n && toks[next].is_punct('(') =>
+            {
+                facts.recvs.push((t.line, i));
+            }
             "lock" | "read" | "write" if prev_dot && next < n && toks[next].is_punct('(') => {
                 let close = ctx.next_code(next);
                 if close < n && toks[close].is_punct(')') {
@@ -391,6 +403,7 @@ fn body_facts(ctx: &FileCtx, f: &FnSpan) -> BodyFacts {
                         line: t.line,
                         idx: i,
                         hold_end: hold_end(ctx, i, f),
+                        binding: let_binding(ctx, i),
                     });
                 }
             }
@@ -564,6 +577,53 @@ fn receiver_label(ctx: &FileCtx, method_idx: usize) -> String {
     }
     parts.reverse();
     parts.concat()
+}
+
+/// The name a `let`-bound statement binds, if the call at `idx` sits on
+/// the right-hand side of one: walk back to the statement's `let`, then
+/// forward to its `=`, taking the last plain identifier of the pattern
+/// (`let mut g = ..` → `g`, `let Some(g) = ..` → `g`).
+fn let_binding(ctx: &FileCtx, idx: usize) -> Option<String> {
+    let toks = &ctx.toks;
+    let mut j = idx;
+    let mut let_at = None;
+    while let Some(p) = ctx.prev_code(j) {
+        let t = &toks[p];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        if t.is_ident("let") {
+            let_at = Some(p);
+            break;
+        }
+        j = p;
+        if idx - j > 64 {
+            break;
+        }
+    }
+    let start = let_at?;
+    let mut name = None;
+    let mut k = ctx.next_code(start);
+    while k < idx {
+        let t = &toks[k];
+        if t.is_punct('=') {
+            break;
+        }
+        if t.is_punct(':') {
+            // A single `:` starts the ascribed type; `::` is a path.
+            let k2 = ctx.next_code(k);
+            if k2 < idx && toks[k2].is_punct(':') {
+                k = ctx.next_code(k2);
+                continue;
+            }
+            break;
+        }
+        if t.kind == TokKind::Ident && !is_keyword(&t.text) {
+            name = Some(t.text.clone());
+        }
+        k = ctx.next_code(k);
+    }
+    name
 }
 
 /// Where a lock guard acquired at `idx` stops being held: end of the

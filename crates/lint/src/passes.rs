@@ -61,7 +61,8 @@ pub fn run_all(ctx: &FileCtx) -> Vec<Finding> {
 /// D104 replace them at workspace scope.
 pub fn run_semantic_file(ctx: &FileCtx) -> Vec<Finding> {
     let mut out = Vec::new();
-    d001_hash_order(ctx, &mut out);
+    // No d001 here: the D107 taint pass subsumes the syntactic hash-order
+    // scan with real flow-sensitivity (sorts kill the taint).
     d003_raw_threads(ctx, &mut out);
     d004_wall_clock(ctx, &mut out);
     d006_lossy_floats(ctx, &mut out);

@@ -5,6 +5,13 @@
 //! suppression must carry a non-empty reason, and every suppression must
 //! actually suppress something — violations of either rule surface as
 //! [`LintId::D000`] findings, so dead or lazy allows cannot accumulate.
+//!
+//! A second body form, `// distinct-lint: shared(<merge-discipline>)`, is
+//! not a suppression: it *declares* an interior-mutability cell's
+//! ordered-commit or commutative-merge story for the D108 shared-state
+//! registry ([`crate::concur`]). It is parsed here (so a malformed body
+//! still surfaces as D000) but collected and validated by the semantic
+//! passes, not by the per-line suppression matcher.
 
 use crate::catalog::{Finding, LintId};
 use crate::lexer::TokKind;
@@ -38,6 +45,21 @@ pub fn collect(ctx: &FileCtx) -> (Vec<Suppression>, Vec<Finding>) {
             continue;
         };
         let body = t.text[pos + "distinct-lint:".len()..].trim();
+        if body.starts_with("shared") {
+            // A shared(...) registry declaration, not a suppression; its
+            // shape and placement are validated by concur::d108.
+            if parse_shared(body).is_err() {
+                findings.push(Finding {
+                    id: LintId::D000,
+                    file: ctx.path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "expected `shared(<merge-discipline>)` with a non-empty discipline, got `{body}`"
+                    ),
+                });
+            }
+            continue;
+        }
         match parse_body(body) {
             Ok((ids, reason)) => {
                 // A comment with code before it on the same line covers
@@ -64,6 +86,23 @@ pub fn collect(ctx: &FileCtx) -> (Vec<Suppression>, Vec<Finding>) {
         }
     }
     (sups, findings)
+}
+
+/// Parse `shared(<merge-discipline>)` into the discipline text. The
+/// discipline is free prose naming the cell's ordered-commit or
+/// commutative-merge story; only non-emptiness is enforced here.
+pub fn parse_shared(body: &str) -> Result<String, String> {
+    let inner = body
+        .trim()
+        .strip_prefix("shared")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('('))
+        .and_then(|r| r.rfind(')').map(|e| &r[..e]))
+        .ok_or_else(|| format!("expected `shared(<merge-discipline>)`, got `{body}`"))?;
+    if inner.trim().is_empty() {
+        return Err("shared(...) declaration must name its merge discipline".into());
+    }
+    Ok(inner.trim().to_string())
 }
 
 /// Parse `allow(D001, D004, reason="...")`.
@@ -204,6 +243,25 @@ mod tests {
         let c = ctx("x(); // distinct-lint: allow(D042, reason=\"nope\")");
         let (_, bad) = collect(&c);
         assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn shared_declaration_is_neither_suppression_nor_d000() {
+        let c = ctx(
+            "// distinct-lint: shared(first-insert-wins: racing inserts are bit-identical)\nshards: Vec<Mutex<Map>>,",
+        );
+        let (sups, bad) = collect(&c);
+        assert!(sups.is_empty());
+        assert!(bad.is_empty());
+    }
+
+    #[test]
+    fn empty_shared_discipline_is_d000() {
+        let c = ctx("// distinct-lint: shared(  )\nx: Mutex<u32>,");
+        let (sups, bad) = collect(&c);
+        assert!(sups.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].id, LintId::D000);
     }
 
     #[test]

@@ -1,0 +1,36 @@
+//@ path: crates/core/src/fanout.rs
+//@ crate: core
+//! Fixture: D109 send-across-commit. A closure submitted to the exec
+//! pool runs on worker threads in arrival order, so mutating captured
+//! state from inside one races the commit order. `pushes_capture` and
+//! `accumulates_capture` both write through a capture; `per_task_result`
+//! builds everything in locals and ships the result back over a channel,
+//! letting the pool commit in input order.
+
+struct Fan;
+
+impl Fan {
+    fn pushes_capture(&self, items: &[u32]) {
+        let mut out = Vec::new();
+        self.pool.par_map_indexed(items, |i, item| {
+            out.push(item + i); //~ D109
+        });
+        publish(&out);
+    }
+
+    fn accumulates_capture(&self, items: &[u32]) {
+        let mut total = 0;
+        self.pool.par_chunks(items, |chunk| {
+            total += chunk.len(); //~ D109
+        });
+        record(total);
+    }
+
+    fn per_task_result(&self, items: &[u32]) {
+        self.pool.par_map_indexed(items, |i, item| {
+            let mut local = Vec::new();
+            local.push(item + i);
+            self.tx.send((i, local))
+        });
+    }
+}

@@ -1,0 +1,55 @@
+//@ path: crates/core/src/engine.rs
+//@ crate: core
+//! Fixture: D106 guard liveness. A guard held at any statement that can
+//! block on the exec pool or a channel is a determinism and deadlock
+//! hazard. `held_direct` carries a let-bound guard into a pool submit,
+//! `held_transitive` reaches the pool through a callee, and
+//! `inline_temporary` creates a guard *inside* a send expression (the
+//! temporary lives for the whole statement). `dropped_first`,
+//! `scoped_out`, and `suppressed` show the sanctioned shapes: explicit
+//! drop, a brace scope that ends before the submit, and a reviewed
+//! suppression.
+
+struct Engine;
+
+impl Engine {
+    fn held_direct(&self) {
+        let g = self.names.lock();
+        self.pool.par_map_guarded(g.len()); //~ D106
+        finish(g);
+    }
+
+    fn held_transitive(&self) {
+        let g = self.names.lock();
+        self.fan_out(g.len()); //~ D106
+    }
+
+    fn fan_out(&self, n: usize) {
+        self.pool.par_chunks(n);
+    }
+
+    fn inline_temporary(&self) {
+        self.tx.send(self.names.lock().len()); //~ D106
+    }
+
+    fn dropped_first(&self) {
+        let g = self.names.lock();
+        let n = g.len();
+        drop(g);
+        self.pool.par_map_guarded(n);
+    }
+
+    fn scoped_out(&self) {
+        let n = {
+            let g = self.names.lock();
+            g.len()
+        };
+        self.pool.par_chunks(n);
+    }
+
+    fn suppressed(&self) {
+        let g = self.names.lock();
+        // distinct-lint: allow(D106, reason="fixture: reviewed single-task submit")
+        self.pool.par_map_guarded(g.len());
+    }
+}

@@ -2,7 +2,8 @@
 //@ crate: exec
 //! Fixture: D103 lock discipline. `ab` and `ba` acquire the same two
 //! mutexes in opposite orders (a deliberate lock-order cycle), and
-//! `held_send` blocks on a channel send while holding a lock.
+//! `held_send` blocks on a channel send while holding a lock — both a
+//! lock-discipline violation (D103) and a guard-liveness one (D106).
 //! `consistent` takes both locks in the canonical order only.
 
 struct Pool;
@@ -22,7 +23,7 @@ impl Pool {
 
     fn held_send(&self) {
         let g = self.state.lock();
-        self.tx.send(1); //~ D103
+        self.tx.send(1); //~ D103 D106
         drop(g);
     }
 

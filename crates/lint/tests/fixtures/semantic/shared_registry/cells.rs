@@ -1,0 +1,41 @@
+//@ path: crates/core/src/cells.rs
+//@ crate: core
+//! Fixture: D108 shared-state registry. Every interior-mutability cell
+//! reachable from the resolve spine must declare its merge discipline
+//! with `// distinct-lint: shared(...)`. `Cache.pending` is reachable
+//! through `resolve_cached` and undeclared; `Cache.hits` is declared;
+//! `Scratch.local` is undeclared but unreachable from the spine, so it
+//! is registered without firing. The stray declaration at the bottom
+//! matches no cell and is flagged as registry hygiene (D000).
+
+/// Shared profile cache: one undeclared and one declared cell.
+pub struct Cache {
+    pending: Mutex<u32>, //~ D108
+    // distinct-lint: shared(commutative counter: relaxed increments, read only for diagnostics)
+    hits: AtomicU64,
+}
+
+impl Cache {
+    fn touch(&self) -> u32 {
+        self.hits.fetch_add(1, Relaxed)
+    }
+}
+
+/// Never reached from the resolve/train spine.
+pub struct Scratch {
+    local: RefCell<u32>,
+}
+
+impl Scratch {
+    fn bump(&self) {
+        self.local.replace(1);
+    }
+}
+
+/// Entry point: the resolve spine touches the cache.
+pub fn resolve_cached(c: &Cache) -> u32 {
+    c.touch()
+}
+
+// distinct-lint: shared(matches no cell on the next line) //~ D000
+fn not_a_cell() {}

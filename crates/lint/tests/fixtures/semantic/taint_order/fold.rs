@@ -1,0 +1,56 @@
+//@ path: crates/core/src/fold.rs
+//@ crate: core
+//! Fixture: D107 determinism taint. Values drawn from unordered hash
+//! iteration or from the thread count must not reach float folds,
+//! growing buffers, or ExecReport/ParStats counters. `fold_hash` and
+//! `chain_fold` accumulate straight off `values()`; `push_unordered`
+//! grows an output buffer in arrival order; `thread_shaped` lets the
+//! worker count shape a stats report. `sorted_fold` kills the taint with
+//! an explicit sort, and `ordered_commit` sorts the buffer before it is
+//! read — the ordered-commit discipline.
+
+struct Fold;
+
+impl Fold {
+    fn fold_hash(&self, m: &FxHashMap<u32, f64>) -> f64 {
+        let mut total = 0.0;
+        for v in m.values() {
+            total += v; //~ D107
+        }
+        total
+    }
+
+    fn chain_fold(&self, m: &FxHashMap<u32, f64>) -> f64 {
+        m.values().sum() //~ D107
+    }
+
+    fn push_unordered(&self, m: &FxHashMap<u32, f64>, out: &mut Vec<f64>) {
+        for v in m.values() {
+            out.push(scale(v)); //~ D107
+        }
+    }
+
+    fn thread_shaped(&self) -> ParStats {
+        let threads = auto_threads();
+        ParStats { threads } //~ D107
+    }
+
+    fn sorted_fold(&self, m: &FxHashMap<u32, f64>) -> f64 {
+        let mut keys: Vec<u32> = m.keys().copied().collect();
+        keys.sort_unstable();
+        let mut total = 0.0;
+        for k in keys.iter() {
+            total += score(m, k);
+        }
+        total
+    }
+
+    fn ordered_commit(&self, m: &FxHashMap<u32, f64>) -> Vec<f64> {
+        let mut out = Vec::new();
+        for (k, v) in m.iter() {
+            out.push(weight(k, v));
+        }
+        out.sort_by(f64::total_cmp);
+        out
+    }
+}

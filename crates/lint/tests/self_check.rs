@@ -238,6 +238,145 @@ fn binary_reports_seeded_panic_reachable_from_resolve() {
     let _ = std::fs::remove_dir_all(&scratch);
 }
 
+/// Seed a guard held across an exec pool submit into crates/core and
+/// assert `check --semantic` fails with a D106 finding that names the
+/// guard binding and the blocking call.
+#[test]
+fn binary_reports_seeded_guard_across_pool_boundary() {
+    let scratch = std::env::temp_dir().join(format!("distinct-lint-d106-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    copy_workspace(&workspace_root(), &scratch);
+
+    std::fs::write(
+        scratch.join("crates/core/src/seeded_guard.rs"),
+        "struct SeededGuard;\n\n\
+         impl SeededGuard {\n    fn fan(&self) {\n        let g = self.names.lock();\n        \
+         self.pool.par_map_guarded(g.len());\n    }\n}\n",
+    )
+    .expect("seed guard-liveness violation");
+
+    let (code, text) = run_lint(&["check", "--semantic"], &scratch);
+    assert_eq!(code, Some(1), "seeded copy must fail --semantic:\n{text}");
+    assert!(text.contains("D106"), "no D106 reported:\n{text}");
+    assert!(
+        text.contains("`g`") && text.contains("par_map_guarded"),
+        "finding does not name the guard and the blocking call:\n{text}"
+    );
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// Seed an unordered hash fold into crates/core and assert semantic mode
+/// reports it as D107 (the flow-sensitive subsumption of syntactic D001).
+#[test]
+fn binary_reports_seeded_hash_fold_as_determinism_taint() {
+    let scratch = std::env::temp_dir().join(format!("distinct-lint-d107-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    copy_workspace(&workspace_root(), &scratch);
+
+    std::fs::write(
+        scratch.join("crates/core/src/seeded_fold.rs"),
+        "use rustc_hash::FxHashMap;\n\n\
+         fn seeded_total(weights: &FxHashMap<u32, f64>) -> f64 {\n    \
+         weights.values().sum()\n}\n",
+    )
+    .expect("seed determinism-taint violation");
+
+    let (code, text) = run_lint(&["check", "--semantic"], &scratch);
+    assert_eq!(code, Some(1), "seeded copy must fail --semantic:\n{text}");
+    assert!(text.contains("D107"), "no D107 reported:\n{text}");
+    assert!(
+        text.contains("seeded_total"),
+        "finding does not name the folding function:\n{text}"
+    );
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// Strip the `shared(...)` declaration off a real registered cell
+/// (ProfileCache's shard array) and assert semantic mode fails with D108
+/// — and that `--fix-baseline` refuses to absorb it as debt.
+#[test]
+fn binary_reports_stripped_shared_declaration_and_refuses_to_baseline_it() {
+    let scratch = std::env::temp_dir().join(format!("distinct-lint-d108-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    copy_workspace(&workspace_root(), &scratch);
+
+    let cache = scratch.join("crates/core/src/cache.rs");
+    let src = std::fs::read_to_string(&cache).expect("read cache.rs");
+    let stripped: String = src
+        .lines()
+        .filter(|l| !l.contains("distinct-lint: shared("))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_ne!(src, stripped, "cache.rs must carry a shared() declaration");
+    std::fs::write(&cache, stripped).expect("strip declaration");
+
+    let (code, text) = run_lint(&["check", "--semantic"], &scratch);
+    assert_eq!(code, Some(1), "stripped copy must fail --semantic:\n{text}");
+    assert!(text.contains("D108"), "no D108 reported:\n{text}");
+    assert!(
+        text.contains("ProfileCache") && text.contains("crates/core/src/cache.rs"),
+        "finding does not name the owner and file:\n{text}"
+    );
+
+    let (code, text) = run_lint(&["check", "--semantic", "--fix-baseline"], &scratch);
+    assert_eq!(code, Some(2), "fix-baseline must refuse D108 debt:\n{text}");
+    assert!(
+        text.contains("shared(") && text.contains("declaration"),
+        "refusal does not point at the fix:\n{text}"
+    );
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// Seed a pool closure that mutates a captured buffer and assert
+/// semantic mode reports it as D109 with the return-per-task guidance.
+#[test]
+fn binary_reports_seeded_closure_capture_mutation() {
+    let scratch = std::env::temp_dir().join(format!("distinct-lint-d109-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    copy_workspace(&workspace_root(), &scratch);
+
+    std::fs::write(
+        scratch.join("crates/core/src/seeded_commit.rs"),
+        "struct SeededCommit;\n\n\
+         impl SeededCommit {\n    fn collect(&self, items: &[u32]) {\n        \
+         let mut out = Vec::new();\n        \
+         self.pool.par_map_indexed(items, |i, item| {\n            \
+         out.push(item + i);\n        });\n    }\n}\n",
+    )
+    .expect("seed commit-mutation violation");
+
+    let (code, text) = run_lint(&["check", "--semantic"], &scratch);
+    assert_eq!(code, Some(1), "seeded copy must fail --semantic:\n{text}");
+    assert!(text.contains("D109"), "no D109 reported:\n{text}");
+    assert!(
+        text.contains("`out`") && text.contains("ordered-commit"),
+        "finding does not name the capture and the protocol:\n{text}"
+    );
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// `facts --emit json` over the real workspace: the registry must list
+/// the production cells CI greps for, and every emitted cell must carry
+/// a declaration (the D108 gate keeps the two in lockstep).
+#[test]
+fn facts_export_lists_the_production_cells() {
+    let (code, text) = run_lint(&["facts", "--emit", "json"], &workspace_root());
+    assert_eq!(code, Some(0), "facts export failed:\n{text}");
+    for marker in ["\"cells\"", "\"guards\"", "ProfileCache", "\"names\""] {
+        assert!(text.contains(marker), "missing {marker} in:\n{text}");
+    }
+    // D108 keeps the registry and the declarations in lockstep, so no
+    // emitted cell may be missing its merge discipline.
+    assert!(
+        !text.contains("\"discipline\": null"),
+        "a registered cell is missing its merge discipline:\n{text}"
+    );
+}
+
 /// A directory under `crates/` without a manifest must be a loud, typed
 /// error from `graph` (it used to exit 0 with partial output).
 #[test]

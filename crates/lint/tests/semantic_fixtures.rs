@@ -169,7 +169,7 @@ fn findings_for(group: &Group) -> BTreeMap<String, Vec<(LintId, u32)>> {
     let ws = Workspace::build(&refs, packages, closures_of(&group.files));
     let graph = CallGraph::build(ws);
     let mut semantic: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
-    for f in callgraph::run_semantic(&graph) {
+    for f in callgraph::run_semantic(&graph, &ctxs) {
         semantic.entry(f.file.clone()).or_default().push(f);
     }
     let mut out = BTreeMap::new();

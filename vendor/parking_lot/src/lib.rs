@@ -50,6 +50,18 @@ impl<T: ?Sized> Mutex<T> {
             .get_mut()
             .unwrap_or_else(sync::PoisonError::into_inner)
     }
+
+    /// Whether the mutex is currently held (by anyone). Advisory only —
+    /// the answer can be stale by the time the caller acts on it — but
+    /// exact in the negative direction for a thread that itself holds no
+    /// guard, which is what lock-scope assertions need.
+    pub fn is_locked(&self) -> bool {
+        match self.0.try_lock() {
+            Ok(_) => false,
+            Err(sync::TryLockError::Poisoned(_)) => false,
+            Err(sync::TryLockError::WouldBlock) => true,
+        }
+    }
 }
 
 /// A reader-writer lock (poison-free `read()`/`write()`).
