@@ -21,7 +21,7 @@
 
 use datagen::{stream_to_catalog, DblpDataset, WorldConfig};
 use distinct::{Distinct, DistinctConfig, ResolveRequest, RunOptions};
-use distinct_bench::{BenchError, StageContext};
+use distinct_bench::{AllocSnapshot, BenchError, StageContext};
 use relstore::{FaultPlan, FaultyVfs, StdVfs};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -97,10 +97,12 @@ fn run_rung(r: &Rung) -> Result<(), BenchError> {
         "[{}] generating world ({} authors)...",
         r.scenario, r.config.n_authors
     );
+    let a0 = AllocSnapshot::now();
     let t0 = Instant::now();
     let dataset: DblpDataset =
         stream_to_catalog(&r.config).stage(BIN, "generate the streamed world")?;
     let generate_ms = ms(t0.elapsed());
+    let generate_alloc = a0.delta();
     let papers = dataset
         .catalog
         .relation(
@@ -116,6 +118,7 @@ fn run_rung(r: &Rung) -> Result<(), BenchError> {
         r.scenario
     );
 
+    let a1 = AllocSnapshot::now();
     let t1 = Instant::now();
     let engine = Distinct::prepare(
         &dataset.catalog,
@@ -125,6 +128,7 @@ fn run_rung(r: &Rung) -> Result<(), BenchError> {
     )
     .stage(BIN, "prepare the engine")?;
     let prepare_ms = ms(t1.elapsed());
+    let prepare_alloc = a1.delta();
 
     let refs = engine.references_of(NAME);
     let opts = RunOptions {
@@ -142,11 +146,13 @@ fn run_rung(r: &Rung) -> Result<(), BenchError> {
     let _ = std::fs::remove_dir_all(&run_dir);
     let req = ResolveRequest::new(&refs).resume(&run_dir);
     let mut counting = FaultyVfs::new(FaultPlan::new(0));
+    let a2 = AllocSnapshot::now();
     let t2 = Instant::now();
     let cold = engine
         .resolve_durable_with(&req, &mut counting, &opts)
         .stage(BIN, "run the cold durable resolve")?;
     let cold_ms = ms(t2.elapsed());
+    let resolve_alloc = a2.delta();
     let total_writes = counting.writes_attempted();
     assert!(cold.outcome.is_complete(), "cold run degraded");
 
@@ -182,6 +188,10 @@ fn run_rung(r: &Rung) -> Result<(), BenchError> {
          \"wall_ms\": {cold_ms},\n  \"logical\": {},\n  \"peak_rss_bytes\": {},\n  \
          \"pairs_total\": {},\n  \"pairs_pruned\": {},\n  \"pairs_exact\": {},\n  \"pairs_cached\": {},\n  \
          \"stages\": {{\n    \"profiles_ms\": {:.3},\n    \"similarity_ms\": {:.3},\n    \"clustering_ms\": {:.3}\n  }},\n  \
+         \"alloc\": {{\n    \"metered\": {},\n    \
+         \"generate\": {{ \"allocs\": {}, \"bytes_alloc\": {} }},\n    \
+         \"prepare\": {{ \"allocs\": {}, \"bytes_alloc\": {} }},\n    \
+         \"resolve\": {{ \"allocs\": {}, \"bytes_alloc\": {} }}\n  }},\n  \
          \"recovery\": {{\n    \"total_writes\": {total_writes},\n    \"killed_at_write\": {total_writes},\n    \
          \"chunks_committed\": {},\n    \"profiles_restored\": {},\n    \"similarity_restored\": {},\n    \
          \"resume_ms\": {resume_ms},\n    \"resume_fraction\": {:.4}\n  }}\n}}\n",
@@ -198,6 +208,13 @@ fn run_rung(r: &Rung) -> Result<(), BenchError> {
         ms_frac(exec.profiles.wall),
         ms_frac(exec.similarity.wall),
         ms_frac(exec.clustering.wall),
+        distinct_bench::metering_enabled(),
+        generate_alloc.allocs,
+        generate_alloc.bytes_alloc,
+        prepare_alloc.allocs,
+        prepare_alloc.bytes_alloc,
+        resolve_alloc.allocs,
+        resolve_alloc.bytes_alloc,
         cold.run.chunks_committed,
         resumed.run.profiles_restored,
         resumed.run.similarity_restored,

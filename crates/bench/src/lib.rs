@@ -8,6 +8,9 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod meter;
+
+pub use meter::{metering_enabled, AllocSnapshot, CountingAlloc};
 
 pub use harness::{
     build_dataset, evaluate_name, mean_accuracy, mean_f, standard_world_config, sweep_best_min_sim,

@@ -1,0 +1,128 @@
+//! Process-wide allocation metering for the benchmark rungs.
+//!
+//! A counting wrapper around the system allocator: every `alloc` and
+//! `realloc` bumps two relaxed atomics (call count and bytes requested),
+//! and rungs snapshot the counters around a stage to report per-stage
+//! `allocs` / `bytes_alloc` next to wall time. The wrapper is compiled
+//! unconditionally so it can be unit-tested, but it is only installed as
+//! the global allocator under the `bench` cargo feature — metering every
+//! allocation costs two atomic adds per call, which the default test and
+//! experiment builds should not pay. Without the feature the counters
+//! simply stay at zero and [`metering_enabled`] reports `false`, so rung
+//! JSON keeps a stable schema either way.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of `alloc`/`realloc` calls since process start.
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+/// Total bytes requested by those calls (not peak, not live).
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`] pass-through that counts allocation calls and bytes.
+///
+/// The counters are monotonic totals: deallocations are deliberately not
+/// subtracted, because the rungs report churn (how much allocator
+/// traffic a stage generates), not residency — peak RSS already covers
+/// the latter.
+pub struct CountingAlloc;
+
+// SAFETY: every method delegates verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the counter updates have no effect on the
+// returned pointers or layouts.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[cfg(feature = "bench")]
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Whether the counting allocator is installed (the `bench` feature).
+/// When `false`, snapshots are all-zero and deltas are meaningless.
+pub fn metering_enabled() -> bool {
+    cfg!(feature = "bench")
+}
+
+/// A point-in-time reading of the process allocation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// `alloc`/`realloc` calls so far.
+    pub allocs: u64,
+    /// Bytes requested by those calls so far.
+    pub bytes_alloc: u64,
+}
+
+impl AllocSnapshot {
+    /// Read the counters now.
+    pub fn now() -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: ALLOCS.load(Ordering::Relaxed),
+            bytes_alloc: BYTES.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counter movement since `self` was taken (saturating, so a stale
+    /// snapshot can never produce a bogus huge delta on wraparound).
+    pub fn delta(&self) -> AllocSnapshot {
+        let now = AllocSnapshot::now();
+        AllocSnapshot {
+            allocs: now.allocs.saturating_sub(self.allocs),
+            bytes_alloc: now.bytes_alloc.saturating_sub(self.bytes_alloc),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_move_only_when_the_feature_installs_the_allocator() {
+        let before = AllocSnapshot::now();
+        let v: Vec<u64> = (0..4096).collect();
+        assert_eq!(v.len(), 4096);
+        let d = before.delta();
+        if metering_enabled() {
+            assert!(d.allocs >= 1, "a fresh Vec must be counted: {d:?}");
+            assert!(d.bytes_alloc >= 4096 * 8, "bytes under-counted: {d:?}");
+        } else {
+            assert_eq!(d, AllocSnapshot::default(), "counters must stay zero");
+        }
+    }
+
+    #[test]
+    fn wrapper_round_trips_through_the_system_allocator() {
+        // Exercise the wrapper directly (it is not installed globally in
+        // default builds): alloc, realloc, dealloc must behave.
+        let layout = Layout::from_size_align(64, 8).expect("valid layout");
+        // SAFETY: layout is non-zero-sized; the pointer is used and freed
+        // with matching layouts within this block.
+        unsafe {
+            let p = CountingAlloc.alloc(layout);
+            assert!(!p.is_null());
+            p.write(7);
+            let q = CountingAlloc.realloc(p, layout, 128);
+            assert!(!q.is_null());
+            assert_eq!(q.read(), 7);
+            let grown = Layout::from_size_align(128, 8).expect("valid layout");
+            CountingAlloc.dealloc(q, grown);
+        }
+        let base = AllocSnapshot::now();
+        assert!(base.allocs >= 2, "direct wrapper calls must be counted");
+    }
+}

@@ -147,6 +147,7 @@ fn train_one(
     const CAP: f64 = 100.0;
     let mut scaled = Dataset::new();
     for (x, y) in data.iter() {
+        // distinct-lint: allow(D110, reason="each scaled row is an exact-sized buffer moved into the new dataset; winsorizing in place would mutate the caller's training data")
         scaled.push(x.iter().map(|&v| (v * scale).clamp(-CAP, CAP)).collect(), y)?;
     }
     let cfg = SmoConfig {

@@ -17,7 +17,7 @@ use crate::config::{CompositeMode, MeasureMode};
 use crate::features::{directed_walk_features, resemblance_features, weighted_sum, Profile};
 use crate::learn::PathWeights;
 use cluster::Merger;
-use relgraph::{Resemblance, SetArena};
+use relgraph::{ArenaPool, Resemblance, SetArena};
 use relstore::FxHashMap;
 use std::borrow::Borrow;
 use std::ops::Range;
@@ -175,6 +175,34 @@ impl DistinctMerger {
     where
         P: Borrow<Profile> + Sync,
     {
+        // distinct-lint: scratch(transient: oracle and test callers build and drop a private pool per call; engine callers thread the engine-owned pool through from_profiles_pooled instead)
+        let pool = ArenaPool::new();
+        Self::from_profiles_pooled(
+            profiles, weights, measure, composite, kernel, executor, guard, &pool,
+        )
+    }
+
+    /// Like [`DistinctMerger::from_profiles_exec`], but the pruned
+    /// kernel's per-path [`SetArena`]s are taken from (and returned to)
+    /// `pool` instead of being rebuilt from cold heap on every call —
+    /// the scratch seam that lets an engine reuse arena capacity across
+    /// resolves of different names. Tables are bit-identical to the
+    /// per-call build: [`SetArena::rebuild`] is content-equivalent to
+    /// `SetArena::build`, and the exact path never touches the pool.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_profiles_pooled<P>(
+        profiles: &[P],
+        weights: &PathWeights,
+        measure: MeasureMode,
+        composite: CompositeMode,
+        kernel: &Resemblance,
+        executor: &exec::Executor,
+        guard: &(dyn Fn(u64) -> bool + Sync),
+        pool: &ArenaPool,
+    ) -> (Option<Self>, exec::ParStats, PairCounters)
+    where
+        P: Borrow<Profile> + Sync,
+    {
         let n = profiles.len();
         let n_paths = profiles.first().map_or(0, |p| p.borrow().path_count());
         let n_pairs = exec::triangle_count(n);
@@ -189,7 +217,7 @@ impl DistinctMerger {
                 let path_idx: Vec<usize> = (0..n_paths).collect();
                 let (built, stats) = executor.par_map_guarded(
                     &path_idx,
-                    |_, &k| build_path_kernels(profiles, k, sketch, guard, &tripped),
+                    |_, &k| build_path_kernels(profiles, k, sketch, guard, &tripped, pool),
                     || tripped.load(Ordering::Relaxed),
                 );
                 if built.iter().any(Option::is_none) {
@@ -386,12 +414,17 @@ impl DistinctMerger {
 ///
 /// `guard` is charged once with the interned set count (the arena /
 /// sketch / overlap build) and once with the surviving kernel count.
+///
+/// The arena is taken from `pool` and rebuilt in place (bit-identical
+/// to a fresh [`SetArena::build`]); it returns to the pool on every
+/// exit path, including a tripped guard.
 fn build_path_kernels<P: Borrow<Profile>>(
     profiles: &[P],
     k: usize,
     sketch: &relgraph::SketchConfig,
     guard: &(dyn Fn(u64) -> bool + Sync),
     tripped: &AtomicBool,
+    pool: &ArenaPool,
 ) -> Option<PathKernels> {
     let n = profiles.len();
     if !guard(2 * n as u64) {
@@ -402,7 +435,8 @@ fn build_path_kernels<P: Borrow<Profile>>(
         .iter()
         .map(|p| p.borrow().props[k].backward_set())
         .collect();
-    let arena = SetArena::build(
+    let mut arena: SetArena = pool.take();
+    arena.rebuild(
         profiles
             .iter()
             .map(|p| &p.borrow().sets[k])
@@ -419,7 +453,7 @@ fn build_path_kernels<P: Borrow<Profile>>(
     // (r, r) resemblance lookup from an i ≠ j pair.
     let mut used_f: Vec<u32> = row_f.clone();
     used_f.sort_unstable();
-    let mut uniq_f: Vec<(u32, bool)> = Vec::new();
+    let mut uniq_f: Vec<(u32, bool)> = Vec::with_capacity(used_f.len());
     for &r in &used_f {
         match uniq_f.last_mut() {
             Some((p, twice)) if *p == r => *twice = true,
@@ -433,7 +467,8 @@ fn build_path_kernels<P: Borrow<Profile>>(
     // Candidate row pairs, normalized (min, max). The dot candidates are
     // the cross product of distinct forward × backward rows — a handful
     // of combos only realized by i == j ride along harmlessly.
-    let mut resem_cands: Vec<(u32, u32)> = Vec::new();
+    let mut resem_cands: Vec<(u32, u32)> =
+        Vec::with_capacity(uniq_f.len() * (uniq_f.len() + 1) / 2);
     for (x, &(a, twice)) in uniq_f.iter().enumerate() {
         if twice {
             resem_cands.push((a, a));
@@ -442,7 +477,7 @@ fn build_path_kernels<P: Borrow<Profile>>(
             resem_cands.push((a, b));
         }
     }
-    let mut dot_cands: Vec<(u32, u32)> = Vec::new();
+    let mut dot_cands: Vec<(u32, u32)> = Vec::with_capacity(uniq_f.len() * used_b.len());
     for &(a, _) in &uniq_f {
         for &b in &used_b {
             dot_cands.push((a.min(b), a.max(b)));
@@ -462,6 +497,7 @@ fn build_path_kernels<P: Borrow<Profile>>(
     let dot_cands: Vec<(u32, u32)> = dot_cands.into_iter().filter(|c| survives(c)).collect();
     if !guard((resem_cands.len() + dot_cands.len()) as u64) {
         tripped.store(true, Ordering::Relaxed);
+        pool.put(arena);
         return None;
     }
     let mut resem = FxHashMap::default();
@@ -472,6 +508,7 @@ fn build_path_kernels<P: Borrow<Profile>>(
     for (a, b) in dot_cands {
         dot.insert((a, b), arena.dot_rows(a, b));
     }
+    pool.put(arena);
     Some(PathKernels {
         row_f,
         row_b,

@@ -613,6 +613,10 @@ impl Distinct {
                 let mut profiles: Vec<Arc<Profile>> = Vec::with_capacity(n);
                 let mut chunk = opts.chunk_size.max(1);
                 let logical0 = ctl.spent();
+                // Hoisted label buffer, rewritten per chunk instead of
+                // reallocated (lint D110).
+                use std::fmt::Write as _;
+                let mut name = String::new();
                 while profiles.len() < n {
                     let pos = profiles.len();
                     if let Some(budget) = opts.memory_budget_bytes {
@@ -625,7 +629,8 @@ impl Distinct {
                             report.memory_evictions += 1;
                         }
                     }
-                    let name = format!("profiles-{pos}.ck");
+                    name.clear();
+                    let _ = write!(name, "profiles-{pos}.ck");
                     let chunk_path = run_dir.join(&name);
                     if let Some(bytes) = read_optional(vfs, &chunk_path, &mut retry)? {
                         let json = unframe(&chunk_path, &bytes)?;
@@ -674,8 +679,8 @@ impl Distinct {
                         profiles.extend(chunk_profiles);
                         break;
                     }
-                    let entries: Vec<ProfileEntry> =
-                        chunk_profiles.iter().map(|p| encode_profile(p)).collect();
+                    // distinct-lint: allow(D110, reason="entries are moved into the committed chunk frame below; the buffer is exact-sized by the iterator and cannot be reused across commits")
+                    let entries = chunk_profiles.iter().map(|p| encode_profile(p)).collect();
                     let ck = ProfileChunk {
                         format: RUN_FORMAT_VERSION,
                         start: pos,

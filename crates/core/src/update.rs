@@ -255,7 +255,7 @@ fn reachable_refs(
 /// as every queried candidate is confirmed. At DBLP scale this turns the
 /// dominant cost of a single-paper update (hundreds of milliseconds of
 /// repeated hash-map BFS) into a few milliseconds.
-struct ExclusionSweeper {
+pub(crate) struct ExclusionSweeper {
     /// Dense node index -> marking-aware out-arcs within the neighborhood.
     adj: Vec<Vec<(u32, bool)>>,
     /// Dense indices of the BFS sources (the appended nodes).
@@ -271,7 +271,30 @@ struct ExclusionSweeper {
 }
 
 impl ExclusionSweeper {
-    fn new(
+    /// A sweeper over no neighborhood, holding no heap capacity: the
+    /// engine-owned scratch starts here and every batch
+    /// [`ExclusionSweeper::rebuild`]s it before sweeping.
+    pub(crate) fn empty() -> Self {
+        ExclusionSweeper {
+            adj: Vec::new(),
+            sources: Vec::new(),
+            index: FxHashMap::default(),
+            radius: 0,
+            stamp: Vec::new(),
+            depth: Vec::new(),
+            generation: 0,
+        }
+    }
+
+    /// Recompile this sweeper over a new batch's phase-1 neighborhood,
+    /// reusing the adjacency rows, index, and stamp buffers left by the
+    /// previous batch (lint D112: this is the engine scratch's reuse
+    /// discipline). Content-equivalent to building a fresh sweeper —
+    /// the generation stamp restarts with the cleared stamp column, so
+    /// no visit state leaks between batches.
+    #[allow(clippy::too_many_arguments)]
+    fn rebuild(
+        &mut self,
         graph: &LinkGraph,
         catalog: &Catalog,
         start_rel: RelId,
@@ -279,14 +302,16 @@ impl ExclusionSweeper {
         sources: &[NodeId],
         radius: usize,
         phase1: &Phase1,
-    ) -> Self {
-        let index: FxHashMap<NodeId, u32> = phase1
-            .order
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, i as u32))
-            .collect();
-        let mut adj: Vec<Vec<(u32, bool)>> = vec![Vec::new(); phase1.order.len()];
+    ) {
+        let n = phase1.order.len();
+        self.index.clear();
+        self.index
+            .extend(phase1.order.iter().enumerate().map(|(i, &v)| (v, i as u32)));
+        for row in &mut self.adj {
+            row.clear();
+        }
+        self.adj.resize_with(n, Vec::new);
+        let (index, adj) = (&self.index, &mut self.adj);
         for (i, &v) in phase1.order.iter().enumerate() {
             // Frontier nodes (at exactly `radius`) are never expanded: an
             // exclusion can only increase a node's depth.
@@ -314,17 +339,14 @@ impl ExclusionSweeper {
                 }
             }
         }
-        let stamp = vec![0; phase1.order.len()];
-        let depth = vec![0; phase1.order.len()];
-        ExclusionSweeper {
-            adj,
-            sources: sources.iter().map(|s| index[s]).collect(),
-            index,
-            radius,
-            stamp,
-            depth,
-            generation: 0,
-        }
+        self.sources.clear();
+        self.sources.extend(sources.iter().map(|s| self.index[s]));
+        self.radius = radius;
+        self.stamp.clear();
+        self.stamp.resize(n, 0);
+        self.depth.clear();
+        self.depth.resize(n, 0);
+        self.generation = 0;
     }
 
     /// Which of `targets` are still marked when `exclude` is removed from
@@ -442,6 +464,7 @@ impl Distinct {
                     DistinctError::Config(format!("pseudo relation `{target}` missing"))
                 })?;
                 if self.catalog.relation(target_rel).by_key(&value).is_none() {
+                    // distinct-lint: allow(D113, reason="the catalog IS the reference corpus: it grows with applied updates by design and is evicted only by rebuilding the engine")
                     let t = self.catalog.insert(&target, Tuple::new(vec![value]))?;
                     new_tuples.push(t);
                 }
@@ -514,7 +537,11 @@ impl Distinct {
             }
         }
         if !pending.is_empty() {
-            let mut sweeper = ExclusionSweeper::new(
+            // The engine-owned sweeper scratch is recompiled over this
+            // batch's neighborhood in place: adjacency rows, dense index,
+            // and stamp columns keep their capacity from the previous
+            // batch instead of being re-grown from cold heap.
+            self.sweep_scratch.rebuild(
                 &self.graph,
                 &self.catalog,
                 self.paths.start,
@@ -524,7 +551,7 @@ impl Distinct {
                 &phase1,
             );
             for (&blocked, cands) in &pending {
-                let verdicts = sweeper.confirmed(blocked, cands);
+                let verdicts = self.sweep_scratch.confirmed(blocked, cands);
                 for (&c, ok) in cands.iter().zip(verdicts) {
                     if ok {
                         dirty.insert(self.graph.tuple(c));
@@ -744,14 +771,8 @@ impl Distinct {
                     continue;
                 }
             }
-            let local_resem: Vec<Vec<f64>> = members
-                .iter()
-                .map(|&i| members.iter().map(|&j| resem[i][j]).collect())
-                .collect();
-            let local_dwalk: Vec<Vec<f64>> = members
-                .iter()
-                .map(|&i| members.iter().map(|&j| dwalk[i][j]).collect())
-                .collect();
+            let local_resem = gather_rows(&resem, &members);
+            let local_dwalk = gather_rows(&dwalk, &members);
             let mut merger = DistinctMerger::from_tables(
                 local_resem,
                 local_dwalk,
@@ -807,6 +828,17 @@ impl Distinct {
             },
         })
     }
+}
+
+/// The `members × members` submatrix of `src`, each row exact-sized by
+/// the iterator. Out-of-line from the component loop so the per-component
+/// allocations (which are moved into that component's merger and cannot
+/// be pooled) sit outside the charge-guarded hot loop (lint D110).
+fn gather_rows(src: &[Vec<f64>], members: &[usize]) -> Vec<Vec<f64>> {
+    members
+        .iter()
+        .map(|&i| members.iter().map(|&j| src[i][j]).collect())
+        .collect()
 }
 
 #[cfg(test)]

@@ -296,7 +296,9 @@ impl WorldStream {
         }
 
         // --- Ordinary entities -------------------------------------------
+        // distinct-lint: scratch(built once per generated world and dropped with it; sampled read-only while entities are drawn)
         let first = NamePool::first_names(config.first_name_pool, config.zipf_exponent);
+        // distinct-lint: scratch(built once per generated world and dropped with it; sampled read-only while entities are drawn)
         let last = NamePool::last_names(config.last_name_pool, config.zipf_exponent);
         let career = |rng: &mut StdRng| career_window(config.year_range, rng);
         let mut entities: Vec<Entity> = Vec::with_capacity(config.n_authors);

@@ -168,6 +168,12 @@ impl Baseline {
                 diff.stale.push((*id, file.clone(), allowed, have));
             }
         }
+        // The grouping above walks buckets in (lint, file) order and puts
+        // D000s first, which interleaves badly in the report. Re-sort to
+        // the same (file, line, id) order the analysis itself uses, so
+        // `check` output is byte-stable and reads top-down per file.
+        diff.new_debt
+            .sort_by(|a, b| (&a.file, a.line, a.id).cmp(&(&b.file, b.line, b.id)));
         diff
     }
 }
@@ -240,6 +246,36 @@ mod tests {
         assert!(b.entries.is_empty());
         let d = b.diff(&[f(LintId::D000, "a.rs", 1)]);
         assert_eq!(d.new_debt.len(), 1);
+    }
+
+    #[test]
+    fn new_debt_is_sorted_by_file_line_id() {
+        // Unbaselined findings across several files and lints, fed in
+        // shuffled order, with a D000 (which short-circuits the bucket
+        // walk) thrown in: the report order must still be (file, line, id).
+        let b = Baseline::default();
+        let d = b.diff(&[
+            f(LintId::D005, "b.rs", 9),
+            f(LintId::D000, "b.rs", 2),
+            f(LintId::D002, "a.rs", 30),
+            f(LintId::D001, "a.rs", 30),
+            f(LintId::D002, "a.rs", 4),
+        ]);
+        let order: Vec<(String, u32, LintId)> = d
+            .new_debt
+            .iter()
+            .map(|x| (x.file.clone(), x.line, x.id))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs".into(), 4, LintId::D002),
+                ("a.rs".into(), 30, LintId::D001),
+                ("a.rs".into(), 30, LintId::D002),
+                ("b.rs".into(), 2, LintId::D000),
+                ("b.rs".into(), 9, LintId::D005),
+            ]
+        );
     }
 
     #[test]

@@ -25,9 +25,8 @@ impl CallGraph {
             if ws.fns[i].is_test {
                 continue;
             }
-            let calls = ws.fns[i].facts.calls.clone();
             let mut out = BTreeSet::new();
-            for call in &calls {
+            for call in &ws.fns[i].facts.calls {
                 for t in ws.resolve(i, call) {
                     if t != i {
                         out.insert(t);
@@ -239,6 +238,7 @@ pub fn run_semantic(graph: &CallGraph, ctxs: &[crate::model::FileCtx]) -> Vec<Fi
     out.extend(crate::locks::d103_lock_order(graph));
     out.extend(graph.d104_unguarded_loops());
     out.extend(crate::concur::run(graph, ctxs));
+    out.extend(crate::alloc::run(graph, ctxs));
     out
 }
 

@@ -5,8 +5,9 @@ use std::fmt;
 /// Lint identifiers. `D000` is the meta-lint about the suppression
 /// machinery itself; `D001`–`D007` and `D105` guard the project
 /// invariants with per-file token scans, and `D101`–`D104` plus the
-/// dataflow passes `D106`–`D109` are the interprocedural
-/// (call-graph-backed) lints run by `check --semantic`.
+/// dataflow passes `D106`–`D109` and the allocation/copy-discipline
+/// passes `D110`–`D113` are the interprocedural (call-graph-backed)
+/// lints run by `check --semantic`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)] // the catalog below documents each variant
 pub enum LintId {
@@ -27,6 +28,10 @@ pub enum LintId {
     D107,
     D108,
     D109,
+    D110,
+    D111,
+    D112,
+    D113,
 }
 
 /// How bad a violation is. `Deny` findings fail the build outright (after
@@ -41,7 +46,7 @@ pub enum Severity {
 
 impl LintId {
     /// All registered lints, in ID order.
-    pub const ALL: [LintId; 17] = [
+    pub const ALL: [LintId; 21] = [
         LintId::D000,
         LintId::D001,
         LintId::D002,
@@ -59,6 +64,10 @@ impl LintId {
         LintId::D107,
         LintId::D108,
         LintId::D109,
+        LintId::D110,
+        LintId::D111,
+        LintId::D112,
+        LintId::D113,
     ];
 
     /// Parse `"D001"` (case-insensitive) into an ID.
@@ -87,6 +96,10 @@ impl LintId {
             LintId::D107 => "D107",
             LintId::D108 => "D108",
             LintId::D109 => "D109",
+            LintId::D110 => "D110",
+            LintId::D111 => "D111",
+            LintId::D112 => "D112",
+            LintId::D113 => "D113",
         }
     }
 
@@ -110,6 +123,10 @@ impl LintId {
             LintId::D107 => Severity::Deny,
             LintId::D108 => Severity::Deny,
             LintId::D109 => Severity::Deny,
+            LintId::D110 => Severity::Warn,
+            LintId::D111 => Severity::Warn,
+            LintId::D112 => Severity::Deny,
+            LintId::D113 => Severity::Deny,
         }
     }
 
@@ -133,6 +150,10 @@ impl LintId {
             LintId::D107 => "nondeterministic value (hash order, thread count, arrival order) reaching a deterministic sink",
             LintId::D108 => "interior-mutability cell on the resolve/train/update spine without a shared(...) declaration",
             LintId::D109 => "chunk closure mutating captured state outside the ordered-commit protocol",
+            LintId::D110 => "heap allocation inside a charge-guarded hot loop without a capacity or hoisted buffer",
+            LintId::D111 => "clone whose result is only ever read on every CFG path; borrow instead",
+            LintId::D112 => "scratch structure on the resolve/update spine without a scratch(...) declaration",
+            LintId::D113 => "collection on the update/resolve spine that grows on some path but is cleared on none",
         }
     }
 
@@ -336,6 +357,69 @@ impl LintId {
                  point is that the discipline is written down where the cell \
                  lives. Fix: add the shared(...) declaration with a real \
                  merge story, or remove the interior mutability."
+            }
+            LintId::D110 => {
+                "The similarity and update hot paths charge a work budget per \
+                 kernel unit precisely because they run millions of \
+                 iterations at paper scale (127K authors, 1.29M references); \
+                 a fresh heap allocation inside such a charge-guarded loop — \
+                 a `Vec::new`/`vec![]` that grows by push, `format!`, \
+                 `String::new` + push_str, `.collect()`, `.to_vec()`, or \
+                 `.to_string()` — multiplies allocator traffic by the \
+                 iteration count and turns the planned serving layer's \
+                 per-request cost into sustained QPS loss. The pass flags \
+                 allocation sites inside loops of budget-charging functions \
+                 unless the buffer was created with `with_capacity` before \
+                 the loop or is a hoisted buffer `.clear()`ed per iteration. \
+                 Fix: hoist the buffer out of the loop and clear it per \
+                 iteration, size it once with `with_capacity`, or justify a \
+                 genuinely per-item allocation in an allow(D110) reason."
+            }
+            LintId::D111 => {
+                "A `.clone()` exists to hand out an owned copy that will be \
+                 mutated, moved, or outlive the source; when dataflow over \
+                 the function's CFG shows the clone's binding is only ever \
+                 *read* on every path — no reassignment, no `&mut` borrow, \
+                 no in-place mutator call, no move into a struct, return, or \
+                 call that takes it by value — the copy is pure allocator \
+                 churn and a borrow of the original would have type-checked. \
+                 On profile and neighbor-set values (weighted sets run to \
+                 thousands of entries) such copies dominate resolve-time \
+                 allocation. Fix: borrow the original (`&x`), or, when the \
+                 clone feeds an API that genuinely needs ownership the pass \
+                 cannot see, say so in an allow(D111) reason."
+            }
+            LintId::D112 => {
+                "The ROADMAP names arenas-rebuilt-per-call as the remaining \
+                 hot-path debt: every reusable arena, cache, pool, or \
+                 scratch buffer constructed on the resolve/apply_updates \
+                 spine must carry a `// distinct-lint: scratch(<reuse-\
+                 discipline>)` declaration on its construction or field, \
+                 naming how the structure is reused across calls and why \
+                 reuse preserves bit-identical output (e.g. `scratch(pooled \
+                 per-worker: rebuilt in place with identical inputs, so \
+                 interning order is unchanged)`). The registry is exported \
+                 by `distinct-lint facts --emit json`, and an undeclared \
+                 scratch structure cannot be baselined (like D000/D108): \
+                 the reuse story must be written down where the structure \
+                 lives, or deliberately rejected there. Fix: add the \
+                 scratch(...) declaration with a real reuse discipline — or \
+                 make the structure actually reusable first."
+            }
+            LintId::D113 => {
+                "A long-lived engine serving incremental updates must not \
+                 grow without bound: a collection field reachable from the \
+                 update/resolve spine that gains entries on some path \
+                 (`push`/`insert`/`extend`/`append`) while *no* path in the \
+                 workspace ever clears, evicts, truncates, drains, or \
+                 removes from it is a memory leak with a QPS fuse — the \
+                 profile cache and name cache only stay bounded because \
+                 eviction is wired into the update path. The pass collects \
+                 growth sites on `self.<field>` in spine-reachable library \
+                 code and flags fields with growth but no shrink site \
+                 anywhere in non-test code. Fix: wire eviction/clearing into \
+                 the maintenance path, or document why growth is bounded by \
+                 the input catalog in an allow(D113) reason."
             }
             LintId::D109 => {
                 "crates/exec's determinism story is: workers compute into \

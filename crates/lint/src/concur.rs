@@ -52,7 +52,10 @@ pub fn run(graph: &CallGraph, ctxs: &[FileCtx]) -> Vec<Finding> {
 
 /// The (ctx, span) pair backing a symbol-table function, matched by file
 /// path plus the `fn` keyword's line.
-fn site<'a>(by_path: &BTreeMap<&str, &'a FileCtx>, f: &FnDef) -> Option<(&'a FileCtx, &'a FnSpan)> {
+pub(crate) fn site<'a>(
+    by_path: &BTreeMap<&str, &'a FileCtx>,
+    f: &FnDef,
+) -> Option<(&'a FileCtx, &'a FnSpan)> {
     let ctx = by_path.get(f.file.as_str())?;
     let span = ctx
         .fns
@@ -527,7 +530,7 @@ fn stmt_has_orderer(ctx: &FileCtx, lo: usize, hi: usize) -> bool {
 }
 
 /// All identifier texts in a statement (code tokens only).
-fn stmt_idents(ctx: &FileCtx, lo: usize, hi: usize) -> Vec<String> {
+pub(crate) fn stmt_idents(ctx: &FileCtx, lo: usize, hi: usize) -> Vec<String> {
     ctx.toks[lo..hi.min(ctx.toks.len())]
         .iter()
         .filter(|t| t.kind == TokKind::Ident && !is_keyword(&t.text))
@@ -537,7 +540,7 @@ fn stmt_idents(ctx: &FileCtx, lo: usize, hi: usize) -> Vec<String> {
 
 /// Variables a statement binds: `let [mut] x`, `let (a, b)`, or a `for`
 /// header's loop pattern.
-fn bound_vars(ctx: &FileCtx, lo: usize, hi: usize) -> Vec<String> {
+pub(crate) fn bound_vars(ctx: &FileCtx, lo: usize, hi: usize) -> Vec<String> {
     let hi = hi.min(ctx.toks.len());
     let mut vars = Vec::new();
     let mut k = lo;
@@ -579,7 +582,7 @@ fn bound_vars(ctx: &FileCtx, lo: usize, hi: usize) -> Vec<String> {
 
 /// The receiver chain's identifiers, walking back from the method-name
 /// token at `idx` across `.`-joined segments, index and call groups.
-fn receiver_chain(ctx: &FileCtx, idx: usize, lo: usize) -> Vec<String> {
+pub(crate) fn receiver_chain(ctx: &FileCtx, idx: usize, lo: usize) -> Vec<String> {
     let mut names = Vec::new();
     let Some(mut j) = ctx.prev_code(idx) else {
         return names;
@@ -653,7 +656,7 @@ fn file_hash_bindings(ctx: &FileCtx) -> BTreeSet<String> {
                 j = ctx.next_code(j);
             }
             if j < n && toks[j].kind == TokKind::Ident {
-                let name = toks[j].text.clone();
+                let name = &toks[j].text;
                 let mut k = j;
                 let mut depth = 0i32;
                 while k < n {
@@ -900,6 +903,8 @@ pub struct GuardSite {
 pub struct ConcurFacts {
     /// Discovered interior-mutability cells.
     pub cells: Vec<SharedCell>,
+    /// Discovered reusable scratch-structure construction sites (D112).
+    pub scratch: Vec<crate::alloc::ScratchSite>,
     /// Discovered lock-guard sites.
     pub guards: Vec<GuardSite>,
 }
@@ -1257,10 +1262,12 @@ fn static_name(ctx: &FileCtx, anchor: usize) -> Option<String> {
     None
 }
 
-/// Collect the full facts registry: cells plus guard sites.
+/// Collect the full facts registry: cells, scratch structures, and guard
+/// sites.
 pub fn collect_facts(graph: &CallGraph, ctxs: &[FileCtx]) -> ConcurFacts {
     let by_path: BTreeMap<&str, &FileCtx> = ctxs.iter().map(|c| (c.path.as_str(), c)).collect();
     let cells = collect_cells(graph, ctxs);
+    let scratch = crate::alloc::collect_scratch(graph, ctxs);
     let mut guards = Vec::new();
     for (i, f) in graph.ws.fns.iter().enumerate() {
         if f.is_test {
@@ -1278,7 +1285,11 @@ pub fn collect_facts(graph: &CallGraph, ctxs: &[FileCtx]) -> ConcurFacts {
         }
     }
     guards.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    ConcurFacts { cells, guards }
+    ConcurFacts {
+        cells,
+        scratch,
+        guards,
+    }
 }
 
 /// Render the registry as JSON (hand-rolled; the lint crate stays
@@ -1306,6 +1317,21 @@ pub fn facts_json(facts: &ConcurFacts) -> String {
             opt(&c.discipline),
             c.reachable,
             if i + 1 < facts.cells.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"scratch\": [\n");
+    for (i, s) in facts.scratch.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"owner\": \"{}\", \"ctor\": \"{}\", \
+             \"fn\": \"{}\", \"discipline\": {}, \"reachable\": {}}}{}\n",
+            esc(&s.file),
+            s.line,
+            esc(&s.owner),
+            esc(&s.ctor),
+            esc(&s.func),
+            opt(&s.discipline),
+            s.reachable,
+            if i + 1 < facts.scratch.len() { "," } else { "" }
         ));
     }
     out.push_str("  ],\n  \"guards\": [\n");
@@ -1354,7 +1380,7 @@ fn d109_send_across_commit(graph: &CallGraph, by_path: &BTreeMap<&str, &FileCtx>
     out
 }
 
-fn match_paren(ctx: &FileCtx, open: usize, hi: usize) -> usize {
+pub(crate) fn match_paren(ctx: &FileCtx, open: usize, hi: usize) -> usize {
     let mut depth = 0i32;
     let mut k = open;
     while k < hi {
@@ -1438,7 +1464,7 @@ fn closures_in(ctx: &FileCtx, lo: usize, hi: usize) -> Vec<(usize, usize, Vec<St
 }
 
 /// Methods whose mere invocation mutates the receiver in place.
-const MUTATORS: [&str; 8] = [
+pub(crate) const MUTATORS: [&str; 8] = [
     "push", "extend", "push_str", "insert", "remove", "clear", "truncate", "append",
 ];
 

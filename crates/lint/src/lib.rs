@@ -15,11 +15,13 @@
 //! refinements: [`parse`] recovers function items from the token stream,
 //! [`symbols`] resolves call sites across crates, [`callgraph`] runs
 //! reachability (D101/D104), [`taint`]/[`locks`] add probability-range
-//! (D102) and lock-order (D103) analyses on the same graph, and
-//! [`concur`] runs the determinism/concurrency dataflow passes
-//! (D106–D109) on statement-level CFGs ([`cfg`]) with a forward may/must
-//! framework ([`dataflow`]).
+//! (D102) and lock-order (D103) analyses on the same graph, [`concur`]
+//! runs the determinism/concurrency dataflow passes (D106–D109) on
+//! statement-level CFGs ([`cfg`]) with a forward may/must framework
+//! ([`dataflow`]), and [`alloc`] runs the allocation/copy-discipline
+//! passes (D110–D113) on the same CFG + dataflow substrate.
 
+pub mod alloc;
 pub mod baseline;
 pub mod callgraph;
 pub mod catalog;
@@ -45,7 +47,7 @@ use std::path::Path;
 /// Which analysis the run performs. The two modes share D000/D003/D004/
 /// D006/D007; syntactic mode adds the per-file D001/D002/D005 scans,
 /// semantic mode replaces them with the call-graph lints D101–D104 and
-/// the dataflow passes D106–D109 (D107 subsumes D001 the way D101/D104
+/// the dataflow passes D106–D113 (D107 subsumes D001 the way D101/D104
 /// subsume D002/D005).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
@@ -71,6 +73,10 @@ impl Mode {
                     | LintId::D107
                     | LintId::D108
                     | LintId::D109
+                    | LintId::D110
+                    | LintId::D111
+                    | LintId::D112
+                    | LintId::D113
             ),
             Mode::Semantic => !matches!(id, LintId::D001 | LintId::D002 | LintId::D005),
         }
@@ -197,8 +203,9 @@ pub fn fix_baseline(root: &Path) -> Result<usize, String> {
 /// semantic `--fix-baseline` cannot silently drop syntactic debt, and
 /// vice versa). Returns the number of baselined findings. D000s are never
 /// baselined and make this fail, so a broken suppression cannot be
-/// ratcheted in; likewise D108 — an undeclared shared-state cell must get
-/// its `shared(...)` declaration, not a debt entry.
+/// ratcheted in; likewise D108 and D112 — an undeclared shared-state cell
+/// or scratch structure must get its `shared(...)`/`scratch(...)`
+/// declaration, not a debt entry.
 pub fn fix_baseline_mode(root: &Path, mode: Mode) -> Result<usize, String> {
     let analysis = analyze_mode(root, mode)?;
     if let Some(d0) = analysis.findings.iter().find(|f| f.id == LintId::D000) {
@@ -209,6 +216,11 @@ pub fn fix_baseline_mode(root: &Path, mode: Mode) -> Result<usize, String> {
     if let Some(d8) = analysis.findings.iter().find(|f| f.id == LintId::D108) {
         return Err(format!(
             "cannot baseline an undeclared shared-state cell; write its shared(...) declaration: {d8}"
+        ));
+    }
+    if let Some(d12) = analysis.findings.iter().find(|f| f.id == LintId::D112) {
+        return Err(format!(
+            "cannot baseline an undeclared scratch structure; write its scratch(...) declaration: {d12}"
         ));
     }
     let mut baseline = Baseline::from_findings(&analysis.findings);

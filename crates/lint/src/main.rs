@@ -2,11 +2,12 @@
 //!
 //! Commands:
 //!   check                 lint the workspace against lint.toml (exit 1 on debt)
-//!   check --semantic      swap D002/D005 for the call-graph lints D101-D104
+//!   check --semantic      swap D002/D005 for the call-graph lints D101-D113
 //!   check --fix-baseline  rewrite lint.toml to match current findings
 //!   call-graph            print the resolved call graph as GraphViz DOT
 //!   call-graph --reach F  list everything reachable from functions matching F
-//!   facts --emit json     export the shared-state registry (cells + guards)
+//!   facts --emit json     export the shared-state registry (cells + guards
+//!                         + scratch structures)
 //!   --explain <ID>        print the rationale behind a lint
 //!   graph                 print the workspace crate/module graph
 //!
@@ -49,17 +50,17 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "\
-distinct-lint: workspace invariant checks (D001..D007 per-file, D101..D104 semantic)
+distinct-lint: workspace invariant checks (D001..D007 per-file, D101..D113 semantic)
 
 usage: cargo run -p lint -- <command>
 
   check                 lint the workspace, resolve against lint.toml
-  check --semantic      interprocedural mode: D101..D104 replace D002/D005
+  check --semantic      interprocedural mode: D101..D113 replace D002/D005
   check --fix-baseline  regenerate lint.toml from current findings
   check --root <dir>    lint a different workspace root (used by self-tests)
   call-graph            print the resolved call graph as GraphViz DOT
   call-graph --reach <fn>  list functions reachable from <fn> (substring match)
-  facts --emit json     export discovered shared-state cells and guard sites
+  facts --emit json     export shared-state cells, guard sites, and scratch structures
   --explain <Dxxx>      print a lint's rationale and sanctioned fixes
   graph                 print the crate/module dependency graph
 ";

@@ -9,9 +9,12 @@
 //! A second body form, `// distinct-lint: shared(<merge-discipline>)`, is
 //! not a suppression: it *declares* an interior-mutability cell's
 //! ordered-commit or commutative-merge story for the D108 shared-state
-//! registry ([`crate::concur`]). It is parsed here (so a malformed body
-//! still surfaces as D000) but collected and validated by the semantic
-//! passes, not by the per-line suppression matcher.
+//! registry ([`crate::concur`]). A third, `// distinct-lint:
+//! scratch(<reuse-discipline>)`, declares a reusable arena/cache/scratch
+//! structure's cross-call reuse story for the D112 scratch registry
+//! ([`crate::alloc`]). Both are parsed here (so a malformed body still
+//! surfaces as D000) but collected and validated by the semantic passes,
+//! not by the per-line suppression matcher.
 
 use crate::catalog::{Finding, LintId};
 use crate::lexer::TokKind;
@@ -60,6 +63,21 @@ pub fn collect(ctx: &FileCtx) -> (Vec<Suppression>, Vec<Finding>) {
             }
             continue;
         }
+        if body.starts_with("scratch") {
+            // A scratch(...) registry declaration, not a suppression; its
+            // shape and placement are validated by alloc::d112.
+            if parse_scratch(body).is_err() {
+                findings.push(Finding {
+                    id: LintId::D000,
+                    file: ctx.path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "expected `scratch(<reuse-discipline>)` with a non-empty discipline, got `{body}`"
+                    ),
+                });
+            }
+            continue;
+        }
         match parse_body(body) {
             Ok((ids, reason)) => {
                 // A comment with code before it on the same line covers
@@ -101,6 +119,24 @@ pub fn parse_shared(body: &str) -> Result<String, String> {
         .ok_or_else(|| format!("expected `shared(<merge-discipline>)`, got `{body}`"))?;
     if inner.trim().is_empty() {
         return Err("shared(...) declaration must name its merge discipline".into());
+    }
+    Ok(inner.trim().to_string())
+}
+
+/// Parse `scratch(<reuse-discipline>)` into the discipline text. The
+/// discipline is free prose naming how the structure is reused across
+/// calls and why reuse preserves bit-identical output; only
+/// non-emptiness is enforced here.
+pub fn parse_scratch(body: &str) -> Result<String, String> {
+    let inner = body
+        .trim()
+        .strip_prefix("scratch")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('('))
+        .and_then(|r| r.rfind(')').map(|e| &r[..e]))
+        .ok_or_else(|| format!("expected `scratch(<reuse-discipline>)`, got `{body}`"))?;
+    if inner.trim().is_empty() {
+        return Err("scratch(...) declaration must name its reuse discipline".into());
     }
     Ok(inner.trim().to_string())
 }
@@ -258,6 +294,25 @@ mod tests {
     #[test]
     fn empty_shared_discipline_is_d000() {
         let c = ctx("// distinct-lint: shared(  )\nx: Mutex<u32>,");
+        let (sups, bad) = collect(&c);
+        assert!(sups.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].id, LintId::D000);
+    }
+
+    #[test]
+    fn scratch_declaration_is_neither_suppression_nor_d000() {
+        let c = ctx(
+            "// distinct-lint: scratch(rebuilt in place per call: identical inputs intern identically)\nlet arena = SetArena::build(sets);",
+        );
+        let (sups, bad) = collect(&c);
+        assert!(sups.is_empty());
+        assert!(bad.is_empty());
+    }
+
+    #[test]
+    fn empty_scratch_discipline_is_d000() {
+        let c = ctx("// distinct-lint: scratch()\nlet pool = ArenaPool::new();");
         let (sups, bad) = collect(&c);
         assert!(sups.is_empty());
         assert_eq!(bad.len(), 1);

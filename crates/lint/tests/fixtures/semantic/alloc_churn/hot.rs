@@ -1,0 +1,112 @@
+//@ path: crates/core/src/hot.rs
+//@ crate: core
+//! Fixture: D110 hot-loop allocation and D111 read-only clones.
+//! `batch_features` charges the budget and then allocates three ways on
+//! every iteration; `batch_features_sized` is the disciplined twin
+//! (capacity hints and a hoisted, cleared buffer); `first_bad` builds
+//! its error message on a cold `return` path, which is never
+//! per-iteration churn; `labels` allocates in a loop but never charges,
+//! so D110 does not apply. On the copy side, `snapshot_len` clones a
+//! place and only ever reads the copy (D111), while `bump_all`,
+//! `take_rows`, and `joined_rows` mutate, move, or nest the clone in
+//! another call's arguments — each justifies itself.
+
+/// Charged featurization: every iteration allocates afresh.
+pub fn batch_features(ctl: &Ctl, rows: &[Row]) -> usize {
+    ctl.charge(rows.len() as u64);
+    let mut total = 0;
+    for row in rows {
+        let owned: Vec<u32> = row.ids.iter().copied().collect(); //~ D110
+        let label = format!("row-{}", row.id); //~ D110
+        let mut acc = Vec::new(); //~ D110
+        for &v in &owned {
+            acc.push(v);
+        }
+        total += acc.len() + label.len();
+    }
+    total
+}
+
+/// Disciplined twin: sized buffers and a hoisted, cleared accumulator.
+pub fn batch_features_sized(ctl: &Ctl, rows: &[Row]) -> usize {
+    ctl.charge(rows.len() as u64);
+    let mut total = 0;
+    let mut acc = Vec::new();
+    for row in rows {
+        let mut owned: Vec<u32> = Vec::with_capacity(row.ids.len());
+        owned.extend(row.ids.iter().copied());
+        acc.clear();
+        for &v in &owned {
+            acc.push(v);
+        }
+        total += acc.len();
+    }
+    total
+}
+
+/// Early exits may build their error message: a `return` statement runs
+/// at most once per call, so this is never per-iteration churn.
+pub fn first_bad(ctl: &Ctl, rows: &[Row]) -> Result<(), String> {
+    ctl.charge(rows.len() as u64);
+    for row in rows {
+        if row.id == 0 {
+            return Err(format!("zero id at offset {}", row.off));
+        }
+    }
+    Ok(())
+}
+
+/// Never charges the budget, so its loop is not a charge-guarded hot
+/// path and D110 stays quiet.
+pub fn labels(rows: &[Row]) -> Vec<String> {
+    let mut out = Vec::new();
+    for row in rows {
+        out.push(format!("r{}", row.id));
+    }
+    out
+}
+
+/// A saved query over row ids: clone-discipline cases live here.
+pub struct Query {
+    rows: Vec<u32>,
+    limit: usize,
+}
+
+impl Query {
+    /// The clone is only ever read afterwards: a borrow would do.
+    fn snapshot_len(&self) -> usize {
+        let copy = self.rows.clone(); //~ D111
+        let mut n = 0;
+        for v in &copy {
+            n += *v as usize;
+        }
+        n
+    }
+
+    /// Mutated after the copy: the clone earns its keep.
+    fn bump_all(&self) -> Vec<u32> {
+        let mut copy = self.rows.clone();
+        for v in copy.iter_mut() {
+            *v += 1;
+        }
+        copy
+    }
+
+    /// Moved into the result: not a read-only clone.
+    fn take_rows(&self) -> Vec<u32> {
+        let copy = self.rows.clone();
+        copy
+    }
+
+    /// A clone nested in another call's arguments is not the binding's
+    /// own value; the callee owns (and here truncates) it.
+    fn joined_rows(&self) -> Vec<u32> {
+        let joined = cap(self.rows.clone(), self.limit);
+        joined
+    }
+}
+
+fn cap(mut rows: Vec<u32>, limit: usize) -> Vec<u32> {
+    rows.truncate(limit);
+    rows
+}

@@ -1,0 +1,36 @@
+//@ path: crates/core/src/engine.rs
+//@ crate: core
+//! Fixture: D112 scratch-structure registry and D113 unbounded growth.
+//! `resolve_all` is a spine entry point. It mints two scratch
+//! structures: the `RowArena` has no `scratch(...)` declaration and is
+//! flagged; the `BufPool` declares its reuse discipline and registers
+//! silently. It also grows two `self` fields: `log` has no shrink site
+//! anywhere in the impl (flagged), while `memo` is cleared by `trim`
+//! and so stays bounded. A scratch declaration that matches no nearby
+//! construction is dead and gets the D000 hygiene finding.
+
+pub struct Engine {
+    scores: RowArena,
+    log: Vec<u64>,
+    memo: Vec<u64>,
+}
+
+impl Engine {
+    /// Spine entry: builds per-call scratch, records per-call state.
+    pub fn resolve_all(&mut self, key: u64) -> usize {
+        let arena = RowArena::new(); //~ D112
+        // distinct-lint: scratch(per resolve: minted at the top of the call, filled from the catalog, dropped when the call returns)
+        let pool = BufPool::new();
+        self.log.push(key); //~ D113
+        self.memo.push(key);
+        arena.len() + pool.len() + self.log.len()
+    }
+
+    /// The memo has an eviction path, so its growth is bounded.
+    fn trim(&mut self) {
+        self.memo.clear();
+    }
+}
+
+// distinct-lint: scratch(matches no construction on this or the next line) //~ D000
+fn not_a_constructor() {}

@@ -25,7 +25,7 @@ fn workspace_is_exactly_as_clean_as_the_baseline() {
     );
 }
 
-/// The same gate in semantic mode: the interprocedural lints D101–D104
+/// The same gate in semantic mode: the interprocedural lints D101–D113
 /// (plus the shared per-file passes) must also match the baseline exactly
 /// against the live workspace.
 #[test]
@@ -359,6 +359,129 @@ fn binary_reports_seeded_closure_capture_mutation() {
     let _ = std::fs::remove_dir_all(&scratch);
 }
 
+/// Seed a charge-guarded function that allocates on every loop iteration
+/// into crates/core and assert semantic mode reports it as D110.
+#[test]
+fn binary_reports_seeded_hot_loop_allocation() {
+    let scratch = std::env::temp_dir().join(format!("distinct-lint-d110-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    copy_workspace(&workspace_root(), &scratch);
+
+    std::fs::write(
+        scratch.join("crates/core/src/seeded_churn.rs"),
+        "fn seeded_features(ctl: &Ctl, rows: &[Vec<u32>]) -> usize {\n    \
+         ctl.charge(rows.len() as u64);\n    let mut n = 0;\n    \
+         for row in rows {\n        \
+         let owned: Vec<u32> = row.iter().copied().collect();\n        \
+         n += owned.len();\n    }\n    n\n}\n",
+    )
+    .expect("seed hot-loop allocation violation");
+
+    let (code, text) = run_lint(&["check", "--semantic"], &scratch);
+    assert_eq!(code, Some(1), "seeded copy must fail --semantic:\n{text}");
+    assert!(text.contains("D110"), "no D110 reported:\n{text}");
+    assert!(
+        text.contains("seeded_features"),
+        "finding does not name the charged function:\n{text}"
+    );
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// Seed a clone that is only ever read afterwards into crates/core and
+/// assert semantic mode reports it as D111 with the borrow guidance.
+#[test]
+fn binary_reports_seeded_read_only_clone() {
+    let scratch = std::env::temp_dir().join(format!("distinct-lint-d111-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    copy_workspace(&workspace_root(), &scratch);
+
+    std::fs::write(
+        scratch.join("crates/core/src/seeded_copy.rs"),
+        "struct SeededCfg;\n\n\
+         impl SeededCfg {\n    fn label_len(&self) -> usize {\n        \
+         let copy = self.name.clone();\n        copy.len()\n    }\n}\n",
+    )
+    .expect("seed read-only clone violation");
+
+    let (code, text) = run_lint(&["check", "--semantic"], &scratch);
+    assert_eq!(code, Some(1), "seeded copy must fail --semantic:\n{text}");
+    assert!(text.contains("D111"), "no D111 reported:\n{text}");
+    assert!(
+        text.contains("`copy`") && text.contains("borrow"),
+        "finding does not name the binding and the fix:\n{text}"
+    );
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// Strip the `scratch(...)` declaration off a real registered scratch
+/// structure (the pooled `SetArena` minted in `ArenaPool::take`) and
+/// assert semantic mode fails with D112 — and that `--fix-baseline`
+/// refuses to absorb it as debt, mirroring the D108 refusal.
+#[test]
+fn binary_reports_stripped_scratch_declaration_and_refuses_to_baseline_it() {
+    let scratch = std::env::temp_dir().join(format!("distinct-lint-d112-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    copy_workspace(&workspace_root(), &scratch);
+
+    let arena = scratch.join("crates/relgraph/src/arena.rs");
+    let src = std::fs::read_to_string(&arena).expect("read arena.rs");
+    let stripped: String = src
+        .lines()
+        .filter(|l| !l.contains("distinct-lint: scratch("))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_ne!(src, stripped, "arena.rs must carry a scratch() declaration");
+    std::fs::write(&arena, stripped).expect("strip declaration");
+
+    let (code, text) = run_lint(&["check", "--semantic"], &scratch);
+    assert_eq!(code, Some(1), "stripped copy must fail --semantic:\n{text}");
+    assert!(text.contains("D112"), "no D112 reported:\n{text}");
+    assert!(
+        text.contains("SetArena") && text.contains("crates/relgraph/src/arena.rs"),
+        "finding does not name the scratch type and file:\n{text}"
+    );
+
+    let (code, text) = run_lint(&["check", "--semantic", "--fix-baseline"], &scratch);
+    assert_eq!(code, Some(2), "fix-baseline must refuse D112 debt:\n{text}");
+    assert!(
+        text.contains("scratch(") && text.contains("declaration"),
+        "refusal does not point at the fix:\n{text}"
+    );
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// Seed a spine-reachable struct field that only ever grows into
+/// crates/core and assert semantic mode reports it as D113.
+#[test]
+fn binary_reports_seeded_unbounded_growth() {
+    let scratch = std::env::temp_dir().join(format!("distinct-lint-d113-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    copy_workspace(&workspace_root(), &scratch);
+
+    std::fs::write(
+        scratch.join("crates/core/src/seeded_growth.rs"),
+        "struct SeededLog;\n\n\
+         impl SeededLog {\n    \
+         /// Seeded spine entry point for the self-check.\n    \
+         pub fn resolve_seeded_log(&mut self, key: u64) -> usize {\n        \
+         self.events.push(key);\n        self.events.len()\n    }\n}\n",
+    )
+    .expect("seed unbounded-growth violation");
+
+    let (code, text) = run_lint(&["check", "--semantic"], &scratch);
+    assert_eq!(code, Some(1), "seeded copy must fail --semantic:\n{text}");
+    assert!(text.contains("D113"), "no D113 reported:\n{text}");
+    assert!(
+        text.contains("SeededLog") && text.contains("events"),
+        "finding does not name the owner and field:\n{text}"
+    );
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
 /// `facts --emit json` over the real workspace: the registry must list
 /// the production cells CI greps for, and every emitted cell must carry
 /// a declaration (the D108 gate keeps the two in lockstep).
@@ -375,6 +498,42 @@ fn facts_export_lists_the_production_cells() {
         !text.contains("\"discipline\": null"),
         "a registered cell is missing its merge discipline:\n{text}"
     );
+}
+
+/// Doc-drift gate: every lint in the catalog must have a working
+/// `--explain` (a real rationale, not a stub) and a LINTS.md section —
+/// both the index-table row and the full `## Dxxx — ...` entry. A new
+/// pass cannot ship half-documented.
+#[test]
+fn every_catalog_id_has_explain_and_a_lints_md_section() {
+    let lints_md = std::fs::read_to_string(workspace_root().join("LINTS.md"))
+        .expect("LINTS.md at the workspace root");
+    for id in lint::catalog::LintId::ALL {
+        assert!(
+            id.rationale().len() >= 80,
+            "{id}: rationale is missing or a stub; `explain {id}` would be useless"
+        );
+        // `explain` takes exactly one argument, so it cannot go through
+        // run_lint (which appends `--root`).
+        let out = Command::new(env!("CARGO_BIN_EXE_lint"))
+            .args(["explain", id.name()])
+            .output()
+            .expect("spawn lint binary");
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        assert_eq!(out.status.code(), Some(0), "`explain {id}` failed:\n{text}");
+        assert!(
+            text.contains(id.rationale()),
+            "`explain {id}` does not print the catalog rationale:\n{text}"
+        );
+        assert!(
+            lints_md.contains(&format!("## {id} — ")),
+            "LINTS.md has no `## {id} — ...` section"
+        );
+        assert!(
+            lints_md.contains(&format!("[{id}](#")),
+            "LINTS.md index table has no row linking to {id}"
+        );
+    }
 }
 
 /// A directory under `crates/` without a manifest must be a loud, typed

@@ -67,16 +67,48 @@ pub struct SetArena {
 }
 
 impl SetArena {
+    /// An arena over zero sets, holding no heap capacity. The unit
+    /// [`ArenaPool::take`] hands out when the pool is dry; feed it to
+    /// [`SetArena::rebuild`] before use.
+    pub fn empty() -> SetArena {
+        SetArena {
+            row_of: Vec::new(),
+            offsets: Vec::new(),
+            ids: Vec::new(),
+            weights: Vec::new(),
+            totals: Vec::new(),
+            universe: 0,
+        }
+    }
+
     /// Build an arena over the given sets (in order; the index of each
     /// set in this iteration is its input index for [`SetArena::row_of`]).
     pub fn build<'a>(sets: impl IntoIterator<Item = &'a WeightedSet>) -> SetArena {
+        let mut arena = Self::empty();
+        arena.rebuild(sets);
+        arena
+    }
+
+    /// Rebuild this arena in place over a new set sequence, reusing the
+    /// column capacity left by the previous build. The result is
+    /// field-for-field identical to `SetArena::build(sets)` — same
+    /// algorithm, same first-appearance row numbering, same
+    /// left-to-right total accumulation — capacity is the only thing
+    /// that survives; no content does. This is the reuse seam the
+    /// resolve spine's pooled arenas go through (lint D112).
+    pub fn rebuild<'a>(&mut self, sets: impl IntoIterator<Item = &'a WeightedSet>) {
+        self.row_of.clear();
+        self.offsets.clear();
+        self.ids.clear();
+        self.weights.clear();
+        self.totals.clear();
         let sets: Vec<&WeightedSet> = sets.into_iter().collect();
         // Row dedup: bucket by content hash, confirm by exact comparison.
         // Distinct rows are numbered in first-appearance order, so the
         // arena is a pure function of the input sequence.
         let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
         let mut distinct: Vec<&WeightedSet> = Vec::new();
-        let mut row_of = Vec::with_capacity(sets.len());
+        self.row_of.reserve(sets.len());
         for set in &sets {
             let mut h = 0xcbf2_9ce4_8422_2325u64 ^ set.len() as u64;
             for (NodeId(n), w) in set.iter() {
@@ -100,7 +132,7 @@ impl SetArena {
                     bucket.push(r);
                     r
                 });
-            row_of.push(row);
+            self.row_of.push(row);
         }
         // Intern: dense ids assigned by ascending NodeId, so ascending
         // interned order within a row is ascending node order.
@@ -110,11 +142,9 @@ impl SetArena {
             .collect();
         universe.sort_unstable();
         universe.dedup();
-        let mut offsets = Vec::with_capacity(distinct.len() + 1);
-        let mut ids = Vec::new();
-        let mut weights = Vec::new();
-        let mut totals = Vec::with_capacity(distinct.len());
-        offsets.push(0u32);
+        self.offsets.reserve(distinct.len() + 1);
+        self.totals.reserve(distinct.len());
+        self.offsets.push(0u32);
         for set in &distinct {
             // `-0.0` is std's `Sum<f64>` identity, so starting there makes
             // the accumulated total bit-identical to `WeightedSet::total()`
@@ -125,21 +155,14 @@ impl SetArena {
                     .binary_search(&n)
                     // distinct-lint: allow(D002, D101, reason="universe is the sorted dedup of exactly the ids iterated here (collected one loop above from the same sets), so the search always succeeds")
                     .expect("every row id was collected into the universe");
-                ids.push(dense as u32);
-                weights.push(w);
+                self.ids.push(dense as u32);
+                self.weights.push(w);
                 total += w;
             }
-            offsets.push(ids.len() as u32);
-            totals.push(total);
+            self.offsets.push(self.ids.len() as u32);
+            self.totals.push(total);
         }
-        SetArena {
-            row_of,
-            offsets,
-            ids,
-            weights,
-            totals,
-            universe: universe.len() as u32,
-        }
+        self.universe = universe.len() as u32;
     }
 
     /// Distinct row holding input set `i`.
@@ -301,6 +324,58 @@ impl SetArena {
     }
 }
 
+/// A free-list of [`SetArena`]s reused across similarity stages.
+///
+/// One similarity stage builds one arena per join path; with per-call
+/// construction every resolve re-grows the same five columns from zero.
+/// An engine-owned pool instead recycles the columns: [`ArenaPool::take`]
+/// pops a previously built arena (or mints an empty one), the stage
+/// [`SetArena::rebuild`]s it in place — bit-identical to a fresh build,
+/// only capacity survives — and [`ArenaPool::put`] returns it when the
+/// stage ends. Behind a `Mutex` because resolves run under `&self`; the
+/// lock is touched twice per stage, never inside a kernel loop.
+#[derive(Debug, Default)]
+pub struct ArenaPool {
+    // distinct-lint: shared(free-list handoff: take pops and put pushes under a lock held for that single Vec op; a taken arena is exclusively owned until put back, so no two stages ever alias one)
+    free: std::sync::Mutex<Vec<SetArena>>,
+}
+
+impl ArenaPool {
+    /// An empty pool: the first takes mint empty arenas.
+    pub fn new() -> ArenaPool {
+        ArenaPool {
+            free: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Pop a recycled arena, or mint an empty one when the pool is dry.
+    /// Callers must [`SetArena::rebuild`] it before use and should
+    /// [`ArenaPool::put`] it back when the stage is done.
+    pub fn take(&self) -> SetArena {
+        // distinct-lint: allow(D002, D101, reason="a poisoned pool mutex means a kernel stage panicked mid-build; resolve is already unwinding and recycled capacity is unrecoverable")
+        if let Some(arena) = self.free.lock().unwrap().pop() {
+            return arena;
+        }
+        // distinct-lint: scratch(pooled per engine: taken at the start of a similarity stage, rebuilt in place over that stage's weighted sets, returned to the free list when the stage ends)
+        SetArena::empty()
+    }
+
+    /// Return an arena to the free list for the next stage to reuse.
+    pub fn put(&self, arena: SetArena) {
+        // distinct-lint: allow(D002, D101, reason="a poisoned pool mutex means a kernel stage panicked mid-build; resolve is already unwinding, so losing the returned capacity is the correct degraded behavior")
+        self.free.lock().unwrap().push(arena);
+    }
+
+    /// Number of arenas currently parked in the free list (diagnostics
+    /// and tests; the pool never caps it — it is bounded by the number
+    /// of concurrently live stages, i.e. the resolver thread count).
+    pub fn parked(&self) -> usize {
+        // A poisoned pool reads as empty rather than panicking: this is
+        // a diagnostic, not a correctness surface.
+        self.free.lock().map(|f| f.len()).unwrap_or(0)
+    }
+}
+
 /// Symmetric boolean matrix: do two distinct rows share a member?
 #[derive(Debug, Clone)]
 pub struct IntersectionMatrix {
@@ -422,6 +497,66 @@ mod tests {
         }
     }
 
+    /// Field-for-field bitwise equality of two arenas.
+    fn identical(a: &SetArena, b: &SetArena) -> bool {
+        a.row_of == b.row_of
+            && a.offsets == b.offsets
+            && a.ids == b.ids
+            && a.weights.iter().map(|w| w.to_bits()).collect::<Vec<_>>()
+                == b.weights.iter().map(|w| w.to_bits()).collect::<Vec<_>>()
+            && a.totals.iter().map(|w| w.to_bits()).collect::<Vec<_>>()
+                == b.totals.iter().map(|w| w.to_bits()).collect::<Vec<_>>()
+            && a.universe == b.universe
+    }
+
+    #[test]
+    fn rebuild_over_dirty_arena_matches_fresh_build() {
+        let first = [
+            set(&[(9, 0.25), (11, 0.75)]),
+            set(&[(2, 1.0), (3, 0.5), (7, 0.125)]),
+            set(&[(9, 0.25), (11, 0.75)]),
+        ];
+        let second = [set(&[(1, 0.5)]), set(&[])];
+        let mut reused = SetArena::build(first.iter());
+        reused.rebuild(second.iter());
+        assert!(identical(&reused, &SetArena::build(second.iter())));
+        // And back again: stale capacity from `second` must not leak.
+        reused.rebuild(first.iter());
+        assert!(identical(&reused, &SetArena::build(first.iter())));
+    }
+
+    #[test]
+    fn empty_arena_has_no_rows_or_capacity() {
+        let e = SetArena::empty();
+        assert_eq!(e.rows(), 0);
+        assert_eq!(e.inputs(), 0);
+        assert_eq!(e.universe(), 0);
+        // `empty()` is the pre-rebuild unit (no heap capacity at all, not
+        // even the offsets sentinel); only after a rebuild over zero sets
+        // is it field-for-field the same as a fresh `build([])`.
+        let mut rebuilt = SetArena::empty();
+        rebuilt.rebuild([]);
+        assert!(identical(&rebuilt, &SetArena::build([])));
+    }
+
+    #[test]
+    fn pool_recycles_capacity_and_is_bit_transparent() {
+        let pool = ArenaPool::new();
+        assert_eq!(pool.parked(), 0);
+        let sets = [set(&[(1, 0.5), (2, 0.5)]), set(&[(3, 1.0)])];
+        let mut a = pool.take(); // dry pool mints an empty arena
+        a.rebuild(sets.iter());
+        let ids_cap = a.ids.capacity();
+        pool.put(a);
+        assert_eq!(pool.parked(), 1);
+        let mut b = pool.take(); // recycled: same allocation comes back
+        assert_eq!(pool.parked(), 0);
+        assert!(b.ids.capacity() >= ids_cap);
+        b.rebuild(sets.iter());
+        assert!(identical(&b, &SetArena::build(sets.iter())));
+        pool.put(b);
+    }
+
     proptest! {
         // The load-bearing property: the columnar kernel reproduces the
         // nested-representation kernel bit for bit.
@@ -481,6 +616,26 @@ mod tests {
                     prop_assert_eq!(same_row, same_content, "{} vs {}", i, j);
                 }
             }
+        }
+
+        // Pool-reuse soundness on arbitrary inputs: a rebuild over a
+        // dirty arena is indistinguishable from a fresh build.
+        #[test]
+        fn dirty_rebuild_bit_identical_to_fresh(
+            first in proptest::collection::vec(
+                proptest::collection::vec((0u32..16, 1e-3f64..1.0), 0..10),
+                1..6,
+            ),
+            second in proptest::collection::vec(
+                proptest::collection::vec((0u32..16, 1e-3f64..1.0), 0..10),
+                1..6,
+            ),
+        ) {
+            let first: Vec<WeightedSet> = first.iter().map(|s| set(s)).collect();
+            let second: Vec<WeightedSet> = second.iter().map(|s| set(s)).collect();
+            let mut reused = SetArena::build(first.iter());
+            reused.rebuild(second.iter());
+            prop_assert!(identical(&reused, &SetArena::build(second.iter())));
         }
 
         // Exactness of the intersection matrix on arbitrary inputs.

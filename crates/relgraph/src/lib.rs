@@ -25,7 +25,7 @@ pub mod propagate;
 pub mod sketch;
 pub mod walk;
 
-pub use arena::{IntersectionMatrix, SetArena};
+pub use arena::{ArenaPool, IntersectionMatrix, SetArena};
 pub use graph::{LinkGraph, NodeId};
 pub use neighbors::{Resemblance, WeightedSet};
 pub use propagate::{propagate, propagate_blocked, propagate_blocked_guarded, Propagation};

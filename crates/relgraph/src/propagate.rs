@@ -121,6 +121,9 @@ pub fn propagate_blocked_guarded(
     let mut frontier: FxHashMap<NodeId, f64> = FxHashMap::default();
     frontier.insert(graph.node(origin), 1.0);
     levels.push(frontier.clone());
+    // Hoisted sort scratch, refilled per level instead of reallocated
+    // (lint D110): each level clears it and re-extends from the frontier.
+    let mut expand: Vec<(NodeId, f64)> = Vec::new();
     for (i, step) in path.steps.iter().enumerate() {
         if !guard(frontier.len() as u64) {
             return None;
@@ -131,9 +134,10 @@ pub fn propagate_blocked_guarded(
         // deposit mass on the same target, and f64 `+=` is order-sensitive,
         // so hash-order expansion would make the low-order bits of `next`
         // depend on the frontier map's insertion history (lint D001).
-        let mut expand: Vec<(NodeId, f64)> = frontier.iter().map(|(&u, &p)| (u, p)).collect();
+        expand.clear();
+        expand.extend(frontier.iter().map(|(&u, &p)| (u, p)));
         expand.sort_unstable_by_key(|&(u, _)| u);
-        for (u, p) in expand {
+        for &(u, p) in &expand {
             let nbrs = graph.step_neighbors(*step, u, src_rel);
             if nbrs.is_empty() {
                 continue; // dead end: mass is lost (e.g. null FK)

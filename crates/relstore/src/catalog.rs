@@ -116,6 +116,7 @@ impl Catalog {
             .relation_id(relation)
             .ok_or_else(|| StoreError::UnknownRelation(relation.to_string()))?;
         self.finalized = false;
+        // distinct-lint: allow(D113, reason="relation storage is the reference corpus: it grows with inserted tuples by design; dropping the catalog is the only eviction")
         let tid = self.relations[rel.index()].insert(tuple)?;
         Ok(TupleRef::new(rel, tid))
     }
@@ -173,7 +174,9 @@ impl Catalog {
                 to_key,
                 label,
             });
+            // distinct-lint: allow(D113, reason="FK adjacency tracks corpus size one edge per inserted tuple; rebuilt only with the catalog")
             self.out_edges[from.index()].push(id);
+            // distinct-lint: allow(D113, reason="FK adjacency tracks corpus size one edge per inserted tuple; rebuilt only with the catalog")
             self.in_edges[to.index()].push(id);
             // Reverse traversal (target -> referrers) needs an index on the
             // FK attribute of the referencing relation.

@@ -226,9 +226,9 @@ impl<'a> Query<'a> {
         'tuples: for (_, t) in base_rel.iter() {
             let mut row: Vec<Value> = t.values().to_vec();
             for &(col, rid) in &joins {
-                let key = row[col].clone();
+                let key = &row[col];
                 let target: &Relation = self.catalog.relation(rid);
-                match (!key.is_null()).then(|| target.by_key(&key)).flatten() {
+                match (!key.is_null()).then(|| target.by_key(key)).flatten() {
                     Some(tid) => row.extend(target.tuple(tid).values().iter().cloned()),
                     None => continue 'tuples, // inner join: drop the row
                 }

@@ -95,7 +95,7 @@ impl Relation {
                     key: key.to_string(),
                 });
             }
-            self.key_index.insert(key, tid);
+            self.key_index.insert(key, tid); // distinct-lint: allow(D113, reason="primary-key index holds one entry per stored tuple for the corpus lifetime; dropped with the relation")
         }
         // Maintain any already-built secondary indexes. Iteration order over
         // the index map is irrelevant: each pass touches a different index,
@@ -107,6 +107,7 @@ impl Relation {
                 index.entry(v.clone()).or_default().push(tid);
             }
         }
+        // distinct-lint: allow(D113, reason="tuple storage is the reference corpus itself: insert-only by design, freed when the relation is dropped")
         self.tuples.push(tuple);
         Ok(tid)
     }
@@ -141,6 +142,7 @@ impl Relation {
                 index.entry(v.clone()).or_default().push(TupleId(i as u32));
             }
         }
+        // distinct-lint: allow(D113, reason="one index per attribute, bounded by the schema arity; entries mirror stored tuples and live as long as the relation")
         self.secondary.insert(attr, index);
     }
 

@@ -175,10 +175,12 @@ pub fn train_smo_guarded(
     }
 
     // Keep only support vectors.
-    let mut svs = Vec::new();
-    let mut coefs = Vec::new();
+    let kept = alpha.iter().filter(|&&a| a > 1e-12).count();
+    let mut svs = Vec::with_capacity(kept);
+    let mut coefs = Vec::with_capacity(kept);
     for i in 0..n {
         if alpha[i] > 1e-12 {
+            // distinct-lint: allow(D110, reason="each support-vector row is copied exactly once into the returned model, which owns its vectors by contract")
             svs.push(data.x(i).to_vec());
             coefs.push(alpha[i] * data.y(i));
         }
